@@ -1,0 +1,68 @@
+package l1hh
+
+import (
+	"repro/internal/cms"
+	"repro/internal/countsketch"
+	"repro/internal/lossy"
+	"repro/internal/mg"
+	"repro/internal/rng"
+	"repro/internal/spacesaving"
+)
+
+// The baselines below are the prior-art algorithms the paper's
+// introduction surveys. They are exported so that users (and the
+// benchmark harness) can compare space and accuracy against the paper's
+// solvers on identical streams.
+
+// MisraGries is the deterministic frequent-items summary [MG82] — the
+// O(ε⁻¹(log n + log m))-bit prior state of the art for (ε,ϕ)-heavy
+// hitters.
+type MisraGries = mg.Summary
+
+// NewMisraGries returns a Misra-Gries summary with k counters over a
+// universe of the given size (0 if unknown). k = ⌈1/ε⌉ yields ε·m error.
+func NewMisraGries(k int, universe uint64) *MisraGries { return mg.New(k, universe) }
+
+// SpaceSaving is the Space-Saving summary [MAE05] with O(1) worst-case
+// updates.
+type SpaceSaving = spacesaving.Summary
+
+// NewSpaceSaving returns a Space-Saving summary with k counters.
+func NewSpaceSaving(k int, universe uint64) *SpaceSaving {
+	return spacesaving.New(k, universe)
+}
+
+// CountMin is the Count-Min sketch [CM05].
+type CountMin = cms.Sketch
+
+// NewCountMin returns a Count-Min sketch with overcount ≤ ε·m with
+// probability 1−δ.
+func NewCountMin(seed uint64, eps, delta float64) *CountMin {
+	return cms.New(rng.New(seed), eps, delta)
+}
+
+// CountSketch is the CountSketch estimator [CCFC04].
+type CountSketch = countsketch.Sketch
+
+// NewCountSketch returns a CountSketch with the given depth (rows, use an
+// odd number) and width (buckets per row).
+func NewCountSketch(seed uint64, depth int, width uint64) *CountSketch {
+	return countsketch.New(rng.New(seed), depth, width)
+}
+
+// LossyCounting is the deterministic Lossy Counting summary [MM02].
+type LossyCounting = lossy.Counting
+
+// NewLossyCounting returns a Lossy Counting summary with error ε·m.
+func NewLossyCounting(eps float64, universe uint64) *LossyCounting {
+	return lossy.NewCounting(eps, universe)
+}
+
+// StickySampling is the randomized Sticky Sampling summary [MM02].
+type StickySampling = lossy.Sticky
+
+// NewStickySampling returns a Sticky Sampling summary for support ϕ,
+// error ε and failure probability δ.
+func NewStickySampling(seed uint64, eps, phi, delta float64, universe uint64) *StickySampling {
+	return lossy.NewSticky(rng.New(seed), eps, phi, delta, universe)
+}

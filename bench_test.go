@@ -1,0 +1,333 @@
+package l1hh
+
+// One benchmark family per Table 1 row of the paper plus the ablations
+// DESIGN.md §5 lists. Space is emitted as the custom metric "model-bits"
+// (the paper's accounting); time is the usual ns/op. EXPERIMENTS.md
+// records the paper-vs-measured comparison; cmd/hhbench and cmd/votebench
+// print the same series as sweep tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/commlower"
+	"repro/internal/rng"
+	"repro/internal/voting"
+)
+
+// benchStream is a shared pre-generated workload (planted heavy hitters +
+// noise) so benchmarks measure sketch work, not generation.
+var benchStream = GeneratePlantedStream(1, 1<<20,
+	[]float64{0.15, 0.11, 0.03}, 1000, 1<<30, OrderShuffled)
+
+func reportBits(b *testing.B, s Sketch) {
+	b.ReportMetric(float64(s.ModelBits()), "model-bits")
+}
+
+// --- E1: Table 1 row 1 — (ε,ϕ)-heavy hitters ---
+
+func benchListInsert(b *testing.B, algo Algorithm, eps float64) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: eps, Phi: 0.1, Delta: 0.1,
+		StreamLength: uint64(max(b.N, len(benchStream))),
+		Universe:     1 << 32, Algorithm: algo, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Insert(benchStream[i&(1<<20-1)])
+	}
+	b.StopTimer()
+	reportBits(b, hh)
+}
+
+func BenchmarkE1aAlgo2Insert(b *testing.B) {
+	for _, eps := range []float64{0.05, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			benchListInsert(b, AlgorithmOptimal, eps)
+		})
+	}
+}
+
+func BenchmarkE1aAlgo1Insert(b *testing.B) {
+	for _, eps := range []float64{0.05, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			benchListInsert(b, AlgorithmSimple, eps)
+		})
+	}
+}
+
+func BenchmarkE1aMisraGriesInsert(b *testing.B) {
+	for _, eps := range []float64{0.05, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			mg := NewMisraGries(int(1/eps), 1<<32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mg.Insert(benchStream[i&(1<<20-1)])
+			}
+			b.StopTimer()
+			reportBits(b, mg)
+		})
+	}
+}
+
+// BenchmarkE1cUpdateScaling verifies the O(1) worst-case update claim:
+// with the stream length (hence sampling rate ℓ/m) varying over two
+// orders of magnitude, per-item cost must *fall* toward the constant
+// skip-sampler decrement, not grow.
+func BenchmarkE1cUpdateScaling(b *testing.B) {
+	for _, m := range []uint64{1 << 20, 1 << 24, 1 << 28} {
+		b.Run(fmt.Sprintf("declared-m=%d", m), func(b *testing.B) {
+			hh, err := NewListHeavyHitters(Config{
+				Eps: 0.01, Phi: 0.1, Delta: 0.1,
+				StreamLength: m, Universe: 1 << 32,
+				Algorithm: AlgorithmOptimal, Seed: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hh.Insert(benchStream[i&(1<<20-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkE1cPacedInsert measures the strict-worst-case variant: the
+// §3.1 de-amortization queue with a one-unit budget per insert.
+func BenchmarkE1cPacedInsert(b *testing.B) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.01, Phi: 0.1, Delta: 0.1,
+		StreamLength: 1 << 24, Universe: 1 << 32,
+		Algorithm: AlgorithmOptimal, PacedBudget: 1, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Insert(benchStream[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkE1Report measures reporting time, which Theorem 2 requires to
+// be linear in the output size.
+func BenchmarkE1Report(b *testing.B) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.02, Phi: 0.1, Delta: 0.1,
+		StreamLength: uint64(len(benchStream)), Universe: 1 << 32,
+		Algorithm: AlgorithmOptimal, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, x := range benchStream {
+		hh.Insert(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hh.Report()
+	}
+}
+
+// --- E2: Table 1 row 2 — ε-Maximum ---
+
+func BenchmarkE2MaximumInsert(b *testing.B) {
+	for _, eps := range []float64{0.05, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			mx, err := NewMaximum(Config{
+				Eps: eps, Delta: 0.1,
+				StreamLength: uint64(max(b.N, len(benchStream))),
+				Universe:     1 << 32, Seed: 5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mx.Insert(benchStream[i&(1<<20-1)])
+			}
+			b.StopTimer()
+			reportBits(b, mx)
+		})
+	}
+}
+
+// --- E3: Table 1 row 3 — ε-Minimum ---
+
+func BenchmarkE3MinimumInsert(b *testing.B) {
+	for _, eps := range []float64{0.02, 0.005} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			mn, err := NewMinimum(Config{
+				Eps: eps, Delta: 0.1,
+				StreamLength: uint64(max(b.N, len(benchStream))),
+				Universe:     64, Seed: 6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mn.Insert(benchStream[i&(1<<20-1)] & 63)
+			}
+			b.StopTimer()
+			reportBits(b, mn)
+		})
+	}
+}
+
+// --- E4/E5: Table 1 rows 4–5 — ε-Borda and ε-maximin ---
+
+var benchVotes = func() []Ranking {
+	g := voting.NewMallows(rng.New(7), voting.Identity(10), 0.6)
+	out := make([]Ranking, 1<<14)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}()
+
+func BenchmarkE4BordaInsert(b *testing.B) {
+	for _, eps := range []float64{0.05, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			bs, err := NewBorda(VoteConfig{
+				Candidates: 10, Eps: eps, Delta: 0.1,
+				StreamLength: uint64(max(b.N, len(benchVotes))), Seed: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.Insert(benchVotes[i&(1<<14-1)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bs.ModelBits()), "model-bits")
+		})
+	}
+}
+
+func BenchmarkE5MaximinInsert(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.05} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			ms, err := NewMaximin(VoteConfig{
+				Candidates: 10, Eps: eps, Delta: 0.1,
+				StreamLength: uint64(max(b.N, len(benchVotes))), Seed: 9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms.Insert(benchVotes[i&(1<<14-1)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ms.ModelBits()), "model-bits")
+		})
+	}
+}
+
+// --- E6: Theorems 7–8 — unknown stream length overhead ---
+
+func BenchmarkE6UnknownLengthInsert(b *testing.B) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.05, Phi: 0.15, Delta: 0.1, Universe: 1 << 32, Seed: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Insert(benchStream[i&(1<<20-1)])
+	}
+	b.StopTimer()
+	reportBits(b, hh)
+}
+
+// --- E7: Theorem 9 reduction end-to-end ---
+
+func BenchmarkE7Theorem9Reduction(b *testing.B) {
+	red := commlower.Theorem9{A: 2, T: 10, Scale: 50}
+	src := rng.New(11)
+	x := make([]int, red.T)
+	for j := range x {
+		x[j] = j % red.A
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := red.Run(src.Split(), x, i%red.T)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// --- A1: ablation — Algorithm 2's accelerated counters vs Algorithm 1's
+// hashed exact counters at identical (ε, ϕ). The model-bits metrics of
+// the two sub-benchmarks are the comparison. ---
+
+func BenchmarkA1Ablation(b *testing.B) {
+	for _, algo := range []struct {
+		name string
+		a    Algorithm
+	}{{"accelerated", AlgorithmOptimal}, {"exact-hashed", AlgorithmSimple}} {
+		b.Run(algo.name, func(b *testing.B) {
+			benchListInsert(b, algo.a, 0.01)
+		})
+	}
+}
+
+// --- A3: ablation — maximin storage: sampled votes (paper) vs pairwise
+// matrix. ---
+
+func BenchmarkA3MaximinStorage(b *testing.B) {
+	for _, pw := range []struct {
+		name string
+		on   bool
+	}{{"votes", false}, {"pairwise", true}} {
+		b.Run(pw.name, func(b *testing.B) {
+			ms, err := voting.NewMaximinSketch(rng.New(12), voting.MaximinConfig{
+				N: 10, Eps: 0.1, Delta: 0.1,
+				M: uint64(max(b.N, len(benchVotes))), Pairwise: pw.on,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms.Insert(benchVotes[i&(1<<14-1)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ms.ModelBits()), "model-bits")
+		})
+	}
+}
+
+// --- A4: baseline field — insert cost of every baseline on the same
+// stream. ---
+
+func BenchmarkA4Baselines(b *testing.B) {
+	mk := map[string]func() Sketch{
+		"misra-gries":  func() Sketch { return NewMisraGries(100, 1<<32) },
+		"space-saving": func() Sketch { return NewSpaceSaving(100, 1<<32) },
+		"count-min":    func() Sketch { return NewCountMin(13, 0.01, 0.05) },
+		"countsketch":  func() Sketch { return NewCountSketch(14, 5, 200) },
+		"lossy":        func() Sketch { return NewLossyCounting(0.01, 1<<32) },
+		"sticky":       func() Sketch { return NewStickySampling(15, 0.01, 0.1, 0.05, 1<<32) },
+	}
+	for _, name := range []string{"misra-gries", "space-saving", "count-min", "countsketch", "lossy", "sticky"} {
+		b.Run(name, func(b *testing.B) {
+			s := mk[name]()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(benchStream[i&(1<<20-1)])
+			}
+			b.StopTimer()
+			reportBits(b, s)
+		})
+	}
+}

@@ -1,0 +1,350 @@
+// hhbench regenerates the paper's evaluation artifact (Table 1) as
+// measurements: for each problem row it sweeps the governing parameter,
+// measures the solvers' space in the paper's bit-accounting model,
+// compares against the closed-form bounds and the prior-art baselines,
+// and reports decision quality against exact counts.
+//
+// Usage:
+//
+//	go run ./cmd/hhbench -exp e1a     # row 1, space scaling vs ε
+//	go run ./cmd/hhbench -exp e1b     # row 1, decision quality
+//	go run ./cmd/hhbench -exp e2      # row 2, ε-Maximum
+//	go run ./cmd/hhbench -exp e3      # row 3, ε-Minimum
+//	go run ./cmd/hhbench -exp a4      # baseline field comparison
+//	go run ./cmd/hhbench -exp all     # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	l1hh "repro"
+	"repro/internal/exact"
+	"repro/internal/stats"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, or all")
+	seedFlag = flag.Uint64("seed", 1, "base RNG seed")
+	mFlag    = flag.Int("m", 1_000_000, "stream length")
+)
+
+func main() {
+	flag.Parse()
+	switch *expFlag {
+	case "e1a":
+		expE1a()
+	case "e1b":
+		expE1b()
+	case "e2":
+		expE2()
+	case "e3":
+		expE3()
+	case "a4":
+		expA4()
+	case "all":
+		expE1a()
+		expE1b()
+		expE2()
+		expE3()
+		expA4()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+// workload builds the standard planted stream: two ϕ-heavy items, two
+// items below ϕ−ε, uniform noise elsewhere.
+func workload(seed uint64, m int, phi, eps float64) []uint64 {
+	w := []float64{phi * 1.5, phi * 1.1, (phi - eps) * 0.6, (phi - eps) * 0.4}
+	return l1hh.GeneratePlantedStream(seed, m, w, 1000, 1<<30, l1hh.OrderShuffled)
+}
+
+// feedPeak streams st into the sketch and returns the peak ModelBits,
+// sampled every stride inserts. Peak — not end-of-stream — is the memory
+// that must be provisioned: Misra-Gries style tables legitimately shrink
+// under decrements, so their final state understates their footprint.
+func feedPeak(s l1hh.Sketch, st []uint64, stride int) int64 {
+	peak := s.ModelBits()
+	for i, x := range st {
+		s.Insert(x)
+		if i%stride == stride-1 {
+			if b := s.ModelBits(); b > peak {
+				peak = b
+			}
+		}
+	}
+	if b := s.ModelBits(); b > peak {
+		peak = b
+	}
+	return peak
+}
+
+// expE1a — Table 1 row 1, space scaling. The claim: the new algorithms'
+// bits grow as ε⁻¹·log ϕ⁻¹ + ϕ⁻¹·log n + log log m while Misra-Gries
+// grows as ε⁻¹(log n + log m); the ratio columns against each formula
+// should stay flat across the ε sweep.
+func expE1a() {
+	fmt.Println("=== E1a: (ε,ϕ)-heavy hitters — peak bits vs ε (ϕ=0.1, n=2³²) ===")
+	fmt.Println("bits·ε flat across the sweep ⇒ Θ(1/ε) growth; the a2 and a1 columns")
+	fmt.Println("have n-independent slopes, MG's slope carries log n + log m (see E1a-n).")
+	fmt.Println("eps      algo2(bits)  ·ε       algo1(bits)  ·ε       MG(bits)   ·ε")
+	const phi = 0.1
+	n := uint64(1) << 32
+	m := *mFlag
+	for _, eps := range []float64{0.05, 0.02, 0.01, 0.005} {
+		st := workload(*seedFlag, m, phi, eps)
+		a2, err := l1hh.NewListHeavyHitters(l1hh.Config{
+			Eps: eps, Phi: phi, Delta: 0.1, StreamLength: uint64(m),
+			Universe: n, Algorithm: l1hh.AlgorithmOptimal, Seed: *seedFlag,
+		})
+		must(err)
+		a1, err := l1hh.NewListHeavyHitters(l1hh.Config{
+			Eps: eps, Phi: phi, Delta: 0.1, StreamLength: uint64(m),
+			Universe: n, Algorithm: l1hh.AlgorithmSimple, Seed: *seedFlag,
+		})
+		must(err)
+		mg := l1hh.NewMisraGries(int(math.Ceil(1/eps)), n)
+		b2 := feedPeak(a2, st, 4096)
+		b1 := feedPeak(a1, st, 4096)
+		bm := feedPeak(mg, st, 4096)
+		fmt.Printf("%-7.3f  %11d  %7.0f  %11d  %7.0f  %9d  %6.0f\n",
+			eps, b2, float64(b2)*eps, b1, float64(b1)*eps, bm, float64(bm)*eps)
+	}
+	fmt.Println()
+
+	// E1a-n: hold ε fixed, grow the universe — only the id-bearing parts
+	// (Algorithm 1/2's ϕ⁻¹ ids, MG's every entry) may grow.
+	fmt.Println("--- E1a-n: peak bits vs universe size (ε=0.01, ϕ=0.1) ---")
+	fmt.Println("log2(n)  algo2(bits)   algo1(bits)   MG(bits)")
+	for _, lg := range []int{16, 32, 48, 62} {
+		nn := uint64(1) << lg
+		st := workloadN(*seedFlag, m, phi, 0.01, nn)
+		a2, err := l1hh.NewListHeavyHitters(l1hh.Config{
+			Eps: 0.01, Phi: phi, Delta: 0.1, StreamLength: uint64(m),
+			Universe: nn, Algorithm: l1hh.AlgorithmOptimal, Seed: *seedFlag,
+		})
+		must(err)
+		a1, err := l1hh.NewListHeavyHitters(l1hh.Config{
+			Eps: 0.01, Phi: phi, Delta: 0.1, StreamLength: uint64(m),
+			Universe: nn, Algorithm: l1hh.AlgorithmSimple, Seed: *seedFlag,
+		})
+		must(err)
+		mg := l1hh.NewMisraGries(100, nn)
+		fmt.Printf("%-8d %12d  %12d  %9d\n", lg,
+			feedPeak(a2, st, 4096), feedPeak(a1, st, 4096), feedPeak(mg, st, 4096))
+	}
+	fmt.Println()
+}
+
+// workloadN is workload with noise spread over [1000, n/2).
+func workloadN(seed uint64, m int, phi, eps float64, n uint64) []uint64 {
+	w := []float64{phi * 1.5, phi * 1.1, (phi - eps) * 0.6, (phi - eps) * 0.4}
+	hi := n / 2
+	if hi <= 1000 {
+		hi = 1001
+	}
+	return l1hh.GeneratePlantedStream(seed, m, w, 1000, hi, l1hh.OrderShuffled)
+}
+
+// expE1b — row 1 decision quality: recall on f ≥ ϕ·m, false positives at
+// f ≤ (ϕ−ε)·m, worst estimate error.
+func expE1b() {
+	fmt.Println("=== E1b: (ε,ϕ)-heavy hitters — decision quality (ε=0.01, ϕ=0.05, m=10⁶) ===")
+	const eps, phi = 0.01, 0.05
+	m := *mFlag
+	fmt.Println("engine   recall  false-pos  max|err|/m   bits")
+	for _, algo := range []struct {
+		name string
+		a    l1hh.Algorithm
+	}{{"algo2", l1hh.AlgorithmOptimal}, {"algo1", l1hh.AlgorithmSimple}} {
+		recall, fpos, maxErr, bits := evalList(algo.a, eps, phi, m)
+		fmt.Printf("%-7s  %6.3f  %9d  %10.5f  %6d\n", algo.name, recall, fpos, maxErr, bits)
+	}
+	fmt.Println()
+}
+
+func evalList(algo l1hh.Algorithm, eps, phi float64, m int) (recall float64, falsePos int, maxErr float64, bits int64) {
+	st := workload(*seedFlag+7, m, phi, eps)
+	ex := exact.New()
+	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: eps, Phi: phi, Delta: 0.1, StreamLength: uint64(m),
+		Universe: 1 << 32, Algorithm: algo, Seed: *seedFlag + 7,
+	})
+	must(err)
+	for _, x := range st {
+		hh.Insert(x)
+		ex.Insert(x)
+	}
+	rep := hh.Report()
+	got := map[uint64]float64{}
+	for _, r := range rep {
+		got[r.Item] = r.F
+	}
+	heavy := ex.HeavyHitters(uint64(math.Ceil(phi * float64(m))))
+	found := 0
+	for _, x := range heavy {
+		if _, ok := got[x]; ok {
+			found++
+		}
+	}
+	recall = 1
+	if len(heavy) > 0 {
+		recall = float64(found) / float64(len(heavy))
+	}
+	for x, f := range got {
+		if float64(ex.Freq(x)) <= (phi-eps)*float64(m) {
+			falsePos++
+		}
+		if e := math.Abs(f-float64(ex.Freq(x))) / float64(m); e > maxErr {
+			maxErr = e
+		}
+	}
+	return recall, falsePos, maxErr, hh.ModelBits()
+}
+
+// expE2 — Table 1 row 2: ε-Maximum space and ℓ∞ accuracy vs ε.
+func expE2() {
+	fmt.Println("=== E2: ε-Maximum — measured bits and ℓ∞ error vs ε (n=2³², m=10⁶) ===")
+	fmt.Println("eps      bits      bits/bound   |maxerr|/m")
+	n := uint64(1) << 32
+	m := *mFlag
+	for _, eps := range []float64{0.05, 0.02, 0.01, 0.005} {
+		st := workload(*seedFlag+3, m, 0.2, eps)
+		ex := exact.New()
+		for _, x := range st {
+			ex.Insert(x)
+		}
+		mx, err := l1hh.NewMaximum(l1hh.Config{
+			Eps: eps, Delta: 0.1, StreamLength: uint64(m), Universe: n, Seed: *seedFlag + 3,
+		})
+		must(err)
+		peak := feedPeak(mx, st, 4096)
+		_, f, _ := mx.Report()
+		_, trueMax, _ := ex.Max()
+		bound := stats.MaxUpperBits(eps, n, uint64(m))
+		fmt.Printf("%-7.3f  %8d  %10.1f  %10.5f\n",
+			eps, peak, float64(peak)/bound,
+			math.Abs(f-float64(trueMax))/float64(m))
+	}
+	fmt.Println()
+}
+
+// expE3 — Table 1 row 3: ε-Minimum space and accuracy vs ε over a small
+// universe.
+func expE3() {
+	fmt.Println("=== E3: ε-Minimum — measured bits and error vs ε (n=64, m=10⁶) ===")
+	fmt.Println("eps      bits     bits/bound   |minerr|/m")
+	m := *mFlag
+	const n = 64
+	for _, eps := range []float64{0.05, 0.02, 0.01, 0.005} {
+		mn, err := l1hh.NewMinimum(l1hh.Config{
+			Eps: eps, Delta: 0.1, StreamLength: uint64(m), Universe: n, Seed: *seedFlag + 4,
+		})
+		must(err)
+		ex := exact.New()
+		st := l1hh.Generate(l1hh.NewZipfStream(*seedFlag+5, n, 0.8), m)
+		for _, x := range st {
+			ex.Insert(x)
+		}
+		peak := feedPeak(mn, st, 4096)
+		universe := make([]uint64, n)
+		for i := range universe {
+			universe[i] = uint64(i)
+		}
+		_, trueMin := ex.MinOver(universe)
+		r := mn.Report()
+		bound := stats.MinUpperBits(eps, uint64(m))
+		fmt.Printf("%-7.3f  %7d  %10.1f  %10.5f\n",
+			eps, peak, float64(peak)/bound,
+			math.Abs(r.F-float64(trueMin))/float64(m))
+	}
+	fmt.Println()
+}
+
+// expA4 — baseline field: all sketches on one Zipf stream; bits, worst
+// heavy-item error, update throughput.
+func expA4() {
+	fmt.Println("=== A4: baseline field — Zipf(1.1), n=2²⁰, m=10⁶, ε=0.01, ϕ=0.05 ===")
+	const eps, phi = 0.01, 0.05
+	n := uint64(1) << 20
+	m := *mFlag
+	st := l1hh.Generate(l1hh.NewZipfStream(*seedFlag+9, n, 1.1), m)
+	ex := exact.New()
+	for _, x := range st {
+		ex.Insert(x)
+	}
+	type row struct {
+		name   string
+		sketch l1hh.Sketch
+		est    func(uint64) float64
+	}
+	a2, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: eps, Phi: phi, Delta: 0.1, StreamLength: uint64(m), Universe: n,
+		Algorithm: l1hh.AlgorithmOptimal, Seed: *seedFlag,
+	})
+	must(err)
+	a1, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: eps, Phi: phi, Delta: 0.1, StreamLength: uint64(m), Universe: n,
+		Algorithm: l1hh.AlgorithmSimple, Seed: *seedFlag,
+	})
+	must(err)
+	mgS := l1hh.NewMisraGries(int(1/eps), n)
+	ssS := l1hh.NewSpaceSaving(int(1/eps), n)
+	cmS := l1hh.NewCountMin(*seedFlag, eps, 0.05)
+	csS := l1hh.NewCountSketch(*seedFlag, 5, uint64(2/eps))
+	lcS := l1hh.NewLossyCounting(eps, n)
+	stS := l1hh.NewStickySampling(*seedFlag, eps, phi, 0.05, n)
+	rows := []row{
+		{"algo2", a2, nil},
+		{"algo1", a1, nil},
+		{"misra-gries", mgS, func(x uint64) float64 { return float64(mgS.Estimate(x)) }},
+		{"space-saving", ssS, func(x uint64) float64 { return float64(ssS.Estimate(x)) }},
+		{"count-min", cmS, func(x uint64) float64 { return float64(cmS.Estimate(x)) }},
+		{"countsketch", csS, func(x uint64) float64 { return float64(csS.Estimate(x)) }},
+		{"lossy", lcS, func(x uint64) float64 { return float64(lcS.Estimate(x)) }},
+		{"sticky", stS, func(x uint64) float64 { return float64(stS.Estimate(x)) }},
+	}
+	top := ex.TopK(10)
+	fmt.Println("sketch        bits       ns/insert   max|err|/m (top-10 items)")
+	for _, r := range rows {
+		start := time.Now()
+		for _, x := range st {
+			r.sketch.Insert(x)
+		}
+		nsPer := float64(time.Since(start).Nanoseconds()) / float64(len(st))
+		maxErr := math.NaN()
+		if r.est != nil {
+			maxErr = 0
+			for _, x := range top {
+				e := math.Abs(r.est(x)-float64(ex.Freq(x))) / float64(m)
+				if e > maxErr {
+					maxErr = e
+				}
+			}
+		} else {
+			// List solvers: evaluate their reported estimates.
+			maxErr = 0
+			for _, rep := range r.sketch.(*l1hh.ListHeavyHitters).Report() {
+				e := math.Abs(rep.F-float64(ex.Freq(rep.Item))) / float64(m)
+				if e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+		fmt.Printf("%-12s  %9d  %9.1f  %12.5f\n",
+			r.name, r.sketch.ModelBits(), nsPer, maxErr)
+	}
+	fmt.Println()
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// hhcli finds the heavy hitters of a stream read from a file or stdin,
+// one item per whitespace-separated token. Numeric tokens are used as ids
+// directly; anything else is hashed (FNV-1a) into the universe, with the
+// original spelling remembered for the report.
+//
+// Usage:
+//
+//	hhcli -eps 0.01 -phi 0.05 < access.log
+//	hhcli -eps 0.001 -phi 0.01 -algo simple data.txt
+//
+// The stream length is not known in advance, so the unknown-length solver
+// (Theorem 7) runs unless -m is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	l1hh "repro"
+	"repro/internal/stream"
+)
+
+var (
+	epsFlag   = flag.Float64("eps", 0.01, "additive error ε")
+	phiFlag   = flag.Float64("phi", 0.05, "heaviness threshold ϕ")
+	deltaFlag = flag.Float64("delta", 0.05, "failure probability δ")
+	mFlag     = flag.Uint64("m", 0, "stream length if known (0 = unknown)")
+	algoFlag  = flag.String("algo", "optimal", "engine: optimal or simple (known m only)")
+	pacedFlag = flag.Int("paced", 0, "per-insert work budget (0 = amortized; known m only)")
+	seedFlag  = flag.Uint64("seed", 1, "RNG seed")
+)
+
+func main() {
+	flag.Parse()
+
+	algo := l1hh.AlgorithmOptimal
+	if *algoFlag == "simple" {
+		algo = l1hh.AlgorithmSimple
+	}
+	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: *epsFlag, Phi: *phiFlag, Delta: *deltaFlag,
+		StreamLength: *mFlag, Universe: 1 << 62,
+		Algorithm: algo, PacedBudget: *pacedFlag, Seed: *seedFlag,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rd := stream.NewReader(in, 1<<20)
+	for {
+		id, ok := rd.Next()
+		if !ok {
+			break
+		}
+		hh.Insert(id)
+	}
+	if err := rd.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# %d items, sketch %d bits, ε=%.4g ϕ=%.4g\n",
+		rd.Count(), hh.ModelBits(), *epsFlag, *phiFlag)
+	for _, r := range hh.Report() {
+		label := rd.Name(r.Item)
+		if label == "" {
+			label = strconv.FormatUint(r.Item, 10)
+		}
+		fmt.Printf("%-30s %12.0f\n", label, r.F)
+	}
+}

@@ -1,0 +1,153 @@
+// lowerbound executes the paper's §4 reductions (Theorems 9–14) and
+// prints, for each, the decode success rate over random instances and the
+// size of Alice's one-way message — both in the paper's bit-accounting
+// model and as physically serialized bytes. Growing instances show the
+// message growing with the parameters the communication bounds name.
+//
+// Usage:
+//
+//	go run ./cmd/lowerbound [-trials 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/commlower"
+	"repro/internal/rng"
+)
+
+var (
+	trialsFlag = flag.Int("trials", 20, "random instances per reduction")
+	seedFlag   = flag.Uint64("seed", 1, "base RNG seed")
+)
+
+func main() {
+	flag.Parse()
+	src := rng.New(*seedFlag)
+	fmt.Println("reduction                              ok/total   model-bits   wire-bytes   stream")
+
+	runT9 := func(a, tt, scale int) {
+		red := commlower.Theorem9{A: a, T: tt, Scale: scale}
+		good, bits, bytes, slen := 0, int64(0), 0, uint64(0)
+		for tr := 0; tr < *trialsFlag; tr++ {
+			x := make([]int, tt)
+			for j := range x {
+				x[j] = src.Intn(a)
+			}
+			out, err := red.Run(src.Split(), x, src.Intn(tt))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if out.Correct {
+				good++
+			}
+			bits, bytes, slen = out.MessageBits, out.WireBytes, out.StreamLen
+		}
+		fmt.Printf("Thm 9  HH⇒Indexing  A=%-2d T=%-3d        %2d/%-2d   %10d   %10d   %6d\n",
+			a, tt, good, *trialsFlag, bits, bytes, slen)
+	}
+	runT9(2, 10, 100)
+	runT9(2, 40, 100)
+	runT9(4, 8, 100)
+
+	runT10 := func(tt int) {
+		red := commlower.Theorem10{T: tt, Scale: 40}
+		good := 0
+		var last commlower.Outcome
+		for tr := 0; tr < *trialsFlag; tr++ {
+			x := make([]int, tt)
+			for j := range x {
+				x[j] = src.Intn(tt)
+			}
+			out, err := red.Run(src.Split(), x, src.Intn(tt))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if out.Correct {
+				good++
+			}
+			last = out
+		}
+		fmt.Printf("Thm 10 Max⇒Indexing T=%-3d             %2d/%-2d   %10d   %10d   %6d\n",
+			tt, good, *trialsFlag, last.MessageBits, last.WireBytes, last.StreamLen)
+	}
+	runT10(8)
+	runT10(32)
+
+	runT11 := func(tt int) {
+		red := commlower.Theorem11{T: tt}
+		good := 0
+		var last commlower.Outcome
+		for tr := 0; tr < *trialsFlag; tr++ {
+			x := make([]int, tt)
+			for j := range x {
+				x[j] = src.Intn(2)
+			}
+			out, err := red.Run(src.Split(), x, src.Intn(tt))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if out.Correct {
+				good++
+			}
+			last = out
+		}
+		fmt.Printf("Thm 11 Min⇒Indexing T=%-3d             %2d/%-2d   %10d   %10d   %6d\n",
+			tt, good, *trialsFlag, last.MessageBits, last.WireBytes, last.StreamLen)
+	}
+	runT11(25)
+	runT11(100)
+
+	runT12 := func(n, blocks int) {
+		red := commlower.Theorem12{N: n, BlockCount: blocks}
+		good := 0
+		var last commlower.Outcome
+		for tr := 0; tr < *trialsFlag; tr++ {
+			sigma := src.Perm(n)
+			out, err := red.Run(src.Split(), sigma, src.Intn(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if out.Correct {
+				good++
+			}
+			last = out
+		}
+		fmt.Printf("Thm 12 Borda⇒Perm   n=%-3d blocks=%-3d  %2d/%-2d   %10d   %10d   %6d\n",
+			n, blocks, good, *trialsFlag, last.MessageBits, last.WireBytes, last.StreamLen)
+	}
+	runT12(20, 5)
+	runT12(60, 12)
+
+	runT14 := func(maxExp int) {
+		red := commlower.Theorem14{MaxExp: maxExp}
+		good, total := 0, 0
+		var last commlower.Outcome
+		for x := 0; x <= maxExp; x += 3 {
+			for y := 1; y <= maxExp; y += 4 {
+				if x == y {
+					continue
+				}
+				out, err := red.Run(src.Split(), x, y)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				total++
+				if out.Correct {
+					good++
+				}
+				last = out
+			}
+		}
+		fmt.Printf("Thm 14 GT over {0,1} exps≤%-2d          %2d/%-2d   %10d   %10d   %6d\n",
+			maxExp, good, total, last.MessageBits, last.WireBytes, last.StreamLen)
+	}
+	runT14(14)
+}

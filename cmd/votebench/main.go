@@ -1,0 +1,147 @@
+// votebench regenerates the rank-aggregation side of Table 1 (rows 4–5):
+// Borda and maximin sketch space and accuracy across candidate counts and
+// ε, against exact tallies — including the paper's headline separation
+// that maximin heavy hitters cost Θ(ε⁻²) per candidate where Borda costs
+// Θ(log ε⁻¹).
+//
+// Usage:
+//
+//	go run ./cmd/votebench               # default sweep
+//	go run ./cmd/votebench -m 200000 -q 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	l1hh "repro"
+	"repro/internal/stats"
+)
+
+var (
+	mFlag    = flag.Int("m", 100_000, "number of votes")
+	qFlag    = flag.Float64("q", 0.6, "Mallows dispersion (0,1]")
+	seedFlag = flag.Uint64("seed", 1, "base RNG seed")
+)
+
+func main() {
+	flag.Parse()
+	m := *mFlag
+
+	fmt.Println("=== E4: ε-Borda — bits and score error vs n, ε (Mallows votes) ===")
+	fmt.Println("n    eps     bits     bits/bound   max|err|/(m·n)   winner-ok")
+	for _, n := range []int{5, 10, 20, 40} {
+		for _, eps := range []float64{0.05, 0.01} {
+			runBorda(n, eps, m)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("=== E5: ε-maximin — bits and score error vs n, ε (Mallows votes) ===")
+	fmt.Println("n    eps     bits         bits/bound   max|err|/m   winner-ok")
+	for _, n := range []int{5, 10, 20} {
+		for _, eps := range []float64{0.1, 0.05} {
+			runMaximin(n, eps, m)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("=== Separation: Borda vs maximin bits at n=10, m=", m, "===")
+	fmt.Println("eps      Borda(bits)   maximin(bits)   ratio")
+	for _, eps := range []float64{0.1, 0.05, 0.02} {
+		b := buildBorda(10, eps, m)
+		mm := buildMaximin(10, eps, m)
+		fmt.Printf("%-7.3f  %11d  %14d  %6.1f\n",
+			eps, b.ModelBits(), mm.ModelBits(),
+			float64(mm.ModelBits())/float64(b.ModelBits()))
+	}
+}
+
+func buildBorda(n int, eps float64, m int) *l1hh.Borda {
+	b, err := l1hh.NewBorda(l1hh.VoteConfig{
+		Candidates: n, Eps: eps, Delta: 0.1, StreamLength: uint64(m), Seed: *seedFlag,
+	})
+	must(err)
+	g := l1hh.NewMallows(*seedFlag+2, l1hh.IdentityRanking(n), *qFlag)
+	for i := 0; i < m; i++ {
+		b.Insert(g.Next())
+	}
+	return b
+}
+
+func buildMaximin(n int, eps float64, m int) *l1hh.Maximin {
+	mm, err := l1hh.NewMaximin(l1hh.VoteConfig{
+		Candidates: n, Eps: eps, Delta: 0.1, StreamLength: uint64(m), Seed: *seedFlag,
+	})
+	must(err)
+	g := l1hh.NewMallows(*seedFlag+2, l1hh.IdentityRanking(n), *qFlag)
+	for i := 0; i < m; i++ {
+		mm.Insert(g.Next())
+	}
+	return mm
+}
+
+func runBorda(n int, eps float64, m int) {
+	b, err := l1hh.NewBorda(l1hh.VoteConfig{
+		Candidates: n, Eps: eps, Delta: 0.1, StreamLength: uint64(m), Seed: *seedFlag,
+	})
+	must(err)
+	ta := l1hh.NewVoteTally(n)
+	g := l1hh.NewMallows(*seedFlag+2, l1hh.IdentityRanking(n), *qFlag)
+	for i := 0; i < m; i++ {
+		v := g.Next()
+		b.Insert(v)
+		ta.Add(v)
+	}
+	got := b.Scores()
+	want := ta.BordaScores()
+	var maxErr float64
+	for c := 0; c < n; c++ {
+		if e := math.Abs(got[c]-float64(want[c])) / (float64(m) * float64(n)); e > maxErr {
+			maxErr = e
+		}
+	}
+	cand, _ := b.Max()
+	_, trueMax := ta.BordaWinner()
+	ok := float64(trueMax)-float64(want[cand]) <= eps*float64(m)*float64(n)
+	bound := stats.BordaUpperBits(eps, uint64(n), uint64(m))
+	fmt.Printf("%-4d %-7.3f %7d  %10.2f  %14.5f   %v\n",
+		n, eps, b.ModelBits(), float64(b.ModelBits())/bound, maxErr, ok)
+}
+
+func runMaximin(n int, eps float64, m int) {
+	mm, err := l1hh.NewMaximin(l1hh.VoteConfig{
+		Candidates: n, Eps: eps, Delta: 0.1, StreamLength: uint64(m), Seed: *seedFlag,
+	})
+	must(err)
+	ta := l1hh.NewVoteTally(n)
+	g := l1hh.NewMallows(*seedFlag+2, l1hh.IdentityRanking(n), *qFlag)
+	for i := 0; i < m; i++ {
+		v := g.Next()
+		mm.Insert(v)
+		ta.Add(v)
+	}
+	got := mm.Scores()
+	want := ta.MaximinScores()
+	var maxErr float64
+	for c := 0; c < n; c++ {
+		if e := math.Abs(got[c]-float64(want[c])) / float64(m); e > maxErr {
+			maxErr = e
+		}
+	}
+	cand, _ := mm.Max()
+	_, trueMax := ta.MaximinWinner()
+	ok := float64(trueMax)-float64(want[cand]) <= eps*float64(m)
+	bound := stats.MaximinUpperBits(eps, uint64(n), uint64(m))
+	fmt.Printf("%-4d %-7.3f %11d  %11.3f  %10.5f   %v\n",
+		n, eps, mm.ModelBits(), float64(mm.ModelBits())/bound, maxErr, ok)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Package l1hh is a complete Go implementation of "An Optimal Algorithm
+// for ℓ1-Heavy Hitters in Insertion Streams and Related Problems"
+// (Bhattacharyya, Dey, Woodruff — PODS 2016).
+//
+// # What it provides
+//
+// Streaming solvers with the paper's optimal space bounds:
+//
+//   - ListHeavyHitters — the (ε,ϕ)-heavy hitters problem: one pass over a
+//     stream of items, report every item with frequency ≥ ϕ·m, no item
+//     with frequency ≤ (ϕ−ε)·m, and per-item estimates within ε·m.
+//     Two engines: Algorithm 1 (simple, near-optimal) and Algorithm 2
+//     (optimal, accelerated counters).
+//   - Maximum — the ε-Maximum problem / ℓ∞ approximation (IITK 2006 Open
+//     Question 3 for ℓ1): the most frequent item and its frequency ± ε·m.
+//   - Minimum — the ε-Minimum problem: an item of approximately minimum
+//     frequency over a small universe (dislike counting, anomaly
+//     detection).
+//   - Borda and Maximin sketches — rank-aggregation heavy hitters over
+//     streams of votes (total orders), per Theorems 5 and 6.
+//   - Unknown-length variants of all of the above (Theorems 7–8), which
+//     need no advance knowledge of the stream length.
+//
+// Plus the classic baselines the paper compares against (Misra-Gries,
+// Space-Saving, Count-Min, CountSketch, Lossy Counting, Sticky Sampling),
+// synthetic workload generators, and the paper's lower-bound reductions
+// as executable artifacts (internal/commlower).
+//
+// # Quick start
+//
+//	cfg := l1hh.Config{Eps: 0.01, Phi: 0.05, Delta: 0.05,
+//		StreamLength: 1_000_000, Universe: 1 << 32, Seed: 42}
+//	hh, err := l1hh.NewListHeavyHitters(cfg)
+//	if err != nil { ... }
+//	for _, x := range stream {
+//		hh.Insert(x)
+//	}
+//	for _, r := range hh.Report() {
+//		fmt.Printf("item %d ≈ %.0f occurrences\n", r.Item, r.F)
+//	}
+//
+// # Space accounting
+//
+// Every sketch has ModelBits, which reports its size in bits under the
+// paper's accounting model (variable-length BB08 counters, ⌈log₂ n⌉-bit
+// ids, O(log n)-bit hash seeds, O(log log m)-bit samplers). This is the
+// number Table 1 of the paper bounds, and what the benchmark harness
+// sweeps. See DESIGN.md for the model, EXPERIMENTS.md for measurements.
+//
+// All randomness is seeded: the same Config produces the same answers on
+// the same stream.
+package l1hh

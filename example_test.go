@@ -1,0 +1,107 @@
+package l1hh_test
+
+// Godoc examples for the public API. Each runs as a test and its output
+// is verified, so the documentation cannot rot.
+
+import (
+	"fmt"
+	"math"
+
+	l1hh "repro"
+)
+
+func ExampleNewListHeavyHitters() {
+	// AlgorithmSimple counts exactly on streams shorter than its sample
+	// budget, which keeps this example's output deterministic; the default
+	// AlgorithmOptimal estimates within ±ε·m via accelerated counters.
+	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: 0.05, Phi: 0.2, Delta: 0.05,
+		StreamLength: 1000, Universe: 1 << 20,
+		Algorithm: l1hh.AlgorithmSimple, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Item 7 takes half the stream, the rest is spread thin.
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			hh.Insert(7)
+		} else {
+			hh.Insert(uint64(1000 + i))
+		}
+	}
+	for _, r := range hh.Report() {
+		// Estimates carry ±ε·m error; round to the nearest hundred for a
+		// stable example output.
+		fmt.Printf("item %d ≈ %.0f\n", r.Item, math.Round(r.F/100)*100)
+	}
+	// Output:
+	// item 7 ≈ 500
+}
+
+func ExampleNewMaximum() {
+	mx, err := l1hh.NewMaximum(l1hh.Config{
+		Eps: 0.1, Delta: 0.05, StreamLength: 300, Universe: 100, Seed: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 300; i++ {
+		mx.Insert(uint64(i % 3)) // 0, 1, 2 equally often …
+	}
+	for i := 0; i < 150; i++ {
+		mx.Insert(2) // … and 2 gets a surge
+	}
+	item, _, _ := mx.Report()
+	fmt.Println("most frequent:", item)
+	// Output:
+	// most frequent: 2
+}
+
+func ExampleNewMinimum() {
+	mn, err := l1hh.NewMinimum(l1hh.Config{
+		Eps: 0.1, Delta: 0.05, StreamLength: 900, Universe: 4, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 900; i++ {
+		mn.Insert(uint64(i % 3)) // item 3 never occurs
+	}
+	fmt.Println("least frequent:", mn.Report().Item)
+	// Output:
+	// least frequent: 3
+}
+
+func ExampleNewBorda() {
+	b, err := l1hh.NewBorda(l1hh.VoteConfig{
+		Candidates: 3, Eps: 0.05, StreamLength: 2, Seed: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	b.Insert(l1hh.Ranking{2, 0, 1}) // 2 ≻ 0 ≻ 1
+	b.Insert(l1hh.Ranking{2, 1, 0}) // 2 ≻ 1 ≻ 0
+	winner, score := b.Max()
+	fmt.Printf("Borda winner %d with score %.0f\n", winner, score)
+	// Output:
+	// Borda winner 2 with score 4
+}
+
+func ExampleListHeavyHitters_MarshalBinary() {
+	hh, _ := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: 0.1, Phi: 0.4, Delta: 0.05,
+		StreamLength: 200, Universe: 1 << 10, Seed: 5,
+	})
+	for i := 0; i < 100; i++ {
+		hh.Insert(9)
+	}
+	blob, _ := hh.MarshalBinary() // checkpoint
+	restored, _ := l1hh.UnmarshalListHeavyHitters(blob)
+	for i := 0; i < 100; i++ {
+		restored.Insert(9) // resume on the copy
+	}
+	fmt.Println("items reported:", len(restored.Report()))
+	// Output:
+	// items reported: 1
+}

@@ -1,0 +1,93 @@
+// Iceberg: the classic "iceberg query" of the paper's introduction
+// ([FSG+98, BR99]: find the GROUP BY rows whose aggregate exceeds a
+// threshold, without materializing the aggregation).
+//
+// Here a retailer's sales feed streams (store, product) pairs and the
+// analyst wants every pair accounting for ≥ 1% of the volume. The example
+// also demonstrates the two-sketch pattern the baselines enable: a
+// Misra-Gries pass produces candidates, a mergeable Count-Min pass (split
+// across two "shards", merged at query time) verifies their counts.
+//
+//	go run ./examples/iceberg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	l1hh "repro"
+)
+
+func pairID(store, product uint64) l1hh.Item { return store<<32 | product }
+
+func main() {
+	const (
+		m   = 600_000
+		eps = 0.002
+		phi = 0.01
+	)
+
+	// The paper's solver answers the iceberg query in one pass.
+	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: eps, Phi: phi, Delta: 0.05,
+		StreamLength: m, Universe: 1 << 62, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline pattern: MG candidates + two CMS shards merged at query
+	// time (same seed ⇒ mergeable).
+	mgPass := l1hh.NewMisraGries(int(2/phi), 1<<62)
+	shardA := l1hh.NewCountMin(77, eps, 0.01)
+	shardB := l1hh.NewCountMin(77, eps, 0.01)
+
+	// Hot pairs: store 3 sells product 12 heavily, store 9 product 4.
+	gen := l1hh.NewPlantedStream(22, []float64{0.05, 0.02}, 1000, 1<<20)
+	exact := map[l1hh.Item]int{}
+	for i := 0; i < m; i++ {
+		raw := gen.Next()
+		var id l1hh.Item
+		switch raw {
+		case 0:
+			id = pairID(3, 12)
+		case 1:
+			id = pairID(9, 4)
+		default:
+			id = pairID(raw%50, raw%1000) // long tail
+		}
+		hh.Insert(id)
+		mgPass.Insert(id)
+		if i%2 == 0 {
+			shardA.Insert(id)
+		} else {
+			shardB.Insert(id)
+		}
+		exact[id]++
+	}
+
+	fmt.Printf("sales records : %d   threshold: ≥ %.0f (ϕ = %.1f%%)\n\n", m, phi*m, phi*100)
+
+	fmt.Println("— one-pass optimal algorithm (Theorem 2) —")
+	fmt.Println("store  product   estimate    exact")
+	for _, r := range hh.Report() {
+		fmt.Printf("%5d  %7d  %9.0f  %7d\n",
+			r.Item>>32, r.Item&0xFFFFFFFF, r.F, exact[r.Item])
+	}
+
+	// Merge the CMS shards and verify MG's candidates against them.
+	if err := shardA.Merge(shardB); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— MG candidates verified by merged Count-Min shards —")
+	fmt.Println("store  product   CMS est.    exact")
+	for _, cand := range mgPass.Candidates() {
+		est := shardA.Estimate(cand)
+		if float64(est) >= phi*m {
+			fmt.Printf("%5d  %7d  %9d  %7d\n",
+				cand>>32, cand&0xFFFFFFFF, est, exact[cand])
+		}
+	}
+	fmt.Printf("\nsketch sizes: optimal %d bits, MG %d bits, merged CMS %d bits\n",
+		hh.ModelBits(), mgPass.ModelBits(), shardA.ModelBits())
+}

@@ -1,0 +1,82 @@
+// Polling: streaming election winners under three voting rules — the
+// paper's rank-aggregation motivation (§1.2).
+//
+// An online poll receives a stream of ballots, each a full ranking of the
+// candidates. At any moment the operator wants the current plurality,
+// Borda and maximin winners without storing the ballots. Plurality is the
+// ε-Maximum problem on first-place votes; Borda and maximin use the
+// Theorem 5 / Theorem 6 sketches.
+//
+//	go run ./examples/polling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	l1hh "repro"
+)
+
+func main() {
+	candidates := []string{"Asha", "Bruno", "Chen", "Dara", "Eiji"}
+	n := len(candidates)
+	const ballots = 200_000
+	const eps = 0.02
+
+	// The electorate leans toward Chen ≻ Asha ≻ … with Mallows noise, so
+	// different rules can disagree on runners-up while agreeing on top.
+	truth := l1hh.Ranking{2, 0, 1, 3, 4}
+	gen := l1hh.NewMallows(11, truth, 0.55)
+
+	plurality, err := l1hh.NewMaximum(l1hh.Config{
+		Eps: eps, Delta: 0.05, StreamLength: ballots, Universe: uint64(n), Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	borda, err := l1hh.NewBorda(l1hh.VoteConfig{
+		Candidates: n, Eps: eps, StreamLength: ballots, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maximin, err := l1hh.NewMaximin(l1hh.VoteConfig{
+		Candidates: n, Eps: eps, StreamLength: ballots, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tally := l1hh.NewVoteTally(n) // exact, for the comparison printout
+
+	for i := 0; i < ballots; i++ {
+		v := gen.Next()
+		plurality.Insert(uint64(v[0])) // first-place vote stream
+		borda.Insert(v)
+		maximin.Insert(v)
+		tally.Add(v)
+	}
+
+	fmt.Printf("ballots: %d   candidates: %v\n\n", ballots, candidates)
+
+	pItem, pFreq, _ := plurality.Report()
+	fmt.Printf("plurality winner : %-6s (≈%.0f first-place votes; sketch %d bits)\n",
+		candidates[pItem], pFreq, plurality.ModelBits())
+
+	bCand, bScore := borda.Max()
+	fmt.Printf("Borda winner     : %-6s (score ≈%.0f; sketch %d bits)\n",
+		candidates[bCand], bScore, borda.ModelBits())
+
+	mCand, mScore := maximin.Max()
+	fmt.Printf("maximin winner   : %-6s (score ≈%.0f; sketch %d bits)\n",
+		candidates[mCand], mScore, maximin.ModelBits())
+
+	fmt.Println("\nexact scores for reference:")
+	bs, ms, ps := tally.BordaScores(), tally.MaximinScores(), tally.PluralityScores()
+	fmt.Println("candidate   plurality      Borda    maximin")
+	for c := 0; c < n; c++ {
+		fmt.Printf("%-9s  %10d  %9d  %9d\n", candidates[c], ps[c], bs[c], ms[c])
+	}
+	fmt.Println("\nnote the maximin sketch costs far more than Borda — the paper's")
+	fmt.Println("Theorem 6 vs Theorem 5 separation, visible in the bit counts above.")
+}

@@ -1,0 +1,61 @@
+// Quickstart: find the (ε,ϕ)-heavy hitters of a skewed stream and check
+// them against exact counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	l1hh "repro"
+)
+
+func main() {
+	const (
+		m        = 1_000_000
+		universe = 1 << 32
+		eps      = 0.005
+		phi      = 0.02
+	)
+
+	// A Zipf(1.1) stream over a 4-billion-id universe: a handful of items
+	// dominate, exactly the workload heavy hitters algorithms exist for.
+	gen := l1hh.NewZipfStream(1, 1<<16, 1.1)
+
+	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
+		Eps: eps, Phi: phi, Delta: 0.05,
+		StreamLength: m, Universe: universe, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact counts, for comparison only — a real deployment has no room
+	// for them, which is the point of the sketch.
+	exactCounts := make(map[uint64]int)
+
+	for i := 0; i < m; i++ {
+		x := gen.Next()
+		hh.Insert(x)
+		exactCounts[x]++
+	}
+
+	fmt.Printf("stream length        : %d\n", m)
+	fmt.Printf("sketch size          : %d bits (model accounting)\n", hh.ModelBits())
+	fmt.Printf("threshold ϕ·m        : %.0f occurrences\n", phi*m)
+	fmt.Println()
+	fmt.Println("item        estimate      exact    |error|/m")
+	for _, r := range hh.Report() {
+		exactF := float64(exactCounts[r.Item])
+		fmt.Printf("%6d  %12.0f  %9.0f    %.5f\n",
+			r.Item, r.F, exactF, abs(r.F-exactF)/m)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,173 @@
+package l1hh
+
+// Fuzz targets: decoding hostile bytes must return errors, never panic or
+// over-allocate. `go test` exercises the seed corpus; `go test -fuzz`
+// explores further.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mg"
+	"repro/internal/minimum"
+	"repro/internal/rng"
+	"repro/internal/voting"
+	"repro/internal/wire"
+)
+
+// seedBlobs produces one valid encoding per solver so the fuzzer starts
+// from decodable inputs.
+func seedBlobs(tb testing.TB) [][]byte {
+	tb.Helper()
+	var blobs [][]byte
+
+	sl, err := core.NewSimpleList(rng.New(1), core.Config{
+		Eps: 0.1, Phi: 0.3, Delta: 0.1, M: 1000, N: 1000,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		sl.Insert(i % 37)
+	}
+	b1, _ := sl.MarshalBinary()
+	blobs = append(blobs, append([]byte{1}, b1...))
+
+	op, err := core.NewOptimal(rng.New(2), core.Config{
+		Eps: 0.1, Phi: 0.3, Delta: 0.1, M: 1000, N: 1000,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		op.Insert(i % 37)
+	}
+	b2, _ := op.MarshalBinary()
+	blobs = append(blobs, append([]byte{2}, b2...))
+	return blobs
+}
+
+func FuzzUnmarshalListHeavyHitters(f *testing.F) {
+	for _, b := range seedBlobs(f) {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		hh, err := UnmarshalListHeavyHitters(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded solver must be usable.
+		hh.Insert(7)
+		_ = hh.Report()
+		_ = hh.ModelBits()
+	})
+}
+
+func FuzzMGUnmarshal(f *testing.F) {
+	s := mg.New(5, 100)
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(i % 11)
+	}
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var out mg.Summary
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out.Insert(3)
+		_ = out.Candidates()
+	})
+}
+
+func FuzzMinimumUnmarshal(f *testing.F) {
+	s, err := minimum.New(rng.New(3), minimum.Config{
+		Eps: 0.2, Delta: 0.1, M: 100, N: 8,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(i % 8)
+	}
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var out minimum.Solver
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		_ = out.Report()
+	})
+}
+
+func FuzzBordaUnmarshal(f *testing.F) {
+	b, err := voting.NewBordaSketch(rng.New(4), voting.BordaConfig{
+		N: 4, Eps: 0.1, Delta: 0.1, M: 100,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b.Insert(voting.Ranking{0, 1, 2, 3})
+	blob, _ := b.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var out voting.BordaSketch
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		_ = out.Scores()
+	})
+}
+
+func FuzzWireReader(f *testing.F) {
+	w := wire.NewWriter()
+	w.U64(5)
+	w.U64s([]uint64{1, 2, 3})
+	w.F64(1.5)
+	w.Map(map[uint64]uint64{1: 2})
+	f.Add(w.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		_ = r.U64()
+		_ = r.U64s()
+		_ = r.F64()
+		_ = r.Map()
+		_ = r.I64()
+		_ = r.Err()
+	})
+}
+
+func FuzzRankingValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, 3)
+	f.Add([]byte{2, 2, 1}, 3)
+	f.Fuzz(func(t *testing.T, perm []byte, n int) {
+		if n < 0 || n > 1<<10 || len(perm) > 1<<10 {
+			return
+		}
+		rk := make(voting.Ranking, len(perm))
+		for i, b := range perm {
+			rk[i] = uint32(b)
+		}
+		_ = rk.Validate(n) // must never panic
+	})
+}

@@ -1,0 +1,52 @@
+package cms
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestMarshalMidStream(t *testing.T) {
+	orig := NewWithDims(rng.New(1), 4, 128)
+	g := stream.NewZipf(rng.New(2), 500, 1.1)
+	for i := 0; i < 10000; i++ {
+		orig.Insert(g.Next())
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Sketch
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		x := g.Next()
+		orig.Insert(x)
+		restored.Insert(x)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if orig.Estimate(x) != restored.Estimate(x) {
+			t.Fatalf("estimate diverged for %d", x)
+		}
+	}
+	// Restored sketch must remain mergeable with same-seed siblings.
+	sibling := NewWithDims(rng.New(1), 4, 128)
+	if err := restored.Merge(sibling); err != nil {
+		t.Fatalf("restored sketch lost mergeability: %v", err)
+	}
+}
+
+func TestMarshalRejectsCorruption(t *testing.T) {
+	s := NewWithDims(rng.New(3), 2, 16)
+	s.Insert(1)
+	blob, _ := s.MarshalBinary()
+	var r Sketch
+	if err := r.UnmarshalBinary(blob[:5]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package cms
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestMergeEqualsConcatenation(t *testing.T) {
+	// Same seed → same hashes. Split a stream, sketch halves, merge, and
+	// compare against sketching the whole stream.
+	mkSketch := func() *Sketch { return NewWithDims(rng.New(42), 4, 256) }
+	a, b, whole := mkSketch(), mkSketch(), mkSketch()
+	g := stream.NewZipf(rng.New(1), 1000, 1.1)
+	const m = 20000
+	for i := 0; i < m; i++ {
+		x := g.Next()
+		whole.Insert(x)
+		if i%2 == 0 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != whole.Len() {
+		t.Fatalf("merged length %d vs %d", a.Len(), whole.Len())
+	}
+	for x := uint64(0); x < 1000; x++ {
+		if a.Estimate(x) != whole.Estimate(x) {
+			t.Fatalf("estimate for %d differs after merge: %d vs %d",
+				x, a.Estimate(x), whole.Estimate(x))
+		}
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	a := NewWithDims(rng.New(1), 4, 256)
+	if err := a.Merge(NewWithDims(rng.New(1), 3, 256)); err == nil {
+		t.Fatal("depth mismatch accepted")
+	}
+	if err := a.Merge(NewWithDims(rng.New(2), 4, 256)); err == nil {
+		t.Fatal("different seeds accepted")
+	}
+	c := NewWithDims(rng.New(1), 4, 256)
+	c.SetConservative(true)
+	if err := c.Merge(NewWithDims(rng.New(1), 4, 256)); err == nil {
+		t.Fatal("conservative sketch merge accepted")
+	}
+}

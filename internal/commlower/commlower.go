@@ -1,0 +1,247 @@
+// Package commlower executes the paper's lower-bound reductions (§4,
+// Theorems 9–14) end to end.
+//
+// Each space lower bound in Table 1 is proved by a reduction from a
+// one-way communication problem: if a streaming algorithm used fewer bits
+// than the communication lower bound, Alice could run it on a crafted
+// stream prefix, ship its state to Bob as the one-way message, and Bob
+// could finish the stream and decode the answer — contradiction.
+//
+// This package builds exactly those crafted instances and runs them
+// against this repository's algorithms. The "message" is the in-process
+// sketch; its size is the sketch's ModelBits. A passing run demonstrates
+// the operational half of the argument: the streaming algorithm really
+// does solve the communication problem on the hard instances, so its
+// space is subject to the communication bound (Ω(t·log m) for Indexing
+// [KNR99], Ω(n·log(1/ε)) for ε-Perm [SW15-style], Ω(log n) for
+// Greater-Than [MNSW98]).
+package commlower
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/minimum"
+	"repro/internal/rng"
+)
+
+// Outcome reports one reduction run.
+type Outcome struct {
+	// Correct is whether Bob decoded Alice's hidden value.
+	Correct bool
+	// MessageBits is the size of Alice's one-way message: the sketch
+	// state under the paper's accounting.
+	MessageBits int64
+	// WireBytes is the size of the message as actually serialized — the
+	// protocols below physically marshal Alice's sketch and hand Bob a
+	// decoded copy, so the one-way communication is a real byte string.
+	WireBytes int
+	// StreamLen is the total length of the two-part stream.
+	StreamLen uint64
+}
+
+// Theorem9 is the (ε,ϕ)-Heavy Hitters ⇒ Indexing reduction. Alice holds a
+// string x ∈ [A]^T with A = 1/(2(ϕ−ε)) and T = 1/(2ε); Bob holds an index
+// i and must output x_i. The universe is pairs (a, b) encoded as a·T + b.
+type Theorem9 struct {
+	// A is the alphabet size (determines ϕ = ε + 1/(2A)).
+	A int
+	// T is the string length (determines ε = 1/(2T)).
+	T int
+	// Scale multiplies the minimal stream length 2·A·T; larger values
+	// smooth the sampling-based algorithms. Must be ≥ 1.
+	Scale int
+}
+
+// Eps returns the instance's ε = 1/(2T).
+func (r Theorem9) Eps() float64 { return 1 / (2 * float64(r.T)) }
+
+// Phi returns the instance's ϕ = ε + 1/(2A).
+func (r Theorem9) Phi() float64 { return r.Eps() + 1/(2*float64(r.A)) }
+
+// Run plays the protocol: Alice encodes x into a stream prefix and runs
+// the heavy hitters algorithm; Bob appends his suffix for index i and
+// decodes x_i from the report.
+func (r Theorem9) Run(src *rng.Source, x []int, i int) (Outcome, error) {
+	if len(x) != r.T || i < 0 || i >= r.T || r.Scale < 1 {
+		return Outcome{}, fmt.Errorf("commlower: bad Theorem 9 instance")
+	}
+	for _, v := range x {
+		if v < 0 || v >= r.A {
+			return Outcome{}, fmt.Errorf("commlower: letter %d outside [%d]", v, r.A)
+		}
+	}
+	m := uint64(2 * r.A * r.T * r.Scale)
+	eps, phi := r.Eps(), r.Phi()
+	n := uint64(r.A * r.T)
+	alg, err := core.NewSimpleList(src, core.Config{
+		Eps: eps, Phi: phi, Delta: 0.1, M: m, N: n,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	id := func(a, b int) uint64 { return uint64(a*r.T + b) }
+
+	// Alice: ε·m copies of (x_j, j) for every j — m/2 items.
+	epsM := int(eps * float64(m))
+	for j := 0; j < r.T; j++ {
+		for c := 0; c < epsM; c++ {
+			alg.Insert(id(x[j], j))
+		}
+	}
+	// — message handoff: Alice serializes, Bob deserializes —
+	msg := alg.ModelBits()
+	blob, err := alg.MarshalBinary()
+	if err != nil {
+		return Outcome{}, err
+	}
+	var bob core.SimpleList
+	if err := bob.UnmarshalBinary(blob); err != nil {
+		return Outcome{}, err
+	}
+
+	// Bob: (ϕ−ε)·m copies of (a, i) for every a — m/2 items. Item
+	// (x_i, i) reaches ϕ·m; every other item stays at ε·m or (ϕ−ε)·m.
+	gapM := int((phi - eps) * float64(m))
+	for a := 0; a < r.A; a++ {
+		for c := 0; c < gapM; c++ {
+			bob.Insert(id(a, i))
+		}
+	}
+
+	// Decode: the unique reported item with second coordinate i.
+	decoded, found := -1, false
+	for _, rep := range bob.Report() {
+		if int(rep.Item)%r.T == i {
+			if found {
+				found = false // ambiguous → decode failure
+				break
+			}
+			decoded, found = int(rep.Item)/r.T, true
+		}
+	}
+	return Outcome{
+		Correct:     found && decoded == x[i],
+		MessageBits: msg,
+		WireBytes:   len(blob),
+		StreamLen:   bob.Len(),
+	}, nil
+}
+
+// Theorem10 is the ε-Maximum ⇒ Indexing reduction: Alice holds
+// x ∈ [T]^T with T = 1/ε, Bob an index i; the planted pair (x_i, i) is the
+// unique item reaching frequency ≈ ε·m while all others stay at ε·m/2, so
+// an (ε/8)-Maximum answer reveals x_i.
+type Theorem10 struct {
+	// T is both the alphabet and the string length (T = 1/ε).
+	T int
+	// Scale multiplies the minimal stream length.
+	Scale int
+}
+
+// Run plays the protocol.
+func (r Theorem10) Run(src *rng.Source, x []int, i int) (Outcome, error) {
+	if len(x) != r.T || i < 0 || i >= r.T || r.Scale < 1 {
+		return Outcome{}, fmt.Errorf("commlower: bad Theorem 10 instance")
+	}
+	half := r.Scale // ⌊ε·m/2⌋ copies of each pair
+	m := uint64(2 * r.T * half)
+	n := uint64(r.T * r.T)
+	alg, err := core.NewMaximum(src, core.Config{
+		Eps: 1 / (8 * float64(r.T)), Delta: 0.1, M: m, N: n,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	id := func(a, b int) uint64 { return uint64(a*r.T + b) }
+	for j := 0; j < r.T; j++ {
+		for c := 0; c < half; c++ {
+			alg.Insert(id(x[j], j))
+		}
+	}
+	msg := alg.ModelBits()
+	blob, err := alg.MarshalBinary()
+	if err != nil {
+		return Outcome{}, err
+	}
+	var bob core.Maximum
+	if err := bob.UnmarshalBinary(blob); err != nil {
+		return Outcome{}, err
+	}
+	for a := 0; a < r.T; a++ {
+		for c := 0; c < half; c++ {
+			bob.Insert(id(a, i))
+		}
+	}
+	item, _, ok := bob.Report()
+	correct := ok && int(item)%r.T == i && int(item)/r.T == x[i]
+	return Outcome{Correct: correct, MessageBits: msg, WireBytes: len(blob), StreamLen: bob.Len()}, nil
+}
+
+// Theorem11 is the ε-Minimum ⇒ Indexing(2, 5/ε) reduction: Alice holds a
+// bit string, Bob an index i. Bob gives every universe item except i and a
+// sentinel two copies, and the sentinel one copy; the minimum is then item
+// i (zero copies) iff x_i = 0, else the sentinel.
+type Theorem11 struct {
+	// T is the bit-string length (5/ε in the paper).
+	T int
+}
+
+// Run plays the protocol.
+func (r Theorem11) Run(src *rng.Source, x []int, i int) (Outcome, error) {
+	if len(x) != r.T || i < 0 || i >= r.T {
+		return Outcome{}, fmt.Errorf("commlower: bad Theorem 11 instance")
+	}
+	n := uint64(r.T + 1)
+	sentinel := uint64(r.T)
+	// Stream length: ≤ 2T + 2(T−1) + 1; exactness is irrelevant (the
+	// solver only needs an upper bound to size samplers, and at this scale
+	// everything is exact). The algorithm's additive error must resolve
+	// single copies, so ε_alg < 1/m — precisely the regime the lower
+	// bound charges Ω(1/ε) for.
+	m := uint64(4*r.T + 1)
+	alg, err := minimum.New(src, minimum.Config{
+		Eps: 1 / (2 * float64(m)), Delta: 0.1, M: m, N: n,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	for j, bit := range x {
+		if bit != 0 {
+			alg.Insert(uint64(j))
+			alg.Insert(uint64(j))
+		}
+	}
+	msg := alg.ModelBits()
+	blob, err := alg.MarshalBinary()
+	if err != nil {
+		return Outcome{}, err
+	}
+	var bob minimum.Solver
+	if err := bob.UnmarshalBinary(blob); err != nil {
+		return Outcome{}, err
+	}
+	for j := 0; j < r.T; j++ {
+		if j != i {
+			bob.Insert(uint64(j))
+			bob.Insert(uint64(j))
+		}
+	}
+	bob.Insert(sentinel)
+	res := bob.Report()
+	var decoded int
+	switch res.Item {
+	case uint64(i):
+		decoded = 0
+	case sentinel:
+		decoded = 1
+	default:
+		decoded = -1
+	}
+	return Outcome{
+		Correct:     decoded == x[i],
+		MessageBits: msg,
+		WireBytes:   len(blob),
+		StreamLen:   bob.Len(),
+	}, nil
+}

@@ -1,0 +1,223 @@
+package commlower
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTheorem9Decodes(t *testing.T) {
+	red := Theorem9{A: 2, T: 10, Scale: 100}
+	src := rng.New(1)
+	good, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		x := make([]int, red.T)
+		for j := range x {
+			x[j] = src.Intn(red.A)
+		}
+		i := src.Intn(red.T)
+		out, err := red.Run(src.Split(), x, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.MessageBits <= 0 {
+			t.Fatal("message must have positive size")
+		}
+		if out.StreamLen == 0 {
+			t.Fatal("stream must be nonempty")
+		}
+		total++
+		if out.Correct {
+			good++
+		}
+	}
+	if good < total-2 {
+		t.Fatalf("Theorem 9 reduction decoded %d/%d", good, total)
+	}
+}
+
+func TestTheorem9LargerAlphabet(t *testing.T) {
+	red := Theorem9{A: 4, T: 4, Scale: 50} // ε = 1/8, ϕ = 1/8 + 1/8 = 1/4
+	src := rng.New(2)
+	x := []int{3, 0, 2, 1}
+	for i := 0; i < red.T; i++ {
+		out, err := red.Run(src.Split(), x, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Correct {
+			t.Fatalf("index %d misdecoded", i)
+		}
+	}
+}
+
+func TestTheorem9RejectsBadInstances(t *testing.T) {
+	red := Theorem9{A: 2, T: 4, Scale: 1}
+	src := rng.New(3)
+	cases := []struct {
+		x []int
+		i int
+	}{
+		{[]int{0, 1}, 0},        // wrong length
+		{[]int{0, 1, 0, 1}, 9},  // index out of range
+		{[]int{0, 7, 0, 1}, 0},  // letter out of range
+		{[]int{0, -1, 0, 1}, 0}, // negative letter
+	}
+	for k, c := range cases {
+		if _, err := red.Run(src, c.x, c.i); err == nil {
+			t.Fatalf("case %d accepted", k)
+		}
+	}
+}
+
+func TestTheorem10Decodes(t *testing.T) {
+	red := Theorem10{T: 8, Scale: 40}
+	src := rng.New(4)
+	good, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		x := make([]int, red.T)
+		for j := range x {
+			x[j] = src.Intn(red.T)
+		}
+		i := src.Intn(red.T)
+		out, err := red.Run(src.Split(), x, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if out.Correct {
+			good++
+		}
+	}
+	if good < total-2 {
+		t.Fatalf("Theorem 10 reduction decoded %d/%d", good, total)
+	}
+}
+
+func TestTheorem11DecodesBothBits(t *testing.T) {
+	red := Theorem11{T: 25}
+	src := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		x := make([]int, red.T)
+		for j := range x {
+			x[j] = src.Intn(2)
+		}
+		i := src.Intn(red.T)
+		out, err := red.Run(src.Split(), x, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Correct {
+			t.Fatalf("trial %d: bit x[%d]=%d misdecoded", trial, i, x[i])
+		}
+	}
+}
+
+func TestTheorem11AllZeroAllOne(t *testing.T) {
+	red := Theorem11{T: 10}
+	src := rng.New(6)
+	zero := make([]int, 10)
+	one := make([]int, 10)
+	for j := range one {
+		one[j] = 1
+	}
+	for i := 0; i < 10; i++ {
+		if out, err := red.Run(src.Split(), zero, i); err != nil || !out.Correct {
+			t.Fatalf("all-zero string, index %d: err=%v correct=%v", i, err, out.Correct)
+		}
+		if out, err := red.Run(src.Split(), one, i); err != nil || !out.Correct {
+			t.Fatalf("all-one string, index %d: err=%v correct=%v", i, err, out.Correct)
+		}
+	}
+}
+
+func TestTheorem12DecodesBlocks(t *testing.T) {
+	red := Theorem12{N: 20, BlockCount: 5}
+	src := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		sigma := src.Perm(red.N)
+		i := src.Intn(red.N)
+		out, err := red.Run(src.Split(), sigma, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Correct {
+			t.Fatalf("trial %d: block of %d misdecoded", trial, i)
+		}
+		if out.StreamLen != 5 {
+			t.Fatalf("the Theorem 12 election must have exactly 5 votes, got %d", out.StreamLen)
+		}
+	}
+}
+
+func TestTheorem12EveryItemEveryBlock(t *testing.T) {
+	red := Theorem12{N: 12, BlockCount: 4}
+	src := rng.New(8)
+	sigma := src.Perm(red.N)
+	for i := 0; i < red.N; i++ {
+		out, err := red.Run(src.Split(), sigma, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Correct {
+			t.Fatalf("item %d misdecoded", i)
+		}
+	}
+}
+
+func TestTheorem12RejectsBadInstances(t *testing.T) {
+	src := rng.New(9)
+	if _, err := (Theorem12{N: 10, BlockCount: 3}).Run(src, make([]int, 10), 0); err == nil {
+		t.Fatal("indivisible block structure accepted")
+	}
+	if _, err := (Theorem12{N: 4, BlockCount: 2}).Run(src, []int{0, 1}, 0); err == nil {
+		t.Fatal("short sigma accepted")
+	}
+}
+
+func TestTheorem14AllPairs(t *testing.T) {
+	red := Theorem14{MaxExp: 14}
+	src := rng.New(10)
+	for x := 0; x <= 14; x += 2 {
+		for y := 1; y <= 13; y += 3 {
+			if x == y {
+				continue
+			}
+			out, err := red.Run(src.Split(), x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Correct {
+				t.Fatalf("GT(%d,%d) misdecoded", x, y)
+			}
+		}
+	}
+}
+
+func TestTheorem14RejectsEqualExponents(t *testing.T) {
+	if _, err := (Theorem14{MaxExp: 5}).Run(rng.New(1), 3, 3); err == nil {
+		t.Fatal("x == y accepted")
+	}
+}
+
+// TestMessageSizesTrackTheBounds sanity-checks the communication side:
+// a larger Indexing instance must force a larger message (the sketch
+// grows with 1/ε and 1/ϕ), which is the shape Ω(ε⁻¹·log ϕ⁻¹) predicts.
+func TestMessageSizesTrackTheBounds(t *testing.T) {
+	src := rng.New(11)
+	small := Theorem9{A: 2, T: 5, Scale: 100}
+	big := Theorem9{A: 2, T: 40, Scale: 100}
+	xs := make([]int, small.T)
+	xb := make([]int, big.T)
+	outS, err := small.Run(src.Split(), xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := big.Run(src.Split(), xb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outB.MessageBits <= outS.MessageBits {
+		t.Fatalf("message did not grow with 1/ε: %d vs %d", outS.MessageBits, outB.MessageBits)
+	}
+}

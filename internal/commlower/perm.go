@@ -1,0 +1,180 @@
+package commlower
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/voting"
+)
+
+// Theorem12 is the ε-Borda ⇒ ε-Perm reduction. Alice holds a permutation
+// σ of [n] partitioned into 1/ε contiguous blocks; Bob holds an item i and
+// must output i's block.
+//
+// The election has 3n candidates: the n real items plus 2n dummies. Alice
+// casts one vote that lays out block j as
+//
+//	(ε·n dummies) ≻ (block j of σ) ≻ (ε·n dummies)
+//
+// so a real item's position — hence its Borda contribution — pins down
+// its block with an ε·n·m margin. Bob casts four votes putting i first,
+// two with the remaining candidates in a fixed order and two reversed, so
+// every candidate except i receives the same known score from Bob's votes
+// and i becomes the clear Borda maximum. An ε-Borda estimate of i's score
+// then reveals Alice's block (the paper's ε < 1/15 condition; we run the
+// sketch at ε/20).
+type Theorem12 struct {
+	// N is the number of real items; must be divisible by BlockCount.
+	N int
+	// BlockCount is the number of blocks (1/ε in the paper).
+	BlockCount int
+}
+
+// Run plays the protocol. sigma must be a permutation of [0, N).
+func (r Theorem12) Run(src *rng.Source, sigma []int, i int) (Outcome, error) {
+	n, blocks := r.N, r.BlockCount
+	if n <= 0 || blocks <= 0 || n%blocks != 0 {
+		return Outcome{}, fmt.Errorf("commlower: N must divide into BlockCount blocks")
+	}
+	if len(sigma) != n || i < 0 || i >= n {
+		return Outcome{}, fmt.Errorf("commlower: bad Theorem 12 instance")
+	}
+	blockLen := n / blocks
+	total := 3 * n // real items 0..n−1, dummies n..3n−1
+	eps := 1 / float64(blocks)
+
+	// Alice's vote: per block, blockLen dummies ≻ σ-block ≻ blockLen
+	// dummies.
+	vote := make(voting.Ranking, 0, total)
+	dummy := n
+	for b := 0; b < blocks; b++ {
+		for d := 0; d < blockLen; d++ {
+			vote = append(vote, uint32(dummy))
+			dummy++
+		}
+		for _, item := range sigma[b*blockLen : (b+1)*blockLen] {
+			vote = append(vote, uint32(item))
+		}
+		for d := 0; d < blockLen; d++ {
+			vote = append(vote, uint32(dummy))
+			dummy++
+		}
+	}
+	if err := vote.Validate(total); err != nil {
+		return Outcome{}, fmt.Errorf("commlower: internal vote construction: %w", err)
+	}
+
+	sketch, err := voting.NewBordaSketch(src, voting.BordaConfig{
+		N: total, Eps: eps / 20, Delta: 0.1, M: 5,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	sketch.Insert(vote)
+	msg := sketch.ModelBits()
+	blob, err := sketch.MarshalBinary()
+	if err != nil {
+		return Outcome{}, err
+	}
+	var bob voting.BordaSketch
+	if err := bob.UnmarshalBinary(blob); err != nil {
+		return Outcome{}, err
+	}
+
+	// Bob's four votes: i first, the rest in a fixed order twice and
+	// reversed twice.
+	rest := make([]uint32, 0, total-1)
+	for c := 0; c < total; c++ {
+		if c != i {
+			rest = append(rest, uint32(c))
+		}
+	}
+	fwd := append(voting.Ranking{uint32(i)}, rest...)
+	rev := make(voting.Ranking, 0, total)
+	rev = append(rev, uint32(i))
+	for k := len(rest) - 1; k >= 0; k-- {
+		rev = append(rev, rest[k])
+	}
+	bob.Insert(fwd)
+	bob.Insert(fwd.Clone())
+	bob.Insert(rev)
+	bob.Insert(rev.Clone())
+
+	// Decode: i's total score is 4(total−1) from Bob plus
+	// (total−1−pos_vote(i)) from Alice; invert for the position, then map
+	// the position to its block (real items sit in the middle third of
+	// each 3·blockLen segment).
+	scores := bob.Scores()
+	est := scores[i]
+	pos := float64(total-1) + 4*float64(total-1) - est
+	blockGuess := int(math.Floor(pos / (3 * float64(blockLen))))
+	if blockGuess < 0 {
+		blockGuess = 0
+	}
+	if blockGuess >= blocks {
+		blockGuess = blocks - 1
+	}
+	trueBlock := -1
+	for b := 0; b < blocks; b++ {
+		for _, item := range sigma[b*blockLen : (b+1)*blockLen] {
+			if item == i {
+				trueBlock = b
+			}
+		}
+	}
+	return Outcome{
+		Correct:     blockGuess == trueBlock,
+		MessageBits: msg,
+		WireBytes:   len(blob),
+		StreamLen:   bob.Len(),
+	}, nil
+}
+
+// Theorem14 is the Greater-Than ⇒ heavy hitters reduction over the
+// two-item universe {0, 1}: Alice streams 2^x copies of item 1, Bob 2^y
+// copies of item 0; the ε-maximum item (any ε < 1/4) is 1 exactly when
+// x > y. The stream length 2^x + 2^y forces the Ω(log log m) term of
+// every Table 1 row.
+type Theorem14 struct {
+	// MaxExp bounds the exponents (stream length ≤ 2^(MaxExp+1)).
+	MaxExp int
+}
+
+// Run plays the protocol for Alice's x and Bob's y (x ≠ y).
+func (r Theorem14) Run(src *rng.Source, x, y int) (Outcome, error) {
+	if x == y || x < 0 || y < 0 || x > r.MaxExp || y > r.MaxExp {
+		return Outcome{}, fmt.Errorf("commlower: bad Theorem 14 instance")
+	}
+	m := (uint64(1) << x) + (uint64(1) << y)
+	alg, err := core.NewMaximum(src, core.Config{
+		Eps: 0.2, Delta: 0.1, M: m, N: 2,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	for c := uint64(0); c < 1<<x; c++ {
+		alg.Insert(1)
+	}
+	msg := alg.ModelBits()
+	blob, err := alg.MarshalBinary()
+	if err != nil {
+		return Outcome{}, err
+	}
+	var bob core.Maximum
+	if err := bob.UnmarshalBinary(blob); err != nil {
+		return Outcome{}, err
+	}
+	for c := uint64(0); c < 1<<y; c++ {
+		bob.Insert(0)
+	}
+	item, _, ok := bob.Report()
+	decoded := ok && item == 1
+	return Outcome{
+		Correct:     decoded == (x > y),
+		MessageBits: msg,
+		WireBytes:   len(blob),
+		StreamLen:   bob.Len(),
+	}, nil
+}

@@ -1,0 +1,32 @@
+package compact
+
+import "repro/internal/wire"
+
+// Encode appends the vector to w.
+func (b *BitVector) Encode(w *wire.Writer) {
+	w.U64(uint64(b.n))
+	w.U64s(b.words)
+}
+
+// DecodeBitVector reads a vector written by Encode.
+func DecodeBitVector(r *wire.Reader) *BitVector {
+	n := r.U64()
+	words := r.U64s()
+	if r.Err() != nil || uint64(len(words)) != (n+63)/64 {
+		return nil
+	}
+	b := &BitVector{words: words, n: int(n)}
+	for _, w := range words {
+		b.ones += popcount(w)
+	}
+	return b
+}
+
+// popcount counts set bits.
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

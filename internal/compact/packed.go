@@ -1,0 +1,140 @@
+package compact
+
+import "fmt"
+
+// PackedArray is a fixed-length array of counters stored at a fixed bit
+// width, bit-packed into words — the dense special case of the BB08
+// variable-length arrays. It is the right container when counter values
+// have a known small bound, e.g. the truncated S3 counters of the
+// ε-Minimum algorithm (Theorem 4), whose values are capped at
+// polylog(1/(εδ)) and therefore fit in O(log log(1/(εδ))) bits each —
+// which is precisely where that theorem's space bound comes from.
+type PackedArray struct {
+	width uint // bits per counter, 1..64
+	n     int
+	max   uint64 // largest storable value (also the saturation cap)
+	words []uint64
+}
+
+// NewPackedArray returns n zeroed counters able to hold values up to
+// maxVal, each stored in ⌈log₂(maxVal+1)⌉ bits.
+func NewPackedArray(n int, maxVal uint64) *PackedArray {
+	if n < 0 {
+		panic("compact: negative length")
+	}
+	if maxVal == 0 {
+		panic("compact: maxVal must be positive")
+	}
+	width := uint(BitsFor(maxVal))
+	totalBits := uint64(n) * uint64(width)
+	return &PackedArray{
+		width: width,
+		n:     n,
+		max:   maxVal,
+		words: make([]uint64, (totalBits+63)/64),
+	}
+}
+
+// Len returns the number of counters.
+func (p *PackedArray) Len() int { return p.n }
+
+// Width returns the bits per counter.
+func (p *PackedArray) Width() uint { return p.width }
+
+// Max returns the saturation cap.
+func (p *PackedArray) Max() uint64 { return p.max }
+
+// Get returns counter i.
+func (p *PackedArray) Get(i int) uint64 {
+	p.check(i)
+	bit := uint64(i) * uint64(p.width)
+	w, off := bit/64, uint(bit%64)
+	mask := p.mask()
+	v := p.words[w] >> off
+	if off+p.width > 64 {
+		v |= p.words[w+1] << (64 - off)
+	}
+	return v & mask
+}
+
+// Set assigns counter i; it panics if v exceeds the cap.
+func (p *PackedArray) Set(i int, v uint64) {
+	p.check(i)
+	if v > p.max {
+		panic(fmt.Sprintf("compact: value %d exceeds packed cap %d", v, p.max))
+	}
+	bit := uint64(i) * uint64(p.width)
+	w, off := bit/64, uint(bit%64)
+	mask := p.mask()
+	p.words[w] = p.words[w]&^(mask<<off) | v<<off
+	if off+p.width > 64 {
+		rem := p.width - (64 - off) // bits spilling into the next word
+		hiMask := (uint64(1) << rem) - 1
+		p.words[w+1] = p.words[w+1]&^hiMask | v>>(64-off)
+	}
+}
+
+// Inc adds one to counter i, saturating at the cap, and returns the new
+// value.
+func (p *PackedArray) Inc(i int) uint64 {
+	v := p.Get(i)
+	if v < p.max {
+		v++
+		p.Set(i, v)
+	}
+	return v
+}
+
+// ArgMin returns the index and value of the smallest counter (lowest
+// index on ties). It panics on an empty array.
+func (p *PackedArray) ArgMin() (int, uint64) {
+	if p.n == 0 {
+		panic("compact: ArgMin of empty array")
+	}
+	bi, bv := 0, p.Get(0)
+	for i := 1; i < p.n; i++ {
+		if v := p.Get(i); v < bv {
+			bi, bv = i, v
+		}
+	}
+	return bi, bv
+}
+
+// ModelBits charges width bits per counter — the packed layout is itself
+// the model.
+func (p *PackedArray) ModelBits() int64 {
+	return int64(p.n) * int64(p.width)
+}
+
+// Words exposes the backing words for serialization.
+func (p *PackedArray) Words() []uint64 { return p.words }
+
+// RestorePackedArray rebuilds an array from its parameters and backing
+// words (as produced by Words); it returns nil if the shapes disagree.
+// The shape check precedes any allocation, so hostile parameters cannot
+// force a huge allocation.
+func RestorePackedArray(n int, maxVal uint64, words []uint64) *PackedArray {
+	if n < 0 || maxVal == 0 {
+		return nil
+	}
+	width := uint64(BitsFor(maxVal))
+	if uint64(len(words)) != (uint64(n)*width+63)/64 {
+		return nil
+	}
+	p := NewPackedArray(n, maxVal)
+	copy(p.words, words)
+	return p
+}
+
+func (p *PackedArray) mask() uint64 {
+	if p.width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << p.width) - 1
+}
+
+func (p *PackedArray) check(i int) {
+	if i < 0 || i >= p.n {
+		panic("compact: packed index out of range")
+	}
+}

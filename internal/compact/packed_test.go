@@ -1,0 +1,163 @@
+package compact
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedBasic(t *testing.T) {
+	p := NewPackedArray(10, 100) // width 7
+	if p.Width() != 7 || p.Len() != 10 || p.Max() != 100 {
+		t.Fatalf("shape: width=%d len=%d max=%d", p.Width(), p.Len(), p.Max())
+	}
+	p.Set(0, 100)
+	p.Set(9, 1)
+	if p.Get(0) != 100 || p.Get(9) != 1 || p.Get(5) != 0 {
+		t.Fatal("get/set broken")
+	}
+}
+
+// TestPackedWordBoundaries hits counters straddling 64-bit word edges for
+// widths that do not divide 64.
+func TestPackedWordBoundaries(t *testing.T) {
+	for _, width := range []uint64{1, 2, 3, 5, 7, 11, 13, 33, 63} {
+		maxVal := uint64(1)<<width - 1
+		p := NewPackedArray(200, maxVal)
+		for i := 0; i < 200; i++ {
+			p.Set(i, uint64(i)%(maxVal+1))
+		}
+		for i := 0; i < 200; i++ {
+			if got := p.Get(i); got != uint64(i)%(maxVal+1) {
+				t.Fatalf("width %d index %d: got %d want %d", width, i, got, uint64(i)%(maxVal+1))
+			}
+		}
+	}
+}
+
+func TestPackedWidth64(t *testing.T) {
+	p := NewPackedArray(5, ^uint64(0))
+	p.Set(3, ^uint64(0))
+	p.Set(4, 12345)
+	if p.Get(3) != ^uint64(0) || p.Get(4) != 12345 || p.Get(2) != 0 {
+		t.Fatal("64-bit width broken")
+	}
+}
+
+func TestPackedNoNeighborClobber(t *testing.T) {
+	p := NewPackedArray(100, 7) // width 3
+	for i := 0; i < 100; i++ {
+		p.Set(i, 5)
+	}
+	p.Set(50, 2)
+	if p.Get(49) != 5 || p.Get(51) != 5 || p.Get(50) != 2 {
+		t.Fatal("setting one counter disturbed a neighbor")
+	}
+}
+
+func TestPackedIncSaturates(t *testing.T) {
+	p := NewPackedArray(2, 3)
+	for i := 0; i < 10; i++ {
+		p.Inc(0)
+	}
+	if p.Get(0) != 3 {
+		t.Fatalf("saturation failed: %d", p.Get(0))
+	}
+	if p.Get(1) != 0 {
+		t.Fatal("neighbor disturbed by saturating increments")
+	}
+}
+
+func TestPackedArgMin(t *testing.T) {
+	p := NewPackedArray(5, 10)
+	for i := 0; i < 5; i++ {
+		p.Set(i, uint64(5-i))
+	}
+	if i, v := p.ArgMin(); i != 4 || v != 1 {
+		t.Fatalf("argmin = (%d,%d)", i, v)
+	}
+	p.Set(2, 1) // tie: lowest index wins
+	if i, _ := p.ArgMin(); i != 2 {
+		t.Fatalf("tie-break argmin = %d", i)
+	}
+}
+
+func TestPackedModelBits(t *testing.T) {
+	p := NewPackedArray(100, 15) // width 4
+	if p.ModelBits() != 400 {
+		t.Fatalf("ModelBits = %d", p.ModelBits())
+	}
+}
+
+func TestPackedPanics(t *testing.T) {
+	p := NewPackedArray(3, 7)
+	for _, f := range []func(){
+		func() { NewPackedArray(-1, 7) },
+		func() { NewPackedArray(3, 0) },
+		func() { p.Set(0, 8) },
+		func() { p.Get(3) },
+		func() { p.Set(-1, 0) },
+		func() { NewPackedArray(0, 7).ArgMin() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPackedRestore(t *testing.T) {
+	p := NewPackedArray(20, 31)
+	for i := 0; i < 20; i++ {
+		p.Set(i, uint64(i))
+	}
+	r := RestorePackedArray(20, 31, p.Words())
+	if r == nil {
+		t.Fatal("restore failed")
+	}
+	for i := 0; i < 20; i++ {
+		if r.Get(i) != uint64(i) {
+			t.Fatalf("restored value %d differs", i)
+		}
+	}
+	if RestorePackedArray(100, 31, p.Words()) != nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if RestorePackedArray(20, 0, p.Words()) != nil {
+		t.Fatal("zero max accepted")
+	}
+}
+
+func TestPackedQuickAgainstMap(t *testing.T) {
+	err := quick.Check(func(ops []uint16, maxRaw uint8) bool {
+		maxVal := uint64(maxRaw%60) + 1
+		const n = 64
+		p := NewPackedArray(n, maxVal)
+		ref := make([]uint64, n)
+		for _, op := range ops {
+			i := int(op) % n
+			if op%3 == 0 {
+				v := uint64(op) % (maxVal + 1)
+				p.Set(i, v)
+				ref[i] = v
+			} else {
+				p.Inc(i)
+				if ref[i] < maxVal {
+					ref[i]++
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if p.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/compact"
+	"repro/internal/hash"
+	"repro/internal/mg"
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// minEpochBase is the smallest T2 value at which accelerated counting may
+// begin. Below it the running estimate f̄ = T2/ε is too noisy to pick an
+// epoch (the paper's Claim 1 needs f_i ≳ 100/ε, i.e. T2 ≳ 100 under its
+// constants; 16 keeps the relative noise of f̄ at 25% under ours).
+const minEpochBase = 16
+
+// Optimal is Algorithm 2 of the paper: the space-optimal (ε,ϕ)-List heavy
+// hitters solver (Theorem 2).
+//
+// Candidates come from a Misra-Gries table T1 with Θ(1/ϕ) counters over
+// raw ids — every ϕ-heavy item of the sampled stream survives there.
+// Frequencies are then estimated not with Θ(log ℓ)-bit exact counters but
+// with accelerated counters: each of R = Θ(log ϕ⁻¹) repetitions hashes ids
+// into u = Θ(1/ε) buckets; a subsampled table T2 tracks a factor-4
+// estimate f̄ of each bucket's count; and the bucket's arrivals are
+// recorded in T3 with probability p_t = ε·2^t that doubles as f̄ crosses
+// epoch boundaries B·2^{t/2}. Each T3 increment, scaled back by 1/p_t,
+// contributes unbiasedly to the estimate with variance O(ε⁻²) total —
+// O(ε⁻¹) additive error per repetition, driven to failure probability
+// O(ϕ) by the median over repetitions.
+type Optimal struct {
+	cfg      Config
+	sampler  *sample.Skip
+	t1       *mg.Summary
+	hashes   []hash.Func
+	t2       [][]uint32   // [rep][bucket] subsampled running counts
+	t3       [][][]uint32 // [rep][bucket][epoch] accelerated counters
+	u        uint64       // buckets per repetition
+	reps     int
+	epsK     uint    // ε rounded down to 2^−epsK (Lemma 1 coin)
+	epsEff   float64 // 2^−epsK
+	base     float64 // epoch base B
+	src      *rng.Source
+	s        uint64
+	offered  uint64
+	maxEpoch int
+}
+
+// NewOptimal returns an Algorithm 2 instance for cfg.
+func NewOptimal(src *rng.Source, cfg Config) (*Optimal, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	t := cfg.Tuning
+	ell := t.sampleSizeA2(cfg.Eps)
+	p := math.Min(1, ell/float64(cfg.M))
+	u := uint64(math.Ceil(t.A2BucketFactor / cfg.Eps))
+	reps := int(math.Ceil(t.A2RepFactor * math.Log2(12/cfg.Phi)))
+	if reps < 3 {
+		reps = 3
+	}
+	if reps%2 == 0 {
+		reps++
+	}
+	epsEff, epsK := sample.PowerOfTwoFloor(cfg.Eps * t.T2Rate)
+	base := math.Max(minEpochBase, t.A2SampleConst/t.A2BucketFactor)
+	k := int(math.Ceil(2 / cfg.Phi))
+	o := &Optimal{
+		cfg:     cfg,
+		sampler: sample.NewSkip(src.Split(), p),
+		t1:      mg.New(k, cfg.N),
+		hashes:  make([]hash.Func, reps),
+		t2:      make([][]uint32, reps),
+		t3:      make([][][]uint32, reps),
+		u:       u,
+		reps:    reps,
+		epsK:    epsK,
+		epsEff:  epsEff,
+		base:    base,
+		src:     src.Split(),
+	}
+	for j := 0; j < reps; j++ {
+		o.hashes[j] = hash.NewFunc(src, u)
+		o.t2[j] = make([]uint32, u)
+		o.t3[j] = make([][]uint32, u)
+	}
+	return o, nil
+}
+
+// epoch returns t = ⌊2·log₂(T2/B)⌋ (the paper's ⌊log(10⁻⁶·T2²)⌋ with
+// B generalized from 1000), or a negative value below the base.
+func (o *Optimal) epoch(t2 uint32) int {
+	if float64(t2) < o.base {
+		return -1
+	}
+	return int(math.Floor(2 * math.Log2(float64(t2)/o.base)))
+}
+
+// Insert processes one stream item in O(1) amortized time: one sampler
+// decrement on the non-sampled path, O(reps) = O(log ϕ⁻¹) when sampled,
+// which amortizes because samples are Θ(ε²)-rare (§3.1). For a strict
+// O(1) worst case, wrap in NewPaced.
+func (o *Optimal) Insert(x uint64) {
+	if o.admit() {
+		o.processSample(x)
+	}
+}
+
+// processSample performs the per-sample work: the T1 Misra-Gries update
+// and one accelerated-counter step per repetition.
+func (o *Optimal) processSample(x uint64) {
+	o.s++
+	o.t1.Insert(x)
+	mask := (uint64(1) << o.epsK) - 1
+	for j := 0; j < o.reps; j++ {
+		i := o.hashes[j].Hash(x)
+		if o.src.Uint64()&mask == 0 { // probability ε (power-of-two)
+			o.t2[j][i]++
+		}
+		t := o.epoch(o.t2[j][i])
+		if t < 0 {
+			continue
+		}
+		// p_t = min(ε·2^t, 1); since ε is a power of two, so is p_t, and
+		// the Lemma 1 coin applies directly.
+		shift := int(o.epsK) - t
+		ok := true
+		if shift > 0 {
+			ok = o.src.Uint64()&((uint64(1)<<uint(shift))-1) == 0
+		}
+		if !ok {
+			continue
+		}
+		row := o.t3[j][i]
+		for len(row) <= t {
+			row = append(row, 0)
+		}
+		row[t]++
+		o.t3[j][i] = row
+		if t > o.maxEpoch {
+			o.maxEpoch = t
+		}
+	}
+}
+
+// estimate returns fˆ_j(x) for repetition j: Σ_t T3[i,j,t]/p_t plus a
+// correction min(T2, B)/ε for the arrivals that predate epoch 0 (the
+// paper's estimator leaves those unrecorded and simply charges the
+// resulting ≤ O(ε⁻¹) undercount to the error budget; the correction is an
+// unbiased estimate of that prefix — T2 counts it at rate ε until it
+// saturates at B — and makes the estimator usable on short streams too).
+func (o *Optimal) estimate(j int, x uint64) float64 {
+	i := o.hashes[j].Hash(x)
+	var f float64
+	for t, c := range o.t3[j][i] {
+		if c == 0 {
+			continue
+		}
+		p := math.Min(o.epsEff*math.Ldexp(1, t), 1)
+		f += float64(c) / p
+	}
+	pre := math.Min(float64(o.t2[j][i]), o.base)
+	return f + pre/o.epsEff
+}
+
+// Report returns every T1 candidate whose median accelerated-counter
+// estimate clears the (ϕ − ε/2)·s threshold, scaled to the full stream.
+// With constant probability (driven by the tuning) the output contains
+// every item with f ≥ ϕ·m, no item with f ≤ (ϕ−ε)·m, and estimates are
+// within ε·m. Reporting time is linear in the candidate count O(1/ϕ).
+func (o *Optimal) Report() []ItemEstimate {
+	if o.s == 0 {
+		return nil
+	}
+	scale := float64(o.offered) / float64(o.s)
+	thresh := (o.cfg.Phi - o.cfg.Eps/2) * float64(o.s)
+	ests := make([]float64, o.reps)
+	var out []ItemEstimate
+	for _, x := range o.t1.Candidates() {
+		for j := 0; j < o.reps; j++ {
+			ests[j] = o.estimate(j, x)
+		}
+		f := medianInPlace(ests)
+		if f >= thresh {
+			out = append(out, ItemEstimate{Item: x, F: f * scale})
+		}
+	}
+	sortEstimates(out)
+	return out
+}
+
+// SampleSize returns the number of sampled items s.
+func (o *Optimal) SampleSize() uint64 { return o.s }
+
+// Len returns the number of stream positions consumed.
+func (o *Optimal) Len() uint64 { return o.offered }
+
+// Reps returns the number of independent repetitions R.
+func (o *Optimal) Reps() int { return o.reps }
+
+// Buckets returns the number of buckets per repetition u.
+func (o *Optimal) Buckets() uint64 { return o.u }
+
+// ModelBits charges T1 (raw ids, Θ(ϕ⁻¹·log n)), the T2/T3 cells at their
+// variable-length cost (1 bit per empty cell, per the proof of Claim 3),
+// the hash seeds and the sampler.
+func (o *Optimal) ModelBits() int64 {
+	b := o.t1.ModelBits()
+	for j := 0; j < o.reps; j++ {
+		for _, v := range o.t2[j] {
+			b += cellBits(uint64(v))
+		}
+		for _, row := range o.t3[j] {
+			for _, v := range row {
+				b += cellBits(uint64(v))
+			}
+		}
+		b += o.hashes[j].ModelBits()
+	}
+	b += samplerModelBits(o.offered)
+	return b
+}
+
+// cellBits charges one bit for an empty cell and the variable-length cost
+// otherwise.
+func cellBits(v uint64) int64 {
+	if v == 0 {
+		return 1
+	}
+	return compact.CounterBits(v)
+}
+
+// medianInPlace returns the median of xs, sorting it as a side effect.
+func medianInPlace(xs []float64) float64 {
+	// Insertion sort: xs has O(log ϕ⁻¹) entries.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return xs[n/2-1]/2 + xs[n/2]/2
+}

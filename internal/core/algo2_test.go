@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/mg"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestOptimalGuarantees(t *testing.T) {
+	const m = 409600
+	failures := 0
+	const trials = 5
+	for seed := uint64(0); seed < trials; seed++ {
+		st := plantedHH(seed, m, stream.Shuffled)
+		ex := exact.New()
+		a, err := NewOptimal(rng.New(300+seed), listConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range st {
+			a.Insert(x)
+			ex.Insert(x)
+		}
+		if !checkListOutput(t, a.Report(), ex, 0.05, 0.1) {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Fatalf("Algorithm 2 violated guarantees in %d/%d runs", failures, trials)
+	}
+}
+
+func TestOptimalAdversarialOrders(t *testing.T) {
+	const m = 409600
+	for _, order := range []stream.Order{stream.SortedRuns, stream.HeavyLast, stream.Interleave} {
+		st := plantedHH(17, m, order)
+		ex := exact.New()
+		a, err := NewOptimal(rng.New(66), listConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range st {
+			a.Insert(x)
+			ex.Insert(x)
+		}
+		if !checkListOutput(t, a.Report(), ex, 0.05, 0.1) {
+			t.Fatalf("order %d violated guarantees", order)
+		}
+	}
+}
+
+func TestOptimalBoundaryDecision(t *testing.T) {
+	// Plant one item at 1.4·ϕ (must be reported) and one at 0.3·ϕ — far
+	// below ϕ−ε (must not be). Forbidden-zone items are planted too; the
+	// spec allows either decision for them, so only check they get accurate
+	// estimates when reported.
+	const m = 409600
+	st := stream.PlantedStream(rng.New(23), m,
+		[]float64{0.14, 0.075, 0.03}, 1000, 100000, stream.Shuffled)
+	ex := exact.New()
+	a, err := NewOptimal(rng.New(24), listConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range st {
+		a.Insert(x)
+		ex.Insert(x)
+	}
+	rep := a.Report()
+	var saw0, saw2 bool
+	for _, r := range rep {
+		switch r.Item {
+		case 0:
+			saw0 = true
+		case 2:
+			saw2 = true
+		}
+		if math.Abs(r.F-float64(ex.Freq(r.Item))) > 0.05*float64(m) {
+			t.Fatalf("item %d estimate %v vs true %d", r.Item, r.F, ex.Freq(r.Item))
+		}
+	}
+	if !saw0 {
+		t.Fatal("1.4ϕ item not reported")
+	}
+	if saw2 {
+		t.Fatal("0.3ϕ item reported")
+	}
+}
+
+func TestOptimalTinyStreamExactPath(t *testing.T) {
+	cfg := Config{Eps: 0.1, Phi: 0.3, Delta: 0.1, M: 200, N: 1000}
+	a, err := NewOptimal(rng.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a.Insert(7)
+	}
+	for i := 0; i < 100; i++ {
+		a.Insert(uint64(i + 100))
+	}
+	rep := a.Report()
+	if len(rep) != 1 || rep[0].Item != 7 {
+		t.Fatalf("report = %v, want only item 7", rep)
+	}
+}
+
+func TestOptimalEmptyReport(t *testing.T) {
+	a, err := NewOptimal(rng.New(1), listConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := a.Report(); rep != nil {
+		t.Fatalf("report on empty stream = %v", rep)
+	}
+}
+
+func TestOptimalRepsOddAndScaled(t *testing.T) {
+	a, err := NewOptimal(rng.New(1), listConfig(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reps()%2 != 1 || a.Reps() < 3 {
+		t.Fatalf("reps = %d, want odd ≥ 3", a.Reps())
+	}
+	// Smaller ϕ → more repetitions.
+	cfg := listConfig(100000)
+	cfg.Phi = 0.06
+	b, err := NewOptimal(rng.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reps() < a.Reps() {
+		t.Fatalf("reps did not grow with smaller ϕ: %d vs %d", b.Reps(), a.Reps())
+	}
+}
+
+func TestOptimalDeterministicForSeed(t *testing.T) {
+	const m = 120000
+	st := plantedHH(5, m, stream.Shuffled)
+	run := func() []ItemEstimate {
+		a, _ := NewOptimal(rng.New(9), listConfig(m))
+		for _, x := range st {
+			a.Insert(x)
+		}
+		return a.Report()
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatal("same seed, different report lengths")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("same seed, different reports")
+		}
+	}
+}
+
+func TestOptimalEpochFunction(t *testing.T) {
+	a, _ := NewOptimal(rng.New(1), listConfig(1<<20))
+	base := uint32(a.base)
+	if a.epoch(base-1) >= 0 {
+		t.Fatal("below base must be a negative epoch")
+	}
+	if e := a.epoch(base); e != 0 {
+		t.Fatalf("epoch(base) = %d, want 0", e)
+	}
+	if e := a.epoch(2 * base); e != 2 {
+		t.Fatalf("epoch(2·base) = %d, want 2 (t = 2·log₂ ratio)", e)
+	}
+	if e := a.epoch(4 * base); e != 4 {
+		t.Fatalf("epoch(4·base) = %d, want 4", e)
+	}
+}
+
+// TestOptimalSpaceShape checks the scaling shape at the heart of
+// Theorem 2: Algorithm 2's frequency-estimation state is Θ(ε⁻¹·log ϕ⁻¹)
+// bits *independent of the universe size n* (only the ϕ⁻¹ candidate ids
+// pay log n), whereas the prior-art Misra-Gries pays log n on every one of
+// its ε⁻¹ entries. Absolute constants are ours, the shape is the paper's;
+// the asymptotic crossover itself needs log n ≫ our per-bucket constants
+// and is recorded in EXPERIMENTS.md rather than asserted here.
+func TestOptimalSpaceShape(t *testing.T) {
+	const m = 200000
+	const eps = 0.02
+	run := func(n uint64) (alg2NonT1, alg2T1, mgBits int64) {
+		cfg := Config{Eps: eps, Phi: 0.1, Delta: 0.2, M: m, N: n}
+		st := stream.PlantedStream(rng.New(31), m,
+			[]float64{0.15, 0.11}, 1000, n/2, stream.Shuffled)
+		a, err := NewOptimal(rng.New(32), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline := mg.New(int(1/eps), n)
+		for _, x := range st {
+			a.Insert(x)
+			baseline.Insert(x)
+		}
+		return a.ModelBits() - a.t1.ModelBits(), a.t1.ModelBits(), baseline.ModelBits()
+	}
+	small2, smallT1, smallMG := run(1 << 16)
+	big2, bigT1, bigMG := run(1 << 62)
+	// The estimation state must not grow with n (identical streams modulo
+	// noise ids; allow 2% jitter from data-dependent counter widths).
+	if ratio := float64(big2) / float64(small2); ratio > 1.02 {
+		t.Fatalf("Algorithm 2 estimation bits grew with n: %d → %d", small2, big2)
+	}
+	// The id-bearing parts must grow with log n — for MG on *all* entries,
+	// for Algorithm 2 only on the ϕ⁻¹-entry T1.
+	if bigMG <= smallMG || bigT1 <= smallT1 {
+		t.Fatalf("id costs did not grow with n: MG %d→%d, T1 %d→%d",
+			smallMG, bigMG, smallT1, bigT1)
+	}
+	// MG pays log n on ~1/ε entries, Algorithm 2 on ~2/ϕ: the growth gap
+	// must reflect 1/ε vs 2/ϕ entry counts (50 vs ~20 here).
+	mgGrowth, t1Growth := bigMG-smallMG, bigT1-smallT1
+	if mgGrowth <= t1Growth {
+		t.Fatalf("MG id-cost growth %d not above Algorithm 2's T1 growth %d",
+			mgGrowth, t1Growth)
+	}
+}
+
+func TestOptimalConfigValidation(t *testing.T) {
+	if _, err := NewOptimal(rng.New(1), Config{Eps: 0.2, Phi: 0.1, Delta: 0.1, M: 10, N: 10}); err == nil {
+		t.Fatal("eps ≥ phi accepted")
+	}
+}
+
+func TestMedianInPlace(t *testing.T) {
+	if m := medianInPlace([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := medianInPlace([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := medianInPlace([]float64{5}); m != 5 {
+		t.Fatalf("single median = %v", m)
+	}
+}

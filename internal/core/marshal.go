@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+	"repro/internal/mg"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/wire"
+)
+
+// The binary encodings below capture the complete solver state — tables,
+// hash seeds, sampler position and PRNG state — so an unmarshalled solver
+// continues the stream exactly where the original stopped and reports
+// identically. This is the literal form of the paper's communication
+// arguments (§4): Alice's one-way message is MarshalBinary's output.
+
+const marshalVersion = 1
+
+func encodeConfig(w *wire.Writer, c Config) {
+	w.F64(c.Eps)
+	w.F64(c.Phi)
+	w.F64(c.Delta)
+	w.U64(c.M)
+	w.U64(c.N)
+	w.F64(c.Tuning.A1SampleConst)
+	w.F64(c.Tuning.A1TableFactor)
+	w.F64(c.Tuning.A1HashRangeConst)
+	w.F64(c.Tuning.A2SampleConst)
+	w.F64(c.Tuning.A2BucketFactor)
+	w.F64(c.Tuning.A2RepFactor)
+	w.F64(c.Tuning.T2Rate)
+}
+
+func decodeConfig(r *wire.Reader) Config {
+	var c Config
+	c.Eps = r.F64()
+	c.Phi = r.F64()
+	c.Delta = r.F64()
+	c.M = r.U64()
+	c.N = r.U64()
+	c.Tuning.A1SampleConst = r.F64()
+	c.Tuning.A1TableFactor = r.F64()
+	c.Tuning.A1HashRangeConst = r.F64()
+	c.Tuning.A2SampleConst = r.F64()
+	c.Tuning.A2BucketFactor = r.F64()
+	c.Tuning.A2RepFactor = r.F64()
+	c.Tuning.T2Rate = r.F64()
+	return c
+}
+
+// MarshalBinary encodes the full Algorithm 1 state.
+func (a *SimpleList) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	encodeConfig(w, a.cfg)
+	a.sampler.Encode(w)
+	a.h.Encode(w)
+	w.U64(uint64(a.tableLen))
+	w.Map(a.t1)
+	w.Map(a.t2)
+	w.U64(uint64(a.t2Cap))
+	w.U64(a.s)
+	w.U64(a.offered)
+	w.U64(a.hashRange)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary, replacing the
+// receiver.
+func (a *SimpleList) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	cfg := decodeConfig(r)
+	sampler := sample.DecodeSkip(r)
+	h := hash.DecodeFunc(r)
+	tableLen := r.U64()
+	t1 := r.Map()
+	t2 := r.Map()
+	t2Cap := r.U64()
+	s := r.U64()
+	offered := r.U64()
+	hashRange := r.U64()
+	if r.Err() != nil || !r.Done() || sampler == nil {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	*a = SimpleList{
+		cfg: cfg, sampler: sampler, h: h, tableLen: int(tableLen),
+		t1: t1, t2: t2, t2Cap: int(t2Cap), s: s, offered: offered,
+		hashRange: hashRange,
+	}
+	return nil
+}
+
+// MarshalBinary encodes the full ε-Maximum state.
+func (a *Maximum) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	encodeConfig(w, a.cfg)
+	a.sampler.Encode(w)
+	a.h.Encode(w)
+	w.U64(uint64(a.tableLen))
+	w.Map(a.t1)
+	w.U64(a.maxID)
+	w.U64(a.maxHash)
+	w.Bool(a.haveMax)
+	w.U64(a.s)
+	w.U64(a.offered)
+	w.U64(a.hashRng)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (a *Maximum) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	cfg := decodeConfig(r)
+	sampler := sample.DecodeSkip(r)
+	h := hash.DecodeFunc(r)
+	tableLen := r.U64()
+	t1 := r.Map()
+	maxID := r.U64()
+	maxHash := r.U64()
+	haveMax := r.Bool()
+	s := r.U64()
+	offered := r.U64()
+	hashRng := r.U64()
+	if r.Err() != nil || !r.Done() || sampler == nil {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	*a = Maximum{
+		cfg: cfg, sampler: sampler, h: h, tableLen: int(tableLen), t1: t1,
+		maxID: maxID, maxHash: maxHash, haveMax: haveMax,
+		s: s, offered: offered, hashRng: hashRng,
+	}
+	return nil
+}
+
+// MarshalBinary encodes the full Algorithm 2 state, including every
+// accelerated counter epoch.
+func (o *Optimal) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	encodeConfig(w, o.cfg)
+	o.sampler.Encode(w)
+	o.t1.Encode(w)
+	w.U64(uint64(o.reps))
+	w.U64(o.u)
+	for j := 0; j < o.reps; j++ {
+		o.hashes[j].Encode(w)
+		w.U32s(o.t2[j])
+		for _, row := range o.t3[j] {
+			w.U32s(row)
+		}
+	}
+	w.U64(uint64(o.epsK))
+	w.F64(o.epsEff)
+	w.F64(o.base)
+	w.U64(o.src.State())
+	w.U64(o.s)
+	w.U64(o.offered)
+	w.U64(uint64(o.maxEpoch))
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (o *Optimal) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	cfg := decodeConfig(r)
+	sampler := sample.DecodeSkip(r)
+	t1 := mg.DecodeSummary(r)
+	reps := r.U64()
+	u := r.U64()
+	if r.Err() != nil || t1 == nil || sampler == nil ||
+		reps == 0 || reps > 1<<16 || u == 0 || u > 1<<30 {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	hashes := make([]hash.Func, reps)
+	t2 := make([][]uint32, reps)
+	t3 := make([][][]uint32, reps)
+	for j := uint64(0); j < reps; j++ {
+		hashes[j] = hash.DecodeFunc(r)
+		t2[j] = r.U32s()
+		if r.Err() != nil || uint64(len(t2[j])) != u {
+			return fmt.Errorf("core: %w", wire.ErrCorrupt)
+		}
+		t3[j] = make([][]uint32, u)
+		for i := uint64(0); i < u; i++ {
+			row := r.U32s()
+			if len(row) > 0 {
+				t3[j][i] = row
+			}
+		}
+	}
+	epsK := r.U64()
+	epsEff := r.F64()
+	base := r.F64()
+	srcState := r.U64()
+	s := r.U64()
+	offered := r.U64()
+	maxEpoch := r.U64()
+	if r.Err() != nil || !r.Done() {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	*o = Optimal{
+		cfg: cfg, sampler: sampler, t1: t1, hashes: hashes,
+		t2: t2, t3: t3, u: u, reps: int(reps),
+		epsK: uint(epsK), epsEff: epsEff, base: base,
+		src: rng.FromState(srcState), s: s, offered: offered,
+		maxEpoch: int(maxEpoch),
+	}
+	return nil
+}

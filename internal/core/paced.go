@@ -1,0 +1,137 @@
+package core
+
+// De-amortization, per §3.1 of the paper: "the time to update the data
+// structure is bounded by O(1/ε), and so, under the standard assumption
+// that the length of the stream is at least poly(ln(1/δ)ε), the time to
+// perform this update can be spread out across the next O(1/ε) stream
+// updates, since with large probability there will be no items sampled
+// among these next O(1/ε) stream updates. Therefore, we achieve
+// worst-case update time of O(1)."
+//
+// Paced implements exactly that: sampled items are queued, and every
+// Insert performs at most a constant amount of deferred table work. The
+// final state equals the unpaced solver's state (the sampler runs at
+// enqueue time, so sampling decisions land on the same stream positions;
+// only the table maintenance is deferred), hence reports are identical
+// once the queue is drained.
+
+// Pacable is the seam between the solvers' O(1) admission step (position
+// bookkeeping + sampling decision) and their heavier per-sample table
+// work. SimpleList, Optimal and Maximum implement it; the methods are
+// unexported so the seam stays internal to the solvers.
+type Pacable interface {
+	// admit advances the stream position and reports whether the item is
+	// sampled. O(1) worst case.
+	admit() bool
+	// process performs the per-sample table work for x.
+	process(x uint64)
+}
+
+// Paced wraps a solver with a work queue bounding worst-case per-insert
+// table work.
+type Paced struct {
+	inner     Pacable
+	queue     []uint64
+	head      int
+	perInsert int
+	maxQueue  int
+}
+
+// NewPaced wraps inner (a *SimpleList, *Optimal or *Maximum) so that each
+// Insert performs at most perInsert units of deferred table work.
+// perInsert must be positive; 1 realizes the paper's O(1) worst case —
+// queue growth is then bounded whp because samples arrive every Θ(m/ℓ)
+// positions while draining happens every position.
+func NewPaced(inner Pacable, perInsert int) *Paced {
+	if perInsert <= 0 {
+		panic("core: perInsert must be positive")
+	}
+	return &Paced{inner: inner, perInsert: perInsert}
+}
+
+// Insert enqueues x if sampled and drains at most perInsert queued
+// samples. Worst-case work per call is O(perInsert) table operations plus
+// the O(1) admission step.
+func (p *Paced) Insert(x uint64) {
+	if p.inner.admit() {
+		p.queue = append(p.queue, x)
+		if n := len(p.queue) - p.head; n > p.maxQueue {
+			p.maxQueue = n
+		}
+	}
+	for i := 0; i < p.perInsert && p.head < len(p.queue); i++ {
+		p.inner.process(p.queue[p.head])
+		p.head++
+	}
+	// Compact once fully drained so the buffer does not grow without
+	// bound over the stream.
+	if p.head == len(p.queue) && p.head > 0 {
+		p.queue = p.queue[:0]
+		p.head = 0
+	}
+}
+
+// Flush drains the queue; call before reporting from the inner solver.
+func (p *Paced) Flush() {
+	for p.head < len(p.queue) {
+		p.inner.process(p.queue[p.head])
+		p.head++
+	}
+	p.queue = p.queue[:0]
+	p.head = 0
+}
+
+// Pending returns the current queue backlog (diagnostics).
+func (p *Paced) Pending() int { return len(p.queue) - p.head }
+
+// MaxBacklog returns the largest backlog observed (diagnostics; the §3.1
+// argument says this stays O(1) whp when perInsert = 1 and m ≫ ℓ).
+func (p *Paced) MaxBacklog() int { return p.maxQueue }
+
+// --- pacable implementations ---
+
+func (a *SimpleList) admit() bool {
+	a.offered++
+	return a.sampler.Next()
+}
+
+func (a *SimpleList) process(x uint64) {
+	a.s++
+	hx := a.h.Hash(x)
+	if _, ok := a.t1[hx]; ok {
+		a.t1[hx]++
+		a.refreshT2(hx, x)
+		return
+	}
+	if len(a.t1) < a.tableLen {
+		a.t1[hx] = 1
+		a.refreshT2(hx, x)
+		return
+	}
+	for k, c := range a.t1 {
+		if c == 1 {
+			delete(a.t1, k)
+			delete(a.t2, k)
+		} else {
+			a.t1[k] = c - 1
+		}
+	}
+}
+
+func (o *Optimal) admit() bool {
+	o.offered++
+	return o.sampler.Next()
+}
+
+func (o *Optimal) process(x uint64) {
+	o.processSample(x)
+}
+
+func (m *Maximum) admit() bool {
+	m.offered++
+	return m.sampler.Next()
+}
+
+func (m *Maximum) process(x uint64) {
+	m.processSample(x)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// TestPacedEqualsUnpaced: with the same seed, the paced solver reaches
+// the identical final state — sampling decisions land on the same
+// positions, only table maintenance is deferred.
+func TestPacedEqualsUnpaced(t *testing.T) {
+	const m = 300000
+	st := plantedHH(21, m, stream.Shuffled)
+	for _, perInsert := range []int{1, 2, 8} {
+		plain, err := NewOptimal(rng.New(22), listConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped, err := NewOptimal(rng.New(22), listConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paced := NewPaced(wrapped, perInsert)
+		for _, x := range st {
+			plain.Insert(x)
+			paced.Insert(x)
+		}
+		paced.Flush()
+		a, b := plain.Report(), wrapped.Report()
+		if len(a) != len(b) {
+			t.Fatalf("perInsert=%d: report lengths differ", perInsert)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("perInsert=%d: reports diverge at %d", perInsert, i)
+			}
+		}
+		if plain.ModelBits() != wrapped.ModelBits() {
+			t.Fatalf("perInsert=%d: model bits diverge", perInsert)
+		}
+	}
+}
+
+func TestPacedSimpleList(t *testing.T) {
+	const m = 200000
+	st := plantedHH(23, m, stream.Shuffled)
+	plain, _ := NewSimpleList(rng.New(24), listConfig(m))
+	wrapped, _ := NewSimpleList(rng.New(24), listConfig(m))
+	paced := NewPaced(wrapped, 1)
+	for _, x := range st {
+		plain.Insert(x)
+		paced.Insert(x)
+	}
+	paced.Flush()
+	a, b := plain.Report(), wrapped.Report()
+	if len(a) != len(b) {
+		t.Fatal("report lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("reports diverge")
+		}
+	}
+}
+
+func TestPacedMaximum(t *testing.T) {
+	const m = 150000
+	st := plantedHH(25, m, stream.Shuffled)
+	cfg := Config{Eps: 0.05, Delta: 0.2, M: m, N: 1 << 32}
+	plain, _ := NewMaximum(rng.New(26), cfg)
+	wrapped, _ := NewMaximum(rng.New(26), cfg)
+	paced := NewPaced(wrapped, 1)
+	for _, x := range st {
+		plain.Insert(x)
+		paced.Insert(x)
+	}
+	paced.Flush()
+	i1, f1, ok1 := plain.Report()
+	i2, f2, ok2 := wrapped.Report()
+	if i1 != i2 || f1 != f2 || ok1 != ok2 {
+		t.Fatal("paced Maximum diverged")
+	}
+}
+
+// TestPacedBacklogBounded: in the sparse-sampling regime the backlog
+// stays small — the operational content of the §3.1 claim.
+func TestPacedBacklogBounded(t *testing.T) {
+	const m = 1 << 20
+	cfg := listConfig(m)
+	cfg.Eps = 0.05 // ℓ ≪ m → sampling rate ≈ 5%, gaps ≫ 1
+	inner, err := NewOptimal(rng.New(27), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paced := NewPaced(inner, 1)
+	g := stream.NewZipf(rng.New(28), 1<<16, 1.1)
+	for i := 0; i < m; i++ {
+		paced.Insert(g.Next())
+	}
+	// At sampling rate p ≈ ℓ/m ≈ 0.05 and drain rate 1/insert, backlog is
+	// a stable M/M/1-style queue; triple digits would mean the pacing is
+	// broken.
+	if paced.MaxBacklog() > 64 {
+		t.Fatalf("backlog reached %d", paced.MaxBacklog())
+	}
+	paced.Flush()
+	if paced.Pending() != 0 {
+		t.Fatal("flush left a backlog")
+	}
+}
+
+func TestPacedPanicsOnBadBudget(t *testing.T) {
+	inner, _ := NewOptimal(rng.New(1), listConfig(1000))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPaced(inner, 0)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestPointEstimatesOnHeavyItems(t *testing.T) {
+	const m = 300000
+	st := plantedHH(13, m, stream.Shuffled)
+	ex := exact.New()
+	a1, err := NewSimpleList(rng.New(14), listConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewOptimal(rng.New(15), listConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range st {
+		a1.Insert(x)
+		a2.Insert(x)
+		ex.Insert(x)
+	}
+	for _, item := range []uint64{0, 1} { // the planted heavy items
+		f := float64(ex.Freq(item))
+		if e := math.Abs(a1.Estimate(item) - f); e > 0.05*m {
+			t.Fatalf("SimpleList estimate for %d off by %v", item, e)
+		}
+		if e := math.Abs(a2.Estimate(item) - f); e > 0.05*m {
+			t.Fatalf("Optimal estimate for %d off by %v", item, e)
+		}
+	}
+}
+
+func TestPointEstimateEmptySketch(t *testing.T) {
+	a1, _ := NewSimpleList(rng.New(1), listConfig(1000))
+	a2, _ := NewOptimal(rng.New(1), listConfig(1000))
+	if a1.Estimate(5) != 0 || a2.Estimate(5) != 0 {
+		t.Fatal("empty sketches must estimate 0")
+	}
+}
+
+func TestPointEstimateRareItemSmall(t *testing.T) {
+	const m = 200000
+	st := plantedHH(16, m, stream.Shuffled)
+	a2, _ := NewOptimal(rng.New(17), listConfig(m))
+	for _, x := range st {
+		a2.Insert(x)
+	}
+	// An id that never occurs: estimate must be far below the ϕ·m
+	// threshold (collision mass only).
+	if est := a2.Estimate(999999999); est > 0.05*m {
+		t.Fatalf("absent item estimated at %v", est)
+	}
+}

@@ -1,0 +1,120 @@
+// Package countsketch implements the CountSketch of Charikar, Chen and
+// Farach-Colton [CCFC04], the classic randomized frequency estimator the
+// paper's introduction surveys.
+//
+// Each of d rows hashes items to w buckets and adds a random ±1 sign; the
+// estimate is the median over rows of sign·counter. The estimator is
+// unbiased with per-row standard deviation ≈ ‖f‖₂/√w, so unlike Count-Min
+// it can also under-estimate.
+package countsketch
+
+import (
+	"sort"
+
+	"repro/internal/compact"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Sketch is a CountSketch.
+type Sketch struct {
+	depth   int
+	width   uint64
+	rows    [][]int64
+	buckets []hash.Func
+	signs   []hash.Sign
+	m       uint64
+}
+
+// New returns a sketch with the given depth (number of rows; use an odd
+// number so the median is a single cell) and width (buckets per row).
+func New(src *rng.Source, depth int, width uint64) *Sketch {
+	if depth <= 0 || width == 0 {
+		panic("countsketch: dimensions must be positive")
+	}
+	s := &Sketch{
+		depth:   depth,
+		width:   width,
+		rows:    make([][]int64, depth),
+		buckets: make([]hash.Func, depth),
+		signs:   make([]hash.Sign, depth),
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]int64, width)
+		s.buckets[i] = hash.NewFunc(src, width)
+		s.signs[i] = hash.NewSign(src)
+	}
+	return s
+}
+
+// Len returns the stream length processed so far.
+func (s *Sketch) Len() uint64 { return s.m }
+
+// Insert processes one stream item.
+func (s *Sketch) Insert(x uint64) {
+	s.m++
+	for i := range s.rows {
+		s.rows[i][s.buckets[i].Hash(x)] += s.signs[i].Hash(x)
+	}
+}
+
+// Estimate returns the median-of-rows estimate of x's frequency, clamped
+// below at zero (insertion streams have non-negative frequencies).
+func (s *Sketch) Estimate(x uint64) uint64 {
+	ests := make([]int64, s.depth)
+	for i := range s.rows {
+		ests[i] = s.signs[i].Hash(x) * s.rows[i][s.buckets[i].Hash(x)]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	med := ests[s.depth/2]
+	if s.depth%2 == 0 {
+		med = (ests[s.depth/2-1] + ests[s.depth/2]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return uint64(med)
+}
+
+// HeavyHitters evaluates the given candidates and returns those whose
+// estimate is at least threshold, in decreasing-estimate order.
+func (s *Sketch) HeavyHitters(candidates []uint64, threshold uint64) []uint64 {
+	var out []uint64
+	for _, x := range candidates {
+		if s.Estimate(x) >= threshold {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ei, ej := s.Estimate(out[i]), s.Estimate(out[j])
+		if ei != ej {
+			return ei > ej
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Depth returns the number of rows.
+func (s *Sketch) Depth() int { return s.depth }
+
+// Width returns the number of buckets per row.
+func (s *Sketch) Width() uint64 { return s.width }
+
+// ModelBits charges every counter (by magnitude, plus a sign bit) and the
+// hash seeds.
+func (s *Sketch) ModelBits() int64 {
+	var b int64
+	for _, row := range s.rows {
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			b += compact.CounterBits(uint64(v)) + 1
+		}
+	}
+	for i := range s.buckets {
+		b += s.buckets[i].ModelBits() + s.signs[i].ModelBits()
+	}
+	return b
+}

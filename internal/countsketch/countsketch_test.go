@@ -1,0 +1,123 @@
+package countsketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestHeavyItemAccuracy(t *testing.T) {
+	s := New(rng.New(1), 5, 1024)
+	ex := exact.New()
+	st := stream.PlantedStream(rng.New(2), 50000, []float64{0.2, 0.1}, 100, 5000, stream.Shuffled)
+	for _, x := range st {
+		s.Insert(x)
+		ex.Insert(x)
+	}
+	for _, item := range []uint64{0, 1} {
+		est, f := float64(s.Estimate(item)), float64(ex.Freq(item))
+		if math.Abs(est-f) > 0.02*float64(ex.Total()) {
+			t.Fatalf("item %d: estimate %v vs true %v", item, est, f)
+		}
+	}
+}
+
+// TestApproxUnbiased: averaged over many independent sketches the estimate
+// should be close to the truth (CountSketch is unbiased).
+func TestApproxUnbiased(t *testing.T) {
+	const trials = 60
+	src := rng.New(3)
+	st := stream.PlantedStream(rng.New(4), 5000, []float64{0.1}, 10, 500, stream.Shuffled)
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		s := New(src.Split(), 1, 64)
+		for _, x := range st {
+			s.Insert(x)
+		}
+		sum += float64(s.Estimate(0))
+	}
+	mean := sum / trials
+	if math.Abs(mean-500) > 150 {
+		t.Fatalf("mean estimate %v far from 500", mean)
+	}
+}
+
+func TestEstimateClampedAtZero(t *testing.T) {
+	s := New(rng.New(5), 3, 16)
+	for i := uint64(0); i < 1000; i++ {
+		s.Insert(i % 100)
+	}
+	// Query items never inserted; estimates are noisy but never negative.
+	for x := uint64(1000); x < 1100; x++ {
+		_ = s.Estimate(x) // must not panic; result is a uint64 by type
+	}
+}
+
+func TestHeavyHittersFromCandidates(t *testing.T) {
+	s := New(rng.New(6), 5, 512)
+	st := stream.PlantedStream(rng.New(7), 20000, []float64{0.25}, 100, 2000, stream.Shuffled)
+	for _, x := range st {
+		s.Insert(x)
+	}
+	hh := s.HeavyHitters([]uint64{0, 100, 101}, uint64(0.1*20000))
+	if len(hh) == 0 || hh[0] != 0 {
+		t.Fatalf("heavy hitters = %v", hh)
+	}
+}
+
+func TestDims(t *testing.T) {
+	s := New(rng.New(8), 7, 33)
+	if s.Depth() != 7 || s.Width() != 33 {
+		t.Fatalf("dims %d×%d", s.Depth(), s.Width())
+	}
+}
+
+func TestPanicsOnBadDims(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(rng.New(1), 0, 4) },
+		func() { New(rng.New(1), 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEvenDepthMedian(t *testing.T) {
+	s := New(rng.New(9), 4, 256)
+	for i := 0; i < 1000; i++ {
+		s.Insert(7)
+	}
+	est := s.Estimate(7)
+	if est < 800 || est > 1200 {
+		t.Fatalf("even-depth estimate %d for true 1000", est)
+	}
+}
+
+func TestLenAndModelBits(t *testing.T) {
+	s := New(rng.New(10), 3, 32)
+	for i := 0; i < 100; i++ {
+		s.Insert(uint64(i))
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.ModelBits() <= 0 {
+		t.Fatal("ModelBits must be positive")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New(rng.New(1), 5, 1024)
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i % 65536))
+	}
+}

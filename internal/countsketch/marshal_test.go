@@ -1,0 +1,51 @@
+package countsketch
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestMarshalMidStream(t *testing.T) {
+	orig := New(rng.New(1), 5, 64)
+	g := stream.NewZipf(rng.New(2), 300, 1.2)
+	for i := 0; i < 10000; i++ {
+		orig.Insert(g.Next())
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Sketch
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		x := g.Next()
+		orig.Insert(x)
+		restored.Insert(x)
+	}
+	for x := uint64(0); x < 300; x++ {
+		if orig.Estimate(x) != restored.Estimate(x) {
+			t.Fatalf("estimate diverged for %d", x)
+		}
+	}
+	sibling := New(rng.New(1), 5, 64)
+	if err := restored.Merge(sibling); err != nil {
+		t.Fatalf("restored sketch lost mergeability: %v", err)
+	}
+}
+
+func TestMarshalRejectsCorruption(t *testing.T) {
+	s := New(rng.New(3), 2, 8)
+	s.Insert(1)
+	blob, _ := s.MarshalBinary()
+	var r Sketch
+	if err := r.UnmarshalBinary(blob[:4]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := r.UnmarshalBinary([]byte{9, 9, 9}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package countsketch
+
+import "fmt"
+
+// Merge folds other into s. Both sketches must have been created with the
+// same dimensions and seed (identical bucket and sign hashes); the merged
+// sketch then equals the sketch of the concatenated streams — CountSketch
+// is a linear sketch.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.depth != other.depth || s.width != other.width {
+		return fmt.Errorf("countsketch: dimension mismatch %dx%d vs %dx%d",
+			s.depth, s.width, other.depth, other.width)
+	}
+	for i := range s.buckets {
+		if s.buckets[i] != other.buckets[i] || s.signs[i] != other.signs[i] {
+			return fmt.Errorf("countsketch: hash functions differ (different seeds?)")
+		}
+	}
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] += other.rows[i][j]
+		}
+	}
+	s.m += other.m
+	return nil
+}

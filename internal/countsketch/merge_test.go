@@ -1,0 +1,45 @@
+package countsketch
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestMergeEqualsConcatenation(t *testing.T) {
+	mkSketch := func() *Sketch { return New(rng.New(42), 5, 128) }
+	a, b, whole := mkSketch(), mkSketch(), mkSketch()
+	g := stream.NewZipf(rng.New(1), 500, 1.2)
+	const m = 20000
+	for i := 0; i < m; i++ {
+		x := g.Next()
+		whole.Insert(x)
+		if i%3 == 0 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if a.Estimate(x) != whole.Estimate(x) {
+			t.Fatalf("estimate for %d differs after merge", x)
+		}
+	}
+	if a.Len() != whole.Len() {
+		t.Fatal("merged length mismatch")
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	a := New(rng.New(1), 5, 128)
+	if err := a.Merge(New(rng.New(1), 5, 64)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if err := a.Merge(New(rng.New(9), 5, 128)); err == nil {
+		t.Fatal("different seeds accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package hash implements the universal hash families the paper relies on
+// (Definition 2, Lemma 2).
+//
+// The workhorse is the Carter–Wegman family h(x) = ((a·x + b) mod p) mod r
+// over the Mersenne prime p = 2⁶¹ − 1. For a ∈ [1, p), b ∈ [0, p) chosen
+// uniformly, the family is universal: Pr[h(x) = h(y)] ≤ 1/r + o(1/r) for
+// x ≠ y. Storing a member takes two words — the O(log n) bits the paper
+// charges for "picking a hash function uniformly at random from H"
+// (proof of Theorem 1).
+//
+// A tabulation-hashing family is also provided; it is 3-independent and
+// much stronger in practice, at the cost of 8·256 words of space. The core
+// algorithms default to Carter–Wegman to match the paper's accounting.
+package hash
+
+import (
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Mersenne61 is the modulus 2⁶¹ − 1 used by the Carter–Wegman family.
+const Mersenne61 uint64 = 1<<61 - 1
+
+// Func is one member of a universal family mapping uint64 keys to [0, R).
+type Func struct {
+	a, b uint64 // coefficients in [0, Mersenne61)
+	r    uint64 // range size
+}
+
+// NewFunc draws one member of the Carter–Wegman family with range [0, r)
+// using randomness from src. It panics if r == 0.
+func NewFunc(src *rng.Source, r uint64) Func {
+	if r == 0 {
+		panic("hash: range must be positive")
+	}
+	a := src.Uint64n(Mersenne61-1) + 1 // a ∈ [1, p)
+	b := src.Uint64n(Mersenne61)       // b ∈ [0, p)
+	return Func{a: a, b: b, r: r}
+}
+
+// Hash evaluates the function on x.
+func (f Func) Hash(x uint64) uint64 {
+	return modMersenne61(mulAddMod61(f.a, x, f.b)) % f.r
+}
+
+// Range returns the size of the hash range [0, Range()).
+func (f Func) Range() uint64 { return f.r }
+
+// ModelBits is the storage charged for the function under the paper's
+// accounting: two coefficients of ⌈log₂ p⌉ = 61 bits each, plus the range
+// (word-sized).
+func (f Func) ModelBits() int64 { return 2*61 + 64 }
+
+// mulAddMod61 computes (a·x + b) mod 2⁶¹−1 without overflow. a, b < 2⁶¹−1,
+// x arbitrary 64-bit (reduced first).
+func mulAddMod61(a, x, b uint64) uint64 {
+	x = modMersenne61(x)
+	hi, lo := bits.Mul64(a, x)
+	// a, x < 2⁶¹ so the product is < 2¹²², i.e. hi < 2⁵⁸ and hi<<3 cannot
+	// overflow. 2⁶¹ ≡ 1 (mod p) folds the 122-bit value into two 61-bit
+	// chunks.
+	sum := (lo & Mersenne61) + (lo>>61 | hi<<3)
+	sum = modMersenne61(sum)
+	sum += b
+	return modMersenne61(sum)
+}
+
+// modMersenne61 reduces x modulo 2⁶¹ − 1 (x arbitrary).
+func modMersenne61(x uint64) uint64 {
+	x = (x & Mersenne61) + (x >> 61)
+	if x >= Mersenne61 {
+		x -= Mersenne61
+	}
+	return x
+}
+
+// Sign is a member of a universal family mapping keys to {−1, +1}; used by
+// the CountSketch baseline [CCFC04].
+type Sign struct {
+	f Func
+}
+
+// NewSign draws a sign hash using randomness from src.
+func NewSign(src *rng.Source) Sign {
+	return Sign{f: NewFunc(src, 2)}
+}
+
+// Hash returns −1 or +1 for x.
+func (s Sign) Hash(x uint64) int64 {
+	if s.f.Hash(x) == 0 {
+		return -1
+	}
+	return 1
+}
+
+// ModelBits is the storage charged for the sign function.
+func (s Sign) ModelBits() int64 { return s.f.ModelBits() }
+
+// Tabulation is a simple tabulation hash over the 8 bytes of a uint64 key.
+// It is 3-independent [Pǎtrașcu–Thorup], far stronger than Carter–Wegman in
+// practice, and costs 8·256 random words of space.
+type Tabulation struct {
+	tables [8][256]uint64
+	r      uint64
+}
+
+// NewTabulation draws a tabulation hash with range [0, r).
+func NewTabulation(src *rng.Source, r uint64) *Tabulation {
+	if r == 0 {
+		panic("hash: range must be positive")
+	}
+	t := &Tabulation{r: r}
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = src.Uint64()
+		}
+	}
+	return t
+}
+
+// Hash evaluates the tabulation hash on x.
+func (t *Tabulation) Hash(x uint64) uint64 {
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h ^= t.tables[i][byte(x>>(8*uint(i)))]
+	}
+	return h % t.r
+}
+
+// Range returns the size of the hash range.
+func (t *Tabulation) Range() uint64 { return t.r }
+
+// ModelBits is the storage charged for the tabulation tables.
+func (t *Tabulation) ModelBits() int64 { return 8 * 256 * 64 }

@@ -1,0 +1,196 @@
+package lossy
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestCountingNeverOverestimates(t *testing.T) {
+	c := NewCounting(0.01, 1000)
+	ex := exact.New()
+	g := stream.NewZipf(rng.New(1), 1000, 1.2)
+	for i := 0; i < 50000; i++ {
+		x := g.Next()
+		c.Insert(x)
+		ex.Insert(x)
+	}
+	for x := uint64(0); x < 1000; x++ {
+		if c.Estimate(x) > ex.Freq(x) {
+			t.Fatalf("item %d: estimate %d exceeds true %d", x, c.Estimate(x), ex.Freq(x))
+		}
+	}
+}
+
+func TestCountingUndercountWithinEpsM(t *testing.T) {
+	const eps = 0.01
+	c := NewCounting(eps, 1000)
+	ex := exact.New()
+	g := stream.NewZipf(rng.New(2), 1000, 1.2)
+	const m = 100000
+	for i := 0; i < m; i++ {
+		x := g.Next()
+		c.Insert(x)
+		ex.Insert(x)
+	}
+	for x := uint64(0); x < 1000; x++ {
+		if est, f := c.Estimate(x), ex.Freq(x); est+uint64(eps*m) < f {
+			t.Fatalf("item %d: estimate %d undercounts %d beyond ε·m", x, est, f)
+		}
+	}
+}
+
+func TestCountingRecall(t *testing.T) {
+	const eps, phi = 0.02, 0.1
+	c := NewCounting(eps, 2000)
+	const m = 40000
+	st := stream.PlantedStream(rng.New(3), m, []float64{0.15, 0.11}, 100, 2000, stream.Shuffled)
+	for _, x := range st {
+		c.Insert(x)
+	}
+	hh := c.HeavyHitters(uint64(phi * m))
+	seen := map[uint64]bool{}
+	for _, x := range hh {
+		seen[x] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("planted ϕ-heavy items missing from %v", hh)
+	}
+}
+
+func TestCountingPruneBoundsEntries(t *testing.T) {
+	// All-distinct stream: Lossy Counting must keep O(1/ε) entries, not m.
+	c := NewCounting(0.01, 0)
+	for i := uint64(0); i < 100000; i++ {
+		c.Insert(i)
+	}
+	if c.Entries() > 2*100+10 { // window width 100, ≤ ~1/ε live entries + current window
+		t.Fatalf("lossy counting kept %d entries on a distinct stream", c.Entries())
+	}
+}
+
+func TestCountingPanicsOnBadEps(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewCounting(eps, 10)
+		}()
+	}
+}
+
+func TestCountingModelBits(t *testing.T) {
+	c := NewCounting(0.1, 128)
+	for i := 0; i < 1000; i++ {
+		c.Insert(uint64(i % 5))
+	}
+	if c.ModelBits() <= 0 {
+		t.Fatal("ModelBits must be positive")
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestStickyRecall(t *testing.T) {
+	const eps, phi, delta = 0.02, 0.1, 0.05
+	const m = 50000
+	recallFailures := 0
+	const trials = 20
+	for tr := 0; tr < trials; tr++ {
+		s := NewSticky(rng.New(uint64(tr)), eps, phi, delta, 2000)
+		st := stream.PlantedStream(rng.New(uint64(100+tr)), m, []float64{0.15, 0.11}, 100, 2000, stream.Shuffled)
+		for _, x := range st {
+			s.Insert(x)
+		}
+		hh := s.HeavyHitters(uint64(phi * m))
+		seen := map[uint64]bool{}
+		for _, x := range hh {
+			seen[x] = true
+		}
+		if !seen[0] || !seen[1] {
+			recallFailures++
+		}
+	}
+	// δ = 0.05 per run; over 20 runs more than 4 failures is a red flag.
+	if recallFailures > 4 {
+		t.Fatalf("sticky sampling missed planted items in %d/%d runs", recallFailures, trials)
+	}
+}
+
+func TestStickyNeverOverestimates(t *testing.T) {
+	s := NewSticky(rng.New(4), 0.01, 0.05, 0.1, 1000)
+	ex := exact.New()
+	g := stream.NewZipf(rng.New(5), 1000, 1.2)
+	for i := 0; i < 50000; i++ {
+		x := g.Next()
+		s.Insert(x)
+		ex.Insert(x)
+	}
+	for x := uint64(0); x < 1000; x++ {
+		if s.Estimate(x) > ex.Freq(x) {
+			t.Fatalf("item %d: sticky estimate %d exceeds true %d", x, s.Estimate(x), ex.Freq(x))
+		}
+	}
+}
+
+func TestStickyEntriesBoundedOnDistinctStream(t *testing.T) {
+	s := NewSticky(rng.New(6), 0.01, 0.1, 0.1, 0)
+	for i := uint64(0); i < 200000; i++ {
+		s.Insert(i)
+	}
+	// Expected entries ≈ 2t = (2/ε)·ln(1/(ϕδ)) ≈ 920; allow generous slack.
+	if s.Entries() > 4000 {
+		t.Fatalf("sticky sampling kept %d entries on a distinct stream", s.Entries())
+	}
+}
+
+func TestStickyPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSticky(rng.New(1), 0, 0.1, 0.1, 0) },
+		func() { NewSticky(rng.New(1), 0.1, 0, 0.1, 0) },
+		func() { NewSticky(rng.New(1), 0.1, 0.1, 0, 0) },
+		func() { NewSticky(rng.New(1), 0.1, 1.5, 0.1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStickyModelBits(t *testing.T) {
+	s := NewSticky(rng.New(7), 0.1, 0.2, 0.1, 64)
+	for i := 0; i < 1000; i++ {
+		s.Insert(uint64(i % 4))
+	}
+	if s.ModelBits() <= 0 {
+		t.Fatal("ModelBits must be positive")
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func BenchmarkCountingInsert(b *testing.B) {
+	c := NewCounting(0.001, 1<<20)
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i % 65536))
+	}
+}
+
+func BenchmarkStickyInsert(b *testing.B) {
+	s := NewSticky(rng.New(1), 0.001, 0.01, 0.05, 1<<20)
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i % 65536))
+	}
+}

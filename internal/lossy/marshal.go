@@ -1,0 +1,86 @@
+package lossy
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+const marshalVersion = 1
+
+// MarshalBinary encodes the full Lossy Counting state.
+func (c *Counting) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	w.F64(c.eps)
+	w.U64(c.width)
+	w.U64(c.m)
+	w.U64(c.window)
+	w.U64(c.universe)
+	w.Map(c.counts)
+	w.Map(c.deltas)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (c *Counting) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("lossy: %w", wire.ErrCorrupt)
+	}
+	out := Counting{
+		eps:      r.F64(),
+		width:    r.U64(),
+		m:        r.U64(),
+		window:   r.U64(),
+		universe: r.U64(),
+		counts:   r.Map(),
+		deltas:   r.Map(),
+	}
+	if r.Err() != nil || !r.Done() || out.width == 0 || out.counts == nil || out.deltas == nil {
+		return fmt.Errorf("lossy: %w", wire.ErrCorrupt)
+	}
+	*c = out
+	return nil
+}
+
+// MarshalBinary encodes the full Sticky Sampling state, including the
+// PRNG position, so the restored summary continues identically.
+func (s *Sticky) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	w.F64(s.eps)
+	w.F64(s.t)
+	w.U64(s.rate)
+	w.U64(s.boundary)
+	w.U64(s.m)
+	w.U64(s.universe)
+	w.U64(s.src.State())
+	w.Map(s.counts)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (s *Sticky) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("lossy: %w", wire.ErrCorrupt)
+	}
+	out := Sticky{
+		eps:      r.F64(),
+		t:        r.F64(),
+		rate:     r.U64(),
+		boundary: r.U64(),
+		m:        r.U64(),
+		universe: r.U64(),
+	}
+	state := r.U64()
+	out.counts = r.Map()
+	if r.Err() != nil || !r.Done() || out.rate == 0 || out.counts == nil {
+		return fmt.Errorf("lossy: %w", wire.ErrCorrupt)
+	}
+	out.src = rng.FromState(state)
+	*s = out
+	return nil
+}

@@ -1,0 +1,83 @@
+package lossy
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestCountingMarshalMidStream(t *testing.T) {
+	orig := NewCounting(0.02, 1000)
+	g := stream.NewZipf(rng.New(1), 500, 1.2)
+	for i := 0; i < 20000; i++ {
+		orig.Insert(g.Next())
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Counting
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x := g.Next()
+		orig.Insert(x)
+		restored.Insert(x)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if orig.Estimate(x) != restored.Estimate(x) {
+			t.Fatalf("estimate diverged for %d", x)
+		}
+	}
+	if orig.Entries() != restored.Entries() || orig.Len() != restored.Len() {
+		t.Fatal("bookkeeping diverged")
+	}
+}
+
+func TestStickyMarshalMidStream(t *testing.T) {
+	orig := NewSticky(rng.New(2), 0.02, 0.1, 0.1, 1000)
+	g := stream.NewZipf(rng.New(3), 500, 1.2)
+	for i := 0; i < 20000; i++ {
+		orig.Insert(g.Next())
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Sticky
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x := g.Next()
+		orig.Insert(x)
+		restored.Insert(x)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if orig.Estimate(x) != restored.Estimate(x) {
+			t.Fatalf("estimate diverged for %d", x)
+		}
+	}
+}
+
+func TestLossyMarshalRejectsCorruption(t *testing.T) {
+	c := NewCounting(0.1, 100)
+	c.Insert(1)
+	blob, _ := c.MarshalBinary()
+	var rc Counting
+	if err := rc.UnmarshalBinary(blob[:4]); err == nil {
+		t.Fatal("truncated Counting accepted")
+	}
+	s := NewSticky(rng.New(4), 0.1, 0.2, 0.1, 100)
+	s.Insert(1)
+	sb, _ := s.MarshalBinary()
+	var rs Sticky
+	if err := rs.UnmarshalBinary(sb[:4]); err == nil {
+		t.Fatal("truncated Sticky accepted")
+	}
+	if err := rs.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil Sticky accepted")
+	}
+}

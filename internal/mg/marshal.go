@@ -1,0 +1,118 @@
+package mg
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// marshalVersion guards the encoding layout.
+const marshalVersion = 1
+
+// MarshalBinary encodes the full summary state. The format is
+// deterministic: equal summaries produce equal bytes.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	s.Encode(w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a summary written by MarshalBinary, replacing
+// the receiver's state.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	dec := DecodeSummary(r)
+	if dec == nil || !r.Done() {
+		return fmt.Errorf("mg: %w", wire.ErrCorrupt)
+	}
+	*s = *dec
+	return nil
+}
+
+// Encode appends the summary to w.
+func (s *Summary) Encode(w *wire.Writer) {
+	w.U64(marshalVersion)
+	w.U64(uint64(s.k))
+	w.U64(s.universe)
+	w.U64(s.m)
+	w.Map(s.counters)
+}
+
+// DecodeSummary reads a summary written by Encode; nil on corrupt input.
+func DecodeSummary(r *wire.Reader) *Summary {
+	if r.U64() != marshalVersion {
+		return nil
+	}
+	k := r.U64()
+	universe := r.U64()
+	m := r.U64()
+	counters := r.Map()
+	if r.Err() != nil || k == 0 || uint64(len(counters)) > k {
+		return nil
+	}
+	return &Summary{k: int(k), universe: universe, m: m, counters: counters}
+}
+
+// Merge folds other into s: the result summarizes the concatenation of
+// the two input streams with the same k-counter guarantee
+// (f(x) − (m₁+m₂)/(k+1) ≤ Estimate(x) ≤ f(x)), per the mergeability
+// result of Agarwal et al. for Misra-Gries summaries: add counters
+// pointwise, then subtract the (k+1)-st largest value from every counter
+// and drop non-positives.
+func (s *Summary) Merge(other *Summary) error {
+	if s.k != other.k {
+		return fmt.Errorf("mg: cannot merge summaries with k=%d and k=%d", s.k, other.k)
+	}
+	for x, c := range other.counters {
+		s.counters[x] += c
+	}
+	s.m += other.m
+	if len(s.counters) <= s.k {
+		return nil
+	}
+	// Find the (k+1)-st largest counter value.
+	vals := make([]uint64, 0, len(s.counters))
+	for _, c := range s.counters {
+		vals = append(vals, c)
+	}
+	kth := quickselectDesc(vals, s.k) // value at rank k (0-based): the (k+1)-st largest
+	for x, c := range s.counters {
+		if c <= kth {
+			delete(s.counters, x)
+		} else {
+			s.counters[x] = c - kth
+		}
+	}
+	return nil
+}
+
+// quickselectDesc returns the element of rank `rank` (0-based) in
+// descending order, i.e. rank 0 is the maximum. It partially reorders vs.
+func quickselectDesc(vs []uint64, rank int) uint64 {
+	lo, hi := 0, len(vs)-1
+	for lo < hi {
+		p := vs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for vs[i] > p {
+				i++
+			}
+			for vs[j] < p {
+				j--
+			}
+			if i <= j {
+				vs[i], vs[j] = vs[j], vs[i]
+				i++
+				j--
+			}
+		}
+		if rank <= j {
+			hi = j
+		} else if rank >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return vs[rank]
+}

@@ -1,0 +1,114 @@
+// Package mg implements the Misra–Gries frequent-items summary [MG82],
+// rediscovered by Demaine et al. [DLOM02] and Karp et al. [KSP03].
+//
+// This is the prior state of the art the paper improves on: with k
+// counters over a stream of length m it deterministically guarantees
+//
+//	f(x) − m/(k+1)  ≤  Estimate(x)  ≤  f(x)
+//
+// and costs O(k·(log n + log m)) bits — the O(ε⁻¹(log n + log m)) baseline
+// of the paper's introduction when k = ⌈1/ε⌉. It also serves as the
+// candidate-tracking component (table T1) inside the paper's Algorithm 2.
+//
+// Updates are O(1) amortized: a full-table decrement costs O(k) but is paid
+// for by the k increments that preceded it.
+package mg
+
+import (
+	"sort"
+
+	"repro/internal/compact"
+)
+
+// Summary is a Misra–Gries summary with a fixed number of counters.
+type Summary struct {
+	k        int
+	counters map[uint64]uint64
+	m        uint64 // stream length processed
+	universe uint64 // for space accounting
+}
+
+// New returns a summary with k counters for items drawn from a universe of
+// the given size (universe is used only for space accounting; pass 0 if
+// unknown and ids will be charged at 64 bits).
+func New(k int, universe uint64) *Summary {
+	if k <= 0 {
+		panic("mg: need at least one counter")
+	}
+	if universe == 0 {
+		universe = 1 << 63
+	}
+	return &Summary{
+		k:        k,
+		counters: make(map[uint64]uint64, k+1),
+		universe: universe,
+	}
+}
+
+// K returns the number of counters.
+func (s *Summary) K() int { return s.k }
+
+// Len returns the stream length processed so far.
+func (s *Summary) Len() uint64 { return s.m }
+
+// Insert processes one stream item.
+func (s *Summary) Insert(x uint64) {
+	s.m++
+	if _, ok := s.counters[x]; ok {
+		s.counters[x]++
+		return
+	}
+	if len(s.counters) < s.k {
+		s.counters[x] = 1
+		return
+	}
+	// Table full: decrement everything (the arriving item cancels against
+	// one unit of each stored item) and drop zeros.
+	for y, c := range s.counters {
+		if c == 1 {
+			delete(s.counters, y)
+		} else {
+			s.counters[y] = c - 1
+		}
+	}
+}
+
+// Estimate returns the summary's (under-)estimate of x's frequency.
+func (s *Summary) Estimate(x uint64) uint64 { return s.counters[x] }
+
+// GuaranteedError returns the maximum undercount, m/(k+1).
+func (s *Summary) GuaranteedError() uint64 { return s.m / uint64(s.k+1) }
+
+// Candidates returns all stored items in decreasing-count order (ties by
+// ascending id). Every item with f(x) > m/(k+1) is guaranteed present.
+func (s *Summary) Candidates() []uint64 {
+	out := make([]uint64, 0, len(s.counters))
+	for x := range s.counters {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := s.counters[out[i]], s.counters[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// HeavyHitters returns the stored items whose estimate is at least
+// threshold, in decreasing-count order.
+func (s *Summary) HeavyHitters(threshold uint64) []uint64 {
+	var out []uint64
+	for _, x := range s.Candidates() {
+		if s.counters[x] >= threshold {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ModelBits charges every stored (id, counter) pair per DESIGN.md §4.
+func (s *Summary) ModelBits() int64 {
+	return compact.MapBits(s.counters, s.universe)
+}

@@ -1,0 +1,101 @@
+package minimum
+
+import (
+	"fmt"
+
+	"repro/internal/compact"
+	"repro/internal/sample"
+	"repro/internal/wire"
+)
+
+const marshalVersion = 1
+
+// MarshalBinary encodes the full Algorithm 3 state: bit-vectors, tables,
+// samplers and PRNG positions, so the decoded solver continues the stream
+// identically.
+func (s *Solver) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	w.F64(s.cfg.Eps)
+	w.F64(s.cfg.Delta)
+	w.U64(s.cfg.M)
+	w.U64(s.cfg.N)
+	w.F64(s.cfg.Tuning.L1Const)
+	w.F64(s.cfg.Tuning.L2Const)
+	w.F64(s.cfg.Tuning.L3Const)
+	w.F64(s.cfg.Tuning.L3Exp)
+	w.F64(s.cfg.Tuning.TruncExp)
+	w.Bool(s.largeU)
+	w.U64(s.choice)
+	w.U64(s.offered)
+	if s.largeU {
+		return w.Bytes(), nil
+	}
+	s.s1.Encode(w)
+	s.seen.Encode(w)
+	w.U64(uint64(s.distinct))
+	w.Map(s.s2)
+	w.U64(uint64(s.s2Limit))
+	w.U64(s.trunc)
+	w.U64s(s.s3.Words())
+	s.samp1.Encode(w)
+	s.samp2.Encode(w)
+	s.samp3.Encode(w)
+	w.F64(s.p1)
+	w.F64(s.p2)
+	w.F64(s.p3)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (s *Solver) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("minimum: %w", wire.ErrCorrupt)
+	}
+	var out Solver
+	out.cfg.Eps = r.F64()
+	out.cfg.Delta = r.F64()
+	out.cfg.M = r.U64()
+	out.cfg.N = r.U64()
+	out.cfg.Tuning.L1Const = r.F64()
+	out.cfg.Tuning.L2Const = r.F64()
+	out.cfg.Tuning.L3Const = r.F64()
+	out.cfg.Tuning.L3Exp = r.F64()
+	out.cfg.Tuning.TruncExp = r.F64()
+	out.largeU = r.Bool()
+	out.choice = r.U64()
+	out.offered = r.U64()
+	if out.largeU {
+		if r.Err() != nil || !r.Done() {
+			return fmt.Errorf("minimum: %w", wire.ErrCorrupt)
+		}
+		*s = out
+		return nil
+	}
+	out.s1 = compact.DecodeBitVector(r)
+	out.seen = compact.DecodeBitVector(r)
+	out.distinct = int(r.U64())
+	out.s2 = r.Map()
+	out.s2Limit = int(r.U64())
+	out.trunc = r.U64()
+	words := r.U64s()
+	out.samp1 = sample.DecodeSkip(r)
+	out.samp2 = sample.DecodeSkip(r)
+	out.samp3 = sample.DecodeSkip(r)
+	out.p1 = r.F64()
+	out.p2 = r.F64()
+	out.p3 = r.F64()
+	if r.Err() != nil || !r.Done() ||
+		out.s1 == nil || out.seen == nil ||
+		out.samp1 == nil || out.samp2 == nil || out.samp3 == nil ||
+		out.trunc == 0 || out.cfg.N > 1<<30 {
+		return fmt.Errorf("minimum: %w", wire.ErrCorrupt)
+	}
+	out.s3 = compact.RestorePackedArray(int(out.cfg.N), out.trunc, words)
+	if out.s3 == nil {
+		return fmt.Errorf("minimum: %w", wire.ErrCorrupt)
+	}
+	*s = out
+	return nil
+}

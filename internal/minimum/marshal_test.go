@@ -1,0 +1,77 @@
+package minimum
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMarshalMidStream(t *testing.T) {
+	c := cfg(0.1, 40000, 8)
+	orig, err := New(rng.New(1), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		orig.Insert(uint64(i % 7))
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Solver
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		orig.Insert(uint64(i % 7))
+		restored.Insert(uint64(i % 7))
+	}
+	a, b := orig.Report(), restored.Report()
+	if a != b {
+		t.Fatalf("reports diverge: %+v vs %+v", a, b)
+	}
+	if orig.ModelBits() != restored.ModelBits() {
+		t.Fatal("model bits diverge")
+	}
+}
+
+func TestMarshalLargeUniverseBranch(t *testing.T) {
+	c := cfg(0.1, 1000, 1<<40)
+	orig, err := New(rng.New(2), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		orig.Insert(uint64(i))
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Solver
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Report() != restored.Report() {
+		t.Fatal("branch-1 reports diverge")
+	}
+}
+
+func TestMarshalRejectsCorruption(t *testing.T) {
+	orig, _ := New(rng.New(3), cfg(0.2, 1000, 4))
+	orig.Insert(1)
+	blob, _ := orig.MarshalBinary()
+	var s Solver
+	if err := s.UnmarshalBinary(blob[:len(blob)/3]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := s.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] = 0x7F
+	if err := s.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}

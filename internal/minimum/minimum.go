@@ -1,0 +1,242 @@
+// Package minimum implements Algorithm 3 of the paper: the ε-Minimum
+// solver (Theorem 4), which finds an item of approximately minimum
+// frequency — "number of dislikes" / veto-winner / defective-sensor
+// detection (§1.2) — using O(ε⁻¹·log log(1/(εδ)) + log log m) bits.
+//
+// The algorithm runs three cooperating samplers over a small universe
+// (the problem is only meaningful when |U| = O(1/ε); otherwise a random
+// item is already a valid answer, which is Report branch 1):
+//
+//   - S1, a presence bit-vector fed at rate p₁ ≈ ℓ₁/m with
+//     ℓ₁ = Θ(ε⁻¹·log(1/(εδ))): any item with f ≥ ε·m lands in S1 whp, so
+//     an absent item certifies frequency ≤ ε·m (Report branch 2).
+//   - S2, exact counts of a rate-p₂ sample, maintained only while the
+//     number of distinct items stays below 1/(ε·log(1/ε)); in that regime
+//     the counts identify the minimum directly (Report branch 3).
+//   - S3, counts of a rate-p₃ sample whose counters are *truncated* at a
+//     polylog(1/(εδ)) threshold — the paper's device for paying only
+//     O(log log(1/(εδ))) bits per counter. Truncation only ever affects
+//     items far above the minimum, so the argmin is preserved (branch 4).
+package minimum
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compact"
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// Config carries the ε-Minimum problem parameters.
+type Config struct {
+	// Eps is the additive error parameter ε ∈ (0,1).
+	Eps float64
+	// Delta is the allowed failure probability δ ∈ (0,1).
+	Delta float64
+	// M is the (known) stream length.
+	M uint64
+	// N is the universe size; items are ids in [0, N).
+	N uint64
+	// Tuning selects constants; zero value means DefaultTuning.
+	Tuning Tuning
+}
+
+// Tuning holds the numerical constants of Algorithm 3.
+type Tuning struct {
+	// L1Const scales ℓ₁ = L1Const·ln(6/(εδ))/ε. Paper: 1.
+	L1Const float64
+	// L2Const scales ℓ₂ = L2Const·ln(6/δ)/ε². Paper: 1.
+	L2Const float64
+	// L3Const scales ℓ₃ = L3Const·ln^L3Exp(6/(δε))/ε. Paper: 1. The
+	// unknown-length wrapper (Theorem 8) boosts it by 1/ε.
+	L3Const float64
+	// L3Exp is the exponent of ℓ₃ = L3Const·ln^L3Exp(6/(δε))/ε. Paper: 6.
+	L3Exp float64
+	// TruncExp is the exponent of the S3 truncation threshold
+	// 2·ln^TruncExp(2/(εδ)). Paper: 7.
+	TruncExp float64
+}
+
+// PaperTuning is the literal constant set from the pseudocode.
+var PaperTuning = Tuning{L1Const: 1, L2Const: 1, L3Const: 1, L3Exp: 6, TruncExp: 7}
+
+// DefaultTuning uses smaller polylog exponents; the paper's are sized for
+// the union bound in the proof, and the test suite validates these
+// empirically.
+var DefaultTuning = Tuning{L1Const: 2, L2Const: 1, L3Const: 1, L3Exp: 3, TruncExp: 4}
+
+// Solver is an Algorithm 3 instance.
+type Solver struct {
+	cfg      Config
+	largeU   bool
+	choice   uint64 // branch 1: pre-drawn random item
+	s1       *compact.BitVector
+	seen     *compact.BitVector // exact distinct tracking (universe is small)
+	distinct int
+	s2       map[uint64]uint64
+	s2Limit  int // distinct-count gate 1/(ε·log(1/ε))
+	// s3 holds the rate-p₃ sample counts in a bit-packed array whose
+	// per-counter width is ⌈log₂(trunc+1)⌉ = O(log log(1/(εδ))) — the
+	// packed layout *is* Theorem 4's space bound, and Inc's saturation at
+	// the cap *is* the paper's truncation.
+	s3      *compact.PackedArray
+	trunc   uint64
+	samp1   *sample.Skip
+	samp2   *sample.Skip
+	samp3   *sample.Skip
+	p1      float64
+	p2      float64
+	p3      float64
+	offered uint64
+}
+
+// Result is the answer to an ε-Minimum query.
+type Result struct {
+	// Item has approximately minimum frequency.
+	Item uint64
+	// F estimates Item's frequency; on success |F − f_min| ≤ ε·m.
+	F float64
+	// Branch records which of the four Report branches produced the
+	// answer (1–4), for tests and diagnostics.
+	Branch int
+}
+
+// New returns an Algorithm 3 instance for cfg.
+func New(src *rng.Source, cfg Config) (*Solver, error) {
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("minimum: eps = %v out of (0,1)", cfg.Eps)
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("minimum: delta = %v out of (0,1)", cfg.Delta)
+	}
+	if cfg.M == 0 || cfg.N == 0 {
+		return nil, fmt.Errorf("minimum: M and N must be positive")
+	}
+	if cfg.Tuning == (Tuning{}) {
+		cfg.Tuning = DefaultTuning
+	}
+	t := cfg.Tuning
+	s := &Solver{cfg: cfg}
+
+	// Branch 1 precheck: |U| ≥ 1/((1−δ)ε) means a random item among the
+	// first ⌈1/((1−δ)ε)⌉ is a correct answer with probability ≥ 1−δ
+	// (at most 1/ε items can have frequency ≥ ε·m).
+	cut := 1 / ((1 - cfg.Delta) * cfg.Eps)
+	if float64(cfg.N) >= cut {
+		s.largeU = true
+		s.choice = src.Uint64n(uint64(math.Ceil(cut)))
+		return s, nil
+	}
+
+	n := int(cfg.N)
+	s.s1 = compact.NewBitVector(n)
+	s.seen = compact.NewBitVector(n)
+	s.s2 = make(map[uint64]uint64)
+
+	ell1 := t.L1Const * math.Log(6/(cfg.Eps*cfg.Delta)) / cfg.Eps
+	ell2 := t.L2Const * math.Log(6/cfg.Delta) / (cfg.Eps * cfg.Eps)
+	lbase := math.Log(6 / (cfg.Delta * cfg.Eps))
+	l3c := t.L3Const
+	if l3c == 0 {
+		l3c = 1
+	}
+	ell3 := l3c * math.Pow(lbase, t.L3Exp) / cfg.Eps
+
+	mf := float64(cfg.M)
+	mk := func(ell float64) (*sample.Skip, float64) {
+		p := math.Min(1, 6*ell/mf)
+		sk := sample.NewSkip(src.Split(), p)
+		return sk, sk.Probability()
+	}
+	s.samp1, s.p1 = mk(ell1)
+	s.samp2, s.p2 = mk(ell2)
+	s.samp3, s.p3 = mk(ell3)
+
+	s.s2Limit = int(math.Ceil(1 / (cfg.Eps * math.Max(1, math.Log(1/cfg.Eps)))))
+	s.trunc = uint64(math.Ceil(2 * math.Pow(math.Log(2/(cfg.Eps*cfg.Delta)), t.TruncExp)))
+	s.s3 = compact.NewPackedArray(n, s.trunc)
+	return s, nil
+}
+
+// Insert processes one stream item in O(1) amortized time.
+func (s *Solver) Insert(x uint64) {
+	s.offered++
+	if s.largeU {
+		return // branch 1 needs no stream state
+	}
+	if x >= s.cfg.N {
+		panic("minimum: item outside the declared universe")
+	}
+	xi := int(x)
+	if !s.seen.Get(xi) {
+		s.seen.Set(xi)
+		s.distinct++
+	}
+	if s.samp1.Next() {
+		s.s1.Set(xi)
+	}
+	if s.distinct <= s.s2Limit && s.samp2.Next() {
+		s.s2[x]++
+	}
+	if s.samp3.Next() {
+		s.s3.Inc(xi) // saturates at the truncation threshold
+	}
+}
+
+// Report returns an item of approximately minimum frequency. With
+// probability ≥ 1−δ, |F − min_y f(y)| ≤ ε·m.
+func (s *Solver) Report() Result {
+	// Branch 1: huge universe — the pre-drawn random item.
+	if s.largeU {
+		return Result{Item: s.choice, F: 0, Branch: 1}
+	}
+	// Branch 2: an item absent from S1 has frequency ≤ ε·m whp, and the
+	// minimum is no larger.
+	if i := s.s1.FirstClear(); i >= 0 {
+		return Result{Item: uint64(i), F: 0, Branch: 2}
+	}
+	// Branch 3: few distinct items — S2's exact sampled counts decide.
+	if s.distinct <= s.s2Limit {
+		item, cnt := s.argminOverUniverse(s.s2)
+		return Result{Item: item, F: float64(cnt) / s.p2, Branch: 3}
+	}
+	// Branch 4: S3's truncated counts decide; truncation only affects
+	// items ≫ the minimum.
+	item, cnt := s.s3.ArgMin()
+	return Result{Item: uint64(item), F: float64(cnt) / s.p3, Branch: 4}
+}
+
+// argminOverUniverse scans the (small) universe for the least sampled
+// count, treating unsampled ids as zero; ties break to the lowest id.
+func (s *Solver) argminOverUniverse(counts map[uint64]uint64) (uint64, uint64) {
+	best := uint64(0)
+	bestC := counts[0]
+	for x := uint64(1); x < s.cfg.N; x++ {
+		if c := counts[x]; c < bestC {
+			best, bestC = x, c
+		}
+	}
+	return best, bestC
+}
+
+// Len returns the number of stream positions consumed.
+func (s *Solver) Len() uint64 { return s.offered }
+
+// Distinct returns the number of distinct items seen (0 for branch-1
+// instances, which keep no stream state).
+func (s *Solver) Distinct() int { return s.distinct }
+
+// ModelBits charges the two bit-vectors, the S2/S3 tables (ids from the
+// small universe; S3 counters are truncated so they cost
+// O(log log(1/(εδ))) bits each) and the three Lemma 1 samplers.
+func (s *Solver) ModelBits() int64 {
+	if s.largeU {
+		return compact.IDBits(s.cfg.N) + 1
+	}
+	b := s.s1.ModelBits() + s.seen.ModelBits()
+	b += compact.MapBits(s.s2, s.cfg.N)
+	b += s.s3.ModelBits()
+	b += 3 * (compact.BitsFor(uint64(compact.BitsFor(s.cfg.M))) + 1)
+	return b
+}

@@ -1,0 +1,281 @@
+package minimum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func cfg(eps float64, m, n uint64) Config {
+	return Config{Eps: eps, Delta: 0.1, M: m, N: n}
+}
+
+// run feeds the stream and checks the ε-Minimum guarantee against ground
+// truth; returns (result, violated).
+func run(t *testing.T, seed uint64, c Config, st []uint64) (Result, bool) {
+	t.Helper()
+	s, err := New(rng.New(seed), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := exact.New()
+	for _, x := range st {
+		s.Insert(x)
+		ex.Insert(x)
+	}
+	var trueMin uint64
+	if c.N > 1<<20 {
+		// Huge universe: some id is certainly absent, so the minimum is 0.
+		if uint64(ex.Distinct()) >= c.N {
+			t.Fatal("test universe unexpectedly saturated")
+		}
+		trueMin = 0
+	} else {
+		universe := make([]uint64, c.N)
+		for i := range universe {
+			universe[i] = uint64(i)
+		}
+		_, trueMin = ex.MinOver(universe)
+	}
+	r := s.Report()
+	bad := false
+	em := c.Eps * float64(len(st))
+	if math.Abs(r.F-float64(trueMin)) > em {
+		t.Logf("estimate %v vs true min %d beyond ε·m=%v (branch %d)", r.F, trueMin, em, r.Branch)
+		bad = true
+	}
+	// The returned *item* must also be ε-close to minimal (it certifies
+	// the estimate).
+	if float64(ex.Freq(r.Item))-float64(trueMin) > em {
+		t.Logf("item %d has f=%d, min=%d (branch %d)", r.Item, ex.Freq(r.Item), trueMin, r.Branch)
+		bad = true
+	}
+	return r, bad
+}
+
+func TestBranch1LargeUniverse(t *testing.T) {
+	// N far above 1/((1−δ)ε): a random item answers without any state.
+	c := cfg(0.1, 10000, 1<<40)
+	st := make([]uint64, 10000)
+	for i := range st {
+		st[i] = uint64(i % 5) // only ids 0..4 occur; min over U is 0
+	}
+	r, bad := run(t, 1, c, st)
+	if r.Branch != 1 {
+		t.Fatalf("branch = %d, want 1", r.Branch)
+	}
+	if bad {
+		t.Fatal("branch 1 answer violated the guarantee")
+	}
+}
+
+func TestBranch2AbsentItem(t *testing.T) {
+	// Small universe, one id (7) never occurs: S1 must expose it.
+	const n = 10
+	const m = 50000
+	c := cfg(0.05, m, n)
+	st := make([]uint64, 0, m)
+	for len(st) < m {
+		for id := uint64(0); id < n; id++ {
+			if id != 7 {
+				st = append(st, id)
+			}
+		}
+	}
+	st = st[:m]
+	r, bad := run(t, 2, c, st)
+	if bad {
+		t.Fatal("guarantee violated")
+	}
+	if r.Branch != 2 || r.Item != 7 {
+		t.Fatalf("branch=%d item=%d, want branch 2 item 7", r.Branch, r.Item)
+	}
+}
+
+func TestBranch3FewDistinct(t *testing.T) {
+	// ε = 0.2 → s2Limit = 1/(0.2·ln 5) ≈ 3. Stream over 3 ids with all
+	// frequencies well above ε·m so S1 fills; distinct stays under the
+	// gate → branch 3.
+	const m = 30000
+	c := cfg(0.2, m, 3)
+	st := make([]uint64, 0, m)
+	for len(st) < m {
+		st = append(st, 0, 0, 0, 1, 1, 2) // f₀=m/2, f₁=m/3, f₂=m/6
+	}
+	st = st[:m]
+	failures := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		r, bad := run(t, seed, c, st)
+		if bad {
+			failures++
+		}
+		if r.Branch != 3 {
+			t.Fatalf("branch = %d, want 3", r.Branch)
+		}
+	}
+	if failures > 1 {
+		t.Fatalf("branch 3 failed %d/5 runs", failures)
+	}
+}
+
+func TestBranch4ManyDistinct(t *testing.T) {
+	// ε = 0.05 over a 16-item universe: distinct (16) exceeds the S2 gate
+	// 1/(0.05·ln 20) ≈ 7, every item occurs ≥ ε·m… except the planted
+	// minimum, which still occurs often enough to fill S1.
+	const n = 16
+	const m = 200000
+	c := cfg(0.05, m, n)
+	st := make([]uint64, 0, m+n)
+	for len(st) < m*9/10 {
+		for id := uint64(0); id < n-1; id++ {
+			st = append(st, id)
+		}
+	}
+	// Item n−1 gets ≈ m/10 occurrences: the minimum, but S1-visible.
+	for len(st) < m {
+		st = append(st, n-1)
+	}
+	rng.New(99).Shuffle(len(st), func(i, j int) { st[i], st[j] = st[j], st[i] })
+	failures := 0
+	var lastBranch int
+	for seed := uint64(0); seed < 5; seed++ {
+		r, bad := run(t, seed, c, st)
+		if bad {
+			failures++
+		}
+		lastBranch = r.Branch
+	}
+	if failures > 1 {
+		t.Fatalf("failed %d/5 runs", failures)
+	}
+	if lastBranch != 4 {
+		t.Fatalf("branch = %d, want 4", lastBranch)
+	}
+}
+
+func TestTruncationPreservesArgmin(t *testing.T) {
+	// One huge item (counter certain to truncate) and one rare item; the
+	// rare one must win.
+	const m = 400000
+	c := cfg(0.05, m, 2)
+	st := make([]uint64, m)
+	for i := range st {
+		if i%10 == 0 {
+			st[i] = 1 // 10% — the minimum
+		}
+	}
+	r, bad := run(t, 3, c, st)
+	if bad {
+		t.Fatal("guarantee violated")
+	}
+	if r.Item != 1 {
+		t.Fatalf("argmin = %d, want 1", r.Item)
+	}
+	// Confirm truncation actually engaged for the heavy item (otherwise
+	// this test exercises nothing).
+	s, _ := New(rng.New(3), c)
+	for _, x := range st {
+		s.Insert(x)
+	}
+	if s.s3.Get(0) != s.trunc {
+		t.Fatalf("heavy item's S3 counter = %d, truncation threshold %d never hit", s.s3.Get(0), s.trunc)
+	}
+}
+
+func TestPaperTuningSmoke(t *testing.T) {
+	c := cfg(0.2, 1000, 4)
+	c.Tuning = PaperTuning
+	st := make([]uint64, 1000)
+	for i := range st {
+		st[i] = uint64(i % 3) // id 3 absent
+	}
+	r, bad := run(t, 4, c, st)
+	if bad {
+		t.Fatal("paper tuning violated guarantee")
+	}
+	if r.Item != 3 {
+		t.Fatalf("item = %d, want the absent id 3", r.Item)
+	}
+}
+
+func TestInsertOutsideUniversePanics(t *testing.T) {
+	s, err := New(rng.New(1), cfg(0.2, 100, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Insert(4)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Eps: 0, Delta: 0.1, M: 10, N: 10},
+		{Eps: 1, Delta: 0.1, M: 10, N: 10},
+		{Eps: 0.1, Delta: 0, M: 10, N: 10},
+		{Eps: 0.1, Delta: 0.1, M: 0, N: 10},
+		{Eps: 0.1, Delta: 0.1, M: 10, N: 0},
+	}
+	for i, c := range bad {
+		if _, err := New(rng.New(1), c); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestModelBitsSmall(t *testing.T) {
+	// The headline of Theorem 4: space is O(ε⁻¹·log log(1/(εδ))), i.e.
+	// counters cost log-log bits, not log bits. Verify the S3 counters are
+	// bounded by the truncation threshold (so each costs O(log trunc) =
+	// O(log log) bits) and total model bits stay modest.
+	const m = 1 << 20
+	c := cfg(0.05, m, 16)
+	s, _ := New(rng.New(5), c)
+	for i := 0; i < m; i++ {
+		s.Insert(uint64(i % 16))
+	}
+	for x := 0; x < s.s3.Len(); x++ {
+		if cnt := s.s3.Get(x); cnt > s.trunc {
+			t.Fatalf("S3 counter for %d exceeds truncation: %d > %d", x, cnt, s.trunc)
+		}
+	}
+	if b := s.ModelBits(); b <= 0 || b > 1<<16 {
+		t.Fatalf("ModelBits = %d out of the expected regime", b)
+	}
+}
+
+func TestLargeUniverseModelBitsTiny(t *testing.T) {
+	s, _ := New(rng.New(6), cfg(0.1, 1000, 1<<40))
+	for i := 0; i < 1000; i++ {
+		s.Insert(uint64(i))
+	}
+	if b := s.ModelBits(); b > 64 {
+		t.Fatalf("branch-1 instance uses %d bits, want O(log n)", b)
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	c := cfg(0.1, 10000, 8)
+	st := make([]uint64, 10000)
+	for i := range st {
+		st[i] = uint64(i % 7)
+	}
+	mk := func() Result {
+		s, _ := New(rng.New(8), c)
+		for _, x := range st {
+			s.Insert(x)
+		}
+		return s.Report()
+	}
+	if mk() != mk() {
+		t.Fatal("same seed, different results")
+	}
+}

@@ -1,0 +1,105 @@
+// Package morris implements Morris's approximate counter [Mor78], the
+// O(log log m)-bit device the paper uses to track the stream length when m
+// is unknown (§3.5, Theorem 7).
+//
+// A Morris counter stores only an exponent c and increments it with
+// probability 2^−c; the estimate is 2^c − 1, which is unbiased. Flajolet's
+// analysis [Fla85] gives constant-factor accuracy with probability
+// 1 − 2^{−k/2} from an O(log log m + k)-bit register. Ensemble averages
+// drive the variance down further.
+package morris
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Counter is a single Morris counter. The zero value is not usable; call
+// New.
+type Counter struct {
+	c   uint32
+	src *rng.Source
+}
+
+// New returns a fresh Morris counter drawing randomness from src.
+func New(src *rng.Source) *Counter {
+	return &Counter{src: src}
+}
+
+// Inc registers one event: the exponent advances with probability 2^−c.
+func (m *Counter) Inc() {
+	if m.c >= 63 {
+		return // saturated; estimate already ≥ 2⁶³−1
+	}
+	mask := (uint64(1) << m.c) - 1
+	if m.src.Uint64()&mask == 0 {
+		m.c++
+	}
+}
+
+// Estimate returns the unbiased estimate 2^c − 1 of the event count.
+func (m *Counter) Estimate() uint64 {
+	return (uint64(1) << m.c) - 1
+}
+
+// Exponent returns the raw register value c ≈ log₂ m.
+func (m *Counter) Exponent() uint32 { return m.c }
+
+// ModelBits is the register width: ⌈log₂(c+1)⌉ = O(log log m) bits.
+func (m *Counter) ModelBits() int64 {
+	n := int64(0)
+	for v := m.c; v > 0; v >>= 1 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Ensemble averages t independent Morris counters. The averaged estimate
+// has standard deviation ≈ m/√(2t), so a small ensemble gives the
+// factor-of-four per-position accuracy Theorem 7 needs
+// ("the Morris counter outputs correctly up to a factor of four at every
+// position if it outputs correctly at positions 1, 2, 4, …").
+type Ensemble struct {
+	counters []*Counter
+}
+
+// NewEnsemble returns an ensemble of t counters. t must be positive.
+func NewEnsemble(src *rng.Source, t int) *Ensemble {
+	if t <= 0 {
+		panic("morris: ensemble size must be positive")
+	}
+	e := &Ensemble{counters: make([]*Counter, t)}
+	for i := range e.counters {
+		e.counters[i] = New(src.Split())
+	}
+	return e
+}
+
+// Inc registers one event with every counter.
+func (e *Ensemble) Inc() {
+	for _, c := range e.counters {
+		c.Inc()
+	}
+}
+
+// Estimate returns the average of the member estimates, rounded.
+func (e *Ensemble) Estimate() uint64 {
+	var sum float64
+	for _, c := range e.counters {
+		sum += float64(c.Estimate())
+	}
+	return uint64(math.Round(sum / float64(len(e.counters))))
+}
+
+// ModelBits sums the member registers.
+func (e *Ensemble) ModelBits() int64 {
+	var b int64
+	for _, c := range e.counters {
+		b += c.ModelBits()
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package morris
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestZeroEstimate(t *testing.T) {
+	c := New(rng.New(1))
+	if c.Estimate() != 0 {
+		t.Fatalf("fresh counter estimate %d, want 0", c.Estimate())
+	}
+}
+
+func TestFirstIncrement(t *testing.T) {
+	c := New(rng.New(1))
+	c.Inc()
+	if c.Estimate() != 1 {
+		t.Fatalf("after one Inc estimate %d, want 1 (2^1-1)", c.Estimate())
+	}
+}
+
+// TestUnbiased: E[2^c − 1] = m exactly, for any m [Mor78].
+func TestUnbiased(t *testing.T) {
+	const m = 1000
+	const trials = 3000
+	src := rng.New(2)
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		c := New(src.Split())
+		for i := 0; i < m; i++ {
+			c.Inc()
+		}
+		sum += float64(c.Estimate())
+	}
+	mean := sum / trials
+	// stddev of one estimate ≈ m/√2; of the mean ≈ m/√(2·trials).
+	tol := 6 * float64(m) / math.Sqrt(2*trials)
+	if math.Abs(mean-m) > tol {
+		t.Fatalf("mean estimate %v, want %d ± %v", mean, m, tol)
+	}
+}
+
+func TestExponentLogarithmic(t *testing.T) {
+	c := New(rng.New(3))
+	const m = 1 << 16
+	for i := 0; i < m; i++ {
+		c.Inc()
+	}
+	e := c.Exponent()
+	if e < 8 || e > 24 {
+		t.Fatalf("exponent %d wildly off for m=2^16", e)
+	}
+}
+
+func TestModelBitsLogLog(t *testing.T) {
+	c := New(rng.New(4))
+	for i := 0; i < 1<<20; i++ {
+		c.Inc()
+	}
+	// register holds c ≈ 20 → ⌈log₂ 21⌉ = 5 bits.
+	if b := c.ModelBits(); b <= 0 || b > 8 {
+		t.Fatalf("ModelBits = %d for m = 2^20", b)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	c := &Counter{c: 63, src: rng.New(5)}
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	if c.Exponent() != 63 {
+		t.Fatalf("saturated counter advanced to %d", c.Exponent())
+	}
+}
+
+// TestEnsembleWithinFactorFour checks the accuracy Theorem 7 relies on: an
+// ensemble estimate is within a factor of four of the true count whp.
+func TestEnsembleWithinFactorFour(t *testing.T) {
+	src := rng.New(6)
+	const trials = 60
+	for _, m := range []int{100, 10000, 300000} {
+		bad := 0
+		for tr := 0; tr < trials; tr++ {
+			e := NewEnsemble(src.Split(), 32)
+			for i := 0; i < m; i++ {
+				e.Inc()
+			}
+			est := float64(e.Estimate())
+			if est < float64(m)/4 || est > float64(m)*4 {
+				bad++
+			}
+		}
+		if bad > trials/10 {
+			t.Fatalf("m=%d: %d/%d ensemble estimates outside factor 4", m, bad, trials)
+		}
+	}
+}
+
+func TestEnsemblePanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEnsemble(rng.New(1), 0)
+}
+
+func TestEnsembleModelBits(t *testing.T) {
+	e := NewEnsemble(rng.New(7), 8)
+	for i := 0; i < 100000; i++ {
+		e.Inc()
+	}
+	if b := e.ModelBits(); b <= 0 || b > 8*8 {
+		t.Fatalf("ensemble ModelBits = %d", b)
+	}
+}
+
+func BenchmarkInc(b *testing.B) {
+	c := New(rng.New(1))
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,128 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator shared by every sketch in this repository.
+//
+// All algorithms in the paper are randomized; reproducibility of experiments
+// requires that every random choice be derived from an explicit seed. The
+// generator is splitmix64 (Steele, Lea, Flood 2014): one 64-bit state word,
+// passes BigCrush, and — matching the paper's unit-cost RAM model (§2.3) —
+// produces a uniformly random word in O(1) time.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New so seeds are explicit.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Distinct seeds give independent-
+// looking streams; sketches that need several independent sources derive
+// them via Split.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split returns a new Source whose stream is independent of the receiver's
+// future output. It advances the receiver.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// State returns the generator state, for serialization.
+func (s *Source) State() uint64 { return s.state }
+
+// FromState reconstructs a Source from a previously captured State; the
+// restored source continues the exact same stream.
+func FromState(state uint64) *Source { return &Source{state: state} }
+
+// Uint64 returns the next pseudo-random 64-bit word.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Uses Lemire's nearly-divisionless method with a rejection loop, so the
+// result is exactly uniform.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return s.Uint64() & (n - 1)
+	}
+	threshold := -n % n // == (2^64 - n) mod n
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with rate 1.
+func (s *Source) Exp() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a fresh slice.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,31 @@
+package sample
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// Encode appends the sampler's full state (rate, pending gap, PRNG state)
+// to w; the decoded sampler continues the identical sample sequence.
+func (s *Skip) Encode(w *wire.Writer) {
+	w.F64(s.p)
+	w.U64(s.gap)
+	w.U64(s.src.State())
+}
+
+// DecodeSkip reads a sampler written by Encode.
+func DecodeSkip(r *wire.Reader) *Skip {
+	p := r.F64()
+	gap := r.U64()
+	state := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	s := &Skip{p: p, src: rng.FromState(state), gap: gap}
+	if p < 1 && p > 0 {
+		s.invLn = 1 / math.Log1p(-p)
+	}
+	return s
+}

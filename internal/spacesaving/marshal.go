@@ -1,0 +1,94 @@
+package spacesaving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+const marshalVersion = 1
+
+// MarshalBinary encodes the summary as (item, count, err) triples in
+// ascending count order; the bucket structure is rebuilt on decode.
+// Encoding is deterministic.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	w.U64(uint64(s.k))
+	w.U64(s.universe)
+	w.U64(s.m)
+	type triple struct{ item, count, err uint64 }
+	ts := make([]triple, 0, len(s.entries))
+	for item, e := range s.entries {
+		ts = append(ts, triple{item, e.b.count, e.err})
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].count != ts[j].count {
+			return ts[i].count < ts[j].count
+		}
+		return ts[i].item < ts[j].item
+	})
+	w.U64(uint64(len(ts)))
+	for _, t := range ts {
+		w.U64(t.item)
+		w.U64(t.count)
+		w.U64(t.err)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("spacesaving: %w", wire.ErrCorrupt)
+	}
+	k := r.U64()
+	universe := r.U64()
+	m := r.U64()
+	n := r.U64()
+	if r.Err() != nil || k == 0 || n > k {
+		return fmt.Errorf("spacesaving: %w", wire.ErrCorrupt)
+	}
+	out := New(int(k), universe)
+	out.universe = universe // preserve the stored value even if 0 mapped
+	out.m = m
+	var lastCount uint64
+	var lastBucket *bucket
+	for i := uint64(0); i < n; i++ {
+		item := r.U64()
+		count := r.U64()
+		errV := r.U64()
+		if r.Err() != nil {
+			return fmt.Errorf("spacesaving: %w", wire.ErrCorrupt)
+		}
+		if _, dup := out.entries[item]; dup || count == 0 {
+			return fmt.Errorf("spacesaving: %w", wire.ErrCorrupt)
+		}
+		e := &entry{item: item, err: errV}
+		out.entries[item] = e
+		// Triples arrive in ascending count order: extend the bucket list
+		// at the tail.
+		if lastBucket != nil && count == lastCount {
+			out.attach(e, lastBucket)
+			continue
+		}
+		if count < lastCount {
+			return fmt.Errorf("spacesaving: %w", wire.ErrCorrupt)
+		}
+		nb := &bucket{count: count, prev: lastBucket}
+		if lastBucket != nil {
+			lastBucket.next = nb
+		} else {
+			out.min = nb
+		}
+		out.attach(e, nb)
+		lastBucket, lastCount = nb, count
+	}
+	if !r.Done() {
+		return fmt.Errorf("spacesaving: %w", wire.ErrCorrupt)
+	}
+	*s = *out
+	return nil
+}

@@ -1,0 +1,82 @@
+package spacesaving
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestMarshalMidStream(t *testing.T) {
+	orig := New(16, 1000)
+	g := stream.NewZipf(rng.New(1), 500, 1.3)
+	for i := 0; i < 20000; i++ {
+		orig.Insert(g.Next())
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Summary
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// Same estimates and error bounds for every tracked item.
+	for _, x := range orig.Candidates() {
+		if orig.Estimate(x) != restored.Estimate(x) ||
+			orig.ErrorBound(x) != restored.ErrorBound(x) {
+			t.Fatalf("state diverged for item %d", x)
+		}
+	}
+	// Continue both: the bucket structure must behave identically.
+	for i := 0; i < 10000; i++ {
+		x := g.Next()
+		orig.Insert(x)
+		restored.Insert(x)
+	}
+	ca, cb := orig.Candidates(), restored.Candidates()
+	if len(ca) != len(cb) {
+		t.Fatal("candidate sets diverged after resume")
+	}
+	for i := range ca {
+		if ca[i] != cb[i] || orig.Estimate(ca[i]) != restored.Estimate(cb[i]) {
+			t.Fatalf("post-resume state diverged at %d", i)
+		}
+	}
+	if orig.Len() != restored.Len() {
+		t.Fatal("length diverged")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	mk := func() []byte {
+		s := New(8, 100)
+		for i := 0; i < 1000; i++ {
+			s.Insert(uint64(i % 23))
+		}
+		b, _ := s.MarshalBinary()
+		return b
+	}
+	if string(mk()) != string(mk()) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestMarshalRejectsCorruption(t *testing.T) {
+	s := New(4, 100)
+	s.Insert(1)
+	s.Insert(2)
+	blob, _ := s.MarshalBinary()
+	var r Summary
+	if err := r.UnmarshalBinary(blob[:3]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] = 0xEE
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}

@@ -1,0 +1,239 @@
+// Package spacesaving implements the Space-Saving algorithm of Metwally,
+// Agrawal and El Abbadi [MAE05], one of the randomized/counter baselines
+// the paper's introduction surveys.
+//
+// With k counters it guarantees, deterministically,
+//
+//	f(x)  ≤  Estimate(x)  ≤  f(x) + m/k
+//
+// (an over-estimate, symmetric to Misra-Gries's under-estimate). Updates
+// are O(1) worst case via the Stream-Summary structure: counters live in
+// buckets of equal count, and an increment moves an entry to the adjacent
+// bucket.
+package spacesaving
+
+import (
+	"sort"
+
+	"repro/internal/compact"
+)
+
+type entry struct {
+	item uint64
+	err  uint64 // overestimation bound recorded at replacement time
+	b    *bucket
+	prev *entry
+	next *entry
+}
+
+// bucket groups all entries that share a count, in a doubly-linked list of
+// buckets ordered by increasing count.
+type bucket struct {
+	count uint64
+	head  *entry // any entry in the bucket
+	prev  *bucket
+	next  *bucket
+}
+
+// Summary is a Space-Saving summary with a fixed number of counters.
+type Summary struct {
+	k        int
+	entries  map[uint64]*entry
+	min      *bucket // bucket with the smallest count (list head)
+	m        uint64
+	universe uint64
+}
+
+// New returns a summary with k counters; universe is used for space
+// accounting (0 means unknown, charged at 64 bits).
+func New(k int, universe uint64) *Summary {
+	if k <= 0 {
+		panic("spacesaving: need at least one counter")
+	}
+	if universe == 0 {
+		universe = 1 << 63
+	}
+	return &Summary{k: k, entries: make(map[uint64]*entry, k), universe: universe}
+}
+
+// K returns the number of counters.
+func (s *Summary) K() int { return s.k }
+
+// Len returns the stream length processed so far.
+func (s *Summary) Len() uint64 { return s.m }
+
+// Insert processes one stream item in O(1) time.
+func (s *Summary) Insert(x uint64) {
+	s.m++
+	if e, ok := s.entries[x]; ok {
+		s.increment(e)
+		return
+	}
+	if len(s.entries) < s.k {
+		e := &entry{item: x}
+		s.entries[x] = e
+		s.placeNew(e, 1, 0)
+		return
+	}
+	// Replace an entry of minimum count.
+	victim := s.min.head
+	delete(s.entries, victim.item)
+	newErr := s.min.count
+	s.detach(victim)
+	e := &entry{item: x}
+	s.entries[x] = e
+	s.placeNew(e, newErr+1, newErr)
+}
+
+// increment moves e from its bucket to the bucket with count+1, creating
+// it if needed.
+func (s *Summary) increment(e *entry) {
+	b := e.b
+	target := b.count + 1
+	s.detachKeepBucket(e)
+	next := b.next
+	if next != nil && next.count == target {
+		s.attach(e, next)
+	} else {
+		nb := &bucket{count: target, prev: b, next: next}
+		if next != nil {
+			next.prev = nb
+		}
+		b.next = nb
+		s.attach(e, nb)
+	}
+	s.maybeFree(b)
+}
+
+// placeNew inserts a fresh entry with the given count and error.
+func (s *Summary) placeNew(e *entry, count, err uint64) {
+	e.err = err
+	// Walk from the min bucket to find the bucket with this count; counts
+	// of fresh entries are min+1 or 1, so this is O(1) steps.
+	b := s.min
+	var prev *bucket
+	for b != nil && b.count < count {
+		prev, b = b, b.next
+	}
+	if b != nil && b.count == count {
+		s.attach(e, b)
+		return
+	}
+	nb := &bucket{count: count, prev: prev, next: b}
+	if prev != nil {
+		prev.next = nb
+	} else {
+		s.min = nb
+	}
+	if b != nil {
+		b.prev = nb
+	}
+	s.attach(e, nb)
+}
+
+// attach links e into bucket b.
+func (s *Summary) attach(e *entry, b *bucket) {
+	e.b = b
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+}
+
+// detachKeepBucket unlinks e from its bucket without freeing the bucket.
+func (s *Summary) detachKeepBucket(e *entry) {
+	b := e.b
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.prev, e.next, e.b = nil, nil, nil
+}
+
+// detach unlinks e and frees its bucket if now empty.
+func (s *Summary) detach(e *entry) {
+	b := e.b
+	s.detachKeepBucket(e)
+	s.maybeFree(b)
+}
+
+// maybeFree removes b from the bucket list if it has no entries.
+func (s *Summary) maybeFree(b *bucket) {
+	if b.head != nil {
+		return
+	}
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}
+
+// Estimate returns the (over-)estimate of x's frequency; 0 if untracked.
+func (s *Summary) Estimate(x uint64) uint64 {
+	if e, ok := s.entries[x]; ok {
+		return e.b.count
+	}
+	return 0
+}
+
+// ErrorBound returns the recorded overestimation bound for x (the count it
+// inherited when it displaced another item), or 0 if untracked.
+func (s *Summary) ErrorBound(x uint64) uint64 {
+	if e, ok := s.entries[x]; ok {
+		return e.err
+	}
+	return 0
+}
+
+// GuaranteedError returns the worst-case overcount m/k.
+func (s *Summary) GuaranteedError() uint64 { return s.m / uint64(s.k) }
+
+// Candidates returns all tracked items in decreasing-count order (ties by
+// ascending id).
+func (s *Summary) Candidates() []uint64 {
+	out := make([]uint64, 0, len(s.entries))
+	for x := range s.entries {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := s.entries[out[i]].b.count, s.entries[out[j]].b.count
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// HeavyHitters returns the tracked items whose estimate is at least
+// threshold, in decreasing-count order.
+func (s *Summary) HeavyHitters(threshold uint64) []uint64 {
+	var out []uint64
+	for _, x := range s.Candidates() {
+		if s.entries[x].b.count >= threshold {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ModelBits charges each entry one id, one count register and one error
+// register.
+func (s *Summary) ModelBits() int64 {
+	idBits := compact.IDBits(s.universe)
+	var b int64
+	for _, e := range s.entries {
+		b += idBits + compact.CounterBits(e.b.count) + compact.CounterBits(e.err)
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package spacesaving
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestSmallExact(t *testing.T) {
+	s := New(10, 100)
+	for _, x := range []uint64{1, 2, 1, 3, 1} {
+		s.Insert(x)
+	}
+	if s.Estimate(1) != 3 || s.Estimate(2) != 1 || s.Estimate(3) != 1 {
+		t.Fatal("exact regime counts wrong")
+	}
+	if s.ErrorBound(1) != 0 {
+		t.Fatal("error bound must be 0 before any replacement")
+	}
+}
+
+func TestPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 10)
+}
+
+func TestReplacementSemantics(t *testing.T) {
+	s := New(2, 100)
+	s.Insert(1)
+	s.Insert(1)
+	s.Insert(2) // table now {1:2, 2:1}
+	s.Insert(3) // replaces 2 (min count 1): 3 gets count 2, err 1
+	if s.Estimate(2) != 0 {
+		t.Fatal("victim still tracked")
+	}
+	if s.Estimate(3) != 2 || s.ErrorBound(3) != 1 {
+		t.Fatalf("replacement: est=%d err=%d, want 2,1", s.Estimate(3), s.ErrorBound(3))
+	}
+}
+
+// TestOverCountInvariant: f(x) ≤ Estimate(x) ≤ f(x) + m/k for tracked x.
+func TestOverCountInvariant(t *testing.T) {
+	for _, k := range []int{1, 4, 16, 64} {
+		s := New(k, 200)
+		ex := exact.New()
+		g := stream.NewZipf(rng.New(uint64(k)), 200, 1.2)
+		for i := 0; i < 30000; i++ {
+			x := g.Next()
+			s.Insert(x)
+			ex.Insert(x)
+		}
+		maxOver := s.Len() / uint64(k)
+		for _, x := range s.Candidates() {
+			est, f := s.Estimate(x), ex.Freq(x)
+			if est < f {
+				t.Fatalf("k=%d item %d: estimate %d below true %d", k, x, est, f)
+			}
+			if est > f+maxOver {
+				t.Fatalf("k=%d item %d: estimate %d overcounts true %d beyond %d",
+					k, x, est, f, maxOver)
+			}
+			if eb := s.ErrorBound(x); est < f+0 && eb > est {
+				t.Fatalf("error bound %d exceeds estimate %d", eb, est)
+			}
+		}
+	}
+}
+
+func TestHeavyHitterAlwaysTracked(t *testing.T) {
+	// Space-Saving guarantee: any item with f > m/k is in the table.
+	const k = 10
+	s := New(k, 2000)
+	st := stream.PlantedStream(rng.New(2), 20000, []float64{0.3, 0.12}, 100, 2000, stream.Shuffled)
+	for _, x := range st {
+		s.Insert(x)
+	}
+	if s.Estimate(0) == 0 || s.Estimate(1) == 0 {
+		t.Fatal("planted heavy hitters evicted")
+	}
+}
+
+func TestCandidatesSorted(t *testing.T) {
+	s := New(5, 100)
+	for i := 0; i < 7; i++ {
+		s.Insert(3)
+	}
+	for i := 0; i < 4; i++ {
+		s.Insert(4)
+	}
+	s.Insert(5)
+	c := s.Candidates()
+	if len(c) != 3 || c[0] != 3 || c[1] != 4 || c[2] != 5 {
+		t.Fatalf("candidates = %v", c)
+	}
+}
+
+func TestHeavyHittersThreshold(t *testing.T) {
+	s := New(5, 100)
+	for i := 0; i < 7; i++ {
+		s.Insert(3)
+	}
+	s.Insert(4)
+	hh := s.HeavyHitters(5)
+	if len(hh) != 1 || hh[0] != 3 {
+		t.Fatalf("heavy hitters = %v", hh)
+	}
+}
+
+// TestBucketStructureConsistency drives random streams and then verifies
+// the internal bucket list invariants: ascending distinct counts, entries'
+// back-pointers correct, entry count equals map size.
+func TestBucketStructureConsistency(t *testing.T) {
+	err := quick.Check(func(seed uint64, xs []uint64) bool {
+		s := New(8, 0)
+		for _, x := range xs {
+			s.Insert(x % 40)
+		}
+		n := 0
+		var prev uint64
+		first := true
+		for b := s.min; b != nil; b = b.next {
+			if b.head == nil {
+				return false // empty bucket not freed
+			}
+			if !first && b.count <= prev {
+				return false // counts must strictly increase
+			}
+			prev, first = b.count, false
+			for e := b.head; e != nil; e = e.next {
+				if e.b != b {
+					return false // back-pointer broken
+				}
+				if s.entries[e.item] != e {
+					return false // map desynchronized
+				}
+				n++
+			}
+			if b.next != nil && b.next.prev != b {
+				return false // bucket links broken
+			}
+		}
+		return n == len(s.entries) && len(s.entries) <= 8
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgainstMisraGriesStyleWorkload(t *testing.T) {
+	// All-distinct stream: every estimate must be ≤ 1 + m/k.
+	s := New(4, 0)
+	for i := uint64(0); i < 1000; i++ {
+		s.Insert(i)
+	}
+	for _, x := range s.Candidates() {
+		if s.Estimate(x) > 1+s.Len()/4 {
+			t.Fatalf("distinct stream estimate %d too large", s.Estimate(x))
+		}
+	}
+}
+
+func TestModelBitsPositive(t *testing.T) {
+	s := New(4, 256)
+	for i := 0; i < 100; i++ {
+		s.Insert(uint64(i % 8))
+	}
+	if s.ModelBits() <= 0 {
+		t.Fatal("ModelBits must be positive")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New(100, 1<<20)
+	g := stream.NewZipf(rng.New(1), 1<<20, 1.1)
+	xs := stream.Fill(g, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(xs[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianOdd(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v, want 2", m)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+func TestMedianSingle(t *testing.T) {
+	if m := Median([]float64{7}); m != 7 {
+		t.Fatalf("median = %v, want 7", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMedianPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestMedianBetweenMinMax(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Median(clean)
+		s := append([]float64(nil), clean...)
+		sort.Float64s(s)
+		return m >= s[0] && m <= s[len(s)-1]
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if m := MaxAbs([]float64{-5, 3, 4}); m != 5 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+	if MaxAbs(nil) != 0 {
+		t.Fatal("MaxAbs(nil) != 0")
+	}
+}
+
+func TestLog2Clamp(t *testing.T) {
+	if Log2(0.5) != 1 || Log2(2) != 1 {
+		t.Fatal("Log2 must clamp small arguments to 1")
+	}
+	if Log2(8) != 3 {
+		t.Fatalf("Log2(8) = %v", Log2(8))
+	}
+}
+
+// TestBoundShapes: the whole point of the new bounds is how they scale.
+// Check the qualitative facts the paper states.
+func TestBoundShapes(t *testing.T) {
+	n, m := uint64(1)<<32, uint64(1)<<20
+
+	// Halving ε roughly doubles the ε⁻¹ term of row 1 but not more.
+	a := HHUpperBits(0.02, 0.1, n, m)
+	b := HHUpperBits(0.01, 0.1, n, m)
+	if b <= a || b > 2.5*a {
+		t.Fatalf("row 1 ε-scaling off: %v → %v", a, b)
+	}
+
+	// Row 1 beats the MG baseline for small ε (the paper's headline).
+	if HHUpperBits(0.001, 0.1, n, m) >= MGBaselineBits(0.001, n, m) {
+		t.Fatal("new bound should be below MG baseline at small ε")
+	}
+
+	// Row 5 ≫ row 4 as ε shrinks: the Borda/maximin separation.
+	nn := uint64(50)
+	if MaximinUpperBits(0.01, nn, m) <= BordaUpperBits(0.01, nn, m) {
+		t.Fatal("maximin should cost more than Borda at small ε")
+	}
+
+	// Row 3 is the cheapest of the item problems.
+	if MinUpperBits(0.01, m) >= HHUpperBits(0.01, 0.1, n, m) {
+		t.Fatal("ε-Minimum should be cheaper than heavy hitters")
+	}
+}
+
+func TestBoundsPositive(t *testing.T) {
+	n, m := uint64(1000), uint64(100000)
+	for _, v := range []float64{
+		HHUpperBits(0.1, 0.2, n, m),
+		MGBaselineBits(0.1, n, m),
+		MaxUpperBits(0.1, n, m),
+		MinUpperBits(0.1, m),
+		BordaUpperBits(0.1, 10, m),
+		MaximinUpperBits(0.1, 10, m),
+	} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bound value %v invalid", v)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"bufio"
+	"hash/fnv"
+	"io"
+	"strconv"
+)
+
+// Reader turns a whitespace-separated text stream into item ids, the
+// ingestion path of cmd/hhcli. Numeric tokens become their value;
+// anything else is FNV-1a-hashed into [0, 2⁶²) and (optionally) recorded
+// in a bounded dictionary so reports can name the original token.
+type Reader struct {
+	sc       *bufio.Scanner
+	names    map[uint64]string
+	maxNames int
+	count    uint64
+	err      error
+}
+
+// NewReader wraps r. maxNames bounds the id→token dictionary (0 disables
+// name recording entirely).
+func NewReader(r io.Reader, maxNames int) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	var names map[uint64]string
+	if maxNames > 0 {
+		names = make(map[uint64]string)
+	}
+	return &Reader{sc: sc, names: names, maxNames: maxNames}
+}
+
+// Next returns the next item id; ok is false at end of input or on error.
+func (r *Reader) Next() (id uint64, ok bool) {
+	if r.err != nil || !r.sc.Scan() {
+		r.err = r.sc.Err()
+		return 0, false
+	}
+	tok := r.sc.Text()
+	r.count++
+	if v, err := strconv.ParseUint(tok, 10, 62); err == nil {
+		return v, true
+	}
+	id = TokenID(tok)
+	if r.names != nil && len(r.names) < r.maxNames {
+		if _, seen := r.names[id]; !seen {
+			r.names[id] = tok
+		}
+	}
+	return id, true
+}
+
+// Name returns the original token for a hashed id, or "" if unknown.
+func (r *Reader) Name(id uint64) string { return r.names[id] }
+
+// Count returns the number of items read.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Err returns the first underlying read error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// TokenID maps an arbitrary token into the item universe [0, 2⁶²) by
+// FNV-1a.
+func TokenID(tok string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	return h.Sum64() >> 2
+}

@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReaderNumericTokens(t *testing.T) {
+	r := NewReader(strings.NewReader("1 42 9999999"), 10)
+	want := []uint64{1, 42, 9999999}
+	for _, w := range want {
+		id, ok := r.Next()
+		if !ok || id != w {
+			t.Fatalf("got (%d,%v), want %d", id, ok, w)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected end of input")
+	}
+	if r.Count() != 3 || r.Err() != nil {
+		t.Fatalf("count=%d err=%v", r.Count(), r.Err())
+	}
+}
+
+func TestReaderTextTokensStableAndNamed(t *testing.T) {
+	r := NewReader(strings.NewReader("alpha beta alpha"), 10)
+	a1, _ := r.Next()
+	b, _ := r.Next()
+	a2, _ := r.Next()
+	if a1 != a2 {
+		t.Fatal("same token mapped to different ids")
+	}
+	if a1 == b {
+		t.Fatal("distinct tokens collided (astronomically unlikely)")
+	}
+	if r.Name(a1) != "alpha" || r.Name(b) != "beta" {
+		t.Fatal("name dictionary wrong")
+	}
+	if a1 != TokenID("alpha") {
+		t.Fatal("TokenID mismatch with Reader mapping")
+	}
+}
+
+func TestReaderMixedTokens(t *testing.T) {
+	r := NewReader(strings.NewReader("7 seven 7"), 10)
+	n1, _ := r.Next()
+	s, _ := r.Next()
+	n2, _ := r.Next()
+	if n1 != 7 || n2 != 7 {
+		t.Fatal("numeric tokens must map to their value")
+	}
+	if s == 7 {
+		t.Fatal("text token collided with small numeric id")
+	}
+}
+
+func TestReaderNameDictionaryBounded(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("tok")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteString(" x")
+		sb.WriteString(strings.Repeat("y", i%5+1))
+		sb.WriteString(" ")
+	}
+	r := NewReader(strings.NewReader(sb.String()), 3)
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if len(r.names) > 3 {
+		t.Fatalf("dictionary grew to %d entries", len(r.names))
+	}
+}
+
+func TestReaderNoNames(t *testing.T) {
+	r := NewReader(strings.NewReader("abc"), 0)
+	id, ok := r.Next()
+	if !ok {
+		t.Fatal("read failed")
+	}
+	if r.Name(id) != "" {
+		t.Fatal("names recorded despite maxNames=0")
+	}
+}
+
+func TestReaderIDsInUniverse(t *testing.T) {
+	r := NewReader(strings.NewReader("some tokens here with 18446744073709551615"), 10)
+	for {
+		id, ok := r.Next()
+		if !ok {
+			break
+		}
+		if id >= 1<<62 {
+			t.Fatalf("id %d outside [0, 2^62)", id)
+		}
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r := NewReader(strings.NewReader(""), 10)
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty input yielded an item")
+	}
+	if r.Count() != 0 {
+		t.Fatal("count nonzero")
+	}
+}

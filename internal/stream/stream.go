@@ -1,0 +1,213 @@
+// Package stream generates the synthetic integer-item workloads the
+// benchmark harness runs the sketches on.
+//
+// The paper proves worst-case bounds that hold for any stream ordering
+// ("We do not make any assumption on the ordering of the stream", §1), so
+// the generators cover the shapes the theory distinguishes: skewed (Zipf),
+// planted heavy hitters with near-threshold distractors, uniform noise, and
+// adversarial orderings (sorted runs, heavy-item-last).
+package stream
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Generator produces one stream item per call.
+type Generator interface {
+	// Next returns the next stream item.
+	Next() uint64
+}
+
+// Fill draws n items from g into a fresh slice.
+func Fill(g Generator, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Uniform draws items uniformly from [0, n).
+type Uniform struct {
+	n   uint64
+	src *rng.Source
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(src *rng.Source, n uint64) *Uniform {
+	if n == 0 {
+		panic("stream: empty universe")
+	}
+	return &Uniform{n: n, src: src}
+}
+
+// Next returns the next item.
+func (u *Uniform) Next() uint64 { return u.src.Uint64n(u.n) }
+
+// Zipf draws items from [0, n) with Pr[i] ∝ (i+1)^−s. The common modelling
+// choice for "frequent items" workloads [CH08]; s = 0 degenerates to
+// uniform. Sampling is by inverse-CDF binary search over a precomputed
+// table, O(log n) per item.
+type Zipf struct {
+	cdf []float64
+	src *rng.Source
+}
+
+// NewZipf returns a Zipf(s) generator over [0, n). n must be positive and
+// modest (the CDF table is O(n)); s ≥ 0.
+func NewZipf(src *rng.Source, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("stream: empty universe")
+	}
+	if s < 0 {
+		panic("stream: negative Zipf exponent")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := uint64(0); i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Next returns the next item; item 0 is the most frequent.
+func (z *Zipf) Next() uint64 {
+	u := z.src.Float64()
+	return uint64(sort.SearchFloat64s(z.cdf, u))
+}
+
+// Planted produces a stream with exact planted relative frequencies: item
+// ids 0..len(weights)−1 receive the given shares of the stream, and the
+// remainder is uniform noise over [noiseLo, noiseHi). It is the instrument
+// for testing the (ε,ϕ) decision boundary: plant items exactly at ϕ,
+// ϕ−ε/2, ϕ−ε, etc.
+type Planted struct {
+	weights  []float64
+	noiseLo  uint64
+	noiseHi  uint64
+	src      *rng.Source
+	cumul    []float64
+	noiseTot float64
+}
+
+// NewPlanted returns a planted generator. Σweights must be ≤ 1; the
+// remaining mass is spread uniformly over [noiseLo, noiseHi).
+func NewPlanted(src *rng.Source, weights []float64, noiseLo, noiseHi uint64) *Planted {
+	var sum float64
+	cumul := make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			panic("stream: negative planted weight")
+		}
+		sum += w
+		cumul[i] = sum
+	}
+	if sum > 1+1e-9 {
+		panic("stream: planted weights exceed 1")
+	}
+	if sum < 1-1e-9 && noiseHi <= noiseLo {
+		panic("stream: noise range required when weights sum below 1")
+	}
+	return &Planted{
+		weights: weights, noiseLo: noiseLo, noiseHi: noiseHi,
+		src: src, cumul: cumul, noiseTot: 1 - sum,
+	}
+}
+
+// Next returns the next item: id i with probability weights[i], otherwise a
+// uniform noise id.
+func (p *Planted) Next() uint64 {
+	u := p.src.Float64()
+	if len(p.cumul) > 0 && u < p.cumul[len(p.cumul)-1] {
+		return uint64(sort.SearchFloat64s(p.cumul, u))
+	}
+	return p.noiseLo + p.src.Uint64n(p.noiseHi-p.noiseLo)
+}
+
+// PlantedStream materializes a stream of exactly m items in which item i
+// occurs exactly round(weights[i]·m) times and the remainder is distinct
+// noise, then shuffles (or orders) it. Unlike Planted it gives *exact*
+// frequencies, which the boundary tests need.
+func PlantedStream(src *rng.Source, m int, weights []float64, noiseLo, noiseHi uint64, order Order) []uint64 {
+	out := make([]uint64, 0, m)
+	for i, w := range weights {
+		c := int(math.Round(w * float64(m)))
+		for j := 0; j < c && len(out) < m; j++ {
+			out = append(out, uint64(i))
+		}
+	}
+	span := noiseHi - noiseLo
+	if span == 0 {
+		span = 1
+	}
+	for i := 0; len(out) < m; i++ {
+		out = append(out, noiseLo+uint64(i)%span)
+	}
+	Arrange(src, out, order)
+	return out
+}
+
+// Order selects the adversarial arrangement of a materialized stream.
+type Order int
+
+// Stream orderings. Shuffled is the typical case; the others stress
+// order-independence claims.
+const (
+	Shuffled   Order = iota // uniform random permutation
+	SortedRuns              // all copies of each item contiguous, items ascending
+	HeavyLast               // noise first, then planted items in one block each
+	Interleave              // round-robin across items
+)
+
+// Arrange permutes s in place according to order.
+func Arrange(src *rng.Source, s []uint64, order Order) {
+	switch order {
+	case Shuffled:
+		src.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	case SortedRuns:
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	case HeavyLast:
+		// Stable partition: infrequent items (ids ≥ some pivot chosen as the
+		// median id) first. Simpler and adequate: sort descending so large
+		// noise ids come first, planted small ids last.
+		sort.Slice(s, func(i, j int) bool { return s[i] > s[j] })
+	case Interleave:
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		interleave(s)
+	default:
+		panic("stream: unknown order")
+	}
+}
+
+// interleave rearranges sorted runs round-robin: a, b, c, a, b, c, …
+// Exhausted groups are dropped between rounds, so total work is O(len(s)).
+func interleave(s []uint64) {
+	remaining := make(map[uint64]int)
+	var keys []uint64
+	for _, x := range s {
+		if remaining[x] == 0 {
+			keys = append(keys, x)
+		}
+		remaining[x]++
+	}
+	i := 0
+	live := keys
+	for len(live) > 0 {
+		next := live[:0]
+		for _, k := range live {
+			s[i] = k
+			i++
+			if remaining[k]--; remaining[k] > 0 {
+				next = append(next, k)
+			}
+		}
+		live = next
+	}
+}

@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUniformRange(t *testing.T) {
+	g := NewUniform(rng.New(1), 10)
+	for i := 0; i < 1000; i++ {
+		if v := g.Next(); v >= 10 {
+			t.Fatalf("uniform item %d out of range", v)
+		}
+	}
+}
+
+func TestUniformPanicsEmptyUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniform(rng.New(1), 0)
+}
+
+func TestFill(t *testing.T) {
+	g := NewUniform(rng.New(2), 5)
+	s := Fill(g, 100)
+	if len(s) != 100 {
+		t.Fatalf("Fill length %d", len(s))
+	}
+}
+
+func TestZipfHeadHeavier(t *testing.T) {
+	g := NewZipf(rng.New(3), 1000, 1.2)
+	counts := make(map[uint64]int)
+	const m = 100000
+	for i := 0; i < m; i++ {
+		counts[g.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[0] <= counts[100] {
+		t.Fatalf("Zipf head not heaviest: f0=%d f10=%d f100=%d",
+			counts[0], counts[10], counts[100])
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	g := NewZipf(rng.New(4), 10, 0)
+	counts := make([]int, 10)
+	const m = 100000
+	for i := 0; i < m; i++ {
+		counts[g.Next()]++
+	}
+	want := float64(m) / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("s=0 bucket %d count %d, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(rng.New(1), 0, 1) },
+		func() { NewZipf(rng.New(1), 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlantedRates(t *testing.T) {
+	g := NewPlanted(rng.New(5), []float64{0.3, 0.1}, 100, 1000)
+	counts := make(map[uint64]int)
+	const m = 100000
+	for i := 0; i < m; i++ {
+		counts[g.Next()]++
+	}
+	if r := float64(counts[0]) / m; math.Abs(r-0.3) > 0.02 {
+		t.Fatalf("item 0 rate %v, want 0.3", r)
+	}
+	if r := float64(counts[1]) / m; math.Abs(r-0.1) > 0.02 {
+		t.Fatalf("item 1 rate %v, want 0.1", r)
+	}
+	for x := range counts {
+		if x > 1 && (x < 100 || x >= 1000) {
+			t.Fatalf("noise item %d outside range", x)
+		}
+	}
+}
+
+func TestPlantedPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPlanted(rng.New(1), []float64{-0.1}, 0, 10) },
+		func() { NewPlanted(rng.New(1), []float64{0.6, 0.6}, 0, 10) },
+		func() { NewPlanted(rng.New(1), []float64{0.5}, 10, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlantedStreamExactCounts(t *testing.T) {
+	const m = 10000
+	s := PlantedStream(rng.New(6), m, []float64{0.2, 0.05}, 1000, 2000, Shuffled)
+	if len(s) != m {
+		t.Fatalf("stream length %d", len(s))
+	}
+	counts := make(map[uint64]int)
+	for _, x := range s {
+		counts[x]++
+	}
+	if counts[0] != 2000 {
+		t.Fatalf("item 0 count %d, want exactly 2000", counts[0])
+	}
+	if counts[1] != 500 {
+		t.Fatalf("item 1 count %d, want exactly 500", counts[1])
+	}
+}
+
+func TestArrangeOrdersPreserveMultiset(t *testing.T) {
+	for _, order := range []Order{Shuffled, SortedRuns, HeavyLast, Interleave} {
+		s := PlantedStream(rng.New(7), 5000, []float64{0.3}, 100, 200, order)
+		counts := make(map[uint64]int)
+		for _, x := range s {
+			counts[x]++
+		}
+		if counts[0] != 1500 {
+			t.Fatalf("order %d changed the multiset: item0=%d", order, counts[0])
+		}
+	}
+}
+
+func TestSortedRunsIsSorted(t *testing.T) {
+	s := PlantedStream(rng.New(8), 1000, []float64{0.5}, 10, 20, SortedRuns)
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+		t.Fatal("SortedRuns output not sorted")
+	}
+}
+
+func TestHeavyLastPutsPlantedLast(t *testing.T) {
+	s := PlantedStream(rng.New(9), 1000, []float64{0.5}, 10, 20, HeavyLast)
+	// Item 0 (the planted heavy hitter) must occupy the tail.
+	for _, x := range s[:100] {
+		if x == 0 {
+			t.Fatal("HeavyLast has the heavy item in the head of the stream")
+		}
+	}
+	if s[len(s)-1] != 0 {
+		t.Fatal("HeavyLast does not end with the heavy item")
+	}
+}
+
+func TestInterleaveAlternates(t *testing.T) {
+	s := []uint64{1, 1, 1, 2, 2, 2}
+	Arrange(rng.New(10), s, Interleave)
+	if s[0] == s[1] {
+		t.Fatalf("interleave failed: %v", s)
+	}
+}
+
+func TestArrangeUnknownOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Arrange(rng.New(1), []uint64{1}, Order(99))
+}

@@ -1,0 +1,159 @@
+package voting
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/compact"
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// BordaConfig carries the (ε,ϕ)-List Borda / ε-Borda parameters.
+type BordaConfig struct {
+	// N is the number of candidates.
+	N int
+	// Eps is the additive error, measured in units of m·n (Definition 7).
+	Eps float64
+	// Delta is the allowed failure probability.
+	Delta float64
+	// M is the (known) number of votes in the stream.
+	M uint64
+	// SampleConst scales ℓ = SampleConst·ε⁻²·ln(6n/δ); 0 means the paper's 6.
+	SampleConst float64
+}
+
+// BordaSketch solves ε-Borda and (ε,ϕ)-List Borda (Theorem 5): sample
+// each vote with probability ≈ 6ℓ/m for ℓ = Θ(ε⁻²·log(n/δ)) and keep
+// *exact* Borda counters over the sample — n counters of O(log(nℓ)) bits.
+// Space O(n(log n + log ε⁻¹ + log log δ⁻¹) + log log m).
+type BordaSketch struct {
+	cfg     BordaConfig
+	sampler *sample.Skip
+	scores  []uint64 // exact Borda restricted to sampled votes
+	s       uint64
+	offered uint64
+}
+
+// NewBordaSketch returns a Theorem 5 instance.
+func NewBordaSketch(src *rng.Source, cfg BordaConfig) (*BordaSketch, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("voting: N = %d must be positive", cfg.N)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("voting: eps = %v out of (0,1)", cfg.Eps)
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("voting: delta = %v out of (0,1)", cfg.Delta)
+	}
+	if cfg.M == 0 {
+		return nil, fmt.Errorf("voting: M must be positive")
+	}
+	if cfg.SampleConst == 0 {
+		cfg.SampleConst = 6
+	}
+	ell := cfg.SampleConst * math.Log(6*float64(cfg.N)/cfg.Delta) / (cfg.Eps * cfg.Eps)
+	p := math.Min(1, 6*ell/float64(cfg.M))
+	return &BordaSketch{
+		cfg:     cfg,
+		sampler: sample.NewSkip(src.Split(), p),
+		scores:  make([]uint64, cfg.N),
+	}, nil
+}
+
+// Insert processes one vote.
+func (b *BordaSketch) Insert(r Ranking) {
+	if len(r) != b.cfg.N {
+		panic("voting: vote arity mismatch")
+	}
+	b.offered++
+	if !b.sampler.Next() {
+		return
+	}
+	b.s++
+	n := b.cfg.N
+	for pos, c := range r {
+		b.scores[c] += uint64(n - 1 - pos)
+	}
+}
+
+// Scores returns every candidate's estimated Borda score, scaled to the
+// full stream. With probability 1−δ each is within ε·m·n of the truth.
+func (b *BordaSketch) Scores() []float64 {
+	out := make([]float64, b.cfg.N)
+	if b.s == 0 {
+		return out
+	}
+	scale := float64(b.offered) / float64(b.s)
+	for i, v := range b.scores {
+		out[i] = float64(v) * scale
+	}
+	return out
+}
+
+// Max returns an ε-Borda winner: a candidate whose Borda score is within
+// ε·m·n of the maximum, plus the estimate of its score.
+func (b *BordaSketch) Max() (candidate int, score float64) {
+	sc := b.Scores()
+	bi, bv := 0, sc[0]
+	for i, v := range sc[1:] {
+		if v > bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}
+
+// List solves (ε,ϕ)-List Borda (Definition 6): every candidate with score
+// ≥ ϕ·m·n is returned, none with score ≤ (ϕ−ε)·m·n, scores within ε·m·n.
+func (b *BordaSketch) List(phi float64) []ScoredCandidate {
+	sc := b.Scores()
+	thresh := (phi - b.cfg.Eps/2) * float64(b.offered) * float64(b.cfg.N)
+	var out []ScoredCandidate
+	for i, v := range sc {
+		if v >= thresh {
+			out = append(out, ScoredCandidate{Candidate: i, Score: v})
+		}
+	}
+	sortScored(out)
+	return out
+}
+
+// SampleSize returns the number of sampled votes.
+func (b *BordaSketch) SampleSize() uint64 { return b.s }
+
+// Len returns the number of votes consumed.
+func (b *BordaSketch) Len() uint64 { return b.offered }
+
+// ModelBits charges the n exact counters at variable-length cost plus the
+// Lemma 1 sampler — Theorem 5's O(n(log n + log ε⁻¹ + log log δ⁻¹) +
+// log log m).
+func (b *BordaSketch) ModelBits() int64 {
+	var bits int64
+	for _, v := range b.scores {
+		bits += compact.CounterBits(v)
+	}
+	return bits + samplerBits(b.offered)
+}
+
+// ScoredCandidate pairs a candidate with an estimated score.
+type ScoredCandidate struct {
+	Candidate int
+	Score     float64
+}
+
+// sortScored orders by decreasing score, ties by ascending candidate.
+func sortScored(out []ScoredCandidate) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Candidate < out[j].Candidate
+	})
+}
+
+// samplerBits is the Lemma 1 charge for a stream of length m.
+func samplerBits(m uint64) int64 {
+	return compact.BitsFor(uint64(compact.BitsFor(m))) + 1
+}

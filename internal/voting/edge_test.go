@@ -1,0 +1,114 @@
+package voting
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestCondorcetCycle: a rock-paper-scissors electorate (the Condorcet
+// paradox). Maximin handles cycles gracefully — all three candidates tie;
+// the sketch must agree with the exact tally.
+func TestCondorcetCycle(t *testing.T) {
+	const n = 3
+	const m = 30000
+	cyc := []Ranking{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}}
+	ta := NewTally(n)
+	ms, err := NewMaximinSketch(rng.New(1), MaximinConfig{
+		N: n, Eps: 0.05, Delta: 0.1, M: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		v := cyc[i%3]
+		ta.Add(v)
+		ms.Insert(v)
+	}
+	want := ta.MaximinScores()
+	// Exact: every candidate beats one rival in 2/3 of votes and loses to
+	// the other in 2/3, so maximin = m/3 for all.
+	for c := 0; c < n; c++ {
+		if want[c] != m/3 {
+			t.Fatalf("exact maximin[%d] = %d, want %d", c, want[c], m/3)
+		}
+	}
+	got := ms.Scores()
+	for c := 0; c < n; c++ {
+		if diff := got[c] - float64(want[c]); diff > 0.05*m || diff < -0.05*m {
+			t.Fatalf("sketch maximin[%d] = %v vs %d", c, got[c], want[c])
+		}
+	}
+}
+
+// TestBordaCycleSymmetric: the same cyclic electorate gives equal Borda
+// scores — and the sketch reproduces the tie exactly at p = 1.
+func TestBordaCycleSymmetric(t *testing.T) {
+	const n = 3
+	const m = 3000
+	cyc := []Ranking{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}}
+	bs, err := NewBordaSketch(rng.New(2), BordaConfig{
+		N: n, Eps: 0.05, Delta: 0.1, M: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		bs.Insert(cyc[i%3])
+	}
+	sc := bs.Scores()
+	if sc[0] != sc[1] || sc[1] != sc[2] {
+		t.Fatalf("cycle should tie Borda: %v", sc)
+	}
+}
+
+func TestSingleCandidateSketches(t *testing.T) {
+	bs, err := NewBordaSketch(rng.New(3), BordaConfig{N: 1, Eps: 0.1, Delta: 0.1, M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs.Insert(Ranking{0})
+	if c, s := bs.Max(); c != 0 || s != 0 {
+		t.Fatalf("single-candidate Borda = (%d,%v)", c, s)
+	}
+	ms, err := NewMaximinSketch(rng.New(4), MaximinConfig{N: 1, Eps: 0.1, Delta: 0.1, M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Insert(Ranking{0})
+	if c, s := ms.Max(); c != 0 || s != 1 {
+		t.Fatalf("single-candidate maximin = (%d,%v), want score = votes", c, s)
+	}
+}
+
+// TestListUnanimous: with a unanimous electorate, List Borda at high ϕ
+// returns exactly the top candidate.
+func TestListUnanimous(t *testing.T) {
+	const n = 4
+	const m = 1000
+	bs, _ := NewBordaSketch(rng.New(5), BordaConfig{N: n, Eps: 0.05, Delta: 0.1, M: m})
+	v := Ranking{3, 1, 0, 2}
+	for i := 0; i < m; i++ {
+		bs.Insert(v)
+	}
+	// Candidate 3 has Borda m·(n−1) = ϕ·m·n at ϕ = (n−1)/n = 0.75.
+	lst := bs.List(0.74)
+	if len(lst) != 1 || lst[0].Candidate != 3 {
+		t.Fatalf("unanimous list = %v", lst)
+	}
+}
+
+// TestMaximinListEmptyWhenAllWeak: impartial culture pushes every maximin
+// score toward m/2; a ϕ far above 1/2 returns nothing.
+func TestMaximinListEmptyWhenAllWeak(t *testing.T) {
+	const n = 5
+	const m = 20000
+	ms, _ := NewMaximinSketch(rng.New(6), MaximinConfig{N: n, Eps: 0.05, Delta: 0.1, M: m})
+	g := NewImpartialCulture(rng.New(7), n)
+	for i := 0; i < m; i++ {
+		ms.Insert(g.Next())
+	}
+	if lst := ms.List(0.9); len(lst) != 0 {
+		t.Fatalf("ϕ=0.9 list should be empty, got %v", lst)
+	}
+}

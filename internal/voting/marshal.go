@@ -1,0 +1,147 @@
+package voting
+
+import (
+	"fmt"
+
+	"repro/internal/sample"
+	"repro/internal/wire"
+)
+
+const marshalVersion = 1
+
+// MarshalBinary encodes the full Borda sketch state.
+func (b *BordaSketch) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	w.U64(uint64(b.cfg.N))
+	w.F64(b.cfg.Eps)
+	w.F64(b.cfg.Delta)
+	w.U64(b.cfg.M)
+	w.F64(b.cfg.SampleConst)
+	b.sampler.Encode(w)
+	w.U64s(b.scores)
+	w.U64(b.s)
+	w.U64(b.offered)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (b *BordaSketch) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+	}
+	var cfg BordaConfig
+	cfg.N = int(r.U64())
+	cfg.Eps = r.F64()
+	cfg.Delta = r.F64()
+	cfg.M = r.U64()
+	cfg.SampleConst = r.F64()
+	sampler := sample.DecodeSkip(r)
+	scores := r.U64s()
+	s := r.U64()
+	offered := r.U64()
+	if r.Err() != nil || !r.Done() || sampler == nil ||
+		cfg.N < 0 || len(scores) != cfg.N {
+		return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+	}
+	*b = BordaSketch{cfg: cfg, sampler: sampler, scores: scores, s: s, offered: offered}
+	return nil
+}
+
+// Merge folds other into b: both must share N; the result summarizes the
+// concatenated vote streams (exact Borda counters are linear; the merged
+// sample is the union of two independent samples at the same rate).
+func (b *BordaSketch) Merge(other *BordaSketch) error {
+	if b.cfg.N != other.cfg.N {
+		return fmt.Errorf("voting: cannot merge Borda sketches over %d and %d candidates",
+			b.cfg.N, other.cfg.N)
+	}
+	for i := range b.scores {
+		b.scores[i] += other.scores[i]
+	}
+	b.s += other.s
+	b.offered += other.offered
+	return nil
+}
+
+// MarshalBinary encodes the full maximin sketch state (including stored
+// votes or the pairwise matrix).
+func (m *MaximinSketch) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(marshalVersion)
+	w.U64(uint64(m.cfg.N))
+	w.F64(m.cfg.Eps)
+	w.F64(m.cfg.Delta)
+	w.U64(m.cfg.M)
+	w.F64(m.cfg.SampleConst)
+	w.Bool(m.cfg.Pairwise)
+	m.sampler.Encode(w)
+	if m.cfg.Pairwise {
+		for _, row := range m.pair {
+			w.U64s(row)
+		}
+	} else {
+		w.U64(uint64(len(m.votes)))
+		for _, v := range m.votes {
+			for _, c := range v {
+				w.U64(uint64(c))
+			}
+		}
+	}
+	w.U64(m.s)
+	w.U64(m.offered)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state written by MarshalBinary.
+func (m *MaximinSketch) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if r.U64() != marshalVersion {
+		return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+	}
+	var cfg MaximinConfig
+	cfg.N = int(r.U64())
+	cfg.Eps = r.F64()
+	cfg.Delta = r.F64()
+	cfg.M = r.U64()
+	cfg.SampleConst = r.F64()
+	cfg.Pairwise = r.Bool()
+	sampler := sample.DecodeSkip(r)
+	if r.Err() != nil || sampler == nil || cfg.N <= 0 || cfg.N > 1<<24 {
+		return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+	}
+	out := MaximinSketch{cfg: cfg, sampler: sampler}
+	if cfg.Pairwise {
+		out.pair = make([][]uint64, cfg.N)
+		for i := range out.pair {
+			out.pair[i] = r.U64s()
+			if r.Err() != nil || len(out.pair[i]) != cfg.N {
+				return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+			}
+		}
+	} else {
+		nv := r.U64()
+		if r.Err() != nil || nv > uint64(len(data)) {
+			return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+		}
+		out.votes = make([]Ranking, nv)
+		for i := range out.votes {
+			v := make(Ranking, cfg.N)
+			for j := range v {
+				v[j] = uint32(r.U64())
+			}
+			if r.Err() != nil || v.Validate(cfg.N) != nil {
+				return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+			}
+			out.votes[i] = v
+		}
+	}
+	out.s = r.U64()
+	out.offered = r.U64()
+	if r.Err() != nil || !r.Done() {
+		return fmt.Errorf("voting: %w", wire.ErrCorrupt)
+	}
+	*m = out
+	return nil
+}

@@ -1,0 +1,138 @@
+package voting
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBordaMarshalMidStream(t *testing.T) {
+	const n, m = 6, 30000
+	cfg := BordaConfig{N: n, Eps: 0.05, Delta: 0.1, M: m}
+	orig, err := NewBordaSketch(rng.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewMallows(rng.New(2), Identity(n), 0.5)
+	votes := make([]Ranking, m)
+	for i := range votes {
+		votes[i] = g.Next()
+	}
+	for _, v := range votes[:m/2] {
+		orig.Insert(v)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored BordaSketch
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range votes[m/2:] {
+		orig.Insert(v)
+		restored.Insert(v)
+	}
+	a, b := orig.Scores(), restored.Scores()
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("scores diverge at %d", c)
+		}
+	}
+}
+
+func TestMaximinMarshalBothVariants(t *testing.T) {
+	const n, m = 5, 20000
+	for _, pw := range []bool{false, true} {
+		cfg := MaximinConfig{N: n, Eps: 0.1, Delta: 0.1, M: m, Pairwise: pw}
+		orig, err := NewMaximinSketch(rng.New(3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewImpartialCulture(rng.New(4), n)
+		votes := make([]Ranking, m)
+		for i := range votes {
+			votes[i] = g.Next()
+		}
+		for _, v := range votes[:m/2] {
+			orig.Insert(v)
+		}
+		blob, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored MaximinSketch
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range votes[m/2:] {
+			orig.Insert(v)
+			restored.Insert(v)
+		}
+		a, b := orig.Scores(), restored.Scores()
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("pairwise=%v: scores diverge at %d", pw, c)
+			}
+		}
+	}
+}
+
+func TestVotingMarshalRejectsCorruption(t *testing.T) {
+	b, _ := NewBordaSketch(rng.New(5), BordaConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 100})
+	b.Insert(Ranking{0, 1, 2})
+	blob, _ := b.MarshalBinary()
+	var r BordaSketch
+	if err := r.UnmarshalBinary(blob[:3]); err == nil {
+		t.Fatal("truncated Borda blob accepted")
+	}
+	m, _ := NewMaximinSketch(rng.New(6), MaximinConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 100})
+	m.Insert(Ranking{0, 1, 2})
+	mb, _ := m.MarshalBinary()
+	var rm MaximinSketch
+	if err := rm.UnmarshalBinary(mb[:4]); err == nil {
+		t.Fatal("truncated maximin blob accepted")
+	}
+	if err := rm.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil maximin blob accepted")
+	}
+}
+
+func TestBordaMerge(t *testing.T) {
+	const n, m = 4, 10000
+	cfg := BordaConfig{N: n, Eps: 0.1, Delta: 0.1, M: m}
+	a, _ := NewBordaSketch(rng.New(7), cfg)
+	b, _ := NewBordaSketch(rng.New(8), cfg)
+	whole := NewTally(n)
+	g := NewImpartialCulture(rng.New(9), n)
+	for i := 0; i < m; i++ {
+		v := g.Next()
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Insert(v)
+		} else {
+			b.Insert(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != m {
+		t.Fatalf("merged length %d", a.Len())
+	}
+	// Sampling is p=1 at this scale, so merged scores are exact.
+	got := a.Scores()
+	for c, want := range whole.BordaScores() {
+		if got[c] != float64(want) {
+			t.Fatalf("merged Borda score for %d: %v vs %d", c, got[c], want)
+		}
+	}
+}
+
+func TestBordaMergeMismatch(t *testing.T) {
+	a, _ := NewBordaSketch(rng.New(1), BordaConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 10})
+	b, _ := NewBordaSketch(rng.New(1), BordaConfig{N: 4, Eps: 0.1, Delta: 0.1, M: 10})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("candidate-count mismatch accepted")
+	}
+}

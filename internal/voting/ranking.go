@@ -1,0 +1,211 @@
+// Package voting implements the rank-aggregation side of the paper
+// (§1.2, §3.4): streams whose items are total orderings of n candidates,
+// the Borda and maximin scoring rules, exact tallies, and the sampling
+// sketches of Theorems 5 and 6.
+package voting
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Ranking is one vote: a permutation of the candidate ids [0, n).
+// Ranking[0] is the most preferred candidate.
+type Ranking []uint32
+
+// Validate reports whether r is a permutation of [0, n).
+func (r Ranking) Validate(n int) error {
+	if len(r) != n {
+		return fmt.Errorf("voting: ranking has %d entries, want %d", len(r), n)
+	}
+	seen := make([]bool, n)
+	for _, c := range r {
+		if int(c) >= n {
+			return fmt.Errorf("voting: candidate %d out of range [0,%d)", c, n)
+		}
+		if seen[c] {
+			return fmt.Errorf("voting: candidate %d repeated", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Positions returns the inverse permutation: pos[c] is the position of
+// candidate c in r (0 = top).
+func (r Ranking) Positions() []int {
+	pos := make([]int, len(r))
+	for i, c := range r {
+		pos[c] = i
+	}
+	return pos
+}
+
+// Clone returns a copy of r.
+func (r Ranking) Clone() Ranking {
+	out := make(Ranking, len(r))
+	copy(out, r)
+	return out
+}
+
+// Identity returns the ranking 0 ≻ 1 ≻ … ≻ n−1.
+func Identity(n int) Ranking {
+	r := make(Ranking, n)
+	for i := range r {
+		r[i] = uint32(i)
+	}
+	return r
+}
+
+// Generator produces one vote per call.
+type Generator interface {
+	// Next returns the next vote. Callers must not retain the returned
+	// slice across calls unless documented otherwise.
+	Next() Ranking
+}
+
+// ImpartialCulture draws votes uniformly from all n! rankings — the
+// "impartial culture" model of social choice.
+type ImpartialCulture struct {
+	n   int
+	src *rng.Source
+	buf Ranking
+}
+
+// NewImpartialCulture returns a uniform vote generator over n candidates.
+func NewImpartialCulture(src *rng.Source, n int) *ImpartialCulture {
+	if n <= 0 {
+		panic("voting: need at least one candidate")
+	}
+	return &ImpartialCulture{n: n, src: src, buf: make(Ranking, n)}
+}
+
+// Next returns a fresh uniform ranking.
+func (g *ImpartialCulture) Next() Ranking {
+	for i, v := range g.src.Perm(g.n) {
+		g.buf[i] = uint32(v)
+	}
+	return g.buf.Clone()
+}
+
+// Mallows draws votes from the Mallows model around a center ranking with
+// dispersion q ∈ (0, 1]: the probability of a vote falls off as
+// q^(Kendall-tau distance from the center). q → 0 concentrates on the
+// center; q = 1 is impartial culture. Votes are drawn by the repeated
+// insertion method (RIM), which is exact for Mallows.
+type Mallows struct {
+	center Ranking
+	q      float64
+	src    *rng.Source
+	cdfs   [][]float64 // cdfs[i] is the insertion CDF for step i
+}
+
+// NewMallows returns a Mallows(q) generator around center.
+func NewMallows(src *rng.Source, center Ranking, q float64) *Mallows {
+	if q <= 0 || q > 1 {
+		panic("voting: Mallows dispersion must be in (0,1]")
+	}
+	n := len(center)
+	if n == 0 {
+		panic("voting: empty center ranking")
+	}
+	// Precompute insertion CDFs: at step i (0-based), the new item goes to
+	// slot j ∈ [0, i] with probability q^(i−j) / (1 + q + … + q^i).
+	cdfs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cdf := make([]float64, i+1)
+		var sum float64
+		for j := 0; j <= i; j++ {
+			w := powf(q, i-j)
+			sum += w
+			cdf[j] = sum
+		}
+		for j := range cdf {
+			cdf[j] /= sum
+		}
+		cdfs[i] = cdf
+	}
+	return &Mallows{center: center.Clone(), q: q, src: src, cdfs: cdfs}
+}
+
+// Next returns a fresh Mallows-distributed ranking.
+func (g *Mallows) Next() Ranking {
+	n := len(g.center)
+	out := make(Ranking, 0, n)
+	for i := 0; i < n; i++ {
+		cdf := g.cdfs[i]
+		u := g.src.Float64()
+		j := 0
+		for j < len(cdf)-1 && u > cdf[j] {
+			j++
+		}
+		// Insert center[i] at position j.
+		out = append(out, 0)
+		copy(out[j+1:], out[j:])
+		out[j] = g.center[i]
+	}
+	return out
+}
+
+// PlackettLuce draws votes from the Plackett-Luce model: candidates are
+// picked for successive positions without replacement with probability
+// proportional to their weights.
+type PlackettLuce struct {
+	weights []float64
+	src     *rng.Source
+}
+
+// NewPlackettLuce returns a Plackett-Luce generator; weights must be
+// positive.
+func NewPlackettLuce(src *rng.Source, weights []float64) *PlackettLuce {
+	if len(weights) == 0 {
+		panic("voting: need at least one candidate")
+	}
+	for _, w := range weights {
+		if w <= 0 {
+			panic("voting: Plackett-Luce weights must be positive")
+		}
+	}
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return &PlackettLuce{weights: ws, src: src}
+}
+
+// Next returns a fresh Plackett-Luce ranking.
+func (g *PlackettLuce) Next() Ranking {
+	n := len(g.weights)
+	alive := make([]uint32, n)
+	w := make([]float64, n)
+	var total float64
+	for i := range alive {
+		alive[i] = uint32(i)
+		w[i] = g.weights[i]
+		total += w[i]
+	}
+	out := make(Ranking, 0, n)
+	for len(alive) > 0 {
+		u := g.src.Float64() * total
+		k := 0
+		for k < len(alive)-1 && u > w[k] {
+			u -= w[k]
+			k++
+		}
+		out = append(out, alive[k])
+		total -= w[k]
+		alive[k] = alive[len(alive)-1]
+		w[k] = w[len(w)-1]
+		alive = alive[:len(alive)-1]
+		w = w[:len(w)-1]
+	}
+	return out
+}
+
+// powf computes q^k for small non-negative integer k.
+func powf(q float64, k int) float64 {
+	out := 1.0
+	for ; k > 0; k-- {
+		out *= q
+	}
+	return out
+}

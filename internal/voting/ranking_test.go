@@ -1,0 +1,192 @@
+package voting
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Ranking{2, 0, 1}).Validate(3); err != nil {
+		t.Fatalf("valid ranking rejected: %v", err)
+	}
+	bad := []struct {
+		r Ranking
+		n int
+	}{
+		{Ranking{0, 1}, 3},    // wrong arity
+		{Ranking{0, 0, 1}, 3}, // repeat
+		{Ranking{0, 1, 3}, 3}, // out of range
+	}
+	for i, c := range bad {
+		if err := c.r.Validate(c.n); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPositionsInverse(t *testing.T) {
+	r := Ranking{2, 0, 3, 1}
+	pos := r.Positions()
+	for i, c := range r {
+		if pos[c] != i {
+			t.Fatalf("Positions broken at %d", i)
+		}
+	}
+}
+
+func TestIdentityAndClone(t *testing.T) {
+	r := Identity(4)
+	if err := r.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Clone()
+	c[0] = 3
+	if r[0] != 0 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestImpartialCultureValid(t *testing.T) {
+	g := NewImpartialCulture(rng.New(1), 6)
+	for i := 0; i < 200; i++ {
+		if err := g.Next().Validate(6); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestImpartialCultureUniformTop(t *testing.T) {
+	g := NewImpartialCulture(rng.New(2), 5)
+	counts := make([]int, 5)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		counts[g.Next()[0]]++
+	}
+	want := float64(trials) / 5
+	for c, got := range counts {
+		if math.Abs(float64(got)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("candidate %d first %d times, want ≈%v", c, got, want)
+		}
+	}
+}
+
+func TestMallowsValidAndCentered(t *testing.T) {
+	center := Ranking{3, 1, 4, 0, 2}
+	g := NewMallows(rng.New(3), center, 0.3)
+	topCenter := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v := g.Next()
+		if err := v.Validate(5); err != nil {
+			t.Fatal(err)
+		}
+		if v[0] == center[0] {
+			topCenter++
+		}
+	}
+	// With q = 0.3 the center's top candidate stays on top most of the time.
+	if float64(topCenter)/trials < 0.5 {
+		t.Fatalf("center top rate %v too low for q=0.3", float64(topCenter)/trials)
+	}
+}
+
+func TestMallowsQ1IsUniform(t *testing.T) {
+	g := NewMallows(rng.New(4), Identity(4), 1)
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[g.Next()[0]]++
+	}
+	want := float64(trials) / 4
+	for c, got := range counts {
+		if math.Abs(float64(got)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("q=1 candidate %d first %d times, want ≈%v", c, got, want)
+		}
+	}
+}
+
+func TestMallowsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMallows(rng.New(1), Identity(3), 0) },
+		func() { NewMallows(rng.New(1), Identity(3), 1.5) },
+		func() { NewMallows(rng.New(1), Ranking{}, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlackettLuceOrdering(t *testing.T) {
+	// Heavily skewed weights: candidate 0 should almost always be first.
+	g := NewPlackettLuce(rng.New(5), []float64{100, 1, 1})
+	first0 := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		v := g.Next()
+		if err := v.Validate(3); err != nil {
+			t.Fatal(err)
+		}
+		if v[0] == 0 {
+			first0++
+		}
+	}
+	if float64(first0)/trials < 0.9 {
+		t.Fatalf("heavy candidate first only %v of the time", float64(first0)/trials)
+	}
+}
+
+func TestPlackettLucePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPlackettLuce(rng.New(1), nil) },
+		func() { NewPlackettLuce(rng.New(1), []float64{1, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeneratorsAlwaysPermutationsQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		src := rng.New(seed)
+		gens := []Generator{
+			NewImpartialCulture(src.Split(), n),
+			NewMallows(src.Split(), Identity(n), 0.5),
+			NewPlackettLuce(src.Split(), uniformWeights(n)),
+		}
+		for _, g := range gens {
+			for i := 0; i < 5; i++ {
+				if g.Next().Validate(n) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

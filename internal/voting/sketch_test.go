@@ -1,0 +1,298 @@
+package voting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// feedBoth streams the same votes into an exact tally and any number of
+// inserters.
+func feedBoth(g Generator, m int, ta *Tally, ins ...func(Ranking)) {
+	for i := 0; i < m; i++ {
+		v := g.Next()
+		ta.Add(v)
+		for _, f := range ins {
+			f(v)
+		}
+	}
+}
+
+func TestBordaSketchScoresWithinEpsMN(t *testing.T) {
+	const n = 10
+	const m = 100000
+	const eps = 0.02
+	failures := 0
+	const trials = 4
+	for seed := uint64(0); seed < trials; seed++ {
+		cfg := BordaConfig{N: n, Eps: eps, Delta: 0.1, M: m}
+		bs, err := NewBordaSketch(rng.New(seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta := NewTally(n)
+		g := NewMallows(rng.New(100+seed), Identity(n), 0.6)
+		feedBoth(g, m, ta, func(r Ranking) { bs.Insert(r) })
+		got := bs.Scores()
+		want := ta.BordaScores()
+		bad := false
+		for c := 0; c < n; c++ {
+			if math.Abs(got[c]-float64(want[c])) > eps*float64(m)*float64(n) {
+				t.Logf("seed %d cand %d: %v vs %d", seed, c, got[c], want[c])
+				bad = true
+			}
+		}
+		if bad {
+			failures++
+		}
+	}
+	if failures > 1 {
+		t.Fatalf("Borda sketch failed %d/%d runs", failures, trials)
+	}
+}
+
+func TestBordaSketchMaxIsEpsWinner(t *testing.T) {
+	const n = 8
+	const m = 80000
+	cfg := BordaConfig{N: n, Eps: 0.02, Delta: 0.1, M: m}
+	bs, _ := NewBordaSketch(rng.New(1), cfg)
+	ta := NewTally(n)
+	g := NewMallows(rng.New(2), Identity(n), 0.5)
+	feedBoth(g, m, ta, func(r Ranking) { bs.Insert(r) })
+	cand, score := bs.Max()
+	_, trueMax := ta.BordaWinner()
+	em := 0.02 * float64(m) * float64(n)
+	if float64(trueMax)-float64(ta.BordaScores()[cand]) > em {
+		t.Fatalf("reported winner %d is not an ε-winner", cand)
+	}
+	if math.Abs(score-float64(trueMax)) > em {
+		t.Fatalf("winner score %v vs true max %d", score, trueMax)
+	}
+}
+
+func TestBordaSketchList(t *testing.T) {
+	// Plackett-Luce with one dominant candidate: candidate 0 must appear
+	// in the ϕ-list, the tail ones must not.
+	const n = 6
+	const m = 60000
+	w := []float64{40, 10, 1, 1, 1, 1}
+	cfg := BordaConfig{N: n, Eps: 0.05, Delta: 0.1, M: m}
+	bs, _ := NewBordaSketch(rng.New(3), cfg)
+	ta := NewTally(n)
+	feedBoth(NewPlackettLuce(rng.New(4), w), m, ta, func(r Ranking) { bs.Insert(r) })
+	phi := 0.7
+	list := bs.List(phi)
+	want := ta.BordaScores()
+	inList := map[int]bool{}
+	for _, sc := range list {
+		inList[sc.Candidate] = true
+	}
+	mn := float64(m) * float64(n)
+	for c := 0; c < n; c++ {
+		if float64(want[c]) >= phi*mn && !inList[c] {
+			t.Fatalf("candidate %d above ϕ·mn missing from list", c)
+		}
+		if float64(want[c]) <= (phi-0.05)*mn && inList[c] {
+			t.Fatalf("candidate %d below (ϕ−ε)·mn reported", c)
+		}
+	}
+}
+
+func TestBordaSketchTinyStreamExact(t *testing.T) {
+	cfg := BordaConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 10}
+	bs, _ := NewBordaSketch(rng.New(5), cfg)
+	ta := NewTally(3)
+	votes := []Ranking{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}}
+	for _, v := range votes {
+		bs.Insert(v)
+		ta.Add(v)
+	}
+	got := bs.Scores()
+	for c, wantV := range ta.BordaScores() {
+		if got[c] != float64(wantV) {
+			t.Fatalf("p=1 path not exact: %v vs %v", got, ta.BordaScores())
+		}
+	}
+}
+
+func TestBordaConfigValidation(t *testing.T) {
+	bad := []BordaConfig{
+		{N: 0, Eps: 0.1, Delta: 0.1, M: 10},
+		{N: 3, Eps: 0, Delta: 0.1, M: 10},
+		{N: 3, Eps: 0.1, Delta: 0, M: 10},
+		{N: 3, Eps: 0.1, Delta: 0.1, M: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBordaSketch(rng.New(1), cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMaximinSketchScoresWithinEpsM(t *testing.T) {
+	const n = 8
+	const m = 60000
+	const eps = 0.05
+	for _, pairwise := range []bool{false, true} {
+		failures := 0
+		const trials = 3
+		for seed := uint64(0); seed < trials; seed++ {
+			cfg := MaximinConfig{N: n, Eps: eps, Delta: 0.1, M: m, Pairwise: pairwise}
+			ms, err := NewMaximinSketch(rng.New(seed), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ta := NewTally(n)
+			g := NewMallows(rng.New(50+seed), Identity(n), 0.7)
+			feedBoth(g, m, ta, func(r Ranking) { ms.Insert(r) })
+			got := ms.Scores()
+			want := ta.MaximinScores()
+			for c := 0; c < n; c++ {
+				if math.Abs(got[c]-float64(want[c])) > eps*float64(m) {
+					t.Logf("pairwise=%v seed %d cand %d: %v vs %d", pairwise, seed, c, got[c], want[c])
+					failures++
+					break
+				}
+			}
+		}
+		if failures > 1 {
+			t.Fatalf("maximin (pairwise=%v) failed %d/%d runs", pairwise, failures, trials)
+		}
+	}
+}
+
+func TestMaximinVariantsAgree(t *testing.T) {
+	// Same seed → same sampler → identical sampled votes → identical
+	// reports from the two storage variants.
+	const n = 5
+	const m = 20000
+	mkCfg := func(pw bool) MaximinConfig {
+		return MaximinConfig{N: n, Eps: 0.05, Delta: 0.1, M: m, Pairwise: pw}
+	}
+	a, _ := NewMaximinSketch(rng.New(9), mkCfg(false))
+	b, _ := NewMaximinSketch(rng.New(9), mkCfg(true))
+	g := NewImpartialCulture(rng.New(10), n)
+	for i := 0; i < m; i++ {
+		v := g.Next()
+		a.Insert(v)
+		b.Insert(v)
+	}
+	sa, sb := a.Scores(), b.Scores()
+	for c := range sa {
+		if sa[c] != sb[c] {
+			t.Fatalf("variants disagree at candidate %d: %v vs %v", c, sa[c], sb[c])
+		}
+	}
+}
+
+func TestMaximinSketchMax(t *testing.T) {
+	const n = 6
+	const m = 50000
+	cfg := MaximinConfig{N: n, Eps: 0.05, Delta: 0.1, M: m}
+	ms, _ := NewMaximinSketch(rng.New(11), cfg)
+	ta := NewTally(n)
+	g := NewMallows(rng.New(12), Ranking{4, 0, 1, 2, 3, 5}, 0.4)
+	feedBoth(g, m, ta, func(r Ranking) { ms.Insert(r) })
+	cand, score := ms.Max()
+	_, trueMax := ta.MaximinWinner()
+	em := 0.05 * float64(m)
+	if float64(trueMax)-float64(ta.MaximinScores()[cand]) > em {
+		t.Fatalf("reported winner %d is not an ε-winner", cand)
+	}
+	if math.Abs(score-float64(trueMax)) > em {
+		t.Fatalf("winner score %v vs true max %d", score, trueMax)
+	}
+}
+
+func TestMaximinList(t *testing.T) {
+	const n = 5
+	const m = 40000
+	cfg := MaximinConfig{N: n, Eps: 0.08, Delta: 0.1, M: m}
+	ms, _ := NewMaximinSketch(rng.New(13), cfg)
+	ta := NewTally(n)
+	g := NewMallows(rng.New(14), Identity(n), 0.3)
+	feedBoth(g, m, ta, func(r Ranking) { ms.Insert(r) })
+	phi := 0.5
+	list := ms.List(phi)
+	want := ta.MaximinScores()
+	inList := map[int]bool{}
+	for _, sc := range list {
+		inList[sc.Candidate] = true
+	}
+	for c := 0; c < n; c++ {
+		if float64(want[c]) >= phi*float64(m) && !inList[c] {
+			t.Fatalf("candidate %d above ϕ·m missing", c)
+		}
+		if float64(want[c]) <= (phi-0.08)*float64(m) && inList[c] {
+			t.Fatalf("candidate %d below (ϕ−ε)·m reported", c)
+		}
+	}
+}
+
+// TestBordaMaximinSpaceSeparation reproduces the paper's qualitative
+// claim: "finding heavy hitters with respect to the maximin score is
+// significantly more expensive than with respect to the Borda score."
+func TestBordaMaximinSpaceSeparation(t *testing.T) {
+	const n = 10
+	const m = 1 << 20
+	const eps = 0.02
+	bs, _ := NewBordaSketch(rng.New(15), BordaConfig{N: n, Eps: eps, Delta: 0.1, M: m})
+	ms, _ := NewMaximinSketch(rng.New(16), MaximinConfig{N: n, Eps: eps, Delta: 0.1, M: m})
+	g := NewImpartialCulture(rng.New(17), n)
+	for i := 0; i < 200000; i++ {
+		v := g.Next()
+		bs.Insert(v)
+		ms.Insert(v)
+	}
+	if bb, mb := bs.ModelBits(), ms.ModelBits(); bb*8 > mb {
+		t.Fatalf("expected maximin (%d bits) ≫ Borda (%d bits)", mb, bb)
+	}
+}
+
+func TestMaximinConfigValidation(t *testing.T) {
+	bad := []MaximinConfig{
+		{N: 0, Eps: 0.1, Delta: 0.1, M: 10},
+		{N: 3, Eps: 1, Delta: 0.1, M: 10},
+		{N: 3, Eps: 0.1, Delta: 1, M: 10},
+		{N: 3, Eps: 0.1, Delta: 0.1, M: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMaximinSketch(rng.New(1), cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSketchArityPanics(t *testing.T) {
+	bs, _ := NewBordaSketch(rng.New(1), BordaConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 10})
+	ms, _ := NewMaximinSketch(rng.New(1), MaximinConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 10})
+	for _, f := range []func(){
+		func() { bs.Insert(Ranking{0, 1}) },
+		func() { ms.Insert(Ranking{0, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSketchEmptyStreams(t *testing.T) {
+	bs, _ := NewBordaSketch(rng.New(1), BordaConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 10})
+	for _, v := range bs.Scores() {
+		if v != 0 {
+			t.Fatal("empty Borda scores nonzero")
+		}
+	}
+	ms, _ := NewMaximinSketch(rng.New(1), MaximinConfig{N: 3, Eps: 0.1, Delta: 0.1, M: 10})
+	for _, v := range ms.Scores() {
+		if v != 0 {
+			t.Fatal("empty maximin scores nonzero")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package voting
+
+// Tally is the exact ground-truth aggregator: it maintains full Borda,
+// plurality and pairwise-majority tallies for a vote stream. It is the
+// oracle the sketches are tested against and makes no attempt to be small.
+type Tally struct {
+	n         int
+	votes     uint64
+	borda     []uint64   // borda[c] = Σ over votes of (n−1 − position of c)
+	plurality []uint64   // plurality[c] = number of votes placing c first
+	pair      [][]uint64 // pair[x][y] = number of votes ranking x ahead of y
+}
+
+// NewTally returns an exact tally over n candidates.
+func NewTally(n int) *Tally {
+	if n <= 0 {
+		panic("voting: need at least one candidate")
+	}
+	pair := make([][]uint64, n)
+	for i := range pair {
+		pair[i] = make([]uint64, n)
+	}
+	return &Tally{
+		n:         n,
+		borda:     make([]uint64, n),
+		plurality: make([]uint64, n),
+		pair:      pair,
+	}
+}
+
+// Add registers one vote.
+func (t *Tally) Add(r Ranking) {
+	if len(r) != t.n {
+		panic("voting: vote arity mismatch")
+	}
+	t.votes++
+	t.plurality[r[0]]++
+	for pos, c := range r {
+		t.borda[c] += uint64(t.n - 1 - pos)
+		for _, d := range r[pos+1:] {
+			t.pair[c][d]++
+		}
+	}
+}
+
+// Votes returns the number of votes tallied.
+func (t *Tally) Votes() uint64 { return t.votes }
+
+// N returns the number of candidates.
+func (t *Tally) N() int { return t.n }
+
+// BordaScores returns the exact Borda score of every candidate.
+func (t *Tally) BordaScores() []uint64 {
+	out := make([]uint64, t.n)
+	copy(out, t.borda)
+	return out
+}
+
+// PluralityScores returns, for each candidate, the number of votes placing
+// it first — the link between vote streams and the ε-Maximum problem
+// (§1.2: plurality winners are maximum-frequency items).
+func (t *Tally) PluralityScores() []uint64 {
+	out := make([]uint64, t.n)
+	copy(out, t.plurality)
+	return out
+}
+
+// Beats returns the number of votes ranking x ahead of y.
+func (t *Tally) Beats(x, y int) uint64 { return t.pair[x][y] }
+
+// MaximinScores returns the exact maximin score of every candidate:
+// min over opponents y of the number of votes preferring the candidate to
+// y. With a single candidate the score is the vote count by convention.
+func (t *Tally) MaximinScores() []uint64 {
+	out := make([]uint64, t.n)
+	for x := 0; x < t.n; x++ {
+		if t.n == 1 {
+			out[x] = t.votes
+			continue
+		}
+		min := ^uint64(0)
+		for y := 0; y < t.n; y++ {
+			if y != x && t.pair[x][y] < min {
+				min = t.pair[x][y]
+			}
+		}
+		out[x] = min
+	}
+	return out
+}
+
+// BordaWinner returns the candidate with maximum Borda score (lowest id on
+// ties) and that score.
+func (t *Tally) BordaWinner() (int, uint64) {
+	return argmaxU64(t.BordaScores())
+}
+
+// MaximinWinner returns the candidate with maximum maximin score (lowest
+// id on ties) and that score.
+func (t *Tally) MaximinWinner() (int, uint64) {
+	return argmaxU64(t.MaximinScores())
+}
+
+// argmaxU64 returns the index and value of the maximum entry (lowest index
+// on ties). It panics on empty input.
+func argmaxU64(xs []uint64) (int, uint64) {
+	if len(xs) == 0 {
+		panic("voting: argmax of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, v := range xs[1:] {
+		if v > bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}

@@ -1,0 +1,132 @@
+package voting
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestTallySingleVote(t *testing.T) {
+	ta := NewTally(3)
+	ta.Add(Ranking{2, 0, 1}) // 2 ≻ 0 ≻ 1
+	b := ta.BordaScores()
+	if b[2] != 2 || b[0] != 1 || b[1] != 0 {
+		t.Fatalf("borda = %v", b)
+	}
+	if ta.Beats(2, 0) != 1 || ta.Beats(0, 2) != 0 || ta.Beats(0, 1) != 1 {
+		t.Fatal("pairwise tallies wrong")
+	}
+	p := ta.PluralityScores()
+	if p[2] != 1 || p[0] != 0 {
+		t.Fatalf("plurality = %v", p)
+	}
+}
+
+func TestTallyMaximin(t *testing.T) {
+	ta := NewTally(3)
+	// Condorcet-style: 0 beats everyone in 2 of 3 votes.
+	ta.Add(Ranking{0, 1, 2})
+	ta.Add(Ranking{0, 2, 1})
+	ta.Add(Ranking{1, 2, 0})
+	mm := ta.MaximinScores()
+	if mm[0] != 2 { // 0 beats 1 twice, beats 2 twice → min 2
+		t.Fatalf("maximin[0] = %d, want 2", mm[0])
+	}
+	if mm[1] != 1 { // 1 beats 0 once, beats 2 twice → min 1
+		t.Fatalf("maximin[1] = %d, want 1", mm[1])
+	}
+	w, s := ta.MaximinWinner()
+	if w != 0 || s != 2 {
+		t.Fatalf("winner = (%d,%d)", w, s)
+	}
+}
+
+func TestTallyBordaWinner(t *testing.T) {
+	ta := NewTally(4)
+	g := NewMallows(rng.New(1), Ranking{2, 0, 1, 3}, 0.2)
+	for i := 0; i < 2000; i++ {
+		ta.Add(g.Next())
+	}
+	if w, _ := ta.BordaWinner(); w != 2 {
+		t.Fatalf("Mallows center should win Borda, got %d", w)
+	}
+	if w, _ := ta.MaximinWinner(); w != 2 {
+		t.Fatalf("Mallows center should win maximin, got %d", w)
+	}
+}
+
+// TestBordaPairwiseIdentity: the Borda score equals the sum over opponents
+// of pairwise wins — an identity of the scoring rule that double-checks
+// both tallies.
+func TestBordaPairwiseIdentity(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.Intn(6) + 2
+		ta := NewTally(n)
+		g := NewImpartialCulture(src, n)
+		for i := 0; i < 50; i++ {
+			ta.Add(g.Next())
+		}
+		b := ta.BordaScores()
+		for x := 0; x < n; x++ {
+			var sum uint64
+			for y := 0; y < n; y++ {
+				if y != x {
+					sum += ta.Beats(x, y)
+				}
+			}
+			if sum != b[x] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPairAntisymmetry: Beats(x,y) + Beats(y,x) = votes, for all pairs.
+func TestPairAntisymmetry(t *testing.T) {
+	ta := NewTally(5)
+	g := NewImpartialCulture(rng.New(7), 5)
+	for i := 0; i < 300; i++ {
+		ta.Add(g.Next())
+	}
+	for x := 0; x < 5; x++ {
+		for y := x + 1; y < 5; y++ {
+			if ta.Beats(x, y)+ta.Beats(y, x) != ta.Votes() {
+				t.Fatalf("antisymmetry broken for (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestTallySingleCandidate(t *testing.T) {
+	ta := NewTally(1)
+	ta.Add(Ranking{0})
+	ta.Add(Ranking{0})
+	if mm := ta.MaximinScores(); mm[0] != 2 {
+		t.Fatalf("single-candidate maximin = %d", mm[0])
+	}
+	if b := ta.BordaScores(); b[0] != 0 {
+		t.Fatalf("single-candidate borda = %d", b[0])
+	}
+}
+
+func TestTallyPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTally(0) },
+		func() { NewTally(2).Add(Ranking{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,300 @@
+package l1hh
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/minimum"
+	"repro/internal/rng"
+	"repro/internal/unknown"
+)
+
+// Item identifies a universe element; items are ids in [0, Universe).
+type Item = uint64
+
+// ItemEstimate pairs a reported item with its estimated absolute
+// frequency over the stream.
+type ItemEstimate = core.ItemEstimate
+
+// Sketch is the interface every solver and baseline in this library
+// satisfies: single-item insertion plus space introspection under the
+// paper's accounting model (DESIGN.md §4).
+type Sketch interface {
+	Insert(x Item)
+	ModelBits() int64
+}
+
+// Algorithm selects the heavy hitters engine.
+type Algorithm int
+
+// Engines for ListHeavyHitters.
+const (
+	// AlgorithmOptimal is the paper's Algorithm 2 (Theorem 2):
+	// O(ε⁻¹·log ϕ⁻¹ + ϕ⁻¹·log n + log log m) bits, optimal.
+	AlgorithmOptimal Algorithm = iota
+	// AlgorithmSimple is the paper's Algorithm 1 (Theorem 1): slightly
+	// more space (an additive ε⁻¹·log log δ⁻¹), much simpler machinery.
+	AlgorithmSimple
+)
+
+// Config configures the heavy hitters, maximum and minimum solvers.
+type Config struct {
+	// Eps is the additive error ε ∈ (0,1); for ListHeavyHitters it must
+	// be below Phi.
+	Eps float64
+	// Phi is the heaviness threshold ϕ ∈ (ε, 1]. Ignored by Maximum and
+	// Minimum.
+	Phi float64
+	// Delta is the failure probability δ ∈ (0,1); 0 defaults to 0.05.
+	Delta float64
+	// StreamLength is the number of items that will be inserted. Zero
+	// means unknown: the solver switches to the Theorem 7/8 machinery
+	// (Morris counter + staggered instances).
+	StreamLength uint64
+	// Universe is the number of distinct ids; items must lie in
+	// [0, Universe).
+	Universe uint64
+	// Algorithm selects the engine for ListHeavyHitters.
+	Algorithm Algorithm
+	// PacedBudget, when positive, bounds the worst-case table work per
+	// Insert to this many units by deferring sampled-item processing (the
+	// paper's §3.1 de-amortization; 1 realizes the strict O(1) worst
+	// case). Zero keeps the amortized fast path. Known stream length
+	// only.
+	PacedBudget int
+	// Seed makes every random choice reproducible.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Delta == 0 {
+		c.Delta = 0.05
+	}
+}
+
+// ListHeavyHitters solves the (ε,ϕ)-heavy hitters problem in one pass.
+type ListHeavyHitters struct {
+	insert  func(Item)
+	report  func() []ItemEstimate
+	bits    func() int64
+	length  func() uint64
+	marshal func() ([]byte, error)
+}
+
+// NewListHeavyHitters returns a solver for cfg.
+func NewListHeavyHitters(cfg Config) (*ListHeavyHitters, error) {
+	cfg.fill()
+	src := rng.New(cfg.Seed)
+	if cfg.StreamLength == 0 {
+		// The staggering technique of Theorem 7 applies to Algorithm 1
+		// (the paper notes it does not transfer to Algorithm 2).
+		u, err := unknown.NewListHH(src, cfg.Eps, cfg.Phi, cfg.Delta, cfg.Universe)
+		if err != nil {
+			return nil, err
+		}
+		return &ListHeavyHitters{
+			insert: u.Insert, report: u.Report, bits: u.ModelBits, length: u.Len,
+			marshal: func() ([]byte, error) {
+				return nil, errors.New("l1hh: unknown-length solvers are not serializable")
+			},
+		}, nil
+	}
+	ccfg := core.Config{
+		Eps: cfg.Eps, Phi: cfg.Phi, Delta: cfg.Delta,
+		M: cfg.StreamLength, N: cfg.Universe,
+	}
+	switch cfg.Algorithm {
+	case AlgorithmOptimal:
+		a, err := core.NewOptimal(src, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		h := &ListHeavyHitters{
+			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
+			marshal: func() ([]byte, error) { return taggedMarshal(tagOptimal, a) },
+		}
+		h.applyPacing(cfg.PacedBudget, a)
+		return h, nil
+	case AlgorithmSimple:
+		a, err := core.NewSimpleList(src, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		h := &ListHeavyHitters{
+			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
+			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
+		}
+		h.applyPacing(cfg.PacedBudget, a)
+		return h, nil
+	default:
+		return nil, errors.New("l1hh: unknown algorithm")
+	}
+}
+
+// applyPacing routes inserts through a core.Paced queue when a budget is
+// set, flushing before every report or checkpoint so results are
+// unchanged.
+func (h *ListHeavyHitters) applyPacing(budget int, inner core.Pacable) {
+	if budget <= 0 {
+		return
+	}
+	p := core.NewPaced(inner, budget)
+	baseReport, baseMarshal := h.report, h.marshal
+	h.insert = p.Insert
+	h.report = func() []ItemEstimate {
+		p.Flush()
+		return baseReport()
+	}
+	h.marshal = func() ([]byte, error) {
+		p.Flush()
+		return baseMarshal()
+	}
+}
+
+// Algorithm tags for serialized solvers.
+const (
+	tagOptimal byte = 1
+	tagSimple  byte = 2
+)
+
+// taggedMarshal prefixes the engine tag to the engine's own encoding.
+func taggedMarshal(tag byte, m interface{ MarshalBinary() ([]byte, error) }) ([]byte, error) {
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{tag}, blob...), nil
+}
+
+// MarshalBinary serializes the solver's complete state (tables, hash
+// seeds, sampler position) so it can be checkpointed or shipped to
+// another process and resumed with UnmarshalListHeavyHitters. Only
+// known-stream-length solvers are serializable.
+func (h *ListHeavyHitters) MarshalBinary() ([]byte, error) { return h.marshal() }
+
+// UnmarshalListHeavyHitters reconstructs a solver serialized by
+// MarshalBinary; the restored solver continues the stream exactly where
+// the original stopped.
+func UnmarshalListHeavyHitters(data []byte) (*ListHeavyHitters, error) {
+	if len(data) < 2 {
+		return nil, errors.New("l1hh: truncated solver encoding")
+	}
+	switch data[0] {
+	case tagOptimal:
+		a := new(core.Optimal)
+		if err := a.UnmarshalBinary(data[1:]); err != nil {
+			return nil, err
+		}
+		return &ListHeavyHitters{
+			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
+			marshal: func() ([]byte, error) { return taggedMarshal(tagOptimal, a) },
+		}, nil
+	case tagSimple:
+		a := new(core.SimpleList)
+		if err := a.UnmarshalBinary(data[1:]); err != nil {
+			return nil, err
+		}
+		return &ListHeavyHitters{
+			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
+			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
+		}, nil
+	default:
+		return nil, errors.New("l1hh: unrecognized solver encoding")
+	}
+}
+
+// Insert processes one stream item in O(1) time.
+func (h *ListHeavyHitters) Insert(x Item) { h.insert(x) }
+
+// Report returns the heavy hitters with frequency estimates, in
+// decreasing-estimate order. With probability ≥ 1−δ: every item with
+// f ≥ ϕ·m appears, no item with f ≤ (ϕ−ε)·m appears, and every estimate
+// is within ε·m.
+func (h *ListHeavyHitters) Report() []ItemEstimate { return h.report() }
+
+// ModelBits reports the sketch size under the paper's accounting.
+func (h *ListHeavyHitters) ModelBits() int64 { return h.bits() }
+
+// Len returns the number of items inserted so far.
+func (h *ListHeavyHitters) Len() uint64 { return h.length() }
+
+// Maximum solves the ε-Maximum / ℓ∞-approximation problem in one pass.
+type Maximum struct {
+	insert func(Item)
+	report func() (Item, float64, bool)
+	bits   func() int64
+}
+
+// NewMaximum returns an ε-Maximum solver for cfg (Phi and Algorithm are
+// ignored).
+func NewMaximum(cfg Config) (*Maximum, error) {
+	cfg.fill()
+	src := rng.New(cfg.Seed)
+	if cfg.StreamLength == 0 {
+		u, err := unknown.NewMaximum(src, cfg.Eps, cfg.Delta, cfg.Universe)
+		if err != nil {
+			return nil, err
+		}
+		return &Maximum{insert: u.Insert, report: u.Report, bits: u.ModelBits}, nil
+	}
+	a, err := core.NewMaximum(src, core.Config{
+		Eps: cfg.Eps, Delta: cfg.Delta, M: cfg.StreamLength, N: cfg.Universe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Maximum{insert: a.Insert, report: a.Report, bits: a.ModelBits}, nil
+}
+
+// Insert processes one stream item in O(1) time.
+func (m *Maximum) Insert(x Item) { m.insert(x) }
+
+// Report returns an item of approximately maximum frequency together with
+// a frequency estimate within ε·m; ok is false on an empty stream.
+func (m *Maximum) Report() (item Item, freq float64, ok bool) { return m.report() }
+
+// ModelBits reports the sketch size under the paper's accounting.
+func (m *Maximum) ModelBits() int64 { return m.bits() }
+
+// MinimumResult is the answer to an ε-Minimum query.
+type MinimumResult = minimum.Result
+
+// Minimum solves the ε-Minimum problem over a small universe in one pass.
+type Minimum struct {
+	insert func(Item)
+	report func() MinimumResult
+	bits   func() int64
+}
+
+// NewMinimum returns an ε-Minimum solver for cfg (Phi and Algorithm are
+// ignored). The universe should be small — the problem is vacuous
+// otherwise, and the solver answers huge universes with a random item,
+// which is then provably correct.
+func NewMinimum(cfg Config) (*Minimum, error) {
+	cfg.fill()
+	src := rng.New(cfg.Seed)
+	if cfg.StreamLength == 0 {
+		u, err := unknown.NewMinimum(src, cfg.Eps, cfg.Delta, cfg.Universe)
+		if err != nil {
+			return nil, err
+		}
+		return &Minimum{insert: u.Insert, report: u.Report, bits: u.ModelBits}, nil
+	}
+	a, err := minimum.New(src, minimum.Config{
+		Eps: cfg.Eps, Delta: cfg.Delta, M: cfg.StreamLength, N: cfg.Universe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Minimum{insert: a.Insert, report: a.Report, bits: a.ModelBits}, nil
+}
+
+// Insert processes one stream item in O(1) time.
+func (m *Minimum) Insert(x Item) { m.insert(x) }
+
+// Report returns an item of approximately minimum frequency; on success
+// its F field is within ε·m of the true minimum.
+func (m *Minimum) Report() MinimumResult { return m.report() }
+
+// ModelBits reports the sketch size under the paper's accounting.
+func (m *Minimum) ModelBits() int64 { return m.bits() }

@@ -1,0 +1,218 @@
+package l1hh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func TestPublicListHeavyHittersBothAlgorithms(t *testing.T) {
+	const m = 300000
+	st := GeneratePlantedStream(1, m, []float64{0.2, 0.12, 0.02}, 1000, 100000, OrderShuffled)
+	ex := exact.New()
+	for _, x := range st {
+		ex.Insert(x)
+	}
+	for _, algo := range []Algorithm{AlgorithmOptimal, AlgorithmSimple} {
+		hh, err := NewListHeavyHitters(Config{
+			Eps: 0.05, Phi: 0.1, Delta: 0.1,
+			StreamLength: m, Universe: 1 << 32, Algorithm: algo, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range st {
+			hh.Insert(x)
+		}
+		rep := hh.Report()
+		got := map[Item]float64{}
+		for _, r := range rep {
+			got[r.Item] = r.F
+		}
+		for _, heavy := range []Item{0, 1} {
+			if _, ok := got[heavy]; !ok {
+				t.Fatalf("algo %d: heavy item %d missing", algo, heavy)
+			}
+		}
+		if _, ok := got[2]; ok {
+			t.Fatalf("algo %d: light item 2 reported", algo)
+		}
+		for x, f := range got {
+			if math.Abs(f-float64(ex.Freq(x))) > 0.05*m {
+				t.Fatalf("algo %d: item %d estimate %v vs %d", algo, x, f, ex.Freq(x))
+			}
+		}
+		if hh.ModelBits() <= 0 || hh.Len() != m {
+			t.Fatalf("algo %d: bits=%d len=%d", algo, hh.ModelBits(), hh.Len())
+		}
+	}
+}
+
+func TestPublicUnknownLength(t *testing.T) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.1, Phi: 0.3, Delta: 0.1, Universe: 1 << 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := GeneratePlantedStream(2, 50000, []float64{0.5}, 100, 10000, OrderShuffled)
+	for _, x := range st {
+		hh.Insert(x)
+	}
+	rep := hh.Report()
+	if len(rep) == 0 || rep[0].Item != 0 {
+		t.Fatalf("unknown-length report = %v", rep)
+	}
+}
+
+func TestPublicMaximum(t *testing.T) {
+	mx, err := NewMaximum(Config{
+		Eps: 0.05, Delta: 0.1, StreamLength: 100000, Universe: 1 << 20, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := GeneratePlantedStream(4, 100000, []float64{0.3}, 100, 10000, OrderShuffled)
+	for _, x := range st {
+		mx.Insert(x)
+	}
+	item, f, ok := mx.Report()
+	if !ok || item != 0 {
+		t.Fatalf("max item = %d ok=%v", item, ok)
+	}
+	if math.Abs(f-30000) > 5000 {
+		t.Fatalf("max estimate %v, want ≈30000", f)
+	}
+}
+
+func TestPublicMinimum(t *testing.T) {
+	mn, err := NewMinimum(Config{
+		Eps: 0.1, Delta: 0.1, StreamLength: 50000, Universe: 8, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		mn.Insert(Item(i % 7)) // id 7 never occurs
+	}
+	r := mn.Report()
+	if r.Item != 7 {
+		t.Fatalf("min item = %d, want 7", r.Item)
+	}
+	if r.F > 0.1*50000 {
+		t.Fatalf("min estimate %v not within ε·m of 0", r.F)
+	}
+}
+
+func TestPublicBordaAndMaximin(t *testing.T) {
+	const n = 6
+	const m = 40000
+	b, err := NewBorda(VoteConfig{Candidates: n, Eps: 0.05, StreamLength: m, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := NewMaximin(VoteConfig{Candidates: n, Eps: 0.05, StreamLength: m, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := NewVoteTally(n)
+	g := NewMallows(10, IdentityRanking(n), 0.4)
+	for i := 0; i < m; i++ {
+		v := g.Next()
+		b.Insert(v)
+		mm.Insert(v)
+		ta.Add(v)
+	}
+	bc, _ := b.Max()
+	_, bMax := ta.BordaWinner()
+	if float64(bMax)-float64(ta.BordaScores()[bc]) > 0.05*float64(m)*n {
+		t.Fatalf("Borda winner %d not an ε-winner", bc)
+	}
+	mc, _ := mm.Max()
+	_, mMax := ta.MaximinWinner()
+	if float64(mMax)-float64(ta.MaximinScores()[mc]) > 0.05*float64(m) {
+		t.Fatalf("maximin winner %d not an ε-winner", mc)
+	}
+	if lst := b.List(0.4); len(lst) == 0 {
+		t.Fatal("Borda list empty at ϕ=0.4 (winner must clear it)")
+	}
+	if mm.ModelBits() <= b.ModelBits() {
+		t.Fatal("expected maximin sketch to cost more than Borda")
+	}
+}
+
+func TestPublicBaselinesShareInterface(t *testing.T) {
+	// Every baseline and solver satisfies Sketch; feed them all the same
+	// stream through the interface.
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.05, Phi: 0.2, Delta: 0.1, StreamLength: 10000, Universe: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketches := []Sketch{
+		hh,
+		NewMisraGries(20, 1<<16),
+		NewSpaceSaving(20, 1<<16),
+		NewCountMin(2, 0.01, 0.05),
+		NewCountSketch(3, 5, 512),
+		NewLossyCounting(0.01, 1<<16),
+		NewStickySampling(4, 0.01, 0.1, 0.05, 1<<16),
+	}
+	g := NewZipfStream(5, 1<<16, 1.2)
+	for i := 0; i < 10000; i++ {
+		x := g.Next()
+		for _, s := range sketches {
+			s.Insert(x)
+		}
+	}
+	for i, s := range sketches {
+		if s.ModelBits() <= 0 {
+			t.Fatalf("sketch %d reports nonpositive ModelBits", i)
+		}
+	}
+}
+
+func TestPublicConfigErrors(t *testing.T) {
+	if _, err := NewListHeavyHitters(Config{Eps: 0.5, Phi: 0.1, StreamLength: 10, Universe: 10}); err == nil {
+		t.Fatal("eps > phi accepted")
+	}
+	if _, err := NewMaximum(Config{Eps: 0, StreamLength: 10, Universe: 10}); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, err := NewMinimum(Config{Eps: 0.1, StreamLength: 10}); err == nil {
+		t.Fatal("zero universe accepted")
+	}
+	if _, err := NewBorda(VoteConfig{Candidates: 0, Eps: 0.1, StreamLength: 10}); err == nil {
+		t.Fatal("zero candidates accepted")
+	}
+	if _, err := NewListHeavyHitters(Config{
+		Eps: 0.05, Phi: 0.1, StreamLength: 10, Universe: 10, Algorithm: Algorithm(9),
+	}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestPublicDeterminism(t *testing.T) {
+	st := GeneratePlantedStream(11, 50000, []float64{0.3}, 100, 10000, OrderShuffled)
+	runOnce := func() []ItemEstimate {
+		hh, _ := NewListHeavyHitters(Config{
+			Eps: 0.05, Phi: 0.2, Delta: 0.1, StreamLength: 50000,
+			Universe: 1 << 20, Seed: 42,
+		})
+		for _, x := range st {
+			hh.Insert(x)
+		}
+		return hh.Report()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic report length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic report")
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package l1hh
+
+// Property-based and failure-injection tests over the public API. The
+// quick properties assert *deterministic* invariants (output structure,
+// serialization round trips, exact regimes); the probabilistic (ε,ϕ)
+// guarantees are covered by the multi-seed tests in the internal
+// packages.
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropReportStructure: reports are sorted by decreasing estimate with
+// unique items and non-negative frequencies ≤ (1+ε)·m.
+func TestPropReportStructure(t *testing.T) {
+	err := quick.Check(func(seed uint64, pick []uint16) bool {
+		const m = 5000
+		hh, err := NewListHeavyHitters(Config{
+			Eps: 0.1, Phi: 0.25, Delta: 0.1,
+			StreamLength: m, Universe: 1 << 16, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		// Skewed stream: low item ids get high probability.
+		for i := 0; i < m; i++ {
+			var x Item
+			if len(pick) > 0 {
+				x = Item(pick[i%len(pick)]) % 64
+			}
+			if i%3 != 0 {
+				x = Item(i % 4) // force a few heavy items
+			}
+			hh.Insert(x)
+		}
+		rep := hh.Report()
+		seen := map[Item]bool{}
+		for i, r := range rep {
+			if r.F < 0 || r.F > (1+0.1)*m {
+				return false
+			}
+			if seen[r.Item] {
+				return false
+			}
+			seen[r.Item] = true
+			if i > 0 && rep[i-1].F < r.F {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSerializationIdentity: marshal → unmarshal → continue produces
+// bit-identical reports, for random streams and both engines.
+func TestPropSerializationIdentity(t *testing.T) {
+	err := quick.Check(func(seed uint64, algoRaw bool, xs []uint16) bool {
+		algo := AlgorithmOptimal
+		if algoRaw {
+			algo = AlgorithmSimple
+		}
+		const m = 4000
+		hh, err := NewListHeavyHitters(Config{
+			Eps: 0.1, Phi: 0.3, Delta: 0.1,
+			StreamLength: m, Universe: 1 << 16, Algorithm: algo, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		stream := make([]Item, m)
+		for i := range stream {
+			if len(xs) > 0 {
+				stream[i] = Item(xs[i%len(xs)]) % 256
+			}
+		}
+		for _, x := range stream[:m/2] {
+			hh.Insert(x)
+		}
+		blob, err := hh.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		restored, err := UnmarshalListHeavyHitters(blob)
+		if err != nil {
+			return false
+		}
+		for _, x := range stream[m/2:] {
+			hh.Insert(x)
+			restored.Insert(x)
+		}
+		a, b := hh.Report(), restored.Report()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMinimumInUniverse: the ε-Minimum answer always names an item of
+// the declared universe, whatever the stream.
+func TestPropMinimumInUniverse(t *testing.T) {
+	err := quick.Check(func(seed uint64, xs []uint16, nRaw uint8) bool {
+		n := uint64(nRaw%30) + 2
+		mn, err := NewMinimum(Config{
+			Eps: 0.2, Delta: 0.2, StreamLength: uint64(len(xs) + 1), Universe: n, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			mn.Insert(uint64(x) % n)
+		}
+		r := mn.Report()
+		return r.Item < n && r.F >= 0 && r.Branch >= 1 && r.Branch <= 4
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropBordaScoreIdentity: in the exact (p = 1) regime the Borda
+// scores of all candidates sum to m·n(n−1)/2 — a conservation law of the
+// scoring rule.
+func TestPropBordaScoreIdentity(t *testing.T) {
+	err := quick.Check(func(seed uint64, mRaw uint8) bool {
+		n := 5
+		m := int(mRaw%50) + 1
+		b, err := NewBorda(VoteConfig{
+			Candidates: n, Eps: 0.1, Delta: 0.1, StreamLength: uint64(m), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		g := NewImpartialCulture(seed+1, n)
+		for i := 0; i < m; i++ {
+			b.Insert(g.Next())
+		}
+		var sum float64
+		for _, s := range b.Scores() {
+			sum += s
+		}
+		want := float64(m) * float64(n*(n-1)) / 2
+		return math.Abs(sum-want) < 1e-6
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMaximinBounded: maximin scores never exceed the vote count.
+func TestPropMaximinBounded(t *testing.T) {
+	err := quick.Check(func(seed uint64, mRaw uint8) bool {
+		n := 4
+		m := int(mRaw%40) + 1
+		mm, err := NewMaximin(VoteConfig{
+			Candidates: n, Eps: 0.2, Delta: 0.1, StreamLength: uint64(m), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		g := NewImpartialCulture(seed+2, n)
+		for i := 0; i < m; i++ {
+			mm.Insert(g.Next())
+		}
+		for _, s := range mm.Scores() {
+			if s < 0 || s > float64(m)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- failure injection ---
+
+func TestEmptyStreamEverySolver(t *testing.T) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.1, Phi: 0.3, Delta: 0.1, StreamLength: 10, Universe: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := hh.Report(); len(rep) != 0 {
+		t.Fatalf("empty HH report = %v", rep)
+	}
+	mx, _ := NewMaximum(Config{Eps: 0.1, Delta: 0.1, StreamLength: 10, Universe: 10, Seed: 1})
+	if _, _, ok := mx.Report(); ok {
+		t.Fatal("empty Maximum reported")
+	}
+	mn, _ := NewMinimum(Config{Eps: 0.1, Delta: 0.1, StreamLength: 10, Universe: 4, Seed: 1})
+	r := mn.Report()
+	if r.Item >= 4 {
+		t.Fatal("empty Minimum out of universe")
+	}
+}
+
+func TestSingleItemUniverse(t *testing.T) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.1, Phi: 0.9, Delta: 0.1, StreamLength: 100, Universe: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		hh.Insert(0)
+	}
+	rep := hh.Report()
+	if len(rep) != 1 || rep[0].Item != 0 {
+		t.Fatalf("single-universe report = %v", rep)
+	}
+}
+
+func TestAllSameItem(t *testing.T) {
+	mx, _ := NewMaximum(Config{Eps: 0.05, Delta: 0.1, StreamLength: 10000, Universe: 1 << 20, Seed: 2})
+	for i := 0; i < 10000; i++ {
+		mx.Insert(777)
+	}
+	item, f, ok := mx.Report()
+	if !ok || item != 777 {
+		t.Fatalf("constant stream max = %d", item)
+	}
+	if math.Abs(f-10000) > 500 {
+		t.Fatalf("constant stream estimate %v", f)
+	}
+}
+
+func TestEpsJustBelowPhi(t *testing.T) {
+	// The tightest legal gap: ϕ − ε barely positive.
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.099999, Phi: 0.1, Delta: 0.1,
+		StreamLength: 1000, Universe: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		hh.Insert(Item(i % 5))
+	}
+	// Every item has frequency 0.2·m ≥ ϕ·m: all five must be reported.
+	if rep := hh.Report(); len(rep) != 5 {
+		t.Fatalf("report has %d items, want 5", len(rep))
+	}
+}
+
+func TestSingleVoteElection(t *testing.T) {
+	b, _ := NewBorda(VoteConfig{Candidates: 3, Eps: 0.1, Delta: 0.1, StreamLength: 1, Seed: 4})
+	b.Insert(Ranking{2, 0, 1})
+	cand, score := b.Max()
+	if cand != 2 || score != 2 {
+		t.Fatalf("single-vote Borda winner (%d, %v)", cand, score)
+	}
+	mm, _ := NewMaximin(VoteConfig{Candidates: 3, Eps: 0.1, Delta: 0.1, StreamLength: 1, Seed: 5})
+	mm.Insert(Ranking{2, 0, 1})
+	cand, score = mm.Max()
+	if cand != 2 || score != 1 {
+		t.Fatalf("single-vote maximin winner (%d, %v)", cand, score)
+	}
+}
+
+// TestPacedFacadeEqualsUnpaced: the PacedBudget option defers work but
+// never changes answers.
+func TestPacedFacadeEqualsUnpaced(t *testing.T) {
+	const m = 100000
+	st := GeneratePlantedStream(31, m, []float64{0.3, 0.12}, 100, 10000, OrderShuffled)
+	mk := func(budget int) []ItemEstimate {
+		hh, err := NewListHeavyHitters(Config{
+			Eps: 0.05, Phi: 0.1, Delta: 0.1,
+			StreamLength: m, Universe: 1 << 20,
+			PacedBudget: budget, Seed: 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range st {
+			hh.Insert(x)
+		}
+		return hh.Report()
+	}
+	plain, paced := mk(0), mk(1)
+	if len(plain) != len(paced) {
+		t.Fatal("paced facade changed the report length")
+	}
+	for i := range plain {
+		if plain[i] != paced[i] {
+			t.Fatal("paced facade changed the report")
+		}
+	}
+}
+
+// TestPacedFacadeSerializes: checkpointing a paced solver flushes first,
+// so restore is exact.
+func TestPacedFacadeSerializes(t *testing.T) {
+	const m = 50000
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.1, Phi: 0.3, Delta: 0.1,
+		StreamLength: m, Universe: 1 << 16, PacedBudget: 1, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := GeneratePlantedStream(19, m, []float64{0.5}, 100, 1000, OrderShuffled)
+	for _, x := range st[:m/2] {
+		hh.Insert(x)
+	}
+	blob, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalListHeavyHitters(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range st[m/2:] {
+		hh.Insert(x)
+		restored.Insert(x)
+	}
+	a, b := hh.Report(), restored.Report()
+	if len(a) != len(b) {
+		t.Fatal("restored paced solver diverged")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("restored paced solver diverged")
+		}
+	}
+}
+
+func TestUnknownLengthNotSerializable(t *testing.T) {
+	hh, err := NewListHeavyHitters(Config{
+		Eps: 0.1, Phi: 0.3, Delta: 0.1, Universe: 100, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hh.MarshalBinary(); err == nil {
+		t.Fatal("unknown-length solver claimed to serialize")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	for _, blob := range [][]byte{nil, {}, {0}, {99, 1, 2, 3}, {1}, {2}} {
+		if _, err := UnmarshalListHeavyHitters(blob); err == nil {
+			t.Fatalf("garbage %v accepted", blob)
+		}
+	}
+}
+
+// TestReportIsIdempotent: calling Report twice returns the same answer
+// and does not disturb the sketch.
+func TestReportIsIdempotent(t *testing.T) {
+	hh, _ := NewListHeavyHitters(Config{
+		Eps: 0.05, Phi: 0.2, Delta: 0.1, StreamLength: 20000, Universe: 1 << 16, Seed: 7,
+	})
+	st := GeneratePlantedStream(8, 20000, []float64{0.4}, 100, 1000, OrderShuffled)
+	for _, x := range st {
+		hh.Insert(x)
+	}
+	a := hh.Report()
+	b := hh.Report()
+	if len(a) != len(b) {
+		t.Fatal("report not idempotent")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("report not idempotent")
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].Item < a[j].Item })
+}

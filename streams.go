@@ -1,0 +1,51 @@
+package l1hh
+
+import (
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// StreamGenerator produces one stream item per call.
+type StreamGenerator = stream.Generator
+
+// StreamOrder selects how a materialized stream is arranged.
+type StreamOrder = stream.Order
+
+// Stream orderings for GeneratePlantedStream.
+const (
+	// OrderShuffled is a uniform random permutation.
+	OrderShuffled = stream.Shuffled
+	// OrderSorted keeps all copies of each item contiguous.
+	OrderSorted = stream.SortedRuns
+	// OrderHeavyLast delivers the heavy items at the end of the stream.
+	OrderHeavyLast = stream.HeavyLast
+	// OrderInterleave round-robins across items.
+	OrderInterleave = stream.Interleave
+)
+
+// NewZipfStream returns a Zipf(s) generator over [0, n): item 0 is the
+// most frequent. s = 0 is uniform.
+func NewZipfStream(seed uint64, n uint64, s float64) StreamGenerator {
+	return stream.NewZipf(rng.New(seed), n, s)
+}
+
+// NewUniformStream returns a uniform generator over [0, n).
+func NewUniformStream(seed uint64, n uint64) StreamGenerator {
+	return stream.NewUniform(rng.New(seed), n)
+}
+
+// NewPlantedStream returns a generator where item i has relative
+// frequency weights[i] and the remaining mass is uniform noise over
+// [noiseLo, noiseHi).
+func NewPlantedStream(seed uint64, weights []float64, noiseLo, noiseHi uint64) StreamGenerator {
+	return stream.NewPlanted(rng.New(seed), weights, noiseLo, noiseHi)
+}
+
+// GeneratePlantedStream materializes a stream of exactly m items in which
+// item i occurs exactly round(weights[i]·m) times, arranged per order.
+func GeneratePlantedStream(seed uint64, m int, weights []float64, noiseLo, noiseHi uint64, order StreamOrder) []Item {
+	return stream.PlantedStream(rng.New(seed), m, weights, noiseLo, noiseHi, order)
+}
+
+// Generate draws n items from g into a fresh slice.
+func Generate(g StreamGenerator, n int) []Item { return stream.Fill(g, n) }
