@@ -8,6 +8,7 @@ package l1hh
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/commlower"
@@ -127,6 +128,138 @@ func BenchmarkE1Report(b *testing.B) {
 	for _, x := range benchStream {
 		hh.Insert(x)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hh.Report()
+	}
+}
+
+// --- E8: sharded concurrent ingest vs the serial path ---
+
+// benchZipfStream is the workload for the sharded benchmarks: a heavy-
+// tailed Zipf stream, the insertion-stream setting the sharded engine
+// targets. The Zipf support is 2²⁰ ids (the generator materializes a CDF
+// of that length) inside the solvers' 2³⁰ universe. Lazy so plain test
+// runs don't pay the generation cost.
+var benchZipfStream = sync.OnceValue(func() []Item {
+	return Generate(NewZipfStream(20, 1<<20, 1.1), 1<<20)
+})
+
+// shardedBenchConfig picks parameters where per-item sketch work
+// dominates (ε = 0.01 with declared m = 2²² keeps the sample rate at 1),
+// so the benchmark measures how well that work parallelizes across
+// shards rather than raw channel overhead.
+func shardedBenchConfig(shards int) ShardedConfig {
+	return ShardedConfig{
+		Config: Config{
+			Eps: 0.01, Phi: 0.1, Delta: 0.1,
+			StreamLength: 1 << 22, Universe: 1 << 30,
+			Algorithm: AlgorithmOptimal, Seed: 16,
+		},
+		Shards: shards,
+	}
+}
+
+// BenchmarkShardedInsert feeds a single producer through InsertBatch at
+// 1–8 shards against the serial Insert loop. ns/op is per item; on a
+// K-core machine the sharded rows should approach a K× speedup (the
+// acceptance target is ≥ 2× at 8 shards), since the partition loop is
+// cheap next to the per-item table work this config induces.
+func BenchmarkShardedInsert(b *testing.B) {
+	const chunk = 8192
+	zipf := benchZipfStream()
+	b.Run("serial", func(b *testing.B) {
+		hh, err := NewListHeavyHitters(shardedBenchConfig(1).Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hh.Insert(zipf[i&(1<<20-1)])
+		}
+		b.StopTimer()
+		reportBits(b, hh)
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			hh, err := NewShardedListHeavyHitters(shardedBenchConfig(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for off := 0; off < b.N; off += chunk {
+				end := off + chunk
+				if end > b.N {
+					end = b.N
+				}
+				lo, hi := off&(1<<20-1), end&(1<<20-1)
+				if hi <= lo {
+					hi = 1 << 20
+				}
+				if err := hh.InsertBatch(zipf[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hh.Flush() // count queued work inside the timed region
+			b.StopTimer()
+			b.ReportMetric(float64(hh.ModelBits()), "model-bits")
+			hh.Close()
+		})
+	}
+}
+
+// BenchmarkShardedInsertParallel is the many-producer story: GOMAXPROCS
+// goroutines call InsertBatch concurrently, which is how a daemon under
+// concurrent HTTP load drives the engine.
+func BenchmarkShardedInsertParallel(b *testing.B) {
+	const chunk = 8192
+	zipf := benchZipfStream()
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			hh, err := NewShardedListHeavyHitters(shardedBenchConfig(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			// One op = one item, as in BenchmarkShardedInsert; each
+			// producer accumulates a local chunk before dispatching.
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]Item, 0, chunk)
+				pos := 0
+				for pb.Next() {
+					batch = append(batch, zipf[pos&(1<<20-1)])
+					pos++
+					if len(batch) == chunk {
+						if err := hh.InsertBatch(batch); err != nil {
+							b.Error(err)
+							return
+						}
+						batch = batch[:0]
+					}
+				}
+				if err := hh.InsertBatch(batch); err != nil {
+					b.Error(err)
+				}
+			})
+			hh.Flush()
+			b.StopTimer()
+			hh.Close()
+		})
+	}
+}
+
+// BenchmarkShardedReport measures the merged-report barrier on a loaded
+// engine.
+func BenchmarkShardedReport(b *testing.B) {
+	hh, err := NewShardedListHeavyHitters(shardedBenchConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hh.Close()
+	if err := hh.InsertBatch(benchZipfStream()); err != nil {
+		b.Fatal(err)
+	}
+	hh.Flush()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = hh.Report()

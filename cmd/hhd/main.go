@@ -1,0 +1,146 @@
+// hhd is the heavy hitters streaming daemon: a ShardedListHeavyHitters
+// behind HTTP, ingesting batches concurrently across hash-partitioned
+// solver shards and answering merged reports.
+//
+// Endpoints:
+//
+//	POST /ingest      binary (application/octet-stream, LE uint64s) or
+//	                  NDJSON (bare ids, or {"item":N,"count":K}) batches
+//	GET  /report      heavy hitters with estimates, global thresholds
+//	POST /checkpoint  serialized engine state (application/octet-stream)
+//	POST /restore     swap in a previously checkpointed state
+//	GET  /healthz     liveness
+//	GET  /metrics     expvar: hhd.items_total, hhd.items_per_sec,
+//	                  hhd.queue_depths, hhd.model_bits, hhd.shards
+//
+// Shutdown on SIGINT/SIGTERM is graceful: stop accepting requests, drain
+// every shard queue, and (with -checkpoint) write a final snapshot, so a
+// restart with the same flag resumes the stream where it stopped.
+//
+// Usage:
+//
+//	hhd -addr :8080 -eps 0.01 -phi 0.05 -m 100000000 -shards 8
+//	curl -X POST --data-binary @ids.u64le -H 'Content-Type: application/octet-stream' localhost:8080/ingest
+//	curl localhost:8080/report
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	l1hh "repro"
+)
+
+var (
+	addrFlag       = flag.String("addr", ":8080", "listen address")
+	epsFlag        = flag.Float64("eps", 0.01, "additive error ε")
+	phiFlag        = flag.Float64("phi", 0.05, "heaviness threshold ϕ")
+	deltaFlag      = flag.Float64("delta", 0.05, "failure probability δ")
+	mFlag          = flag.Uint64("m", 0, "expected stream length (0 = unknown; disables checkpointing)")
+	universeFlag   = flag.Uint64("universe", 1<<62, "universe size; ids in [0, universe)")
+	shardsFlag     = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+	algoFlag       = flag.String("algo", "optimal", "engine: optimal or simple")
+	seedFlag       = flag.Uint64("seed", 1, "RNG seed")
+	queueFlag      = flag.Int("queue-depth", 0, "per-shard queue depth in batches (0 = default)")
+	batchFlag      = flag.Int("max-batch", 0, "max items per dispatched batch (0 = default)")
+	checkpointFlag = flag.String("checkpoint", "", "snapshot file: loaded on start if present, written on shutdown")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	algo := l1hh.AlgorithmOptimal
+	switch *algoFlag {
+	case "optimal":
+	case "simple":
+		algo = l1hh.AlgorithmSimple
+	default:
+		return fmt.Errorf("unknown -algo %q", *algoFlag)
+	}
+	if *checkpointFlag != "" && *mFlag == 0 {
+		return errors.New("-checkpoint requires a known stream length (-m > 0): unknown-length solvers are not serializable")
+	}
+	scfg := l1hh.ShardedConfig{
+		Config: l1hh.Config{
+			Eps: *epsFlag, Phi: *phiFlag, Delta: *deltaFlag,
+			StreamLength: *mFlag, Universe: *universeFlag,
+			Algorithm: algo, Seed: *seedFlag,
+		},
+		Shards:     *shardsFlag,
+		QueueDepth: *queueFlag,
+		MaxBatch:   *batchFlag,
+	}
+
+	var (
+		srv *server
+		err error
+	)
+	if *checkpointFlag != "" {
+		if blob, rerr := os.ReadFile(*checkpointFlag); rerr == nil {
+			eng, uerr := l1hh.UnmarshalShardedListHeavyHitters(blob, scfg.QueueDepth, scfg.MaxBatch)
+			if uerr != nil {
+				return fmt.Errorf("loading checkpoint %s: %w", *checkpointFlag, uerr)
+			}
+			srv = newServerWith(scfg, eng)
+			log.Printf("restored %d items across %d shards from %s",
+				eng.Len(), eng.Shards(), *checkpointFlag)
+		} else if !errors.Is(rerr, os.ErrNotExist) {
+			return fmt.Errorf("reading checkpoint %s: %w", *checkpointFlag, rerr)
+		}
+	}
+	if srv == nil {
+		if srv, err = newServer(scfg); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("hhd listening on %s: ε=%g ϕ=%g δ=%g shards=%d algo=%s",
+		*addrFlag, *epsFlag, *phiFlag, *deltaFlag, srv.engine().Shards(), *algoFlag)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	// Drain the shard queues so the final state covers every accepted item.
+	if err := srv.shutdown(); err != nil {
+		return err
+	}
+	if *checkpointFlag != "" {
+		blob, err := srv.engine().MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		if err := os.WriteFile(*checkpointFlag, blob, 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote checkpoint %s (%d bytes, %d items)",
+			*checkpointFlag, len(blob), srv.engine().Len())
+	}
+	return nil
+}

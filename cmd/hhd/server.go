@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	l1hh "repro"
+)
+
+// server wires a ShardedListHeavyHitters to HTTP. All handlers are safe
+// for concurrent use: ingest and queries take the engine under a read
+// lock; restore swaps it under the write lock.
+type server struct {
+	mux  *http.ServeMux
+	scfg l1hh.ShardedConfig
+
+	mu  sync.RWMutex
+	eng *l1hh.ShardedListHeavyHitters
+
+	start time.Time
+
+	// items/sec is computed per metrics scrape from the accepted-items
+	// counter delta.
+	rateMu     sync.Mutex
+	lastItems  uint64
+	lastScrape time.Time
+}
+
+// ingestBatchSize is how many items ingest hands to InsertBatch at once.
+const ingestBatchSize = 8192
+
+// maxSnapshotBody bounds /restore request bodies.
+const maxSnapshotBody = 1 << 30
+
+// maxLineCount bounds the "count" of a single NDJSON line so one line
+// cannot pin a handler expanding it (the expansion is item-by-item).
+const maxLineCount = 1 << 24
+
+// activeServer lets the process-wide expvar funcs (expvar registration
+// is global and permanent) follow the live server, including across
+// tests that build several servers.
+var activeServer atomic.Pointer[server]
+
+var publishOnce sync.Once
+
+func publishMetrics() {
+	get := func() *server { return activeServer.Load() }
+	expvar.Publish("hhd.items_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.engine().Items()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.items_per_sec", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.itemsPerSec()
+		}
+		return 0.0
+	}))
+	expvar.Publish("hhd.queue_depths", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.engine().QueueDepths()
+		}
+		return []int{}
+	}))
+	expvar.Publish("hhd.model_bits", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.engine().ModelBits()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.shards", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.engine().Shards()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.uptime_seconds", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return time.Since(s.start).Seconds()
+		}
+		return 0.0
+	}))
+}
+
+// newServer builds the engine for scfg and the routing table.
+func newServer(scfg l1hh.ShardedConfig) (*server, error) {
+	eng, err := l1hh.NewShardedListHeavyHitters(scfg)
+	if err != nil {
+		return nil, err
+	}
+	return newServerWith(scfg, eng), nil
+}
+
+func newServerWith(scfg l1hh.ShardedConfig, eng *l1hh.ShardedListHeavyHitters) *server {
+	s := &server{scfg: scfg, eng: eng, start: time.Now()}
+	s.lastScrape = s.start
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /report", s.handleReport)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /restore", s.handleRestore)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", expvar.Handler())
+	activeServer.Store(s)
+	publishOnce.Do(publishMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) engine() *l1hh.ShardedListHeavyHitters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng
+}
+
+func (s *server) itemsPerSec() float64 {
+	s.rateMu.Lock()
+	defer s.rateMu.Unlock()
+	now := time.Now()
+	items := s.engine().Items()
+	dt := now.Sub(s.lastScrape).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	if items < s.lastItems { // engine swapped to an older state
+		s.lastItems, s.lastScrape = items, now
+		return 0
+	}
+	rate := float64(items-s.lastItems) / dt
+	s.lastItems, s.lastScrape = items, now
+	return rate
+}
+
+// shutdown stops accepting state changes and drains the engine so the
+// final report/checkpoint reflect every accepted item.
+func (s *server) shutdown() error {
+	return s.engine().Close()
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleIngest accepts a batch of items. Two body formats:
+//
+//   - application/octet-stream: consecutive little-endian uint64 ids.
+//   - application/x-ndjson (or text/*): one item per line — a bare
+//     decimal id, or {"item": id} / {"item": id, "count": k} to insert
+//     an id k times.
+//
+// Responds {"accepted": n}. A full shard queue blocks (backpressure)
+// rather than dropping.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine()
+	ct := r.Header.Get("Content-Type")
+	var (
+		accepted uint64
+		err      error
+	)
+	switch {
+	case strings.HasPrefix(ct, "application/octet-stream"):
+		accepted, err = ingestBinary(eng, r.Body)
+	case ct == "" || strings.HasPrefix(ct, "application/x-ndjson"),
+		strings.HasPrefix(ct, "application/json"), strings.HasPrefix(ct, "text/"):
+		accepted, err = ingestNDJSON(eng, r.Body)
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
+		return
+	}
+	if err != nil {
+		// Items before the malformed point were already inserted;
+		// report both the error and the accepted count.
+		httpError(w, http.StatusBadRequest, "after %d items: %v", accepted, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"accepted": accepted})
+}
+
+func ingestBinary(eng *l1hh.ShardedListHeavyHitters, body io.Reader) (uint64, error) {
+	br := bufio.NewReaderSize(body, 1<<16)
+	batch := make([]l1hh.Item, 0, ingestBatchSize)
+	var accepted uint64
+	var word [8]byte
+	for {
+		_, err := io.ReadFull(br, word[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return accepted, fmt.Errorf("binary body length not a multiple of 8: %w", err)
+		}
+		batch = append(batch, binary.LittleEndian.Uint64(word[:]))
+		if len(batch) == cap(batch) {
+			if err := eng.InsertBatch(batch); err != nil {
+				return accepted, err
+			}
+			accepted += uint64(len(batch))
+			batch = batch[:0]
+		}
+	}
+	if err := eng.InsertBatch(batch); err != nil {
+		return accepted, err
+	}
+	return accepted + uint64(len(batch)), nil
+}
+
+// ndjsonLine is the object form of an ingest line. Count is a pointer
+// so an explicit "count": 0 (a no-op record) is distinct from an absent
+// count (insert once).
+type ndjsonLine struct {
+	Item  uint64  `json:"item"`
+	Count *uint64 `json:"count"`
+}
+
+func ingestNDJSON(eng *l1hh.ShardedListHeavyHitters, body io.Reader) (uint64, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	batch := make([]l1hh.Item, 0, ingestBatchSize)
+	var accepted uint64
+	flush := func() error {
+		if err := eng.InsertBatch(batch); err != nil {
+			return err
+		}
+		accepted += uint64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var id, count uint64 = 0, 1
+		if line[0] == '{' {
+			var l ndjsonLine
+			if err := json.Unmarshal([]byte(line), &l); err != nil {
+				return accepted, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			id = l.Item
+			if l.Count != nil {
+				if *l.Count > maxLineCount {
+					return accepted, fmt.Errorf("line %d: count %d exceeds limit %d", lineno, *l.Count, maxLineCount)
+				}
+				count = *l.Count
+			}
+		} else {
+			v, err := strconv.ParseUint(line, 10, 64)
+			if err != nil {
+				return accepted, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			id = v
+		}
+		for ; count > 0; count-- {
+			batch = append(batch, id)
+			if len(batch) == cap(batch) {
+				if err := flush(); err != nil {
+					return accepted, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return accepted, err
+	}
+	return accepted, flush()
+}
+
+// reportResponse is the GET /report body.
+type reportResponse struct {
+	Len          uint64         `json:"len"`
+	ModelBits    int64          `json:"model_bits"`
+	Shards       int            `json:"shards"`
+	HeavyHitters []reportedItem `json:"heavy_hitters"`
+}
+
+type reportedItem struct {
+	Item     uint64  `json:"item"`
+	Estimate float64 `json:"estimate"`
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine()
+	rep := eng.Report()
+	out := reportResponse{
+		Len:          eng.Len(),
+		ModelBits:    eng.ModelBits(),
+		Shards:       eng.Shards(),
+		HeavyHitters: make([]reportedItem, len(rep)),
+	}
+	for i, it := range rep {
+		out.HeavyHitters[i] = reportedItem{Item: it.Item, Estimate: it.F}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.engine().MarshalBinary()
+	if err != nil {
+		httpError(w, http.StatusConflict, "checkpoint: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.Write(blob)
+}
+
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	if len(blob) > maxSnapshotBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes", maxSnapshotBody)
+		return
+	}
+	restored, err := l1hh.UnmarshalShardedListHeavyHitters(blob, s.scfg.QueueDepth, s.scfg.MaxBatch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "restore: %v", err)
+		return
+	}
+	s.mu.Lock()
+	old := s.eng
+	s.eng = restored
+	s.mu.Unlock()
+	old.Close()
+	// Reset the rate baseline: the restored counter may be far below the
+	// old one, and a uint64 delta would wrap into an absurd items/sec.
+	s.rateMu.Lock()
+	s.lastItems, s.lastScrape = restored.Items(), time.Now()
+	s.rateMu.Unlock()
+	writeJSON(w, map[string]any{
+		"restored": true,
+		"len":      restored.Len(),
+		"shards":   restored.Shards(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}

@@ -20,6 +20,11 @@
 //     streams of votes (total orders), per Theorems 5 and 6.
 //   - Unknown-length variants of all of the above (Theorems 7–8), which
 //     need no advance knowledge of the stream length.
+//   - ShardedListHeavyHitters — the concurrent ingest engine: the
+//     universe hash-partitioned across N solver shards, each owned by a
+//     worker goroutine, with batched insertion from any number of
+//     producers, merged reports at global thresholds, and coordinated
+//     checkpoints (DESIGN.md §3). cmd/hhd serves it over HTTP.
 //
 // Plus the classic baselines the paper compares against (Misra-Gries,
 // Space-Saving, Count-Min, CountSketch, Lossy Counting, Sticky Sampling),

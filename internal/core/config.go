@@ -113,6 +113,12 @@ type ItemEstimate struct {
 	F float64
 }
 
+// SortEstimates orders reports by decreasing estimate, ties by ascending
+// id — the deterministic output order every Report in this repository
+// uses. Exported so the shard layer can merge per-shard reports into the
+// same order.
+func SortEstimates(out []ItemEstimate) { sortEstimates(out) }
+
 // sortEstimates orders reports by decreasing estimate, ties by ascending
 // id, for deterministic output.
 func sortEstimates(out []ItemEstimate) {

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Snapshot/Restore move a whole sharded engine between processes: the
+// frame records the partition (shard count + hash seed) so restored
+// routing is identical, and carries each engine's own MarshalBinary blob
+// opaquely — the shard layer never interprets sketch encodings.
+
+const snapshotVersion = 1
+
+// RestoreFactory rebuilds the engine for one shard from the blob its
+// MarshalBinary produced at snapshot time.
+type RestoreFactory func(shard, total int, blob []byte) (Engine, error)
+
+// Snapshot serializes the partition parameters and every shard engine.
+// It is a barrier: the snapshot reflects every item enqueued before the
+// call. Every engine must implement Marshaler.
+func (s *Sharded) Snapshot() ([]byte, error) {
+	blobs := make([][]byte, len(s.engines))
+	errs := make([]error, len(s.engines))
+	s.Do(func(i int, e Engine) {
+		m, ok := e.(Marshaler)
+		if !ok {
+			errs[i] = errors.New("shard: engine does not implement MarshalBinary")
+			return
+		}
+		blobs[i], errs[i] = m.MarshalBinary()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", i, len(s.engines), err)
+		}
+	}
+	w := wire.NewWriter()
+	w.U64(snapshotVersion)
+	w.U64(uint64(len(s.engines)))
+	w.U64(s.opts.Seed)
+	for _, b := range blobs {
+		w.Blob(b)
+	}
+	return w.Bytes(), nil
+}
+
+// Restore reconstructs a sharded engine from a Snapshot, rebuilding each
+// shard with factory and starting fresh workers. The shard count and
+// partition seed come from the snapshot; opts supplies the queue knobs
+// only (its Shards and Seed fields are ignored).
+func Restore(data []byte, factory RestoreFactory, opts Options) (*Sharded, error) {
+	r := wire.NewReader(data)
+	if v := r.U64(); v != snapshotVersion {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+		}
+		return nil, fmt.Errorf("shard: unsupported snapshot version %d", v)
+	}
+	shards := r.U64()
+	seed := r.U64()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+	}
+	if shards == 0 || shards > 1<<20 {
+		return nil, fmt.Errorf("shard: implausible shard count %d in snapshot", shards)
+	}
+	blobs := make([][]byte, shards)
+	for i := range blobs {
+		blobs[i] = r.Blob()
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+	}
+	if !r.Done() {
+		return nil, errors.New("shard: trailing bytes after snapshot")
+	}
+	opts.Shards = int(shards)
+	opts.Seed = seed
+	s, err := New(func(i, total int) (Engine, error) {
+		return factory(i, total, blobs[i])
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Restored engines already hold their processed items; seed the
+	// accepted-items counter to match so metrics stay coherent.
+	s.items.Store(s.Len())
+	return s, nil
+}

@@ -1,0 +1,328 @@
+// Package shard is the concurrent ingest engine: it hash-partitions the
+// item universe across N independent single-threaded sketches, each owned
+// by a dedicated worker goroutine fed through batched channels (Go
+// channels are ring buffers), and coordinates barrier operations — report,
+// flush, snapshot — against all of them.
+//
+// The partition is disjoint: every id is routed by a fixed seeded hash to
+// exactly one shard, so each item's full frequency lands in one sketch and
+// per-shard reports union cleanly. The layer is generic over the Engine
+// interface; the threshold semantics of the merged report (what counts as
+// heavy against the *global* stream length) belong to the caller — see the
+// l1hh.ShardedListHeavyHitters wrapper, and DESIGN.md §3 for the error
+// analysis.
+//
+// Concurrency model: any number of goroutines may call Insert/InsertBatch
+// concurrently; barrier operations (Report, Len, ModelBits, Snapshot, Do,
+// Flush) may run concurrently with ingest and observe some linearization
+// of it. Engines themselves are only ever touched by their owning worker
+// goroutine, so they need no locking. After Close, the workers have
+// exited and barrier operations run inline on the caller's goroutine.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Engine is the per-shard sketch contract. *l1hh.ListHeavyHitters and the
+// exact baseline both satisfy it.
+type Engine interface {
+	Insert(x uint64)
+	Report() []core.ItemEstimate
+	ModelBits() int64
+	Len() uint64
+}
+
+// Marshaler is the optional checkpointing contract; Snapshot requires
+// every engine to implement it.
+type Marshaler interface {
+	MarshalBinary() ([]byte, error)
+}
+
+// Factory builds the engine for one shard. It is called once per shard,
+// serially and in shard order, so seed derivation inside the factory is
+// deterministic.
+type Factory func(shard, total int) (Engine, error)
+
+// ErrClosed is returned by ingest calls after Close.
+var ErrClosed = errors.New("shard: engine closed")
+
+// Options configures the ingest layer (not the sketches).
+type Options struct {
+	// Shards is the partition width; 0 defaults to GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard channel capacity in batches; 0
+	// defaults to 64. Sends block when a queue is full, which is the
+	// backpressure mechanism.
+	QueueDepth int
+	// MaxBatch caps the items per dispatched batch; 0 defaults to 4096.
+	// Larger batches amortize the channel hand-off further at the cost
+	// of latency before a barrier can observe the items.
+	MaxBatch int
+	// Seed seeds the partition hash. The same seed must be used to
+	// restore a snapshot (Snapshot records it).
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4096
+	}
+}
+
+// msg is the unit of work on a shard queue: either a batch of items or a
+// barrier op. FIFO channel order is what makes a barrier observe every
+// batch enqueued before it.
+type msg struct {
+	batch []uint64
+	op    func(e Engine)
+}
+
+// Sharded fans a stream out to per-shard engines.
+type Sharded struct {
+	opts    Options
+	engines []Engine
+	queues  []chan msg
+	workers sync.WaitGroup
+
+	// mix is the partition-hash key, derived from Options.Seed; forced
+	// odd so x*mix is a bijection on uint64.
+	mix uint64
+
+	pool  sync.Pool // *[]uint64 batch buffers, cap == MaxBatch
+	items atomic.Uint64
+
+	// mu guards the closed transition: ingest and barriers hold it for
+	// read, Close holds it for write so nothing sends on a closed queue.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds engines with factory and starts one worker per shard.
+func New(factory Factory, opts Options) (*Sharded, error) {
+	opts.fill()
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", opts.Shards)
+	}
+	s := &Sharded{
+		opts: opts,
+		mix:  rng.New(opts.Seed).Uint64() | 1,
+	}
+	s.pool.New = func() any {
+		b := make([]uint64, 0, opts.MaxBatch)
+		return &b
+	}
+	s.engines = make([]Engine, opts.Shards)
+	s.queues = make([]chan msg, opts.Shards)
+	for i := range s.engines {
+		e, err := factory(i, opts.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", i, opts.Shards, err)
+		}
+		s.engines[i] = e
+		s.queues[i] = make(chan msg, opts.QueueDepth)
+	}
+	s.workers.Add(opts.Shards)
+	for i := range s.engines {
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// worker owns engine i: it drains the queue, inserting batches and
+// running barrier ops in arrival order, until Close closes the queue.
+func (s *Sharded) worker(i int) {
+	defer s.workers.Done()
+	e := s.engines[i]
+	for m := range s.queues[i] {
+		if m.op != nil {
+			m.op(e)
+			continue
+		}
+		for _, x := range m.batch {
+			e.Insert(x)
+		}
+		s.putBatch(m.batch)
+	}
+}
+
+// ShardOf returns the shard that owns id x: the high bits of a
+// multiplicative hash, range-reduced without bias toward low shards.
+// It is a pure function of (x, Options.Seed) for a fixed shard count.
+func (s *Sharded) ShardOf(x uint64) int {
+	h := x * s.mix
+	h ^= h >> 29 // mixes the low input bits into the product's high bits
+	hi, _ := bits.Mul64(h, uint64(len(s.engines)))
+	return int(hi)
+}
+
+// Shards returns the partition width.
+func (s *Sharded) Shards() int { return len(s.engines) }
+
+func (s *Sharded) getBatch() []uint64 {
+	return (*s.pool.Get().(*[]uint64))[:0]
+}
+
+func (s *Sharded) putBatch(b []uint64) {
+	b = b[:0]
+	s.pool.Put(&b)
+}
+
+// Insert routes a single item. It is a one-item batch — correct but slow;
+// high-throughput producers should call InsertBatch.
+func (s *Sharded) Insert(x uint64) error { return s.InsertBatch([]uint64{x}) }
+
+// InsertBatch partitions items by owning shard and enqueues one batch per
+// shard touched (splitting at MaxBatch). Safe for any number of
+// concurrent callers; blocks when a shard queue is full (backpressure).
+// The input slice is not retained.
+func (s *Sharded) InsertBatch(items []uint64) error {
+	if len(items) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	parts := make([][]uint64, len(s.engines))
+	for _, x := range items {
+		i := s.ShardOf(x)
+		if parts[i] == nil {
+			parts[i] = s.getBatch()
+		}
+		parts[i] = append(parts[i], x)
+		if len(parts[i]) >= s.opts.MaxBatch {
+			s.queues[i] <- msg{batch: parts[i]}
+			parts[i] = nil
+		}
+	}
+	for i, p := range parts {
+		if p != nil {
+			s.queues[i] <- msg{batch: p}
+		}
+	}
+	s.items.Add(uint64(len(items)))
+	return nil
+}
+
+// Items returns the number of items accepted by InsertBatch (they may
+// still be queued; Flush forces them into the engines).
+func (s *Sharded) Items() uint64 { return s.items.Load() }
+
+// QueueDepths reports the current per-shard queue occupancy in batches,
+// for monitoring.
+func (s *Sharded) QueueDepths() []int {
+	out := make([]int, len(s.queues))
+	for i, q := range s.queues {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// Do runs f against every shard's engine from the engine's owning
+// goroutine, after every batch enqueued before the call, and returns when
+// all shards have run it. Calls for distinct shards run concurrently, so
+// f must only touch per-shard state (index its own slot by shard).
+func (s *Sharded) Do(f func(shard int, e Engine)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		// Workers have exited (Close waited for them, establishing a
+		// happens-before on engine state): run inline.
+		for i, e := range s.engines {
+			f(i, e)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.queues))
+	for i := range s.queues {
+		i := i
+		s.queues[i] <- msg{op: func(e Engine) {
+			f(i, e)
+			wg.Done()
+		}}
+	}
+	wg.Wait()
+}
+
+// Flush blocks until every item enqueued before the call has been
+// inserted into its engine.
+func (s *Sharded) Flush() { s.Do(func(int, Engine) {}) }
+
+// Report returns the union of all per-shard reports, sorted by
+// decreasing estimate (ties by ascending id). Because the partition is
+// disjoint no item appears twice. Thresholding against the global stream
+// length is the caller's job — each engine applied its own shard-local
+// threshold, which is looser (a shard holds at most the whole stream).
+func (s *Sharded) Report() []core.ItemEstimate {
+	parts := make([][]core.ItemEstimate, len(s.engines))
+	s.Do(func(i int, e Engine) { parts[i] = e.Report() })
+	var out []core.ItemEstimate
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	core.SortEstimates(out)
+	return out
+}
+
+// Len returns the total number of items the engines have processed.
+func (s *Sharded) Len() uint64 {
+	lens := make([]uint64, len(s.engines))
+	s.Do(func(i int, e Engine) { lens[i] = e.Len() })
+	var total uint64
+	for _, l := range lens {
+		total += l
+	}
+	return total
+}
+
+// ModelBits returns the summed size of all shard sketches under the
+// paper's accounting (DESIGN.md §4): K-way parallelism costs K sketches.
+func (s *Sharded) ModelBits() int64 {
+	bitsPer := make([]int64, len(s.engines))
+	s.Do(func(i int, e Engine) { bitsPer[i] = e.ModelBits() })
+	var total int64
+	for _, b := range bitsPer {
+		total += b
+	}
+	return total
+}
+
+// Close drains every queue, stops the workers and waits for them. After
+// Close, ingest calls return ErrClosed but barrier operations (Report,
+// Snapshot, …) still work, running inline — this is the graceful-shutdown
+// path: stop accepting, Close to drain, then take a final report or
+// checkpoint. Close is idempotent.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, q := range s.queues {
+		close(q) // workers drain remaining messages, then exit
+	}
+	// Wait while still holding the write lock: a barrier acquiring the
+	// read lock after us must find the workers already gone, or its
+	// inline engine access would race the draining workers.
+	s.workers.Wait()
+	s.mu.Unlock()
+	return nil
+}

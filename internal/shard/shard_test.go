@@ -1,0 +1,410 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// fake is an exact-counting engine with a deterministic encoding, so the
+// tests exercise the ingest layer without depending on any sketch.
+type fake struct {
+	counts map[uint64]uint64
+	n      uint64
+}
+
+func newFake() *fake { return &fake{counts: make(map[uint64]uint64)} }
+
+func (f *fake) Insert(x uint64) { f.counts[x]++; f.n++ }
+func (f *fake) Len() uint64     { return f.n }
+func (f *fake) ModelBits() int64 {
+	return int64(len(f.counts)) * 128
+}
+
+func (f *fake) Report() []core.ItemEstimate {
+	out := make([]core.ItemEstimate, 0, len(f.counts))
+	for x, c := range f.counts {
+		out = append(out, core.ItemEstimate{Item: x, F: float64(c)})
+	}
+	core.SortEstimates(out)
+	return out
+}
+
+func (f *fake) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.Map(f.counts)
+	w.U64(f.n)
+	return w.Bytes(), nil
+}
+
+func unmarshalFake(blob []byte) (*fake, error) {
+	r := wire.NewReader(blob)
+	f := &fake{counts: r.Map()}
+	f.n = r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if f.counts == nil {
+		f.counts = make(map[uint64]uint64)
+	}
+	return f, nil
+}
+
+func fakeFactory(int, int) (Engine, error) { return newFake(), nil }
+
+func newFakeSharded(t *testing.T, opts Options) *Sharded {
+	t.Helper()
+	s, err := New(fakeFactory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPartitionDisjointAndComplete checks that under concurrent
+// producers every inserted occurrence lands in exactly the shard that
+// ShardOf names, and nothing is lost or duplicated.
+func TestPartitionDisjointAndComplete(t *testing.T) {
+	const producers, perProducer = 8, 20_000
+	s := newFakeSharded(t, Options{Shards: 4, Seed: 11, MaxBatch: 256, QueueDepth: 8})
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := rng.New(uint64(100 + p))
+			batch := make([]uint64, 0, 500)
+			for i := 0; i < perProducer; i++ {
+				batch = append(batch, src.Uint64n(5000))
+				if len(batch) == cap(batch) {
+					if err := s.InsertBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if err := s.InsertBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if got := s.Items(); got != producers*perProducer {
+		t.Fatalf("Items() = %d, want %d", got, producers*perProducer)
+	}
+	if got := s.Len(); got != producers*perProducer {
+		t.Fatalf("Len() = %d, want %d", got, producers*perProducer)
+	}
+
+	lens := make([]uint64, s.Shards())
+	s.Do(func(i int, e Engine) {
+		f := e.(*fake)
+		for x := range f.counts {
+			if want := s.ShardOf(x); want != i {
+				t.Errorf("item %d landed in shard %d, ShardOf says %d", x, i, want)
+			}
+		}
+		lens[i] = f.n
+	})
+	var total uint64
+	for _, l := range lens {
+		total += l
+	}
+	if total != producers*perProducer {
+		t.Fatalf("per-shard sum = %d, want %d", total, producers*perProducer)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBarriers runs Report/Flush/Len concurrently with ingest;
+// under -race this is the memory-safety proof for the barrier protocol.
+func TestConcurrentBarriers(t *testing.T) {
+	s := newFakeSharded(t, Options{Shards: 3, Seed: 5, MaxBatch: 64, QueueDepth: 4})
+	var producers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			src := rng.New(uint64(p))
+			batch := make([]uint64, 100)
+			for i := 0; i < 200; i++ {
+				for j := range batch {
+					batch[j] = src.Uint64n(1000)
+				}
+				if err := s.InsertBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	reporterDone := make(chan struct{})
+	go func() {
+		defer close(reporterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Report()
+			_ = s.Len()
+			_ = s.ModelBits()
+			s.Flush()
+		}
+	}()
+	producers.Wait()
+	close(stop)
+	<-reporterDone
+	if got, want := s.Len(), uint64(4*200*100); got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRestore checks the checkpoint round trip: identical
+// reports, lengths and re-snapshot bytes, and that a restored engine
+// keeps ingesting with identical routing.
+func TestSnapshotRestore(t *testing.T) {
+	restoreFactory := func(i, total int, blob []byte) (Engine, error) {
+		return unmarshalFake(blob)
+	}
+	s := newFakeSharded(t, Options{Shards: 4, Seed: 42})
+	src := rng.New(1)
+	first := make([]uint64, 50_000)
+	for i := range first {
+		first[i] = src.Uint64n(2000)
+	}
+	if err := s.InsertBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Restore(blob, restoreFactory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 4 {
+		t.Fatalf("restored %d shards, want 4", r.Shards())
+	}
+	if got, want := r.Items(), s.Items(); got != want {
+		t.Fatalf("restored Items() = %d, want %d", got, want)
+	}
+
+	// Same tail into both; reports must agree exactly.
+	second := make([]uint64, 50_000)
+	for i := range second {
+		second[i] = src.Uint64n(2000)
+	}
+	if err := s.InsertBatch(second); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InsertBatch(second); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Report(), r.Report()
+	if len(a) != len(b) {
+		t.Fatalf("report lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reports diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	sa, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("snapshots diverge after identical tails")
+	}
+	s.Close()
+	r.Close()
+}
+
+// TestDeterminism: same seed, same shard count, same single-producer
+// stream ⇒ byte-identical snapshots and identical reports.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]byte, []core.ItemEstimate) {
+		s := newFakeSharded(t, Options{Shards: 5, Seed: 77})
+		defer s.Close()
+		src := rng.New(9)
+		batch := make([]uint64, 1000)
+		for i := 0; i < 40; i++ {
+			for j := range batch {
+				batch[j] = src.Uint64n(300)
+			}
+			if err := s.InsertBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blob, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob, s.Report()
+	}
+	b1, r1 := run()
+	b2, r2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("snapshot bytes not deterministic")
+	}
+	if fmt.Sprint(r1) != fmt.Sprint(r2) {
+		t.Fatal("reports not deterministic")
+	}
+}
+
+// TestPartitionSeedChangesRouting guards against the hash silently
+// ignoring its seed.
+func TestPartitionSeedChangesRouting(t *testing.T) {
+	a := newFakeSharded(t, Options{Shards: 8, Seed: 1})
+	b := newFakeSharded(t, Options{Shards: 8, Seed: 2})
+	defer a.Close()
+	defer b.Close()
+	diff := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.ShardOf(x) != b.ShardOf(x) {
+			diff++
+		}
+	}
+	if diff < 500 {
+		t.Fatalf("only %d/1000 ids routed differently under a different seed", diff)
+	}
+}
+
+// TestPartitionBalance: the multiplicative hash must spread both dense
+// and strided id spaces roughly evenly.
+func TestPartitionBalance(t *testing.T) {
+	s := newFakeSharded(t, Options{Shards: 8, Seed: 3})
+	defer s.Close()
+	for _, stride := range []uint64{1, 4096} {
+		counts := make([]int, 8)
+		for i := uint64(0); i < 64_000; i++ {
+			counts[s.ShardOf(i*stride)]++
+		}
+		for i, c := range counts {
+			if c < 5000 || c > 11_000 {
+				t.Fatalf("stride %d: shard %d got %d of 64000 (want ≈8000)", stride, i, c)
+			}
+		}
+	}
+}
+
+// TestCloseSemantics: Close drains, is idempotent, fails ingest but
+// still answers barrier queries inline.
+func TestCloseSemantics(t *testing.T) {
+	s := newFakeSharded(t, Options{Shards: 2, Seed: 1, QueueDepth: 128, MaxBatch: 16})
+	items := make([]uint64, 10_000)
+	for i := range items {
+		items[i] = uint64(i)
+	}
+	if err := s.InsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+	// All queued batches must have been drained before the workers quit.
+	if got := s.Len(); got != 10_000 {
+		t.Fatalf("Len() after Close = %d, want 10000 (drain lost items)", got)
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal("Snapshot after Close:", err)
+	}
+	if got := len(s.Report()); got != 10_000 {
+		t.Fatalf("Report after Close returned %d items, want 10000", got)
+	}
+	if err := s.InsertBatch(items); err != ErrClosed {
+		t.Fatalf("InsertBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Insert(1); err != ErrClosed {
+		t.Fatalf("Insert after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRacingBarrier: Close must not let a concurrent barrier run
+// inline while workers are still draining queued batches (regression:
+// Close once released its lock before waiting for the workers).
+func TestCloseRacingBarrier(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := newFakeSharded(t, Options{Shards: 2, Seed: 1, QueueDepth: 256, MaxBatch: 8})
+		items := make([]uint64, 4096)
+		for i := range items {
+			items[i] = uint64(i)
+		}
+		if err := s.InsertBatch(items); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan uint64, 1)
+		go func() { done <- s.Len() }()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done // Len raced Close; -race must stay quiet
+		if got := s.Len(); got != 4096 {
+			t.Fatalf("round %d: Len after Close = %d, want 4096", round, got)
+		}
+	}
+}
+
+// TestRestoreRejectsCorrupt: truncations and garbage fail loudly.
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	rf := func(i, total int, blob []byte) (Engine, error) { return unmarshalFake(blob) }
+	s := newFakeSharded(t, Options{Shards: 2, Seed: 1})
+	defer s.Close()
+	s.InsertBatch([]uint64{1, 2, 3})
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+		if _, err := Restore(blob[:cut], rf, Options{}); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := Restore(append(append([]byte{}, blob...), 0xFF), rf, Options{}); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	bad := wire.NewWriter()
+	bad.U64(99) // unknown version
+	if _, err := Restore(bad.Bytes(), rf, Options{}); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+// TestFactoryErrorPropagates: a failing shard factory aborts New with
+// the shard index in the error.
+func TestFactoryErrorPropagates(t *testing.T) {
+	_, err := New(func(i, total int) (Engine, error) {
+		if i == 1 {
+			return nil, fmt.Errorf("boom")
+		}
+		return newFake(), nil
+	}, Options{Shards: 3})
+	if err == nil {
+		t.Fatal("factory error swallowed")
+	}
+}

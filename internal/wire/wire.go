@@ -71,6 +71,15 @@ func (w *Writer) U32s(vs []uint32) {
 	}
 }
 
+// Blob appends a length-prefixed opaque byte string. Nested encodings
+// (e.g. a sharded container framing the per-shard sketch encodings) use
+// it so inner formats stay self-describing without the outer format
+// knowing their length rules.
+func (w *Writer) Blob(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
 // Map appends a map with sorted keys, so equal maps encode equally.
 func (w *Writer) Map(m map[uint64]uint64) {
 	keys := make([]uint64, 0, len(m))
@@ -181,6 +190,22 @@ func (r *Reader) U32s() []uint32 {
 		}
 		out[i] = uint32(v)
 	}
+	return out
+}
+
+// Blob reads a length-prefixed byte string written by Writer.Blob. The
+// returned slice aliases the reader's buffer; callers that keep it past
+// the reader's lifetime should copy.
+func (r *Reader) Blob() []byte {
+	n := r.U64()
+	if r.err != nil || n > uint64(len(r.buf)) {
+		if r.err == nil {
+			r.err = ErrCorrupt
+		}
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
 	return out
 }
 

@@ -53,6 +53,35 @@ func TestRoundTripSlicesAndMaps(t *testing.T) {
 	}
 }
 
+func TestRoundTripBlob(t *testing.T) {
+	w := NewWriter()
+	w.Blob([]byte("inner encoding"))
+	w.Blob(nil)
+	w.U64(7)
+	r := NewReader(w.Bytes())
+	if string(r.Blob()) != "inner encoding" {
+		t.Fatal("blob round trip failed")
+	}
+	if len(r.Blob()) != 0 || r.Err() != nil {
+		t.Fatal("empty blob round trip failed")
+	}
+	if r.U64() != 7 || !r.Done() {
+		t.Fatal("reader misaligned after blobs")
+	}
+}
+
+func TestBlobTruncationDetected(t *testing.T) {
+	w := NewWriter()
+	w.Blob([]byte{1, 2, 3, 4, 5})
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		if r.Blob(); r.Err() == nil {
+			t.Fatalf("blob truncation at %d undetected", cut)
+		}
+	}
+}
+
 func TestDeterministicMapEncoding(t *testing.T) {
 	a, b := NewWriter(), NewWriter()
 	m := map[uint64]uint64{1: 2, 3: 4, 5: 6, 7: 8}

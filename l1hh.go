@@ -155,6 +155,9 @@ func (h *ListHeavyHitters) applyPacing(budget int, inner core.Pacable) {
 const (
 	tagOptimal byte = 1
 	tagSimple  byte = 2
+	// tagSharded marks a ShardedListHeavyHitters container, whose frame
+	// nests per-shard encodings that carry their own engine tags.
+	tagSharded byte = 3
 )
 
 // taggedMarshal prefixes the engine tag to the engine's own encoding.

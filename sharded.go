@@ -1,0 +1,190 @@
+package l1hh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// ShardedConfig configures the concurrent sharded solver: the problem
+// parameters of Config plus the ingest-layer knobs.
+type ShardedConfig struct {
+	Config
+	// Shards is the number of independent solver instances the universe
+	// is hash-partitioned across, each owned by a worker goroutine; 0
+	// defaults to GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard queue capacity in batches (0 = 64).
+	// Full queues block producers — that is the backpressure.
+	QueueDepth int
+	// MaxBatch caps items per dispatched batch (0 = 4096).
+	MaxBatch int
+}
+
+// ShardedListHeavyHitters is the concurrent (ε,ϕ)-heavy hitters solver:
+// ids are hash-partitioned across Shards independent engines, so an
+// item's entire frequency lands in exactly one shard and per-shard
+// reports union cleanly. Any number of goroutines may call Insert and
+// InsertBatch concurrently; Report, ModelBits, Len, MarshalBinary and
+// Close are barriers that may run concurrently with ingest.
+//
+// Guarantees (DESIGN.md §3): each shard runs the configured engine at
+// (ε, ϕ, δ/Shards) against its partition; the merged Report applies the
+// (ϕ − ε/2)·m threshold against the global stream length m. Every item
+// with f ≥ ϕ·m is reported and estimates are within ε·m, as for the
+// serial solver; the no-false-positive bound (f ≤ (ϕ−ε)·m never
+// reported) additionally needs no single shard to carry more than half
+// the stream, which hash partitioning gives whp for Shards ≥ 2.
+type ShardedListHeavyHitters struct {
+	s        *shard.Sharded
+	eps, phi float64
+}
+
+// NewShardedListHeavyHitters returns a sharded solver for cfg. Per-shard
+// engine seeds and the partition-hash seed all derive from cfg.Seed, so
+// a fixed (Seed, Shards) pair is fully reproducible.
+func NewShardedListHeavyHitters(cfg ShardedConfig) (*ShardedListHeavyHitters, error) {
+	cfg.fill()
+	opts := shard.Options{
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.QueueDepth,
+		MaxBatch:   cfg.MaxBatch,
+	}
+	seeds := rng.New(cfg.Seed)
+	opts.Seed = seeds.Uint64()
+	factory := func(i, total int) (shard.Engine, error) {
+		return NewListHeavyHitters(shardEngineConfig(cfg.Config, total, seeds.Uint64()))
+	}
+	s, err := shard.New(factory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedListHeavyHitters{s: s, eps: cfg.Eps, phi: cfg.Phi}, nil
+}
+
+// shardEngineConfig derives one shard's solver Config from the global
+// problem: same (ε, ϕ) relative to the shard's own substream, failure
+// probability split δ/K so a union bound covers all shards, and the
+// expected per-shard length m/K (engines accept receiving more or fewer;
+// an overloaded shard oversamples, which costs space, never accuracy).
+func shardEngineConfig(cfg Config, total int, seed uint64) Config {
+	c := cfg
+	c.Delta = cfg.Delta / float64(total)
+	if cfg.StreamLength > 0 {
+		c.StreamLength = (cfg.StreamLength + uint64(total) - 1) / uint64(total)
+	}
+	c.Seed = seed
+	return c
+}
+
+// Insert routes one item; prefer InsertBatch on hot paths.
+func (h *ShardedListHeavyHitters) Insert(x Item) error { return h.s.Insert(x) }
+
+// InsertBatch partitions items across the shard queues. Safe for
+// concurrent callers; blocks when a queue is full. Returns
+// shard.ErrClosed after Close.
+func (h *ShardedListHeavyHitters) InsertBatch(items []Item) error {
+	return h.s.InsertBatch(items)
+}
+
+// Report merges the per-shard reports and applies the (ϕ − ε/2)·m
+// threshold against the global stream length m, returning heavy hitters
+// in decreasing-estimate order. It is a barrier: every item enqueued
+// before the call is reflected.
+func (h *ShardedListHeavyHitters) Report() []ItemEstimate {
+	reports := make([][]ItemEstimate, h.s.Shards())
+	lens := make([]uint64, h.s.Shards())
+	h.s.Do(func(i int, e shard.Engine) {
+		reports[i] = e.Report()
+		lens[i] = e.Len()
+	})
+	var m uint64
+	for _, l := range lens {
+		m += l
+	}
+	thresh := (h.phi - h.eps/2) * float64(m)
+	var out []ItemEstimate
+	for _, rep := range reports {
+		for _, r := range rep {
+			if r.F >= thresh {
+				out = append(out, r)
+			}
+		}
+	}
+	core.SortEstimates(out)
+	return out
+}
+
+// Len returns the total number of items processed across all shards
+// (a barrier; see Items for the cheap accepted-count).
+func (h *ShardedListHeavyHitters) Len() uint64 { return h.s.Len() }
+
+// Items returns the number of items accepted so far without flushing
+// the queues — the cheap counter the daemon's metrics poll.
+func (h *ShardedListHeavyHitters) Items() uint64 { return h.s.Items() }
+
+// Shards returns the partition width.
+func (h *ShardedListHeavyHitters) Shards() int { return h.s.Shards() }
+
+// QueueDepths reports per-shard queue occupancy in batches.
+func (h *ShardedListHeavyHitters) QueueDepths() []int { return h.s.QueueDepths() }
+
+// ModelBits sums the per-shard sketch sizes under the paper's
+// accounting: K-way parallelism honestly costs K sketches.
+func (h *ShardedListHeavyHitters) ModelBits() int64 { return h.s.ModelBits() }
+
+// Flush blocks until every accepted item has reached its engine.
+func (h *ShardedListHeavyHitters) Flush() { h.s.Flush() }
+
+// Close drains the queues and stops the workers. Report, ModelBits and
+// MarshalBinary still work afterwards (they run inline); ingest returns
+// shard.ErrClosed. Idempotent.
+func (h *ShardedListHeavyHitters) Close() error { return h.s.Close() }
+
+// MarshalBinary checkpoints the complete sharded state: the problem
+// thresholds, the partition, and every shard engine's own serialized
+// state. Known-stream-length engines only (as for ListHeavyHitters).
+// It is a barrier: the checkpoint reflects every item enqueued before
+// the call.
+func (h *ShardedListHeavyHitters) MarshalBinary() ([]byte, error) {
+	snap, err := h.s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter()
+	w.F64(h.eps)
+	w.F64(h.phi)
+	w.Blob(snap)
+	return append([]byte{tagSharded}, w.Bytes()...), nil
+}
+
+// UnmarshalShardedListHeavyHitters reconstructs a solver checkpointed by
+// MarshalBinary; the restored solver continues the stream exactly where
+// the original stopped, with identical routing. QueueDepth and MaxBatch
+// are runtime tuning, not serialized state — pass zero for the defaults.
+func UnmarshalShardedListHeavyHitters(data []byte, queueDepth, maxBatch int) (*ShardedListHeavyHitters, error) {
+	if len(data) < 1 || data[0] != tagSharded {
+		return nil, errors.New("l1hh: not a sharded solver encoding")
+	}
+	r := wire.NewReader(data[1:])
+	eps := r.F64()
+	phi := r.F64()
+	snap := r.Blob()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("l1hh: corrupt sharded encoding: %w", r.Err())
+	}
+	if !r.Done() {
+		return nil, errors.New("l1hh: trailing bytes after sharded encoding")
+	}
+	s, err := shard.Restore(snap, func(i, total int, blob []byte) (shard.Engine, error) {
+		return UnmarshalListHeavyHitters(blob)
+	}, shard.Options{QueueDepth: queueDepth, MaxBatch: maxBatch})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedListHeavyHitters{s: s, eps: eps, phi: phi}, nil
+}
