@@ -248,6 +248,46 @@ func BenchmarkShardedInsertParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeCheckpoint measures the cluster-aggregation hot path:
+// folding a peer node's checkpoint blob into a live engine (decode +
+// per-shard state fold), the per-peer cost of every aggregator pull
+// cycle in cmd/hhd cluster mode.
+func BenchmarkMergeCheckpoint(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := shardedBenchConfig(shards)
+			peer, err := NewShardedListHeavyHitters(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer peer.Close()
+			if err := peer.InsertBatch(benchZipfStream()); err != nil {
+				b.Fatal(err)
+			}
+			blob, err := peer.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			live, err := NewShardedListHeavyHitters(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer live.Close()
+			if err := live.InsertBatch(benchZipfStream()); err != nil {
+				b.Fatal(err)
+			}
+			live.Flush()
+			b.SetBytes(int64(len(blob)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := live.MergeCheckpoint(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkShardedReport measures the merged-report barrier on a loaded
 // engine.
 func BenchmarkShardedReport(b *testing.B) {

@@ -8,10 +8,20 @@
 //	                  NDJSON (bare ids, or {"item":N,"count":K}) batches
 //	GET  /report      heavy hitters with estimates, global thresholds
 //	POST /checkpoint  serialized engine state (application/octet-stream)
+//	POST /merge       fold a peer node's checkpoint into the live engine
 //	POST /restore     swap in a previously checkpointed state
 //	GET  /healthz     liveness
 //	GET  /metrics     expvar: hhd.items_total, hhd.items_per_sec,
-//	                  hhd.queue_depths, hhd.model_bits, hhd.shards
+//	                  hhd.queue_depths, hhd.model_bits, hhd.shards,
+//	                  hhd.peers, hhd.merges_total, hhd.merge_errors_total,
+//	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds
+//
+// Cluster mode: run one worker per ingest node and one aggregator with
+// -peers; the aggregator pulls every worker's /checkpoint each
+// -pull-every, folds them into a fresh engine, and serves the merged
+// global /report. All nodes must share the problem flags (-eps -phi
+// -delta -m -universe -shards -algo -seed) — identical seeds are what
+// make the states foldable. -m is the GLOBAL expected stream length.
 //
 // Shutdown on SIGINT/SIGTERM is graceful: stop accepting requests, drain
 // every shard queue, and (with -checkpoint) write a final snapshot, so a
@@ -22,6 +32,11 @@
 //	hhd -addr :8080 -eps 0.01 -phi 0.05 -m 100000000 -shards 8
 //	curl -X POST --data-binary @ids.u64le -H 'Content-Type: application/octet-stream' localhost:8080/ingest
 //	curl localhost:8080/report
+//
+//	# two workers + aggregator
+//	hhd -addr :8081 -m 100000000 -seed 9 &
+//	hhd -addr :8082 -m 100000000 -seed 9 &
+//	hhd -addr :8080 -m 100000000 -seed 9 -peers http://localhost:8081,http://localhost:8082 -pull-every 5s
 package main
 
 import (
@@ -33,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +68,8 @@ var (
 	queueFlag      = flag.Int("queue-depth", 0, "per-shard queue depth in batches (0 = default)")
 	batchFlag      = flag.Int("max-batch", 0, "max items per dispatched batch (0 = default)")
 	checkpointFlag = flag.String("checkpoint", "", "snapshot file: loaded on start if present, written on shutdown")
+	peersFlag      = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://a:8080,http://b:8080); enables aggregator mode: pull each worker's /checkpoint periodically and serve the merged global /report")
+	pullFlag       = flag.Duration("pull-every", 10*time.Second, "aggregator pull interval (with -peers)")
 )
 
 func main() {
@@ -72,6 +90,23 @@ func run() error {
 	}
 	if *checkpointFlag != "" && *mFlag == 0 {
 		return errors.New("-checkpoint requires a known stream length (-m > 0): unknown-length solvers are not serializable")
+	}
+	var peers []string
+	if *peersFlag != "" {
+		if *mFlag == 0 {
+			return errors.New("-peers requires a known stream length (-m > 0): cluster merging works on checkpoints")
+		}
+		if *pullFlag <= 0 {
+			return errors.New("-pull-every must be positive")
+		}
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(strings.TrimSuffix(p, "/")); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			return errors.New("-peers lists no usable URLs")
+		}
 	}
 	scfg := l1hh.ShardedConfig{
 		Config: l1hh.Config{
@@ -107,6 +142,15 @@ func run() error {
 		}
 	}
 
+	srv.peers = peers
+	aggCtx, aggCancel := context.WithCancel(context.Background())
+	defer aggCancel()
+	if len(peers) > 0 {
+		go srv.aggregate(aggCtx, *pullFlag)
+		log.Printf("aggregator mode: pulling %d peers every %s (mutating endpoints answer 409 — ingest on the workers)",
+			len(peers), *pullFlag)
+	}
+
 	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -122,6 +166,7 @@ func run() error {
 		log.Printf("%v: draining", s)
 	}
 
+	aggCancel() // stop pulling before the engine drains
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

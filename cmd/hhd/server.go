@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -34,6 +35,19 @@ type server struct {
 	rateMu     sync.Mutex
 	lastItems  uint64
 	lastScrape time.Time
+
+	// peers is the aggregator configuration: worker base URLs this node
+	// pulls checkpoints from. Set once before the server starts serving;
+	// empty on workers.
+	peers []string
+
+	// Cluster-merge metrics: counts cover both POST /merge and the
+	// aggregator loop; latency is the last successful merge's wall time;
+	// staleness derives from the last success timestamp.
+	mergesTotal   atomic.Uint64
+	mergeErrors   atomic.Uint64
+	mergeLastNano atomic.Int64 // duration of the last successful merge
+	mergeLastUnix atomic.Int64 // UnixNano of the last successful merge; 0 = never
 }
 
 // ingestBatchSize is how many items ingest hands to InsertBatch at once.
@@ -91,6 +105,38 @@ func publishMetrics() {
 		}
 		return 0.0
 	}))
+	expvar.Publish("hhd.peers", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return len(s.peers)
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.merges_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.mergesTotal.Load()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.merge_errors_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.mergeErrors.Load()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.merge_latency_seconds", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return time.Duration(s.mergeLastNano.Load()).Seconds()
+		}
+		return 0.0
+	}))
+	expvar.Publish("hhd.merge_staleness_seconds", expvar.Func(func() any {
+		if s := get(); s != nil {
+			if last := s.mergeLastUnix.Load(); last > 0 {
+				return time.Since(time.Unix(0, last)).Seconds()
+			}
+		}
+		return -1.0
+	}))
 }
 
 // newServer builds the engine for scfg and the routing table.
@@ -109,6 +155,7 @@ func newServerWith(scfg l1hh.ShardedConfig, eng *l1hh.ShardedListHeavyHitters) *
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /report", s.handleReport)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /merge", s.handleMerge)
 	s.mux.HandleFunc("POST /restore", s.handleRestore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", expvar.Handler())
@@ -170,6 +217,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Responds {"accepted": n}. A full shard queue blocks (backpressure)
 // rather than dropping.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnAggregator(w) {
+		return
+	}
 	eng := s.engine()
 	ct := r.Header.Get("Content-Type")
 	var (
@@ -325,7 +375,78 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Write(blob)
 }
 
+// handleMerge folds a peer node's checkpoint blob (the body, as produced
+// by POST /checkpoint on a node with the same configuration) into the
+// live engine, without interrupting ingest. Incompatible checkpoints
+// (different parameters, seed, or shard count) get 409; undecodable ones
+// 400. Merging the same checkpoint twice double-counts — callers own
+// idempotence (the aggregator loop instead rebuilds from scratch each
+// cycle).
+func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnAggregator(w) {
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading checkpoint: %v", err)
+		return
+	}
+	if len(blob) > maxSnapshotBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "checkpoint exceeds %d bytes", maxSnapshotBody)
+		return
+	}
+	// Hold the engine read lock across the merge so a concurrent
+	// /restore or aggregator swap (which takes the write lock to replace
+	// and close the engine) cannot discard this fold mid-flight and
+	// leave it acknowledged with 200. Other readers — ingest, reports —
+	// are unaffected; only swaps wait.
+	s.mu.RLock()
+	eng := s.eng
+	start := time.Now()
+	err = eng.MergeCheckpoint(blob)
+	mergedLen := eng.Len()
+	s.mu.RUnlock()
+	if err != nil {
+		s.mergeErrors.Add(1)
+		code := http.StatusBadRequest
+		if errors.Is(err, l1hh.ErrIncompatibleMerge) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, "merge: %v", err)
+		return
+	}
+	s.recordMerge(time.Since(start))
+	writeJSON(w, map[string]any{
+		"merged": true,
+		"len":    mergedLen,
+		"shards": eng.Shards(),
+	})
+}
+
+// recordMerge updates the cluster-merge metrics after a success.
+func (s *server) recordMerge(d time.Duration) {
+	s.mergesTotal.Add(1)
+	s.mergeLastNano.Store(d.Nanoseconds())
+	s.mergeLastUnix.Store(time.Now().UnixNano())
+}
+
+// rejectOnAggregator refuses state-mutating requests on a node running
+// in aggregator mode: its engine is rebuilt from the peers' checkpoints
+// every pull cycle, so anything written here would be acknowledged and
+// then silently dropped at the next swap.
+func (s *server) rejectOnAggregator(w http.ResponseWriter) bool {
+	if len(s.peers) == 0 {
+		return false
+	}
+	httpError(w, http.StatusConflict,
+		"aggregator mode: local state is rebuilt from the %d configured peers each pull cycle; send this request to a worker", len(s.peers))
+	return true
+}
+
 func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnAggregator(w) {
+		return
+	}
 	blob, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading snapshot: %v", err)

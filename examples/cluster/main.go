@@ -1,0 +1,88 @@
+// Cluster merge: two ingest "nodes" (same config, same seed) each
+// consume half of a Zipf stream, then node B's checkpoint is folded into
+// node A — the merged report must satisfy the same (ε,ϕ) guarantees as a
+// serial solver over the whole stream, with thresholds applied at the
+// combined global length.
+//
+// This is the in-process form of `hhd` cluster mode: across machines the
+// same bytes travel through POST /checkpoint → POST /merge, and an
+// aggregator repeats the fold once per pull interval.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	l1hh "repro"
+)
+
+func main() {
+	const m = 2_000_000
+	scfg := l1hh.ShardedConfig{
+		Config: l1hh.Config{
+			Eps: 0.01, Phi: 0.05, Delta: 0.05,
+			StreamLength: m, // the GLOBAL length: sampling rates derive from it
+			Universe:     1 << 30, Seed: 42,
+		},
+		Shards: 4,
+	}
+	stream := l1hh.Generate(l1hh.NewZipfStream(7, 1<<20, 1.1), m)
+
+	newNode := func() *l1hh.ShardedListHeavyHitters {
+		n, err := l1hh.NewShardedListHeavyHitters(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	nodeA, nodeB := newNode(), newNode()
+	if err := nodeA.InsertBatch(stream[:m/2]); err != nil {
+		log.Fatal(err)
+	}
+	if err := nodeB.InsertBatch(stream[m/2:]); err != nil {
+		log.Fatal(err)
+	}
+
+	// Node B ships its checkpoint; node A folds it in. Ingest on A could
+	// keep flowing during the merge — it is a barrier, not a stop.
+	blob, err := nodeB.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := nodeA.MergeCheckpoint(blob); err != nil {
+		log.Fatal(err)
+	}
+	mergeTime := time.Since(t0)
+
+	fmt.Printf("checkpoint: %d bytes, merged in %.1f ms\n",
+		len(blob), float64(mergeTime.Microseconds())/1000)
+	fmt.Printf("global length after merge: %d (node A had %d, node B %d)\n\n",
+		nodeA.Len(), m/2, m/2)
+
+	// Compare the merged report with exact counts over the whole stream.
+	truth := map[l1hh.Item]float64{}
+	for _, x := range stream {
+		truth[x]++
+	}
+	fmt.Printf("%-12s  %-12s  %-12s  %s\n", "item", "true f", "merged est", "|err|/εm")
+	epsM := scfg.Eps * float64(m)
+	for _, r := range nodeA.Report() {
+		errFrac := (r.F - truth[r.Item]) / epsM
+		if errFrac < 0 {
+			errFrac = -errFrac
+		}
+		fmt.Printf("%-12d  %-12.0f  %-12.0f  %.2f\n", r.Item, truth[r.Item], r.F, errFrac)
+	}
+
+	if err := nodeA.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := nodeB.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nevery |err|/εm must be ≤ 1: the merged node answers for the whole fleet.")
+}

@@ -5,6 +5,7 @@ package l1hh
 // explores further.
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -66,6 +67,74 @@ func FuzzUnmarshalListHeavyHitters(f *testing.F) {
 		hh.Insert(7)
 		_ = hh.Report()
 		_ = hh.ModelBits()
+	})
+}
+
+// fuzzMergeTarget builds one live engine per process for
+// FuzzMergeCheckpoint to merge hostile blobs into. Successful merges
+// mutate it, which is fine — the property under test is "error, never
+// panic", on a target that stays usable.
+var fuzzMergeTarget = sync.OnceValue(func() *ShardedListHeavyHitters {
+	hh, err := NewShardedListHeavyHitters(ShardedConfig{
+		Config: Config{
+			Eps: 0.1, Phi: 0.3, Delta: 0.1,
+			StreamLength: 4000, Universe: 1 << 16, Seed: 5,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		hh.Insert(i % 41)
+	}
+	return hh
+})
+
+// FuzzMergeCheckpoint feeds corrupt/truncated checkpoint containers to
+// the cluster-merge decode paths: MergeCheckpoint (container frame +
+// shard snapshot + per-shard solver decode, all internal/wire) and the
+// restore path. Both must error on hostile bytes, never panic, and a
+// decodable-but-incompatible checkpoint must be rejected without
+// corrupting the live engine.
+func FuzzMergeCheckpoint(f *testing.F) {
+	peer, err := NewShardedListHeavyHitters(ShardedConfig{
+		Config: Config{
+			Eps: 0.1, Phi: 0.3, Delta: 0.1,
+			StreamLength: 4000, Universe: 1 << 16, Seed: 5,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer peer.Close()
+	for i := uint64(0); i < 2000; i++ {
+		peer.Insert(i % 37)
+	}
+	valid, err := peer.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte{3})          // bare sharded tag
+	f.Add([]byte{3, 0, 0, 0}) // tag + garbage frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		target := fuzzMergeTarget()
+		_ = target.MergeCheckpoint(data) // must error or succeed, never panic
+		_ = target.Report()              // and leave the engine answering
+		// The same bytes through the restore path must also never panic.
+		if hh, err := UnmarshalShardedListHeavyHitters(data, 0, 0); err == nil {
+			hh.Insert(7)
+			_ = hh.Report()
+			hh.Close()
+		}
 	})
 }
 

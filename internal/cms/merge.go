@@ -1,6 +1,6 @@
 package cms
 
-import "fmt"
+import "repro/internal/merge"
 
 // Merge folds other into s. Both sketches must have been created with the
 // same dimensions and the same seed (identical hash functions) — then the
@@ -8,16 +8,16 @@ import "fmt"
 // linearity property of Count-Min.
 func (s *Sketch) Merge(other *Sketch) error {
 	if s.depth != other.depth || s.width != other.width {
-		return fmt.Errorf("cms: dimension mismatch %dx%d vs %dx%d",
+		return merge.Incompatiblef("cms: dimension mismatch %dx%d vs %dx%d",
 			s.depth, s.width, other.depth, other.width)
 	}
 	for i := range s.hashes {
 		if s.hashes[i] != other.hashes[i] {
-			return fmt.Errorf("cms: hash functions differ (different seeds?)")
+			return merge.Incompatiblef("cms: hash functions differ (different seeds?)")
 		}
 	}
 	if s.conservative || other.conservative {
-		return fmt.Errorf("cms: conservative-update sketches are not mergeable")
+		return merge.Incompatiblef("cms: conservative-update sketches are not mergeable")
 	}
 	for i := range s.rows {
 		for j := range s.rows[i] {

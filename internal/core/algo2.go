@@ -46,6 +46,16 @@ type Optimal struct {
 	s        uint64
 	offered  uint64
 	maxEpoch int
+
+	// pre is the merge credit for pre-epoch arrivals, per [rep][bucket]
+	// in T2 units: before T2 crosses the epoch base B, arrivals are
+	// recorded nowhere but T2, and the estimator's min(T2, B)/ε term
+	// covers that single blind window. Merging K instances unions K blind
+	// windows, of which min(T2₁+T2₂, B) covers only one — the surplus
+	// min(T2₁,B) + min(T2₂,B) − min(T2₁+T2₂,B) accumulates here so the
+	// merged estimate stays unbiased (DESIGN.md §7). nil rows mean zero:
+	// an instance that never merged pays nothing for the field.
+	pre [][]uint32
 }
 
 // NewOptimal returns an Algorithm 2 instance for cfg.
@@ -161,8 +171,31 @@ func (o *Optimal) estimate(j int, x uint64) float64 {
 		p := math.Min(o.epsEff*math.Ldexp(1, t), 1)
 		f += float64(c) / p
 	}
-	pre := math.Min(float64(o.t2[j][i]), o.base)
+	pre := math.Min(float64(o.t2[j][i]), o.base) + float64(o.preAt(j, i))
 	return f + pre/o.epsEff
+}
+
+// preAt returns the merge credit for bucket i of repetition j (0 unless a
+// merge deposited one).
+func (o *Optimal) preAt(j int, i uint64) uint32 {
+	if o.pre == nil || o.pre[j] == nil {
+		return 0
+	}
+	return o.pre[j][i]
+}
+
+// addPre deposits merge credit, allocating the row lazily.
+func (o *Optimal) addPre(j int, i uint64, v uint32) {
+	if v == 0 {
+		return
+	}
+	if o.pre == nil {
+		o.pre = make([][]uint32, o.reps)
+	}
+	if o.pre[j] == nil {
+		o.pre[j] = make([]uint32, o.u)
+	}
+	o.pre[j][i] = satAdd32(o.pre[j][i], v)
 }
 
 // Report returns every T1 candidate whose median accelerated-counter
@@ -214,6 +247,11 @@ func (o *Optimal) ModelBits() int64 {
 		}
 		for _, row := range o.t3[j] {
 			for _, v := range row {
+				b += cellBits(uint64(v))
+			}
+		}
+		if o.pre != nil && o.pre[j] != nil {
+			for _, v := range o.pre[j] {
 				b += cellBits(uint64(v))
 			}
 		}

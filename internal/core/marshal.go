@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/hash"
 	"repro/internal/mg"
@@ -17,6 +18,12 @@ import (
 // arguments (§4): Alice's one-way message is MarshalBinary's output.
 
 const marshalVersion = 1
+
+// optimalMarshalVersion guards Algorithm 2's layout separately: v2 added
+// the sparse pre-credit rows deposited by Merge. Decoding still accepts
+// v1 (a pre-merge-tier checkpoint is a v2 one with no credit), so PR 1
+// era snapshots survive the upgrade.
+const optimalMarshalVersion = 2
 
 func encodeConfig(w *wire.Writer, c Config) {
 	w.F64(c.Eps)
@@ -84,7 +91,8 @@ func (a *SimpleList) UnmarshalBinary(data []byte) error {
 	s := r.U64()
 	offered := r.U64()
 	hashRange := r.U64()
-	if r.Err() != nil || !r.Done() || sampler == nil {
+	if r.Err() != nil || !r.Done() || sampler == nil ||
+		hashRange < 2 || h.Range() != hashRange {
 		return fmt.Errorf("core: %w", wire.ErrCorrupt)
 	}
 	*a = SimpleList{
@@ -130,7 +138,8 @@ func (a *Maximum) UnmarshalBinary(data []byte) error {
 	s := r.U64()
 	offered := r.U64()
 	hashRng := r.U64()
-	if r.Err() != nil || !r.Done() || sampler == nil {
+	if r.Err() != nil || !r.Done() || sampler == nil ||
+		hashRng < 2 || h.Range() != hashRng {
 		return fmt.Errorf("core: %w", wire.ErrCorrupt)
 	}
 	*a = Maximum{
@@ -142,10 +151,12 @@ func (a *Maximum) UnmarshalBinary(data []byte) error {
 }
 
 // MarshalBinary encodes the full Algorithm 2 state, including every
-// accelerated counter epoch.
+// accelerated counter epoch and any merge-deposited pre-credit (encoded
+// sparsely: the rows are nil unless the instance was merged, and non-zero
+// only in buckets both sides had populated).
 func (o *Optimal) MarshalBinary() ([]byte, error) {
 	w := wire.NewWriter()
-	w.U64(marshalVersion)
+	w.U64(optimalMarshalVersion)
 	encodeConfig(w, o.cfg)
 	o.sampler.Encode(w)
 	o.t1.Encode(w)
@@ -157,6 +168,7 @@ func (o *Optimal) MarshalBinary() ([]byte, error) {
 		for _, row := range o.t3[j] {
 			w.U32s(row)
 		}
+		encodeSparseU32(w, preRow(o.pre, j))
 	}
 	w.U64(uint64(o.epsK))
 	w.F64(o.epsEff)
@@ -168,11 +180,16 @@ func (o *Optimal) MarshalBinary() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes state written by MarshalBinary.
+// UnmarshalBinary decodes state written by MarshalBinary (current or v1
+// layout).
 func (o *Optimal) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	if r.U64() != marshalVersion {
+	version := r.U64()
+	if r.Err() != nil {
 		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
+	if version != 1 && version != optimalMarshalVersion {
+		return fmt.Errorf("core: unsupported solver encoding version %d", version)
 	}
 	cfg := decodeConfig(r)
 	sampler := sample.DecodeSkip(r)
@@ -186,10 +203,13 @@ func (o *Optimal) UnmarshalBinary(data []byte) error {
 	hashes := make([]hash.Func, reps)
 	t2 := make([][]uint32, reps)
 	t3 := make([][][]uint32, reps)
+	var pre [][]uint32
 	for j := uint64(0); j < reps; j++ {
 		hashes[j] = hash.DecodeFunc(r)
 		t2[j] = r.U32s()
-		if r.Err() != nil || uint64(len(t2[j])) != u {
+		// The bucket hash indexes the T2/T3 arrays directly, so its range
+		// must be exactly u (a range of 0 would even panic Hash).
+		if r.Err() != nil || uint64(len(t2[j])) != u || hashes[j].Range() != u {
 			return fmt.Errorf("core: %w", wire.ErrCorrupt)
 		}
 		t3[j] = make([][]uint32, u)
@@ -197,6 +217,18 @@ func (o *Optimal) UnmarshalBinary(data []byte) error {
 			row := r.U32s()
 			if len(row) > 0 {
 				t3[j][i] = row
+			}
+		}
+		if version >= 2 { // v1 predates the pre-credit rows
+			preRow, ok := decodeSparseU32(r, u)
+			if !ok {
+				return fmt.Errorf("core: %w", wire.ErrCorrupt)
+			}
+			if preRow != nil {
+				if pre == nil {
+					pre = make([][]uint32, reps)
+				}
+				pre[j] = preRow
 			}
 		}
 	}
@@ -210,12 +242,74 @@ func (o *Optimal) UnmarshalBinary(data []byte) error {
 	if r.Err() != nil || !r.Done() {
 		return fmt.Errorf("core: %w", wire.ErrCorrupt)
 	}
+	// The epoch machinery divides by base and extends T3 rows out to the
+	// epoch index, so hostile values (base ≤ 0 or NaN makes epoch() +Inf,
+	// an unbounded row-extension loop) must be rejected, and epsEff must
+	// be the power of two epsK claims. Legitimate encodings always have
+	// base ≥ minEpochBase.
+	if epsK > 62 || epsEff != math.Ldexp(1, -int(epsK)) || !(base >= 1) || math.IsInf(base, 0) {
+		return fmt.Errorf("core: %w", wire.ErrCorrupt)
+	}
 	*o = Optimal{
 		cfg: cfg, sampler: sampler, t1: t1, hashes: hashes,
 		t2: t2, t3: t3, u: u, reps: int(reps),
 		epsK: uint(epsK), epsEff: epsEff, base: base,
 		src: rng.FromState(srcState), s: s, offered: offered,
-		maxEpoch: int(maxEpoch),
+		maxEpoch: int(maxEpoch), pre: pre,
 	}
 	return nil
+}
+
+// preRow returns row j of a lazily-allocated pre-credit table (nil when
+// the table or the row was never populated).
+func preRow(pre [][]uint32, j int) []uint32 {
+	if pre == nil {
+		return nil
+	}
+	return pre[j]
+}
+
+// encodeSparseU32 writes the non-zero cells of row as (index, value)
+// pairs in ascending index order; a nil or all-zero row encodes as a
+// bare zero count, so unmerged instances pay one byte per repetition.
+func encodeSparseU32(w *wire.Writer, row []uint32) {
+	var n uint64
+	for _, v := range row {
+		if v != 0 {
+			n++
+		}
+	}
+	w.U64(n)
+	for i, v := range row {
+		if v != 0 {
+			w.U64(uint64(i))
+			w.U64(uint64(v))
+		}
+	}
+}
+
+// decodeSparseU32 reads a row written by encodeSparseU32 into a dense
+// slice of length u; nil (with ok) for an empty row, ok=false on corrupt
+// input (read error, index out of range or out of order, zero or
+// oversized value).
+func decodeSparseU32(r *wire.Reader, u uint64) ([]uint32, bool) {
+	n := r.U64()
+	if r.Err() != nil || n > u {
+		return nil, false
+	}
+	if n == 0 {
+		return nil, r.Err() == nil
+	}
+	row := make([]uint32, u)
+	last := int64(-1)
+	for ; n > 0; n-- {
+		i := r.U64()
+		v := r.U64()
+		if r.Err() != nil || i >= u || int64(i) <= last || v == 0 || v > math.MaxUint32 {
+			return nil, false
+		}
+		row[i] = uint32(v)
+		last = int64(i)
+	}
+	return row, true
 }

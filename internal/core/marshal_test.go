@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // roundTrip marshals mid-stream, unmarshals into a fresh value, finishes
@@ -109,6 +112,71 @@ func TestOptimalMarshalMidStream(t *testing.T) {
 	}
 	if orig.ModelBits() != restored.ModelBits() {
 		t.Fatal("model bits diverge after round trip")
+	}
+}
+
+// marshalOptimalV1 encodes o in the pre-merge-tier v1 layout (no
+// pre-credit rows), replicating the PR 1 encoder so upgrade
+// compatibility stays tested.
+func marshalOptimalV1(o *Optimal) []byte {
+	w := wire.NewWriter()
+	w.U64(1)
+	encodeConfig(w, o.cfg)
+	o.sampler.Encode(w)
+	o.t1.Encode(w)
+	w.U64(uint64(o.reps))
+	w.U64(o.u)
+	for j := 0; j < o.reps; j++ {
+		o.hashes[j].Encode(w)
+		w.U32s(o.t2[j])
+		for _, row := range o.t3[j] {
+			w.U32s(row)
+		}
+	}
+	w.U64(uint64(o.epsK))
+	w.F64(o.epsEff)
+	w.F64(o.base)
+	w.U64(o.src.State())
+	w.U64(o.s)
+	w.U64(o.offered)
+	w.U64(uint64(o.maxEpoch))
+	return w.Bytes()
+}
+
+// TestOptimalUnmarshalAcceptsV1: a checkpoint written before the merge
+// tier (marshal v1) must restore — same report, and re-marshalling
+// upgrades it to the current layout.
+func TestOptimalUnmarshalAcceptsV1(t *testing.T) {
+	const m = 100000
+	st := plantedHH(9, m, stream.Shuffled)
+	orig, err := NewOptimal(rng.New(10), listConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range st {
+		orig.Insert(x)
+	}
+	var restored Optimal
+	if err := restored.UnmarshalBinary(marshalOptimalV1(orig)); err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if fmt.Sprint(restored.Report()) != fmt.Sprint(orig.Report()) {
+		t.Fatal("v1-restored report differs")
+	}
+	up, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Optimal
+	if err := again.UnmarshalBinary(up); err != nil {
+		t.Fatalf("re-marshalled (upgraded) checkpoint rejected: %v", err)
+	}
+	// An unknown future version is a version error, not "corrupt".
+	future := append([]byte{}, up...)
+	future[0] = 9
+	var bad Optimal
+	if err := bad.UnmarshalBinary(future); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("future version: err = %v, want unsupported-version error", err)
 	}
 }
 

@@ -1,6 +1,6 @@
 package countsketch
 
-import "fmt"
+import "repro/internal/merge"
 
 // Merge folds other into s. Both sketches must have been created with the
 // same dimensions and seed (identical bucket and sign hashes); the merged
@@ -8,12 +8,12 @@ import "fmt"
 // is a linear sketch.
 func (s *Sketch) Merge(other *Sketch) error {
 	if s.depth != other.depth || s.width != other.width {
-		return fmt.Errorf("countsketch: dimension mismatch %dx%d vs %dx%d",
+		return merge.Incompatiblef("countsketch: dimension mismatch %dx%d vs %dx%d",
 			s.depth, s.width, other.depth, other.width)
 	}
 	for i := range s.buckets {
 		if s.buckets[i] != other.buckets[i] || s.signs[i] != other.signs[i] {
-			return fmt.Errorf("countsketch: hash functions differ (different seeds?)")
+			return merge.Incompatiblef("countsketch: hash functions differ (different seeds?)")
 		}
 	}
 	for i := range s.rows {

@@ -22,6 +22,17 @@ func (c *Counter) Insert(x uint64) {
 	c.total++
 }
 
+// Merge folds other into c: exact counts add, so the merged counter is
+// exactly the counter of the concatenated streams. It is the ground-truth
+// end of the mergeable-summary contract — the conformance suite compares
+// every sketch merge against it.
+func (c *Counter) Merge(other *Counter) {
+	for x, f := range other.freq {
+		c.freq[x] += f
+	}
+	c.total += other.total
+}
+
 // Freq returns the exact frequency of x.
 func (c *Counter) Freq(x uint64) uint64 { return c.freq[x] }
 

@@ -23,6 +23,22 @@ func TestBasicCounts(t *testing.T) {
 	}
 }
 
+func TestMerge(t *testing.T) {
+	a := feed(1, 2, 2)
+	b := feed(2, 3)
+	a.Merge(b)
+	if a.Total() != 5 || a.Distinct() != 3 {
+		t.Fatalf("merged total %d distinct %d", a.Total(), a.Distinct())
+	}
+	if a.Freq(1) != 1 || a.Freq(2) != 3 || a.Freq(3) != 1 {
+		t.Fatalf("merged freqs: 1→%d 2→%d 3→%d", a.Freq(1), a.Freq(2), a.Freq(3))
+	}
+	// The argument is untouched.
+	if b.Total() != 2 || b.Freq(2) != 1 {
+		t.Fatal("merge mutated its argument")
+	}
+}
+
 func TestItemsSorted(t *testing.T) {
 	c := feed(5, 1, 3, 1)
 	items := c.Items()

@@ -3,6 +3,7 @@ package mg
 import (
 	"fmt"
 
+	"repro/internal/merge"
 	"repro/internal/wire"
 )
 
@@ -61,29 +62,37 @@ func DecodeSummary(r *wire.Reader) *Summary {
 // and drop non-positives.
 func (s *Summary) Merge(other *Summary) error {
 	if s.k != other.k {
-		return fmt.Errorf("mg: cannot merge summaries with k=%d and k=%d", s.k, other.k)
+		return merge.Incompatiblef("mg: cannot merge summaries with k=%d and k=%d", s.k, other.k)
 	}
 	for x, c := range other.counters {
 		s.counters[x] += c
 	}
 	s.m += other.m
-	if len(s.counters) <= s.k {
-		return nil
+	ReduceTopK(s.counters, s.k)
+	return nil
+}
+
+// ReduceTopK applies the Misra-Gries merge reduction in place: when
+// counters holds more than k entries, subtract the (k+1)-st largest
+// value from every entry and drop the non-positive ones, leaving at most
+// k. Exported for the solvers whose hashed candidate tables follow the
+// same discipline (core.SimpleList's T1).
+func ReduceTopK(counters map[uint64]uint64, k int) {
+	if len(counters) <= k {
+		return
 	}
-	// Find the (k+1)-st largest counter value.
-	vals := make([]uint64, 0, len(s.counters))
-	for _, c := range s.counters {
+	vals := make([]uint64, 0, len(counters))
+	for _, c := range counters {
 		vals = append(vals, c)
 	}
-	kth := quickselectDesc(vals, s.k) // value at rank k (0-based): the (k+1)-st largest
-	for x, c := range s.counters {
+	kth := quickselectDesc(vals, k) // value at rank k (0-based): the (k+1)-st largest
+	for x, c := range counters {
 		if c <= kth {
-			delete(s.counters, x)
+			delete(counters, x)
 		} else {
-			s.counters[x] = c - kth
+			counters[x] = c - kth
 		}
 	}
-	return nil
 }
 
 // quickselectDesc returns the element of rank `rank` (0-based) in

@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/merge"
+	"repro/internal/wire"
+)
+
+// EngineMerger is the per-shard merge contract: MergeEngine folds a
+// foreign engine's state (the same shard of another node) into the
+// receiver, and CheckMergeEngine reports whether that fold would succeed
+// without mutating anything. MergeSnapshot requires every live engine to
+// implement it, and runs the check phase across all shards before any
+// merge phase — so a container whose shards are individually decodable
+// but mutually inconsistent is rejected atomically.
+type EngineMerger interface {
+	MergeEngine(other Engine) error
+	CheckMergeEngine(other Engine) error
+}
+
+// MergeSnapshot folds a foreign Snapshot — the checkpoint container of
+// another node's sharded engine — into the live engine, shard by shard.
+// The foreign partition must match exactly (same shard count, same
+// partition-hash seed): only then does every id's state live in the same
+// shard on both nodes, so per-shard merges combine disjoint substreams of
+// the same ids. factory rebuilds each foreign shard engine from its blob,
+// exactly as in Restore.
+//
+// It is a barrier: each live engine merges on its owning worker
+// goroutine after every batch enqueued before the call, concurrently
+// across shards, while ingest keeps flowing. Failure is atomic: the
+// container checks, the foreign rebuild, and a full CheckMergeEngine
+// pass across every shard all happen before any live engine is mutated
+// (compatibility is invariant under ingest, so the check stays valid
+// until the merge phase), and the merge phase itself cannot fail.
+func (s *Sharded) MergeSnapshot(data []byte, factory RestoreFactory) error {
+	r := wire.NewReader(data)
+	if v := r.U64(); v != snapshotVersion {
+		if r.Err() != nil {
+			return fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+		}
+		return fmt.Errorf("shard: unsupported snapshot version %d", v)
+	}
+	shards := r.U64()
+	seed := r.U64()
+	if r.Err() != nil {
+		return fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+	}
+	if int(shards) != len(s.engines) {
+		return merge.Incompatiblef("shard: snapshot has %d shards, live engine has %d", shards, len(s.engines))
+	}
+	if seed != s.opts.Seed {
+		return merge.Incompatiblef("shard: partition seeds differ — ids route to different shards")
+	}
+	blobs := make([][]byte, shards)
+	for i := range blobs {
+		blobs[i] = r.Blob()
+	}
+	if r.Err() != nil {
+		return fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+	}
+	if !r.Done() {
+		return errors.New("shard: trailing bytes after snapshot")
+	}
+	foreign := make([]Engine, shards)
+	var added uint64
+	for i := range foreign {
+		e, err := factory(i, int(shards), blobs[i])
+		if err != nil {
+			return fmt.Errorf("shard %d/%d: %w", i, shards, err)
+		}
+		foreign[i] = e
+		added += e.Len()
+	}
+	// Check phase: validate every shard pair before mutating any.
+	errs := make([]error, len(s.engines))
+	s.Do(func(i int, e Engine) {
+		m, ok := e.(EngineMerger)
+		if !ok {
+			errs[i] = errors.New("shard: live engine does not implement EngineMerger")
+			return
+		}
+		errs[i] = m.CheckMergeEngine(foreign[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d/%d: %w", i, len(s.engines), err)
+		}
+	}
+	// Merge phase: every pair checked compatible, so no fold can fail.
+	s.Do(func(i int, e Engine) {
+		errs[i] = e.(EngineMerger).MergeEngine(foreign[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d/%d: checked engine refused merge: %w", i, len(s.engines), err)
+		}
+	}
+	// The foreign items are now part of the live engines; keep the cheap
+	// accepted-items counter coherent with Len.
+	s.items.Add(added)
+	return nil
+}

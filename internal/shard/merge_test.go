@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/merge"
+)
+
+// MergeEngine makes the test fake satisfy EngineMerger: exact counts add.
+func (f *fake) MergeEngine(other Engine) error {
+	if err := f.CheckMergeEngine(other); err != nil {
+		return err
+	}
+	o := other.(*fake)
+	for x, c := range o.counts {
+		f.counts[x] += c
+	}
+	f.n += o.n
+	return nil
+}
+
+func (f *fake) CheckMergeEngine(other Engine) error {
+	if _, ok := other.(*fake); !ok {
+		return merge.Incompatiblef("fake: wrong engine type")
+	}
+	return nil
+}
+
+func fakeRestoreFactory(_, _ int, blob []byte) (Engine, error) { return unmarshalFake(blob) }
+
+// TestMergeSnapshot: two engines fed disjoint halves merge into exact
+// totals, items counter included, while routing stays consistent.
+func TestMergeSnapshot(t *testing.T) {
+	opts := Options{Shards: 4, Seed: 21, MaxBatch: 64}
+	a := newFakeSharded(t, opts)
+	b := newFakeSharded(t, opts)
+	defer a.Close()
+	defer b.Close()
+
+	itemsA := make([]uint64, 0, 5000)
+	itemsB := make([]uint64, 0, 5000)
+	for i := uint64(0); i < 5000; i++ {
+		itemsA = append(itemsA, i%97)
+		itemsB = append(itemsB, i%131)
+	}
+	if err := a.InsertBatch(itemsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertBatch(itemsB); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSnapshot(snap, fakeRestoreFactory); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Len(); got != 10000 {
+		t.Fatalf("merged Len = %d, want 10000", got)
+	}
+	if got := a.Items(); got != 10000 {
+		t.Fatalf("merged Items = %d, want 10000", got)
+	}
+	// Exact counts: every id's two counts added.
+	want := map[uint64]float64{}
+	for _, x := range itemsA {
+		want[x]++
+	}
+	for _, x := range itemsB {
+		want[x]++
+	}
+	for _, r := range a.Report() {
+		if want[r.Item] != r.F {
+			t.Fatalf("item %d merged to %v, want %v", r.Item, r.F, want[r.Item])
+		}
+		delete(want, r.Item)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d items missing from merged report", len(want))
+	}
+	// The donor is untouched.
+	if got := b.Len(); got != 5000 {
+		t.Fatalf("donor Len changed to %d", got)
+	}
+}
+
+// TestMergeSnapshotConcurrentIngest: merging is a barrier that runs amid
+// live ingest without losing items (exercised under -race in CI).
+func TestMergeSnapshotConcurrentIngest(t *testing.T) {
+	opts := Options{Shards: 4, Seed: 23, MaxBatch: 128}
+	a := newFakeSharded(t, opts)
+	b := newFakeSharded(t, opts)
+	defer a.Close()
+	defer b.Close()
+	if err := b.InsertBatch([]uint64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const producers, perProducer = 4, 10_000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]uint64, 0, 100)
+			for i := 0; i < perProducer; i++ {
+				batch = append(batch, uint64(p*perProducer+i))
+				if len(batch) == cap(batch) {
+					if err := a.InsertBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+		}(p)
+	}
+	merges := make(chan error, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			merges <- a.MergeSnapshot(snap, fakeRestoreFactory)
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if err := <-merges; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := a.Len(), uint64(producers*perProducer+3*5); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+// TestMergeSnapshotRejectsMismatch: partition mismatches and corrupt
+// containers error without touching the live engines.
+func TestMergeSnapshotRejectsMismatch(t *testing.T) {
+	a := newFakeSharded(t, Options{Shards: 4, Seed: 31})
+	defer a.Close()
+	if err := a.InsertBatch([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongShards := newFakeSharded(t, Options{Shards: 2, Seed: 31})
+	defer wrongShards.Close()
+	snap, err := wrongShards.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSnapshot(snap, fakeRestoreFactory); !errors.Is(err, merge.ErrIncompatible) {
+		t.Fatalf("shard-count mismatch: %v", err)
+	}
+
+	wrongSeed := newFakeSharded(t, Options{Shards: 4, Seed: 99})
+	defer wrongSeed.Close()
+	snap, err = wrongSeed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSnapshot(snap, fakeRestoreFactory); !errors.Is(err, merge.ErrIncompatible) {
+		t.Fatalf("partition-seed mismatch: %v", err)
+	}
+
+	if err := a.MergeSnapshot(nil, fakeRestoreFactory); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	good := newFakeSharded(t, Options{Shards: 4, Seed: 31})
+	defer good.Close()
+	snap, err = good.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSnapshot(snap[:len(snap)-1], fakeRestoreFactory); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if err := a.MergeSnapshot(append(append([]byte{}, snap...), 7), fakeRestoreFactory); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	// All rejections left the live engine unchanged.
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d after rejected merges, want 3", got)
+	}
+}
+
+// TestMergeSnapshotAfterClose: barrier ops run inline post-Close; merge
+// must too (the drain-then-aggregate shutdown path).
+func TestMergeSnapshotAfterClose(t *testing.T) {
+	opts := Options{Shards: 2, Seed: 41}
+	a := newFakeSharded(t, opts)
+	b := newFakeSharded(t, opts)
+	defer b.Close()
+	if err := a.InsertBatch([]uint64{1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertBatch([]uint64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSnapshot(snap, fakeRestoreFactory); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+}

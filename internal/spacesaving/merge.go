@@ -1,0 +1,93 @@
+package spacesaving
+
+import (
+	"sort"
+
+	"repro/internal/merge"
+)
+
+// Merge folds other into s: the result summarizes the concatenation of
+// the two input streams with k counters. Both summaries must use the same
+// k.
+//
+// Rule (the standard Space-Saving union, cf. the mergeable-summaries line
+// of work): each item in either candidate set gets the sum of its two
+// estimates, where an untracked item is charged the other summary's
+// minimum count (its estimate floor — an untracked item's true frequency
+// is at most that minimum, so the floor keeps the over-estimate
+// invariant). Error registers add the same way, and the top k items by
+// merged count are kept. The deterministic guarantee carries over
+// additively:
+//
+//	f(x) ≤ Estimate(x) ≤ f(x) + m₁/k + m₂/k = f(x) + m/k
+//
+// Ties are broken by ascending id, so merging is commutative: A←B and
+// B←A produce identical summaries.
+func (s *Summary) Merge(other *Summary) error {
+	if s.k != other.k {
+		return merge.Incompatiblef("spacesaving: cannot merge summaries with k=%d and k=%d", s.k, other.k)
+	}
+	// The floor charged to items the other summary never tracked: its
+	// minimum count if the table is full (an untracked item may have been
+	// evicted at that count), zero otherwise (untracked means never seen).
+	floorOf := func(x *Summary) uint64 {
+		if len(x.entries) < x.k || x.min == nil {
+			return 0
+		}
+		return x.min.count
+	}
+	sFloor, oFloor := floorOf(s), floorOf(other)
+
+	type cell struct{ count, err uint64 }
+	union := make(map[uint64]cell, len(s.entries)+len(other.entries))
+	for x, e := range s.entries {
+		union[x] = cell{count: e.b.count + oFloor, err: e.err + oFloor}
+	}
+	for x, e := range other.entries {
+		if c, ok := union[x]; ok {
+			// Tracked on both sides: true sums replace the floor charge.
+			union[x] = cell{count: c.count - oFloor + e.b.count, err: c.err - oFloor + e.err}
+		} else {
+			union[x] = cell{count: e.b.count + sFloor, err: e.err + sFloor}
+		}
+	}
+
+	ids := make([]uint64, 0, len(union))
+	for x := range union {
+		ids = append(ids, x)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := union[ids[i]].count, union[ids[j]].count
+		if ci != cj {
+			return ci > cj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > s.k {
+		ids = ids[:s.k]
+	}
+
+	// Rebuild the Stream-Summary structure from scratch in ascending-count
+	// order so bucket construction is a single linear pass.
+	s.entries = make(map[uint64]*entry, s.k)
+	s.min = nil
+	var tail *bucket
+	for i := len(ids) - 1; i >= 0; i-- {
+		x := ids[i]
+		c := union[x]
+		e := &entry{item: x, err: c.err}
+		s.entries[x] = e
+		if tail == nil || tail.count != c.count {
+			nb := &bucket{count: c.count, prev: tail}
+			if tail != nil {
+				tail.next = nb
+			} else {
+				s.min = nb
+			}
+			tail = nb
+		}
+		s.attach(e, tail)
+	}
+	s.m += other.m
+	return nil
+}

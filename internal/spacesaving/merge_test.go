@@ -1,0 +1,144 @@
+package spacesaving
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/merge"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// TestMergeGuarantee: the merged summary keeps the f ≤ est ≤ f + m/k
+// bound against the concatenated stream.
+func TestMergeGuarantee(t *testing.T) {
+	const k, m = 64, 40000
+	a, b := New(k, 1<<20), New(k, 1<<20)
+	truth := exact.New()
+	g := stream.NewZipf(rng.New(7), 1<<20, 1.2)
+	for i := 0; i < m; i++ {
+		x := g.Next()
+		truth.Insert(x)
+		if i < m/2 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != m {
+		t.Fatalf("merged Len = %d, want %d", a.Len(), m)
+	}
+	if got := len(a.entries); got > k {
+		t.Fatalf("merged summary holds %d > k = %d counters", got, k)
+	}
+	bound := uint64(m / k)
+	for _, x := range a.Candidates() {
+		f, est := truth.Freq(x), a.Estimate(x)
+		if est < f {
+			t.Errorf("item %d: estimate %d below true frequency %d", x, est, f)
+		}
+		if est > f+bound {
+			t.Errorf("item %d: estimate %d exceeds f + m/k = %d", x, est, f+bound)
+		}
+	}
+	// Untracked items must have true frequency at most the minimum kept
+	// count (the Space-Saving eviction invariant, preserved by merge).
+	minKept := a.min.count
+	for _, x := range truth.Items() {
+		if _, ok := a.entries[x]; !ok && truth.Freq(x) > minKept {
+			t.Errorf("untracked item %d has f=%d > min kept count %d", x, truth.Freq(x), minKept)
+		}
+	}
+}
+
+// TestMergeCommutative: A←B and B←A yield identical candidate lists and
+// estimates.
+func TestMergeCommutative(t *testing.T) {
+	const k, m = 32, 20000
+	build := func() (*Summary, *Summary) {
+		a, b := New(k, 1<<16), New(k, 1<<16)
+		g := stream.NewZipf(rng.New(3), 1<<16, 1.1)
+		for i := 0; i < m; i++ {
+			x := g.Next()
+			if i%2 == 0 {
+				a.Insert(x)
+			} else {
+				b.Insert(x)
+			}
+		}
+		return a, b
+	}
+	a1, b1 := build()
+	if err := a1.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := build()
+	if err := b2.Merge(a2); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a1.Candidates(), b2.Candidates()
+	if fmt.Sprint(ca) != fmt.Sprint(cb) {
+		t.Fatalf("candidate sets differ:\n%v\n%v", ca, cb)
+	}
+	for _, x := range ca {
+		if a1.Estimate(x) != b2.Estimate(x) || a1.ErrorBound(x) != b2.ErrorBound(x) {
+			t.Fatalf("item %d: (%d,%d) vs (%d,%d)", x,
+				a1.Estimate(x), a1.ErrorBound(x), b2.Estimate(x), b2.ErrorBound(x))
+		}
+	}
+}
+
+// TestMergeThenInsert: the rebuilt bucket structure must keep working for
+// subsequent inserts (increment and eviction paths).
+func TestMergeThenInsert(t *testing.T) {
+	const k = 8
+	a, b := New(k, 1<<16), New(k, 1<<16)
+	for i := 0; i < 200; i++ {
+		a.Insert(uint64(i % 12))
+		b.Insert(uint64(i % 17))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		a.Insert(uint64(i % 23))
+	}
+	if got := len(a.entries); got > k {
+		t.Fatalf("summary grew to %d > k = %d after post-merge inserts", got, k)
+	}
+	if a.Len() != 200+200+500 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestMergeRejectsMismatchedK(t *testing.T) {
+	err := New(4, 0).Merge(New(8, 0))
+	if err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+	if !errors.Is(err, merge.ErrIncompatible) {
+		t.Fatalf("error %v does not wrap merge.ErrIncompatible", err)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a, b := New(4, 0), New(4, 0)
+	a.Insert(1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate(1) != 1 || a.Len() != 1 {
+		t.Fatalf("merge with empty summary corrupted state: est=%d len=%d", a.Estimate(1), a.Len())
+	}
+	if err := b.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.Estimate(1) != 1 || b.Len() != 1 {
+		t.Fatalf("merge into empty summary: est=%d len=%d", b.Estimate(1), b.Len())
+	}
+}

@@ -79,6 +79,14 @@ type ListHeavyHitters struct {
 	bits    func() int64
 	length  func() uint64
 	marshal func() ([]byte, error)
+
+	// engine is the concrete solver (*core.Optimal or *core.SimpleList)
+	// behind the closures; nil for unknown-length solvers. MergeFrom
+	// folds engines directly.
+	engine any
+	// paced is non-nil when inserts are routed through a de-amortization
+	// queue; merging flushes it first so no table work is outstanding.
+	paced *core.Paced
 }
 
 // NewListHeavyHitters returns a solver for cfg.
@@ -112,6 +120,7 @@ func NewListHeavyHitters(cfg Config) (*ListHeavyHitters, error) {
 		h := &ListHeavyHitters{
 			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
 			marshal: func() ([]byte, error) { return taggedMarshal(tagOptimal, a) },
+			engine:  a,
 		}
 		h.applyPacing(cfg.PacedBudget, a)
 		return h, nil
@@ -123,6 +132,7 @@ func NewListHeavyHitters(cfg Config) (*ListHeavyHitters, error) {
 		h := &ListHeavyHitters{
 			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
 			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
+			engine:  a,
 		}
 		h.applyPacing(cfg.PacedBudget, a)
 		return h, nil
@@ -139,6 +149,7 @@ func (h *ListHeavyHitters) applyPacing(budget int, inner core.Pacable) {
 		return
 	}
 	p := core.NewPaced(inner, budget)
+	h.paced = p
 	baseReport, baseMarshal := h.report, h.marshal
 	h.insert = p.Insert
 	h.report = func() []ItemEstimate {
@@ -191,6 +202,7 @@ func UnmarshalListHeavyHitters(data []byte) (*ListHeavyHitters, error) {
 		return &ListHeavyHitters{
 			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
 			marshal: func() ([]byte, error) { return taggedMarshal(tagOptimal, a) },
+			engine:  a,
 		}, nil
 	case tagSimple:
 		a := new(core.SimpleList)
@@ -200,6 +212,7 @@ func UnmarshalListHeavyHitters(data []byte) (*ListHeavyHitters, error) {
 		return &ListHeavyHitters{
 			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
 			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
+			engine:  a,
 		}, nil
 	default:
 		return nil, errors.New("l1hh: unrecognized solver encoding")

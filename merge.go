@@ -1,0 +1,154 @@
+package l1hh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/merge"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// Distributed merge tier: the public MergeFrom/MergeCheckpoint contract.
+//
+// A fleet of ingest nodes, each running a solver created from the SAME
+// Config (including Seed and, for the sharded solver, the same Shards),
+// can each consume a slice of the global stream and later be combined
+// into one summary whose Report carries the serial solver's (ε,ϕ)
+// guarantees against the concatenated stream. Identical seeds make the
+// nodes share every random choice — sampling rates, hash functions,
+// shard routing — which is what lets their tables fold; DESIGN.md §7
+// gives the per-table combination rules and the error accounting under
+// union. Configure every node with the GLOBAL expected StreamLength: the
+// sampling rate is derived from it, so the union of the nodes' samples
+// matches a serial run over the whole stream.
+//
+// Incompatibility (different parameters, seeds, or partitions) is
+// reported with an error wrapping ErrIncompatibleMerge and leaves the
+// receiver unchanged.
+
+// ErrIncompatibleMerge is returned (wrapped) when two summaries cannot
+// be merged; test with errors.Is.
+var ErrIncompatibleMerge = merge.ErrIncompatible
+
+// canMergeFrom validates a MergeFrom without mutating either solver.
+func (h *ListHeavyHitters) canMergeFrom(other *ListHeavyHitters) error {
+	if h == other {
+		return merge.Incompatiblef("l1hh: cannot merge a solver into itself")
+	}
+	if h.engine == nil || other.engine == nil {
+		return errors.New("l1hh: unknown-length solvers are not mergeable")
+	}
+	switch a := h.engine.(type) {
+	case *core.Optimal:
+		b, ok := other.engine.(*core.Optimal)
+		if !ok {
+			return merge.Incompatiblef("l1hh: cannot merge AlgorithmOptimal with AlgorithmSimple")
+		}
+		return a.CanMerge(b)
+	case *core.SimpleList:
+		b, ok := other.engine.(*core.SimpleList)
+		if !ok {
+			return merge.Incompatiblef("l1hh: cannot merge AlgorithmSimple with AlgorithmOptimal")
+		}
+		return a.CanMerge(b)
+	default:
+		return fmt.Errorf("l1hh: engine %T is not mergeable", h.engine)
+	}
+}
+
+// MergeFrom folds other's state into h so that h summarizes the
+// concatenation of both solvers' streams; other is left untouched. Both
+// solvers must have been created with the same Config (same seed
+// included) and must be known-stream-length engines. If either solver
+// uses paced inserts, outstanding deferred work is flushed first, so the
+// merged state matches the unpaced semantics.
+func (h *ListHeavyHitters) MergeFrom(other *ListHeavyHitters) error {
+	if err := h.canMergeFrom(other); err != nil {
+		return err
+	}
+	if h.paced != nil {
+		h.paced.Flush()
+	}
+	if other.paced != nil {
+		other.paced.Flush()
+	}
+	switch a := h.engine.(type) {
+	case *core.Optimal:
+		return a.Merge(other.engine.(*core.Optimal))
+	case *core.SimpleList:
+		return a.Merge(other.engine.(*core.SimpleList))
+	default: // unreachable: canMergeFrom vetted the type
+		return fmt.Errorf("l1hh: engine %T is not mergeable", h.engine)
+	}
+}
+
+// MergeEngine implements the shard-layer merge contract
+// (shard.EngineMerger), letting a sharded container fold a foreign
+// shard's solver into the live one.
+func (h *ListHeavyHitters) MergeEngine(other shard.Engine) error {
+	o, ok := other.(*ListHeavyHitters)
+	if !ok {
+		return merge.Incompatiblef("l1hh: foreign shard engine has type %T", other)
+	}
+	return h.MergeFrom(o)
+}
+
+// CheckMergeEngine implements the non-mutating half of
+// shard.EngineMerger: the shard layer runs it across every shard before
+// folding any, so container merges are all-or-nothing.
+func (h *ListHeavyHitters) CheckMergeEngine(other shard.Engine) error {
+	o, ok := other.(*ListHeavyHitters)
+	if !ok {
+		return merge.Incompatiblef("l1hh: foreign shard engine has type %T", other)
+	}
+	return h.canMergeFrom(o)
+}
+
+// MergeCheckpoint folds a checkpoint produced by another node's
+// ShardedListHeavyHitters.MarshalBinary into the live engine, shard by
+// shard. The foreign node must have been created from the same
+// ShardedConfig — same (ε, ϕ), same Seed, same Shards — so that both
+// nodes route every id to the same shard and the per-shard solver states
+// fold; anything else errors (wrapping ErrIncompatibleMerge for
+// parameter mismatches) without touching live state. It is a barrier
+// that runs concurrently with ingest: items enqueued before the call are
+// reflected, and ingest keeps flowing during the merge.
+func (h *ShardedListHeavyHitters) MergeCheckpoint(blob []byte) error {
+	if len(blob) < 1 || blob[0] != tagSharded {
+		return errors.New("l1hh: not a sharded solver encoding")
+	}
+	r := wire.NewReader(blob[1:])
+	eps := r.F64()
+	phi := r.F64()
+	snap := r.Blob()
+	if r.Err() != nil {
+		return fmt.Errorf("l1hh: corrupt sharded encoding: %w", r.Err())
+	}
+	if !r.Done() {
+		return errors.New("l1hh: trailing bytes after sharded encoding")
+	}
+	if eps != h.eps || phi != h.phi {
+		return merge.Incompatiblef("l1hh: problem parameters differ: (ε=%g, ϕ=%g) vs (ε=%g, ϕ=%g)",
+			h.eps, h.phi, eps, phi)
+	}
+	return h.s.MergeSnapshot(snap, func(i, total int, b []byte) (shard.Engine, error) {
+		return UnmarshalListHeavyHitters(b)
+	})
+}
+
+// MergeFrom folds other into h via other's checkpoint; other is left
+// untouched and keeps ingesting. Report then thresholds against the
+// combined global stream length, exactly as if h had ingested other's
+// items itself.
+func (h *ShardedListHeavyHitters) MergeFrom(other *ShardedListHeavyHitters) error {
+	if h == other {
+		return merge.Incompatiblef("l1hh: cannot merge a solver into itself")
+	}
+	blob, err := other.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return h.MergeCheckpoint(blob)
+}

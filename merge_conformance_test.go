@@ -1,0 +1,133 @@
+package l1hh
+
+// Statistical conformance suite for the distributed merge tier: the
+// merged report of K independently-fed nodes must satisfy the same (ε,ϕ)
+// guarantees as one solver over the concatenated stream. Streams cover
+// the easy case (zipf), the no-skew-but-heavy case (uniform over a tiny
+// support), and adversarial arrangements (all heavy items delivered
+// last, and sorted runs), all with fixed seeds.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/merge"
+)
+
+const (
+	confEps = 0.02
+	confPhi = 0.05
+	confM   = 200_000
+)
+
+// conformanceStreams materializes the fixed test streams. Every stream
+// has items above ϕ·m and noise below (ϕ−ε)·m.
+func conformanceStreams() map[string][]Item {
+	return map[string][]Item{
+		// Zipf(1.3) over a large universe: a handful of ϕ-heavy ids.
+		"zipf": Generate(NewZipfStream(101, 1<<20, 1.3), confM),
+		// Uniform over 12 ids: every item is ≈ m/12 ≈ 0.083m ≥ ϕ·m heavy.
+		"uniform": Generate(NewUniformStream(103, 12), confM),
+		// Adversarially permuted: the planted heavy items arrive only
+		// after every node has seen its slice of pure noise — the split
+		// maximally skews per-node summaries.
+		"heavy-last": GeneratePlantedStream(105, confM,
+			[]float64{0.20, 0.12, 0.06}, 100, 1<<30, OrderHeavyLast),
+		// Sorted runs: each id's copies are contiguous, so a node can see
+		// one id for its entire slice.
+		"sorted-runs": GeneratePlantedStream(107, confM,
+			[]float64{0.20, 0.12, 0.06}, 100, 1<<30, OrderSorted),
+	}
+}
+
+// splitAcross feeds stream to k same-config nodes in contiguous slices.
+func splitAcross[T any](t *testing.T, stream []Item, k int, mk func() T, insert func(T, []Item)) []T {
+	t.Helper()
+	nodes := make([]T, k)
+	chunk := (len(stream) + k - 1) / k
+	for i := range nodes {
+		nodes[i] = mk()
+		lo := i * chunk
+		hi := min(lo+chunk, len(stream))
+		if lo < hi {
+			insert(nodes[i], stream[lo:hi])
+		}
+	}
+	return nodes
+}
+
+// TestMergeConformanceSerial: K ∈ {2,4,8} ListHeavyHitters nodes, both
+// engines, all stream shapes.
+func TestMergeConformanceSerial(t *testing.T) {
+	for name, stream := range conformanceStreams() {
+		for _, k := range []int{2, 4, 8} {
+			for _, algo := range []Algorithm{AlgorithmOptimal, AlgorithmSimple} {
+				t.Run(fmt.Sprintf("%s/k=%d/algo=%d", name, k, algo), func(t *testing.T) {
+					cfg := Config{
+						Eps: confEps, Phi: confPhi, Delta: 0.05,
+						StreamLength: confM, Universe: 1 << 32,
+						Algorithm: algo, Seed: 271,
+					}
+					nodes := splitAcross(t, stream, k,
+						func() *ListHeavyHitters {
+							h, err := NewListHeavyHitters(cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							return h
+						},
+						func(h *ListHeavyHitters, xs []Item) {
+							for _, x := range xs {
+								h.Insert(x)
+							}
+						})
+					if err := merge.Fold(nodes[0], nodes[1:]...); err != nil {
+						t.Fatal(err)
+					}
+					if got := nodes[0].Len(); got != confM {
+						t.Fatalf("merged Len = %d, want %d", got, confM)
+					}
+					checkGuarantees(t, nodes[0].Report(), stream, confEps, confPhi)
+				})
+			}
+		}
+	}
+}
+
+// TestMergeConformanceSharded: the same property through the full stack —
+// K sharded nodes merged via checkpoints.
+func TestMergeConformanceSharded(t *testing.T) {
+	stream := conformanceStreams()["zipf"]
+	for _, k := range []int{2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			cfg := ShardedConfig{
+				Config: Config{
+					Eps: confEps, Phi: confPhi, Delta: 0.05,
+					StreamLength: confM, Universe: 1 << 32, Seed: 277,
+				},
+				Shards: 4,
+			}
+			nodes := splitAcross(t, stream, k,
+				func() *ShardedListHeavyHitters {
+					h, err := NewShardedListHeavyHitters(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { h.Close() })
+					return h
+				},
+				func(h *ShardedListHeavyHitters, xs []Item) {
+					if err := h.InsertBatch(xs); err != nil {
+						t.Fatal(err)
+					}
+				})
+			if err := merge.Fold(nodes[0], nodes[1:]...); err != nil {
+				t.Fatal(err)
+			}
+			if got := nodes[0].Len(); got != confM {
+				t.Fatalf("merged Len = %d, want %d", got, confM)
+			}
+			checkGuarantees(t, nodes[0].Report(), stream, confEps, confPhi)
+		})
+	}
+}

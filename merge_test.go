@@ -1,0 +1,322 @@
+package l1hh
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// mergeTestPair builds two same-config sharded nodes, each fed one half
+// of a fixed planted stream.
+func mergeTestPair(t *testing.T, seed uint64, m int) (a, b *ShardedListHeavyHitters, stream []Item) {
+	t.Helper()
+	stream = GeneratePlantedStream(seed+500, m, shardedTestWeights, 100, 1<<30, OrderShuffled)
+	mk := func() *ShardedListHeavyHitters {
+		h, err := NewShardedListHeavyHitters(ShardedConfig{
+			Config: Config{
+				Eps: 0.02, Phi: 0.05, Delta: 0.05,
+				StreamLength: uint64(m), Universe: 1 << 32, Seed: seed,
+			},
+			Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		return h
+	}
+	a, b = mk(), mk()
+	if err := a.InsertBatch(stream[:m/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertBatch(stream[m/2:]); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, stream
+}
+
+// TestShardedMergeCommutative: merging A into B and B into A with
+// identical seeds yields identical reports.
+func TestShardedMergeCommutative(t *testing.T) {
+	const m = 100_000
+	a1, b1, stream := mergeTestPair(t, 61, m)
+	if err := a1.MergeFrom(b1); err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, _ := mergeTestPair(t, 61, m)
+	if err := b2.MergeFrom(a2); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a1.Report(), b2.Report()
+	if len(ra) == 0 {
+		t.Fatal("empty merged report on a stream with planted heavy hitters")
+	}
+	if fmt.Sprint(ra) != fmt.Sprint(rb) {
+		t.Fatalf("A←B and B←A reports differ:\n%v\n%v", ra, rb)
+	}
+	checkGuarantees(t, ra, stream, 0.02, 0.05)
+}
+
+// TestMergedShardedRoundTrip: a merged engine round-trips through
+// Marshal/Unmarshal unchanged — same report, stable bytes, and the
+// restored engine keeps ingesting identically to the original.
+func TestMergedShardedRoundTrip(t *testing.T) {
+	const m = 100_000
+	a, b, stream := mergeTestPair(t, 67, m)
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalShardedListHeavyHitters(blob, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { restored.Close() })
+	if fmt.Sprint(restored.Report()) != fmt.Sprint(a.Report()) {
+		t.Fatal("report changed across Marshal/Unmarshal of a merged engine")
+	}
+	blob2, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-marshalled bytes differ for a merged engine")
+	}
+	// Both continue the stream identically.
+	tail := stream[:10_000]
+	if err := a.InsertBatch(tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.InsertBatch(tail); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Report()) != fmt.Sprint(restored.Report()) {
+		t.Fatal("reports diverge after identical post-merge tails")
+	}
+}
+
+// TestMergeCheckpointEqualsSerial: merging two half-stream nodes yields
+// the stream length and guarantees of the full serial run.
+func TestMergeCheckpointEqualsSerial(t *testing.T) {
+	const m = 100_000
+	a, b, stream := mergeTestPair(t, 71, m)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeCheckpoint(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Len(); got != m {
+		t.Fatalf("merged Len = %d, want %d", got, m)
+	}
+	if got := a.Items(); got != m {
+		t.Fatalf("merged Items = %d, want %d", got, m)
+	}
+	checkGuarantees(t, a.Report(), stream, 0.02, 0.05)
+	// The donor is untouched and keeps working.
+	if got := b.Len(); got != m/2 {
+		t.Fatalf("donor Len = %d, want %d", got, m/2)
+	}
+}
+
+// TestMergeCheckpointRejects: wrong tags, corrupt frames, parameter and
+// partition mismatches, self-merge — all error, none panic, and
+// parameter mismatches wrap ErrIncompatibleMerge.
+func TestMergeCheckpointRejects(t *testing.T) {
+	const m = 20_000
+	a, b, _ := mergeTestPair(t, 73, m)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.MergeCheckpoint(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if err := a.MergeCheckpoint([]byte{tagOptimal, 1, 2}); err == nil {
+		t.Fatal("wrong tag accepted")
+	}
+	if err := a.MergeCheckpoint(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncation accepted")
+	}
+	if err := a.MergeCheckpoint(append(append([]byte{}, blob...), 9)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if err := a.MergeFrom(a); !errors.Is(err, ErrIncompatibleMerge) {
+		t.Fatalf("self-merge: %v", err)
+	}
+
+	mkVariant := func(mutate func(*ShardedConfig)) *ShardedListHeavyHitters {
+		cfg := ShardedConfig{
+			Config: Config{
+				Eps: 0.02, Phi: 0.05, Delta: 0.05,
+				StreamLength: m, Universe: 1 << 32, Seed: 73,
+			},
+			Shards: 4,
+		}
+		mutate(&cfg)
+		h, err := NewShardedListHeavyHitters(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		return h
+	}
+	for name, variant := range map[string]*ShardedListHeavyHitters{
+		"different eps":    mkVariant(func(c *ShardedConfig) { c.Eps = 0.03 }),
+		"different phi":    mkVariant(func(c *ShardedConfig) { c.Phi = 0.06 }),
+		"different seed":   mkVariant(func(c *ShardedConfig) { c.Seed = 999 }),
+		"different shards": mkVariant(func(c *ShardedConfig) { c.Shards = 2 }),
+	} {
+		vblob, err := variant.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.MergeCheckpoint(vblob); !errors.Is(err, ErrIncompatibleMerge) {
+			t.Errorf("%s: err = %v, want ErrIncompatibleMerge", name, err)
+		}
+	}
+
+	// Everything above left a usable: a valid merge still works.
+	if err := a.MergeCheckpoint(blob); err != nil {
+		t.Fatalf("valid merge after rejections: %v", err)
+	}
+	if got := a.Len(); got != m {
+		t.Fatalf("Len = %d, want %d", got, m)
+	}
+}
+
+// TestMergeCheckpointMixedShardsAtomic: a crafted container whose frame
+// matches the live engine but whose shards are mutually inconsistent
+// (shard 0 compatible, shard 1 from a different problem) must be
+// rejected without mutating ANY shard — the check phase runs across the
+// whole container before the first fold.
+func TestMergeCheckpointMixedShardsAtomic(t *testing.T) {
+	const m = 20_000
+	a, b, _ := mergeTestPair(t, 89, m)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble the container: tag | eps | phi | blob(snap), with
+	// snap = version | shards | seed | blob(engine)...
+	r := wire.NewReader(blob[1:])
+	eps, phi := r.F64(), r.F64()
+	snap := wire.NewReader(r.Blob())
+	version, shards, seed := snap.U64(), snap.U64(), snap.U64()
+	engines := make([][]byte, shards)
+	for i := range engines {
+		engines[i] = snap.Blob()
+	}
+	if snap.Err() != nil || !snap.Done() {
+		t.Fatal("could not disassemble a checkpoint this package produced")
+	}
+	// A solver from a different problem (different ε) in shard 1's slot.
+	alien, err := NewListHeavyHitters(Config{
+		Eps: 0.03, Phi: 0.05, Delta: 0.05,
+		StreamLength: m, Universe: 1 << 32, Seed: 89,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alienBlob, err := alien.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines[1] = alienBlob
+	sw := wire.NewWriter()
+	sw.U64(version)
+	sw.U64(shards)
+	sw.U64(seed)
+	for _, e := range engines {
+		sw.Blob(e)
+	}
+	fw := wire.NewWriter()
+	fw.F64(eps)
+	fw.F64(phi)
+	fw.Blob(sw.Bytes())
+	crafted := append([]byte{tagSharded}, fw.Bytes()...)
+
+	before := fmt.Sprint(a.Report())
+	beforeLen := a.Len()
+	if err := a.MergeCheckpoint(crafted); !errors.Is(err, ErrIncompatibleMerge) {
+		t.Fatalf("mixed-shard container: err = %v, want ErrIncompatibleMerge", err)
+	}
+	if got := a.Len(); got != beforeLen {
+		t.Fatalf("rejected merge changed Len %d → %d (partial fold)", beforeLen, got)
+	}
+	if after := fmt.Sprint(a.Report()); after != before {
+		t.Fatalf("rejected merge changed the report:\n%s\n%s", before, after)
+	}
+}
+
+// TestListMergeFromErrors: unknown-length and mixed-algorithm solvers
+// refuse to merge.
+func TestListMergeFromErrors(t *testing.T) {
+	known := func(algo Algorithm) *ListHeavyHitters {
+		h, err := NewListHeavyHitters(Config{
+			Eps: 0.05, Phi: 0.1, Delta: 0.05,
+			StreamLength: 10_000, Universe: 1 << 20, Algorithm: algo, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	unknown, err := NewListHeavyHitters(Config{
+		Eps: 0.05, Phi: 0.1, Delta: 0.05, Universe: 1 << 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := known(AlgorithmOptimal).MergeFrom(unknown); err == nil {
+		t.Fatal("merge from unknown-length solver accepted")
+	}
+	if err := unknown.MergeFrom(known(AlgorithmOptimal)); err == nil {
+		t.Fatal("merge into unknown-length solver accepted")
+	}
+	if err := known(AlgorithmOptimal).MergeFrom(known(AlgorithmSimple)); !errors.Is(err, ErrIncompatibleMerge) {
+		t.Fatal("mixed-algorithm merge accepted")
+	}
+}
+
+// TestMergeFromPaced: solvers with a de-amortization budget flush before
+// merging, so the merged report equals the unpaced one.
+func TestMergeFromPaced(t *testing.T) {
+	const m = 100_000
+	stream := GeneratePlantedStream(81, m, shardedTestWeights, 100, 1<<30, OrderShuffled)
+	build := func(budget int) *ListHeavyHitters {
+		h, err := NewListHeavyHitters(Config{
+			Eps: 0.02, Phi: 0.05, Delta: 0.05,
+			StreamLength: m, Universe: 1 << 32, Seed: 83,
+			PacedBudget: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	run := func(budget int) []ItemEstimate {
+		a, b := build(budget), build(budget)
+		for _, x := range stream[:m/2] {
+			a.Insert(x)
+		}
+		for _, x := range stream[m/2:] {
+			b.Insert(x)
+		}
+		if err := a.MergeFrom(b); err != nil {
+			t.Fatal(err)
+		}
+		return a.Report()
+	}
+	if fmt.Sprint(run(1)) != fmt.Sprint(run(0)) {
+		t.Fatal("paced and unpaced merges report differently")
+	}
+}
