@@ -6,7 +6,12 @@
 //
 //	POST /ingest      binary (application/octet-stream, LE uint64s) or
 //	                  NDJSON (bare ids, or {"item":N,"count":K}) batches
-//	GET  /report      heavy hitters with estimates, global thresholds
+//	GET  /report      heavy hitters with estimates, global thresholds;
+//	                  always carries the effective (eps, phi) and the
+//	                  stream length it answered for, plus window coverage
+//	                  (with -window/-window-duration) and the merged
+//	                  state's age (in aggregator mode) so clients can
+//	                  detect stale reports
 //	POST /checkpoint  serialized engine state (application/octet-stream)
 //	POST /merge       fold a peer node's checkpoint into the live engine
 //	POST /restore     swap in a previously checkpointed state
@@ -14,7 +19,16 @@
 //	GET  /metrics     expvar: hhd.items_total, hhd.items_per_sec,
 //	                  hhd.queue_depths, hhd.model_bits, hhd.shards,
 //	                  hhd.peers, hhd.merges_total, hhd.merge_errors_total,
-//	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds
+//	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds;
+//	                  with a window: hhd.window {covered, retired_total,
+//	                  buckets, span_seconds}
+//
+// Sliding windows: -window N answers for (at least) the last N items,
+// -window-duration D for the last D of wall time (then -m is the
+// expected items per window, globally). Reports and checkpoints carry
+// the window; cluster mode is incompatible with windows — two nodes'
+// windows cover different wall-clock slices, so their states do not
+// merge (DESIGN.md §8).
 //
 // Cluster mode: run one worker per ingest node and one aggregator with
 // -peers; the aggregator pulls every worker's /checkpoint each
@@ -68,6 +82,9 @@ var (
 	queueFlag      = flag.Int("queue-depth", 0, "per-shard queue depth in batches (0 = default)")
 	batchFlag      = flag.Int("max-batch", 0, "max items per dispatched batch (0 = default)")
 	checkpointFlag = flag.String("checkpoint", "", "snapshot file: loaded on start if present, written on shutdown")
+	windowFlag     = flag.Uint64("window", 0, "count-based sliding window: report the heavy hitters of (at least) the last N items (0 = whole stream)")
+	windowDurFlag  = flag.Duration("window-duration", 0, "time-based sliding window: report the heavy hitters of (at least) the last D of wall time; -m becomes the expected items per window")
+	windowBktFlag  = flag.Int("window-buckets", 0, "window epoch granularity: the report overshoots the window by at most one epoch (0 = default 8)")
 	peersFlag      = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://a:8080,http://b:8080); enables aggregator mode: pull each worker's /checkpoint periodically and serve the merged global /report")
 	pullFlag       = flag.Duration("pull-every", 10*time.Second, "aggregator pull interval (with -peers)")
 )
@@ -88,11 +105,21 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -algo %q", *algoFlag)
 	}
-	if *checkpointFlag != "" && *mFlag == 0 {
+	if *windowFlag > 0 && *windowDurFlag > 0 {
+		return errors.New("-window and -window-duration are mutually exclusive")
+	}
+	if *windowDurFlag > 0 && *mFlag == 0 {
+		return errors.New("-window-duration requires -m (the expected items per window), which sizes the per-epoch solvers")
+	}
+	windowed := *windowFlag > 0 || *windowDurFlag > 0
+	if *checkpointFlag != "" && *mFlag == 0 && *windowFlag == 0 {
 		return errors.New("-checkpoint requires a known stream length (-m > 0): unknown-length solvers are not serializable")
 	}
 	var peers []string
 	if *peersFlag != "" {
+		if windowed {
+			return errors.New("-peers is incompatible with sliding windows: windowed states are not mergeable (DESIGN.md §8)")
+		}
 		if *mFlag == 0 {
 			return errors.New("-peers requires a known stream length (-m > 0): cluster merging works on checkpoints")
 		}
@@ -114,9 +141,12 @@ func run() error {
 			StreamLength: *mFlag, Universe: *universeFlag,
 			Algorithm: algo, Seed: *seedFlag,
 		},
-		Shards:     *shardsFlag,
-		QueueDepth: *queueFlag,
-		MaxBatch:   *batchFlag,
+		Shards:         *shardsFlag,
+		QueueDepth:     *queueFlag,
+		MaxBatch:       *batchFlag,
+		Window:         *windowFlag,
+		WindowDuration: *windowDurFlag,
+		WindowBuckets:  *windowBktFlag,
 	}
 
 	var (
@@ -154,8 +184,15 @@ func run() error {
 	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("hhd listening on %s: ε=%g ϕ=%g δ=%g shards=%d algo=%s",
-		*addrFlag, *epsFlag, *phiFlag, *deltaFlag, srv.engine().Shards(), *algoFlag)
+	win := ""
+	switch {
+	case *windowFlag > 0:
+		win = fmt.Sprintf(" window=%d", *windowFlag)
+	case *windowDurFlag > 0:
+		win = fmt.Sprintf(" window=%s", *windowDurFlag)
+	}
+	log.Printf("hhd listening on %s: ε=%g ϕ=%g δ=%g shards=%d algo=%s%s",
+		*addrFlag, *epsFlag, *phiFlag, *deltaFlag, srv.engine().Shards(), *algoFlag, win)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -137,6 +137,22 @@ func publishMetrics() {
 		}
 		return -1.0
 	}))
+	// One composite gauge, one WindowStats barrier per scrape — separate
+	// gauges would each pay a full all-shards round-trip for fields that
+	// come out of a single snapshot.
+	expvar.Publish("hhd.window", expvar.Func(func() any {
+		if s := get(); s != nil {
+			if st, ok := s.engine().WindowStats(); ok {
+				return map[string]any{
+					"covered":       st.Covered,
+					"retired_total": st.Retired,
+					"buckets":       st.Buckets,
+					"span_seconds":  st.Span.Seconds(),
+				}
+			}
+		}
+		return nil
+	}))
 }
 
 // newServer builds the engine for scfg and the routing table.
@@ -336,12 +352,40 @@ func ingestNDJSON(eng *l1hh.ShardedListHeavyHitters, body io.Reader) (uint64, er
 	return accepted, flush()
 }
 
-// reportResponse is the GET /report body.
+// reportResponse is the GET /report body. Len is the stream length the
+// report answered for (the window's covered mass when windowed), and
+// Eps/Phi are the live engine's effective problem parameters — together
+// they let a client validate a report against the thresholds it was
+// actually computed with, even after a /restore swapped in a different
+// configuration. In aggregator mode MergedAgeSeconds is the age of the
+// merged state serving this report (-1 until the first successful pull):
+// a growing value means the report is going stale behind the workers.
 type reportResponse struct {
-	Len          uint64         `json:"len"`
-	ModelBits    int64          `json:"model_bits"`
-	Shards       int            `json:"shards"`
-	HeavyHitters []reportedItem `json:"heavy_hitters"`
+	Len              uint64         `json:"len"`
+	Eps              float64        `json:"eps"`
+	Phi              float64        `json:"phi"`
+	ModelBits        int64          `json:"model_bits"`
+	Shards           int            `json:"shards"`
+	HeavyHitters     []reportedItem `json:"heavy_hitters"`
+	Window           *windowMeta    `json:"window,omitempty"`
+	MergedAgeSeconds *float64       `json:"merged_age_seconds,omitempty"`
+}
+
+// windowMeta describes the sliding window a report covered.
+type windowMeta struct {
+	// Window and DurationSeconds echo the configured geometry (one of
+	// them is zero, matching -window vs -window-duration).
+	Window          uint64  `json:"window"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Covered is the mass the report answered for; Retired has aged out.
+	Covered uint64 `json:"covered"`
+	Total   uint64 `json:"total"`
+	Retired uint64 `json:"retired"`
+	// Buckets is the live epoch count across all shards; OldestMass
+	// bounds how much of Covered may predate the exact window.
+	Buckets     int     `json:"buckets"`
+	OldestMass  uint64  `json:"oldest_mass"`
+	SpanSeconds float64 `json:"span_seconds"`
 }
 
 type reportedItem struct {
@@ -354,12 +398,34 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep := eng.Report()
 	out := reportResponse{
 		Len:          eng.Len(),
+		Eps:          eng.Eps(),
+		Phi:          eng.Phi(),
 		ModelBits:    eng.ModelBits(),
 		Shards:       eng.Shards(),
 		HeavyHitters: make([]reportedItem, len(rep)),
 	}
 	for i, it := range rep {
 		out.HeavyHitters[i] = reportedItem{Item: it.Item, Estimate: it.F}
+	}
+	if st, ok := eng.WindowStats(); ok {
+		win, dur, _ := eng.Window()
+		out.Window = &windowMeta{
+			Window:          win,
+			DurationSeconds: dur.Seconds(),
+			Covered:         st.Covered,
+			Total:           st.Total,
+			Retired:         st.Retired,
+			Buckets:         st.Buckets,
+			OldestMass:      st.OldestMass,
+			SpanSeconds:     st.Span.Seconds(),
+		}
+	}
+	if len(s.peers) > 0 {
+		age := -1.0
+		if last := s.mergeLastUnix.Load(); last > 0 {
+			age = time.Since(time.Unix(0, last)).Seconds()
+		}
+		out.MergedAgeSeconds = &age
 	}
 	writeJSON(w, out)
 }

@@ -1,6 +1,8 @@
 // Package l1hh is a complete Go implementation of "An Optimal Algorithm
 // for ℓ1-Heavy Hitters in Insertion Streams and Related Problems"
-// (Bhattacharyya, Dey, Woodruff — PODS 2016).
+// (Bhattacharyya, Dey, Woodruff — PODS 2016), grown into a concurrent
+// streaming system: serial solvers, a sharded multi-core ingest engine,
+// a distributed merge tier, and sliding windows.
 //
 // # What it provides
 //
@@ -20,16 +22,31 @@
 //     streams of votes (total orders), per Theorems 5 and 6.
 //   - Unknown-length variants of all of the above (Theorems 7–8), which
 //     need no advance knowledge of the stream length.
-//   - ShardedListHeavyHitters — the concurrent ingest engine: the
-//     universe hash-partitioned across N solver shards, each owned by a
-//     worker goroutine, with batched insertion from any number of
-//     producers, merged reports at global thresholds, and coordinated
-//     checkpoints (DESIGN.md §3). cmd/hhd serves it over HTTP.
+//
+// And three system tiers layered over them:
+//
+//   - ShardedListHeavyHitters — concurrent ingest: the universe
+//     hash-partitioned across N solver shards, each owned by a worker
+//     goroutine, with batched insertion from any number of producers,
+//     merged reports at global thresholds, and coordinated checkpoints
+//     (DESIGN.md §3).
+//   - MergeFrom / MergeCheckpoint — the distributed merge tier: solvers
+//     built from the same Config (seed included) on different nodes fold
+//     into one summary whose Report answers for the concatenated stream
+//     (DESIGN.md §7). Incompatible states refuse with
+//     ErrIncompatibleMerge.
+//   - WindowedListHeavyHitters — sliding windows: answer (ε,ϕ)-heavy
+//     hitters over the last W items or the last D of wall time instead
+//     of the whole stream, by folding epoch buckets with the merge
+//     tier's rules at report time; the error bound degrades by at most
+//     one retired epoch's mass (DESIGN.md §8). Set ShardedConfig.Window
+//     to run one window per shard behind the concurrent path.
 //
 // Plus the classic baselines the paper compares against (Misra-Gries,
 // Space-Saving, Count-Min, CountSketch, Lossy Counting, Sticky Sampling),
 // synthetic workload generators, and the paper's lower-bound reductions
-// as executable artifacts (internal/commlower).
+// as executable artifacts (internal/commlower). cmd/hhd serves the whole
+// stack over HTTP.
 //
 // # Quick start
 //
@@ -44,14 +61,29 @@
 //		fmt.Printf("item %d ≈ %.0f occurrences\n", r.Item, r.F)
 //	}
 //
+// The Example functions on this page are runnable versions of the same
+// flow for the windowed, sharded and merge tiers.
+//
+// # Choosing an engine
+//
+// AlgorithmOptimal (the default) is the paper's space-optimal Algorithm
+// 2; its accelerated counters carry an O(1/ε) additive error term, so
+// it wants m ≫ ε⁻². AlgorithmSimple is Algorithm 1: slightly more
+// space, exact counting whenever the stream is within its sample budget
+// — which makes it the right engine for small streams and small
+// windows (DESIGN.md §8).
+//
 // # Space accounting
 //
 // Every sketch has ModelBits, which reports its size in bits under the
 // paper's accounting model (variable-length BB08 counters, ⌈log₂ n⌉-bit
 // ids, O(log n)-bit hash seeds, O(log log m)-bit samplers). This is the
 // number Table 1 of the paper bounds, and what the benchmark harness
-// sweeps. See DESIGN.md for the model, EXPERIMENTS.md for measurements.
+// sweeps. Aggregates are honest: K shards cost K sketches, a B-bucket
+// window costs B+1 window-scale sketches. See DESIGN.md for the model,
+// EXPERIMENTS.md for measurements.
 //
 // All randomness is seeded: the same Config produces the same answers on
-// the same stream.
+// the same stream, and same-seed solvers on different nodes are what
+// the merge tier folds.
 package l1hh

@@ -88,6 +88,97 @@ func ExampleNewBorda() {
 	// Borda winner 2 with score 4
 }
 
+func ExampleNewWindowedListHeavyHitters() {
+	// A sliding window answers "heavy RIGHT NOW": the last Window items,
+	// not the whole stream. AlgorithmSimple counts exactly at this small
+	// window scale (DESIGN.md §8), keeping the output deterministic.
+	win, err := l1hh.NewWindowedListHeavyHitters(l1hh.WindowConfig{
+		Config: l1hh.Config{
+			Eps: 0.1, Phi: 0.3, Delta: 0.05,
+			Universe: 1 << 20, Algorithm: l1hh.AlgorithmSimple, Seed: 1,
+		},
+		Window: 100, // cover (at least) the last 100 items
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Old regime: item 7 dominates. New regime: item 9 takes over.
+	for i := 0; i < 500; i++ {
+		win.Insert(7)
+	}
+	for i := 0; i < 200; i++ {
+		win.Insert(9)
+	}
+	for _, r := range win.Report() {
+		fmt.Printf("trending: item %d ≈ %.0f of the last %d\n", r.Item, r.F, win.Len())
+	}
+	fmt.Printf("retired: %d items aged out\n", win.WindowStats().Retired)
+	// Output:
+	// trending: item 9 ≈ 102 of the last 102
+	// retired: 598 items aged out
+}
+
+func ExampleNewShardedListHeavyHitters() {
+	// The sharded solver hash-partitions ids across worker-owned engines;
+	// any number of goroutines may call InsertBatch concurrently, and
+	// Report is a barrier over all shards at global thresholds.
+	sh, err := l1hh.NewShardedListHeavyHitters(l1hh.ShardedConfig{
+		Config: l1hh.Config{
+			Eps: 0.05, Phi: 0.2, Delta: 0.05,
+			StreamLength: 1000, Universe: 1 << 20,
+			Algorithm: l1hh.AlgorithmSimple, Seed: 2,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sh.Close()
+	batch := make([]l1hh.Item, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			batch = append(batch, 7) // half the stream
+		} else {
+			batch = append(batch, uint64(1000+i))
+		}
+	}
+	if err := sh.InsertBatch(batch); err != nil {
+		panic(err)
+	}
+	for _, r := range sh.Report() {
+		fmt.Printf("item %d ≈ %.0f of %d across %d shards\n",
+			r.Item, r.F, sh.Len(), sh.Shards())
+	}
+	// Output:
+	// item 7 ≈ 499 of 1000 across 4 shards
+}
+
+func ExampleListHeavyHitters_MergeFrom() {
+	// Two nodes built from the SAME Config (seed included) each ingest a
+	// slice of the stream; folding one into the other answers for the
+	// concatenation, as if one solver had seen everything (DESIGN.md §7).
+	cfg := l1hh.Config{
+		Eps: 0.1, Phi: 0.4, Delta: 0.05,
+		StreamLength: 400, Universe: 1 << 10,
+		Algorithm: l1hh.AlgorithmSimple, Seed: 3,
+	}
+	nodeA, _ := l1hh.NewListHeavyHitters(cfg)
+	nodeB, _ := l1hh.NewListHeavyHitters(cfg)
+	for i := 0; i < 100; i++ {
+		nodeA.Insert(9) // node A's slice: all 9s
+		nodeB.Insert(9) // node B's slice: 9s and 4s
+		nodeB.Insert(4)
+	}
+	if err := nodeA.MergeFrom(nodeB); err != nil {
+		panic(err)
+	}
+	for _, r := range nodeA.Report() {
+		fmt.Printf("item %d ≈ %.0f of %d\n", r.Item, r.F, nodeA.Len())
+	}
+	// Output:
+	// item 9 ≈ 200 of 300
+}
+
 func ExampleListHeavyHitters_MarshalBinary() {
 	hh, _ := l1hh.NewListHeavyHitters(l1hh.Config{
 		Eps: 0.1, Phi: 0.4, Delta: 0.05,

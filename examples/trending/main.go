@@ -1,0 +1,95 @@
+// Trending: recency-workload detection via sliding-window heavy hitters
+// (DESIGN.md §8) — the "heavy right now" question production traffic
+// actually asks. A whole-stream solver keeps reporting yesterday's
+// viral item forever; a windowed solver forgets it as soon as it falls
+// out of the last W requests.
+//
+// The simulation runs a content platform through three regimes: steady
+// background traffic, a flash-crowd spike on one item, and the decay
+// after the crowd moves on. After each regime it prints the
+// whole-stream view next to the window view — the spike item stays
+// "heavy since boot" forever, while the window promotes it on arrival
+// and demotes it after decay, with WindowStats showing how much mass
+// aged out.
+//
+//	go run ./examples/trending
+package main
+
+import (
+	"fmt"
+	"log"
+
+	l1hh "repro"
+)
+
+func main() {
+	const (
+		window   = 100_000 // "right now" = the last 100k requests
+		universe = 1 << 30
+		eps      = 0.02
+		phi      = 0.1
+	)
+
+	cfg := l1hh.Config{
+		Eps: eps, Phi: phi, Delta: 0.05,
+		Universe: universe, Seed: 7,
+	}
+
+	// The window view: (ε,ϕ)-heavy hitters of the last `window` items.
+	win, err := l1hh.NewWindowedListHeavyHitters(l1hh.WindowConfig{
+		Config: cfg, Window: window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The whole-stream view, for contrast (it needs the total length).
+	whole := cfg
+	whole.StreamLength = 450_000
+	all, err := l1hh.NewListHeavyHitters(whole)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feed := func(name string, stream []l1hh.Item) {
+		for _, x := range stream {
+			win.Insert(x)
+			all.Insert(x)
+		}
+		st := win.WindowStats()
+		fmt.Printf("— after %s (%d total, %d aged out of the window) —\n",
+			name, st.Total, st.Retired)
+		fmt.Printf("  whole stream: %s\n", top(all.Report()))
+		fmt.Printf("  last %6d:  %s\n", window, top(win.Report()))
+	}
+
+	// Regime 1 — steady state: item 1 is the perennially popular page.
+	feed("steady traffic", l1hh.GeneratePlantedStream(101, 150_000,
+		[]float64{0, 0.15}, 1000, universe, l1hh.OrderShuffled))
+
+	// Regime 2 — flash crowd: item 2 goes viral, item 1 keeps its base.
+	feed("the flash crowd", l1hh.GeneratePlantedStream(103, 150_000,
+		[]float64{0, 0.12, 0.35}, 1000, universe, l1hh.OrderShuffled))
+
+	// Regime 3 — decay: the crowd moves on; only item 1 remains heavy.
+	feed("the decay", l1hh.GeneratePlantedStream(107, 150_000,
+		[]float64{0, 0.15}, 1000, universe, l1hh.OrderShuffled))
+
+	fmt.Printf("\nwindow cost: %d bits across %d epoch buckets (independent of stream length)\n",
+		win.ModelBits(), win.WindowStats().Buckets)
+}
+
+// top formats a report as "item≈count …" for the demo output.
+func top(rep []l1hh.ItemEstimate) string {
+	if len(rep) == 0 {
+		return "(nothing heavy)"
+	}
+	out := ""
+	for i, r := range rep {
+		if i == 3 {
+			out += "…"
+			break
+		}
+		out += fmt.Sprintf("item %d ≈ %.0f   ", r.Item, r.F)
+	}
+	return out
+}

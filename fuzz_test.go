@@ -70,6 +70,50 @@ func FuzzUnmarshalListHeavyHitters(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalWindowed feeds hostile bytes to the windowed decode
+// path: the tag-4 frame, the window snapshot (geometry, bucket
+// metadata) and the nested per-bucket solver encodings. Hostile bytes
+// must error — never panic, never allocate proportionally to a claimed
+// geometry — and a successful decode must yield a usable window.
+func FuzzUnmarshalWindowed(f *testing.F) {
+	mk := func() *WindowedListHeavyHitters {
+		hh, err := NewWindowedListHeavyHitters(WindowConfig{
+			Config: Config{
+				Eps: 0.1, Phi: 0.3, Delta: 0.1, Universe: 1 << 16,
+				Algorithm: AlgorithmSimple, Seed: 5,
+			},
+			Window: 64, WindowBuckets: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return hh
+	}
+	hh := mk()
+	for i := uint64(0); i < 300; i++ {
+		hh.Insert(i % 11)
+	}
+	if blob, err := hh.MarshalBinary(); err == nil {
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+	}
+	f.Add([]byte{4})
+	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		w, err := UnmarshalWindowedListHeavyHitters(data)
+		if err != nil {
+			return
+		}
+		w.Insert(7)
+		_ = w.Report()
+		_ = w.Len()
+		_ = w.WindowStats()
+	})
+}
+
 // fuzzMergeTarget builds one live engine per process for
 // FuzzMergeCheckpoint to merge hostile blobs into. Successful merges
 // mutate it, which is fine — the property under test is "error, never

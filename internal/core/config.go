@@ -108,6 +108,7 @@ var DefaultTuning = Tuning{
 // ItemEstimate pairs a reported item with its estimated absolute frequency
 // over the full stream.
 type ItemEstimate struct {
+	// Item is the reported universe element.
 	Item uint64
 	// F is the frequency estimate f̃ with |f̃ − f| ≤ ε·m on success.
 	F float64

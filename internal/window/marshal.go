@@ -1,0 +1,133 @@
+package window
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// Checkpointing: the frame records the window configuration, the
+// retirement counters, and each live bucket's metadata plus its engine's
+// own MarshalBinary blob (opaque to this layer, exactly as in the shard
+// container). Time-mode bucket timestamps are wall-clock UnixNano, so a
+// restore in a new process retires what aged out while the checkpoint
+// sat on disk.
+
+const snapshotVersion = 1
+
+// MarshalBinary serializes the window configuration and every live
+// bucket. Every bucket engine must implement shard.Marshaler.
+func (w *Window) MarshalBinary() ([]byte, error) {
+	_ = w.advance()
+	enc := wire.NewWriter()
+	enc.U64(snapshotVersion)
+	enc.U64(w.opts.LastN)
+	enc.I64(int64(w.opts.LastDuration))
+	enc.U64(uint64(w.opts.Buckets))
+	enc.U64(w.total)
+	enc.U64(w.retired)
+	enc.U64(w.retiredBuckets)
+	bs := w.buckets()
+	enc.U64(uint64(len(bs)))
+	for _, b := range bs {
+		m, ok := b.eng.(shard.Marshaler)
+		if !ok {
+			return nil, fmt.Errorf("window: engine %T does not implement MarshalBinary", b.eng)
+		}
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		enc.U64(b.count)
+		enc.I64(b.start.UnixNano())
+		enc.I64(b.last.UnixNano())
+		enc.Blob(blob)
+	}
+	return enc.Bytes(), nil
+}
+
+// Restore reconstructs a Window from a MarshalBinary blob. The window
+// geometry (mode, size, bucket count) comes from the blob; opts supplies
+// only the clock (its other fields are ignored). factory builds the
+// engines for buckets opened after the restore; restore decodes the
+// checkpointed ones.
+func Restore(data []byte, factory Factory, restore Restorer, opts Options) (*Window, error) {
+	r := wire.NewReader(data)
+	if v := r.U64(); v != snapshotVersion {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
+		}
+		return nil, fmt.Errorf("window: unsupported snapshot version %d", v)
+	}
+	opts.LastN = r.U64()
+	opts.LastDuration = time.Duration(r.I64())
+	buckets := r.U64()
+	total := r.U64()
+	retired := r.U64()
+	retiredBuckets := r.U64()
+	n := r.U64()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
+	}
+	// Bound the geometry before allocating anything proportional to it:
+	// a hostile snapshot must error, not exhaust memory. (Options.fill
+	// re-checks the granularity; this keeps the bucket-count bound
+	// meaningful even so.)
+	if buckets == 0 || buckets > maxBuckets {
+		return nil, fmt.Errorf("window: implausible granularity %d in snapshot", buckets)
+	}
+	opts.Buckets = int(buckets)
+	if n == 0 || n > buckets+2 {
+		return nil, fmt.Errorf("window: implausible bucket count %d in snapshot", n)
+	}
+	// Build the shell only — the decoded buckets below supply the live
+	// engine, so opening a fresh one here would be a wasted allocation.
+	w, err := newWindow(factory, restore, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.total, w.retired, w.retiredBuckets = total, retired, retiredBuckets
+	bs := make([]*bucket, n)
+	for i := range bs {
+		count := r.U64()
+		start := r.I64()
+		last := r.I64()
+		blob := r.Blob()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
+		}
+		eng, err := restore(blob)
+		if err != nil {
+			return nil, fmt.Errorf("window: bucket %d/%d: %w", i, n, err)
+		}
+		// The count field drives retirement and the covered mass (and so
+		// the report threshold); it must agree with what the engine
+		// actually holds, or a tampered snapshot could poison every
+		// later report while decoding "successfully".
+		if got := eng.Len(); got != count {
+			return nil, fmt.Errorf("window: bucket %d/%d count %d disagrees with engine length %d",
+				i, n, count, got)
+		}
+		bs[i] = &bucket{
+			eng:   eng,
+			count: count,
+			start: time.Unix(0, start),
+			last:  time.Unix(0, last),
+		}
+	}
+	if !r.Done() {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
+		}
+		return nil, errors.New("window: trailing bytes after snapshot")
+	}
+	w.sealed = bs[:n-1]
+	w.live = bs[n-1]
+	for _, b := range bs {
+		w.cov += b.count
+	}
+	return w, nil
+}

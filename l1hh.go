@@ -169,6 +169,16 @@ const (
 	// tagSharded marks a ShardedListHeavyHitters container, whose frame
 	// nests per-shard encodings that carry their own engine tags.
 	tagSharded byte = 3
+	// tagWindowed marks a WindowedListHeavyHitters frame: window
+	// configuration plus the bucket container, each bucket nesting a
+	// tagOptimal/tagSimple solver encoding.
+	tagWindowed byte = 4
+	// tagShardedWindowed marks the v2 sharded container: the tagSharded
+	// frame extended with the window geometry, nesting tagWindowed
+	// per-shard encodings. Decoders accept both container versions;
+	// encoders emit tagSharded when no window is configured, so
+	// non-windowed checkpoints stay readable by older builds.
+	tagShardedWindowed byte = 5
 )
 
 // taggedMarshal prefixes the engine tag to the engine's own encoding.
@@ -214,6 +224,10 @@ func UnmarshalListHeavyHitters(data []byte) (*ListHeavyHitters, error) {
 			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
 			engine:  a,
 		}, nil
+	case tagSharded, tagShardedWindowed:
+		return nil, errors.New("l1hh: sharded container encoding: use UnmarshalShardedListHeavyHitters")
+	case tagWindowed:
+		return nil, errors.New("l1hh: windowed solver encoding: use UnmarshalWindowedListHeavyHitters")
 	default:
 		return nil, errors.New("l1hh: unrecognized solver encoding")
 	}

@@ -116,6 +116,11 @@ func (h *ListHeavyHitters) CheckMergeEngine(other shard.Engine) error {
 // that runs concurrently with ingest: items enqueued before the call are
 // reflected, and ingest keeps flowing during the merge.
 func (h *ShardedListHeavyHitters) MergeCheckpoint(blob []byte) error {
+	if len(blob) >= 1 && blob[0] == tagShardedWindowed || h.Windowed() {
+		// Two nodes' windows cover different wall-clock slices of their
+		// own streams; folding them answers no well-defined window.
+		return merge.Incompatiblef("l1hh: sliding-window states are not mergeable (DESIGN.md §8)")
+	}
 	if len(blob) < 1 || blob[0] != tagSharded {
 		return errors.New("l1hh: not a sharded solver encoding")
 	}

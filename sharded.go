@@ -3,15 +3,18 @@ package l1hh
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/shard"
+	"repro/internal/window"
 	"repro/internal/wire"
 )
 
 // ShardedConfig configures the concurrent sharded solver: the problem
-// parameters of Config plus the ingest-layer knobs.
+// parameters of Config plus the ingest-layer knobs and, optionally, a
+// sliding window.
 type ShardedConfig struct {
 	Config
 	// Shards is the number of independent solver instances the universe
@@ -23,7 +26,27 @@ type ShardedConfig struct {
 	QueueDepth int
 	// MaxBatch caps items per dispatched batch (0 = 4096).
 	MaxBatch int
+	// Window, when non-zero, gives every shard a count-based sliding
+	// window over its substream — ⌈Window/Shards⌉ items each, so the
+	// merged report answers for approximately the last Window items of
+	// the global stream. Config.StreamLength is ignored in this mode.
+	// Count windows slide on per-shard arrivals; under heavy skew (one
+	// item dominating traffic, or Phi ≳ 1/Shards) prefer WindowDuration,
+	// whose wall-clock retirement is skew-immune — DESIGN.md §8 has the
+	// exact inclusion bound.
+	Window uint64
+	// WindowDuration, when non-zero, gives every shard a time-based
+	// window of this wall-clock span. Config.StreamLength must then be
+	// the expected number of items per window, globally. Mutually
+	// exclusive with Window.
+	WindowDuration time.Duration
+	// WindowBuckets is the per-shard epoch granularity (0 = 8); see
+	// WindowConfig.WindowBuckets.
+	WindowBuckets int
 }
+
+// windowed reports whether a sliding window is configured.
+func (c *ShardedConfig) windowed() bool { return c.Window > 0 || c.WindowDuration > 0 }
 
 // ShardedListHeavyHitters is the concurrent (ε,ϕ)-heavy hitters solver:
 // ids are hash-partitioned across Shards independent engines, so an
@@ -42,13 +65,34 @@ type ShardedConfig struct {
 type ShardedListHeavyHitters struct {
 	s        *shard.Sharded
 	eps, phi float64
+
+	// Window geometry when the per-shard engines are windowed (zero
+	// values otherwise); serialized in the tagShardedWindowed frame.
+	window        uint64
+	windowDur     time.Duration
+	windowBuckets int
 }
 
 // NewShardedListHeavyHitters returns a sharded solver for cfg. Per-shard
 // engine seeds and the partition-hash seed all derive from cfg.Seed, so
-// a fixed (Seed, Shards) pair is fully reproducible.
+// a fixed (Seed, Shards) pair is fully reproducible. With the Window
+// fields set, every shard runs a sliding window over its substream and
+// Report answers for approximately the last Window items (or
+// WindowDuration of time) of the global stream.
 func NewShardedListHeavyHitters(cfg ShardedConfig) (*ShardedListHeavyHitters, error) {
 	cfg.fill()
+	if cfg.Window > 0 && cfg.WindowDuration > 0 {
+		return nil, errors.New("l1hh: Window and WindowDuration are mutually exclusive")
+	}
+	if cfg.WindowDuration < 0 {
+		// Silently building a whole-stream engine here would leave the
+		// caller believing reports are windowed.
+		return nil, fmt.Errorf("l1hh: negative WindowDuration %s", cfg.WindowDuration)
+	}
+	if cfg.Window > window.MaxLastN {
+		// Guards the per-shard ⌈W/K⌉ split against uint64 wraparound.
+		return nil, fmt.Errorf("l1hh: window %d exceeds the %d maximum", cfg.Window, uint64(window.MaxLastN))
+	}
 	opts := shard.Options{
 		Shards:     cfg.Shards,
 		QueueDepth: cfg.QueueDepth,
@@ -57,13 +101,36 @@ func NewShardedListHeavyHitters(cfg ShardedConfig) (*ShardedListHeavyHitters, er
 	seeds := rng.New(cfg.Seed)
 	opts.Seed = seeds.Uint64()
 	factory := func(i, total int) (shard.Engine, error) {
-		return NewListHeavyHitters(shardEngineConfig(cfg.Config, total, seeds.Uint64()))
+		ecfg := shardEngineConfig(cfg.Config, total, seeds.Uint64())
+		if !cfg.windowed() {
+			return NewListHeavyHitters(ecfg)
+		}
+		return NewWindowedListHeavyHitters(shardWindowConfig(cfg, ecfg, total))
 	}
 	s, err := shard.New(factory, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedListHeavyHitters{s: s, eps: cfg.Eps, phi: cfg.Phi}, nil
+	return &ShardedListHeavyHitters{
+		s: s, eps: cfg.Eps, phi: cfg.Phi,
+		window: cfg.Window, windowDur: cfg.WindowDuration, windowBuckets: cfg.WindowBuckets,
+	}, nil
+}
+
+// shardWindowConfig derives one shard's window geometry: a count window
+// splits ⌈W/K⌉ per shard (hash partitioning spreads the last W global
+// items ≈ evenly, so per-shard suffixes union to ≈ the global suffix); a
+// time window keeps the same wall-clock span on every shard.
+func shardWindowConfig(cfg ShardedConfig, ecfg Config, total int) WindowConfig {
+	wc := WindowConfig{
+		Config:         ecfg,
+		WindowDuration: cfg.WindowDuration,
+		WindowBuckets:  cfg.WindowBuckets,
+	}
+	if cfg.Window > 0 {
+		wc.Window = (cfg.Window + uint64(total) - 1) / uint64(total)
+	}
+	return wc
 }
 
 // shardEngineConfig derives one shard's solver Config from the global
@@ -133,6 +200,52 @@ func (h *ShardedListHeavyHitters) Shards() int { return h.s.Shards() }
 // QueueDepths reports per-shard queue occupancy in batches.
 func (h *ShardedListHeavyHitters) QueueDepths() []int { return h.s.QueueDepths() }
 
+// Eps returns the additive-error parameter ε the solver was built with
+// (preserved across checkpoint restores).
+func (h *ShardedListHeavyHitters) Eps() float64 { return h.eps }
+
+// Phi returns the heaviness threshold ϕ the solver was built with
+// (preserved across checkpoint restores).
+func (h *ShardedListHeavyHitters) Phi() float64 { return h.phi }
+
+// Windowed reports whether the per-shard engines run sliding windows.
+func (h *ShardedListHeavyHitters) Windowed() bool { return h.window > 0 || h.windowDur > 0 }
+
+// Window returns the configured global window geometry: the count
+// window W (0 for time windows), the duration D (0 for count windows),
+// and the per-shard bucket granularity.
+func (h *ShardedListHeavyHitters) Window() (w uint64, d time.Duration, buckets int) {
+	return h.window, h.windowDur, h.windowBuckets
+}
+
+// WindowStats sums the per-shard window statistics — covered, total and
+// retired mass, live and retired bucket counts — and takes the maximum
+// per-shard span. It is a barrier; ok is false when no window is
+// configured.
+func (h *ShardedListHeavyHitters) WindowStats() (stats WindowStats, ok bool) {
+	if !h.Windowed() {
+		return WindowStats{}, false
+	}
+	parts := make([]WindowStats, h.s.Shards())
+	h.s.Do(func(i int, e shard.Engine) {
+		if w, isWin := e.(*WindowedListHeavyHitters); isWin {
+			parts[i] = w.WindowStats()
+		}
+	})
+	for _, p := range parts {
+		stats.Covered += p.Covered
+		stats.Total += p.Total
+		stats.Retired += p.Retired
+		stats.RetiredBuckets += p.RetiredBuckets
+		stats.Buckets += p.Buckets
+		stats.OldestMass += p.OldestMass
+		if p.Span > stats.Span {
+			stats.Span = p.Span
+		}
+	}
+	return stats, true
+}
+
 // ModelBits sums the per-shard sketch sizes under the paper's
 // accounting: K-way parallelism honestly costs K sketches.
 func (h *ShardedListHeavyHitters) ModelBits() int64 { return h.s.ModelBits() }
@@ -149,7 +262,9 @@ func (h *ShardedListHeavyHitters) Close() error { return h.s.Close() }
 // thresholds, the partition, and every shard engine's own serialized
 // state. Known-stream-length engines only (as for ListHeavyHitters).
 // It is a barrier: the checkpoint reflects every item enqueued before
-// the call.
+// the call. Non-windowed solvers emit the original tagSharded container,
+// so their checkpoints stay readable by older builds; windowed solvers
+// emit the tagShardedWindowed container, which adds the window geometry.
 func (h *ShardedListHeavyHitters) MarshalBinary() ([]byte, error) {
 	snap, err := h.s.Snapshot()
 	if err != nil {
@@ -158,21 +273,38 @@ func (h *ShardedListHeavyHitters) MarshalBinary() ([]byte, error) {
 	w := wire.NewWriter()
 	w.F64(h.eps)
 	w.F64(h.phi)
+	if h.Windowed() {
+		w.U64(h.window)
+		w.I64(int64(h.windowDur))
+		w.U64(uint64(h.windowBuckets))
+	}
 	w.Blob(snap)
-	return append([]byte{tagSharded}, w.Bytes()...), nil
+	tag := tagSharded
+	if h.Windowed() {
+		tag = tagShardedWindowed
+	}
+	return append([]byte{tag}, w.Bytes()...), nil
 }
 
 // UnmarshalShardedListHeavyHitters reconstructs a solver checkpointed by
 // MarshalBinary; the restored solver continues the stream exactly where
-// the original stopped, with identical routing. QueueDepth and MaxBatch
-// are runtime tuning, not serialized state — pass zero for the defaults.
+// the original stopped, with identical routing. Both container versions
+// decode: tagSharded (no window) and tagShardedWindowed. QueueDepth and
+// MaxBatch are runtime tuning, not serialized state — pass zero for the
+// defaults.
 func UnmarshalShardedListHeavyHitters(data []byte, queueDepth, maxBatch int) (*ShardedListHeavyHitters, error) {
-	if len(data) < 1 || data[0] != tagSharded {
+	if len(data) < 1 || (data[0] != tagSharded && data[0] != tagShardedWindowed) {
 		return nil, errors.New("l1hh: not a sharded solver encoding")
 	}
 	r := wire.NewReader(data[1:])
-	eps := r.F64()
-	phi := r.F64()
+	h := &ShardedListHeavyHitters{}
+	h.eps = r.F64()
+	h.phi = r.F64()
+	if data[0] == tagShardedWindowed {
+		h.window = r.U64()
+		h.windowDur = time.Duration(r.I64())
+		h.windowBuckets = int(r.U64())
+	}
 	snap := r.Blob()
 	if r.Err() != nil {
 		return nil, fmt.Errorf("l1hh: corrupt sharded encoding: %w", r.Err())
@@ -180,11 +312,39 @@ func UnmarshalShardedListHeavyHitters(data []byte, queueDepth, maxBatch int) (*S
 	if !r.Done() {
 		return nil, errors.New("l1hh: trailing bytes after sharded encoding")
 	}
+	if data[0] == tagShardedWindowed && !h.Windowed() {
+		return nil, errors.New("l1hh: windowed container encodes no window geometry")
+	}
+	// The container tag must agree with the nested engine types, and a
+	// windowed container's frame geometry with each shard's own window
+	// record — otherwise a crafted checkpoint restores with Windowed()
+	// and WindowStats lying about what reports actually cover.
 	s, err := shard.Restore(snap, func(i, total int, blob []byte) (shard.Engine, error) {
+		if len(blob) >= 1 && blob[0] == tagWindowed {
+			if !h.Windowed() {
+				return nil, errors.New("l1hh: windowed shard engine inside a non-windowed container")
+			}
+			w, err := UnmarshalWindowedListHeavyHitters(blob)
+			if err != nil {
+				return nil, err
+			}
+			want := shardWindowConfig(ShardedConfig{
+				Window: h.window, WindowDuration: h.windowDur, WindowBuckets: h.windowBuckets,
+			}, w.cfg.Config, total)
+			if w.cfg.Window != want.Window || w.cfg.WindowDuration != want.WindowDuration ||
+				w.cfg.WindowBuckets != want.WindowBuckets {
+				return nil, errors.New("l1hh: shard window geometry disagrees with the container frame")
+			}
+			return w, nil
+		}
+		if h.Windowed() {
+			return nil, errors.New("l1hh: plain shard engine inside a windowed container")
+		}
 		return UnmarshalListHeavyHitters(blob)
 	}, shard.Options{QueueDepth: queueDepth, MaxBatch: maxBatch})
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedListHeavyHitters{s: s, eps: eps, phi: phi}, nil
+	h.s = s
+	return h, nil
 }

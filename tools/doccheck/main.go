@@ -1,0 +1,184 @@
+// doccheck is the documentation gate: it fails (exit 1) when a package
+// contains an exported identifier without a doc comment, so godoc
+// coverage is enforced by CI rather than by review vigilance.
+//
+// It checks, per package directory given on the command line:
+//
+//   - the package clause itself (one file must carry the package doc),
+//   - exported top-level consts, vars, types and functions,
+//   - exported methods whose receiver type is exported,
+//   - exported fields of exported struct types.
+//
+// A const/var/field inside a documented group declaration is covered by
+// the group's doc; a trailing line comment also counts for specs and
+// fields. Test files (_test.go) are exempt.
+//
+// Usage:
+//
+//	go run ./tools/doccheck DIR [DIR...]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck DIR [DIR...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		miss, err := check(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range miss {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check parses one package directory and returns a report line per
+// undocumented exported identifier.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var miss []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		miss = append(miss, fmt.Sprintf("%s:%d: undocumented exported %s %s", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		pkgDocumented := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				pkgDocumented = true
+			}
+		}
+		if !pkgDocumented {
+			// Attribute the finding to the directory: any one file could
+			// carry the package doc.
+			miss = append(miss, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return miss, nil
+}
+
+// checkFunc flags an exported function or method (on an exported
+// receiver type) that has no doc comment.
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	name := d.Name.Name
+	what := "function"
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type: internal API
+		}
+		name = recv + "." + name
+		what = "method"
+	}
+	report(d.Pos(), what, name)
+}
+
+// receiverName unwraps a method receiver type expression ("*T", "T",
+// "T[P]") to its base type name.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGen flags undocumented exported specs in a const/var/type
+// declaration. A documented group declaration covers its members.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() {
+				if !groupDoc && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+				if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+					checkFields(s.Name.Name, st, report)
+				}
+			}
+		case *ast.ValueSpec:
+			documented := groupDoc || s.Doc != nil || s.Comment != nil
+			if documented {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFields flags undocumented exported fields of an exported struct.
+// Embedded fields are exempt (their own type documents them).
+func checkFields(typeName string, st *ast.StructType, report func(token.Pos, string, string)) {
+	if st.Fields == nil {
+		return
+	}
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			continue // embedded
+		}
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, n := range f.Names {
+			if n.IsExported() {
+				report(n.Pos(), "field", typeName+"."+n.Name)
+			}
+		}
+	}
+}

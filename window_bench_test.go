@@ -1,0 +1,136 @@
+package l1hh
+
+// E10 — sliding-window overhead (DESIGN.md §5): what windowing costs
+// relative to a whole-stream solver, on both the ingest path (bucket
+// rotation every ⌈W/B⌉ items) and the report path (the B+1-way bucket
+// fold). Space is the usual "model-bits" custom metric: a B-bucket
+// window honestly costs B+1 sketches of window scale.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// windowBenchConfig sizes the solvers for a 2¹⁷-item window over the
+// shared zipf-flavoured planted stream.
+func windowBenchConfig() Config {
+	return Config{
+		Eps: 0.02, Phi: 0.1, Delta: 0.05,
+		Universe: 1 << 32, Seed: 2,
+	}
+}
+
+// BenchmarkWindowedInsert compares the serial whole-stream insert path
+// against windowed inserts at several granularities B.
+func BenchmarkWindowedInsert(b *testing.B) {
+	const w = 1 << 17
+	b.Run("whole-stream", func(b *testing.B) {
+		cfg := windowBenchConfig()
+		cfg.StreamLength = uint64(max(b.N, len(benchStream)))
+		hh, err := NewListHeavyHitters(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hh.Insert(benchStream[i&(1<<20-1)])
+		}
+		b.StopTimer()
+		reportBits(b, hh)
+	})
+	for _, buckets := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("window/buckets=%d", buckets), func(b *testing.B) {
+			hh, err := NewWindowedListHeavyHitters(WindowConfig{
+				Config: windowBenchConfig(), Window: w, WindowBuckets: buckets,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hh.Insert(benchStream[i&(1<<20-1)])
+			}
+			b.StopTimer()
+			reportBits(b, hh)
+		})
+	}
+	b.Run("window/duration", func(b *testing.B) {
+		cfg := windowBenchConfig()
+		cfg.StreamLength = w // expected per-window mass
+		hh, err := NewWindowedListHeavyHitters(WindowConfig{
+			Config: cfg, WindowDuration: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hh.Insert(benchStream[i&(1<<20-1)])
+		}
+		b.StopTimer()
+		reportBits(b, hh)
+	})
+}
+
+// BenchmarkWindowedReport measures the report-path fold: clone one
+// bucket through its checkpoint codec, merge the other B buckets in,
+// report on the combined state.
+func BenchmarkWindowedReport(b *testing.B) {
+	const w = 1 << 17
+	for _, buckets := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			hh, err := NewWindowedListHeavyHitters(WindowConfig{
+				Config: windowBenchConfig(), Window: w, WindowBuckets: buckets,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < (1<<17)+(1<<14); i++ { // steady state: full ring
+				hh.Insert(benchStream[i&(1<<20-1)])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := hh.Report(); len(rep) == 0 {
+					b.Fatal("empty report")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWindowedShardedInsert: the windowed engines behind the
+// concurrent sharded ingest path, as cmd/hhd runs them.
+func BenchmarkWindowedShardedInsert(b *testing.B) {
+	const chunk = 8192
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			hh, err := NewShardedListHeavyHitters(ShardedConfig{
+				Config: windowBenchConfig(),
+				Shards: shards,
+				Window: 1 << 17,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for off := 0; off < b.N; off += chunk {
+				end := off + chunk
+				if end > b.N {
+					end = b.N
+				}
+				lo, hi := off&(1<<20-1), end&(1<<20-1)
+				if hi <= lo {
+					hi = 1 << 20
+				}
+				if err := hh.InsertBatch(benchStream[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hh.Flush()
+			b.StopTimer()
+			b.ReportMetric(float64(hh.ModelBits()), "model-bits")
+			hh.Close()
+		})
+	}
+}

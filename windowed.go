@@ -1,0 +1,274 @@
+package l1hh
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/merge"
+	"repro/internal/shard"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// WindowConfig configures a sliding-window heavy hitters solver: the
+// problem parameters of Config plus the window geometry. Exactly one of
+// Window and WindowDuration must be set.
+type WindowConfig struct {
+	Config
+	// Window selects a count-based window: reports answer for (at
+	// least) the last Window items. Config.StreamLength is ignored in
+	// this mode — the per-bucket solvers are sized to the window.
+	Window uint64
+	// WindowDuration selects a time-based window: reports answer for
+	// (at least) the items of the last WindowDuration of wall time.
+	// Config.StreamLength must then be the expected number of items per
+	// window, which sizes the per-bucket solvers (receiving more costs
+	// space, never accuracy).
+	WindowDuration time.Duration
+	// WindowBuckets is the epoch granularity B: the report's covered
+	// mass overshoots the window by at most one epoch (≤ ⌈Window/B⌉
+	// items, or ≤ WindowDuration/B of time). 0 defaults to 8; choose
+	// B ≥ 2ϕ/ε to keep the (ε,ϕ) boundary clean against the window
+	// itself (DESIGN.md §8).
+	WindowBuckets int
+	// Clock overrides the window clock for time-based windows and
+	// bucket metadata; nil means time.Now. It is not serialized:
+	// restored solvers run on the real clock.
+	Clock func() time.Time
+}
+
+// minWindowEps is the smallest ε a windowed solver accepts: 2⁻¹³ ≈
+// 1.2·10⁻⁴. Bucket engines are rebuilt from checkpoint frames
+// (UnmarshalWindowedListHeavyHitters feeds decoded parameters straight
+// into the solver constructors), so the decode path must be able to
+// bound the constructors' table allocations — a hostile frame with an
+// absurdly small ε would otherwise demand gigabytes. The floor caps the
+// per-bucket accelerated-counter tables at a few MB and is far below
+// any ε a window-scale stream can support (DESIGN.md §8).
+const minWindowEps = 1.0 / (1 << 13)
+
+// windowEngineConfig derives the per-bucket solver Config: every bucket
+// runs the same engine with the same seed (the fold rules require
+// identical random choices), declared at the maximum mass one report can
+// cover — the window plus one epoch of slack. It also range-checks the
+// problem parameters (rejecting NaN), because both the constructor and
+// the checkpoint decoder route through it.
+func windowEngineConfig(cfg WindowConfig) (Config, error) {
+	c := cfg.Config
+	if !(c.Eps >= minWindowEps && c.Eps < 1) {
+		return c, fmt.Errorf("l1hh: windowed solvers need ε in [2⁻¹³, 1), got %v", c.Eps)
+	}
+	if !(c.Phi > c.Eps && c.Phi <= 1) {
+		return c, fmt.Errorf("l1hh: phi = %v out of (eps, 1]", c.Phi)
+	}
+	if c.Delta != 0 && !(c.Delta > 0 && c.Delta < 1) {
+		return c, fmt.Errorf("l1hh: delta = %v out of (0,1)", c.Delta)
+	}
+	if cfg.Window > window.MaxLastN {
+		// Also guards the slack ceil-division below against wraparound.
+		return c, fmt.Errorf("l1hh: window %d exceeds the %d maximum", cfg.Window, uint64(window.MaxLastN))
+	}
+	b := cfg.WindowBuckets
+	if b == 0 {
+		b = window.DefaultBuckets
+	}
+	if b < 1 {
+		return c, fmt.Errorf("l1hh: invalid window bucket count %d", b)
+	}
+	switch {
+	case cfg.Window > 0:
+		slack := (cfg.Window + uint64(b) - 1) / uint64(b)
+		c.StreamLength = cfg.Window + slack
+	case cfg.WindowDuration > 0:
+		if c.StreamLength == 0 {
+			return c, errors.New("l1hh: a duration window needs Config.StreamLength (expected items per window)")
+		}
+		slack := (c.StreamLength + uint64(b) - 1) / uint64(b)
+		c.StreamLength += slack
+	}
+	return c, nil
+}
+
+// WindowStats describes what a windowed report answers for: the covered
+// mass, the total and retired mass, and the bucket geometry. See
+// window.Stats for field semantics.
+type WindowStats = window.Stats
+
+// WindowedListHeavyHitters solves (ε,ϕ)-heavy hitters over a sliding
+// window: Report answers for (at least) the last Window items or the
+// last WindowDuration of wall time, not the whole stream. The stream is
+// chopped into epoch buckets, each ingested by a fresh solver with the
+// same seed; expired buckets retire wholesale, and a report folds the
+// live buckets with the distributed tier's state-merge rules, so it
+// carries the serial solver's (ε,ϕ) guarantees at m = the covered mass
+// (the window plus at most one epoch — DESIGN.md §8).
+//
+// Like ListHeavyHitters, it is not safe for concurrent use; set the
+// window fields of ShardedConfig for concurrent windowed ingest.
+type WindowedListHeavyHitters struct {
+	w        *window.Window
+	cfg      WindowConfig
+	eps, phi float64
+}
+
+// NewWindowedListHeavyHitters returns a sliding-window solver for cfg.
+// Only known-length engines back windows (buckets are folded via the
+// merge tier), so Config.Algorithm must be AlgorithmOptimal or
+// AlgorithmSimple; a duration window additionally needs
+// Config.StreamLength as the expected per-window mass.
+func NewWindowedListHeavyHitters(cfg WindowConfig) (*WindowedListHeavyHitters, error) {
+	cfg.fill()
+	ecfg, err := windowEngineConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	factory := func() (shard.Engine, error) { return NewListHeavyHitters(ecfg) }
+	restorer := func(blob []byte) (shard.Engine, error) { return UnmarshalListHeavyHitters(blob) }
+	w, err := window.New(factory, restorer, window.Options{
+		LastN:        cfg.Window,
+		LastDuration: cfg.WindowDuration,
+		Buckets:      cfg.WindowBuckets,
+		Now:          cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedListHeavyHitters{w: w, cfg: cfg, eps: cfg.Eps, phi: cfg.Phi}, nil
+}
+
+// Insert processes one stream item in amortized O(1) time (a bucket
+// rotation allocates a fresh solver every ⌈W/B⌉ items).
+func (h *WindowedListHeavyHitters) Insert(x Item) { h.w.Insert(x) }
+
+// Report returns the heavy hitters of the covered window, in
+// decreasing-estimate order. With probability ≥ 1−δ every item whose
+// window frequency is ≥ ϕ·W appears, no item with covered frequency
+// ≤ (ϕ−ε)·M appears (M = Len(), the covered mass), and estimates are
+// within ε·M of the covered frequency. If the internal bucket fold fails
+// (which cannot happen for the solvers this package builds), it degrades
+// to a per-bucket union whose estimates may undercount.
+func (h *WindowedListHeavyHitters) Report() []ItemEstimate {
+	rep, err := h.w.Report()
+	if err != nil {
+		return h.w.ReportUnion()
+	}
+	return rep
+}
+
+// Eps returns the additive-error parameter ε the solver was built with.
+func (h *WindowedListHeavyHitters) Eps() float64 { return h.eps }
+
+// Phi returns the heaviness threshold ϕ the solver was built with.
+func (h *WindowedListHeavyHitters) Phi() float64 { return h.phi }
+
+// Len returns the covered mass M — the stream length a Report answers
+// for: at least min(Window, Total), at most one epoch more than the
+// window.
+func (h *WindowedListHeavyHitters) Len() uint64 { return h.w.Len() }
+
+// Total returns the number of items ever inserted, including mass that
+// has aged out of the window.
+func (h *WindowedListHeavyHitters) Total() uint64 { return h.w.Total() }
+
+// WindowStats describes the current coverage: covered/retired mass,
+// live bucket count, and the age of the oldest covered item.
+func (h *WindowedListHeavyHitters) WindowStats() WindowStats { return h.w.Stats() }
+
+// ModelBits reports the summed size of the live bucket sketches under
+// the paper's accounting: a B-bucket window honestly costs B+1 sketches.
+func (h *WindowedListHeavyHitters) ModelBits() int64 { return h.w.ModelBits() }
+
+// MarshalBinary serializes the window configuration and every live
+// bucket's solver state; UnmarshalWindowedListHeavyHitters restores a
+// solver that continues the window exactly where this one stopped.
+func (h *WindowedListHeavyHitters) MarshalBinary() ([]byte, error) {
+	blob, err := h.w.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter()
+	w.F64(h.cfg.Eps)
+	w.F64(h.cfg.Phi)
+	w.F64(h.cfg.Delta)
+	w.U64(h.cfg.StreamLength)
+	w.U64(h.cfg.Universe)
+	w.U64(uint64(h.cfg.Algorithm))
+	w.U64(uint64(h.cfg.PacedBudget))
+	w.U64(h.cfg.Seed)
+	w.U64(h.cfg.Window)
+	w.I64(int64(h.cfg.WindowDuration))
+	w.U64(uint64(h.cfg.WindowBuckets))
+	w.Blob(blob)
+	return append([]byte{tagWindowed}, w.Bytes()...), nil
+}
+
+// UnmarshalWindowedListHeavyHitters reconstructs a solver serialized by
+// WindowedListHeavyHitters.MarshalBinary. Time-based windows resume on
+// the wall clock: buckets that aged out while the checkpoint sat on disk
+// retire on the first operation.
+func UnmarshalWindowedListHeavyHitters(data []byte) (*WindowedListHeavyHitters, error) {
+	if len(data) < 1 || data[0] != tagWindowed {
+		return nil, errors.New("l1hh: not a windowed solver encoding")
+	}
+	r := wire.NewReader(data[1:])
+	var cfg WindowConfig
+	cfg.Eps = r.F64()
+	cfg.Phi = r.F64()
+	cfg.Delta = r.F64()
+	cfg.StreamLength = r.U64()
+	cfg.Universe = r.U64()
+	algo := r.U64()
+	paced := r.U64()
+	cfg.Seed = r.U64()
+	cfg.Window = r.U64()
+	cfg.WindowDuration = time.Duration(r.I64())
+	cfg.WindowBuckets = int(r.U64())
+	blob := r.Blob()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("l1hh: corrupt windowed encoding: %w", r.Err())
+	}
+	if !r.Done() {
+		return nil, errors.New("l1hh: trailing bytes after windowed encoding")
+	}
+	if algo > uint64(AlgorithmSimple) {
+		return nil, fmt.Errorf("l1hh: unknown algorithm %d in windowed encoding", algo)
+	}
+	cfg.Algorithm = Algorithm(algo)
+	cfg.PacedBudget = int(paced)
+	ecfg, err := windowEngineConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	factory := func() (shard.Engine, error) { return NewListHeavyHitters(ecfg) }
+	restorer := func(b []byte) (shard.Engine, error) { return UnmarshalListHeavyHitters(b) }
+	w, err := window.Restore(blob, factory, restorer, window.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// The geometry is encoded twice: in this frame (it sizes the bucket
+	// engines above) and in the window snapshot (it drives retirement).
+	// A tampered blob could make them disagree — mis-sized engines and
+	// lying metadata — so reject any mismatch.
+	lastN, lastDur, buckets := w.Geometry()
+	if lastN != cfg.Window || lastDur != cfg.WindowDuration ||
+		(cfg.WindowBuckets != 0 && buckets != cfg.WindowBuckets) ||
+		(cfg.WindowBuckets == 0 && buckets != window.DefaultBuckets) {
+		return nil, errors.New("l1hh: window geometry mismatch between frame and snapshot")
+	}
+	return &WindowedListHeavyHitters{w: w, cfg: cfg, eps: cfg.Eps, phi: cfg.Phi}, nil
+}
+
+// MergeEngine implements the shard-layer merge contract by refusing:
+// sliding-window states are not mergeable — two nodes' windows cover
+// different wall-clock slices, so folding them answers no well-defined
+// window (DESIGN.md §8).
+func (h *WindowedListHeavyHitters) MergeEngine(other shard.Engine) error {
+	return h.CheckMergeEngine(other)
+}
+
+// CheckMergeEngine implements the non-mutating half of the shard merge
+// contract; it always refuses (see MergeEngine).
+func (h *WindowedListHeavyHitters) CheckMergeEngine(other shard.Engine) error {
+	return merge.Incompatiblef("l1hh: sliding-window states are not mergeable (DESIGN.md §8)")
+}

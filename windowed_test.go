@@ -1,0 +1,520 @@
+package l1hh
+
+// Windowed conformance suite: WindowedListHeavyHitters (serially and
+// through the sharded path) must answer (ε,ϕ)-heavy hitters for the
+// sliding window — every item with window-frequency ≥ ϕ·W reported,
+// nothing reported below (ϕ−ε)·M over the covered mass M, estimates
+// within ε·M — across zipf, uniform and adversarial regime-shift
+// streams, for W ∈ {10³, 10⁵}, with checkpoint round-trips preserving
+// reports bit-identically. Count-mode windows cover an exact stream
+// suffix, so the serial assertions run against exact suffix counts.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exact"
+)
+
+// Window conformance parameters.
+const (
+	winEps = 0.05
+	winPhi = 0.1
+)
+
+// windowAlgos returns the engines whose valid regime covers per-bucket
+// streams of window length w. Algorithm 2's accelerated counters carry
+// an O(1/ε) additive error that must stay below ε·W, so it needs
+// W ≫ ε⁻²; small windows are Algorithm 1 territory — it counts exactly
+// at that scale (DESIGN.md §8).
+func windowAlgos(w uint64) map[Algorithm]string {
+	if w <= 10_000 {
+		return map[Algorithm]string{AlgorithmSimple: "simple"}
+	}
+	return map[Algorithm]string{AlgorithmOptimal: "optimal", AlgorithmSimple: "simple"}
+}
+
+// windowStreams materializes the fixed windowed test streams for window
+// length w: 1.5·w of one regime followed by 1.25·w of another, so the
+// window covers only the tail regime and the whole-stream answer
+// differs from the window answer.
+func windowStreams(w uint64) map[string][]Item {
+	n := int(w)
+	shift := func(seedA, seedB uint64, wa, wb []float64) []Item {
+		a := GeneratePlantedStream(seedA, 3*n/2, wa, 1<<20, 1<<30, OrderShuffled)
+		b := GeneratePlantedStream(seedB, 5*n/4, wb, 1<<20, 1<<30, OrderShuffled)
+		return append(a, b...)
+	}
+	return map[string][]Item{
+		// Stationary zipf: the same ids are heavy in every window.
+		"zipf": Generate(NewZipfStream(211, 1<<20, 1.3), 11*n/4),
+		// Stationary uniform over 8 ids: all of them 0.125 ≥ ϕ heavy.
+		"uniform": Generate(NewUniformStream(223, 8), 11*n/4),
+		// Adversarial regime shift: items 1–3 carry the first phase,
+		// items 11–13 the second; the window must report the second
+		// family and have fully forgotten the first.
+		"regime-shift": shift(227, 229,
+			[]float64{0, 0.20, 0.12, 0.06},                                // phase 1: ids 1,2,3 heavy
+			[]float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0.20, 0.12, 0.06}), // phase 2: ids 11,12,13
+	}
+}
+
+// plantedWeights returns the planted heavy ids of each windowStreams
+// phase relevant to the window (the tail regime).
+var windowHeavy = map[string][]Item{
+	"regime-shift": {11, 12, 13},
+}
+var windowStale = map[string][]Item{
+	"regime-shift": {1, 2, 3},
+}
+
+// suffixCounts counts the last n items of stream exactly.
+func suffixCounts(stream []Item, n uint64) *exact.Counter {
+	c := exact.New()
+	for _, x := range stream[uint64(len(stream))-n:] {
+		c.Insert(x)
+	}
+	return c
+}
+
+// assertWindowReport checks the (ε,ϕ) window contract for a report over
+// a count window of length w whose covered mass is m (so the report's
+// exact coverage is the last m items of stream).
+func assertWindowReport(t *testing.T, stream []Item, rep []ItemEstimate, w, m uint64) {
+	t.Helper()
+	cap := (w + 7) / 8 // default WindowBuckets = 8
+	if m < min(w, uint64(len(stream))) || (uint64(len(stream)) >= w+cap && m >= w+cap) {
+		t.Fatalf("covered mass %d outside [min(W,len), W+cap) for W=%d", m, w)
+	}
+	covered := suffixCounts(stream, m)
+	window := suffixCounts(stream, min(w, uint64(len(stream))))
+	got := make(map[Item]float64, len(rep))
+	for _, r := range rep {
+		got[r.Item] = r.F
+	}
+	// Inclusion: window-frequency ≥ ϕ·W ⇒ reported.
+	phiW := winPhi * float64(min(w, uint64(len(stream))))
+	for _, x := range window.Items() {
+		if float64(window.Freq(x)) >= phiW {
+			if _, ok := got[x]; !ok {
+				t.Errorf("item %d has window frequency %d ≥ ϕW=%.0f but is not reported",
+					x, window.Freq(x), phiW)
+			}
+		}
+	}
+	// Exclusion and estimates, against the exact covered suffix.
+	for x, f := range got {
+		truth := float64(covered.Freq(x))
+		if truth <= (winPhi-winEps)*float64(m) {
+			t.Errorf("item %d reported with covered frequency %.0f ≤ (ϕ−ε)M=%.0f",
+				x, truth, (winPhi-winEps)*float64(m))
+		}
+		if diff := f - truth; diff < -winEps*float64(m) || diff > winEps*float64(m) {
+			t.Errorf("item %d estimate %.0f vs covered frequency %.0f exceeds εM=%.0f",
+				x, f, truth, winEps*float64(m))
+		}
+	}
+}
+
+// TestWindowedConformanceSerial: both engines, all stream shapes,
+// W ∈ {10³, 10⁵}, with a checkpoint round-trip mid-stream and a
+// bit-identical report check at the end.
+func TestWindowedConformanceSerial(t *testing.T) {
+	for _, w := range []uint64{1_000, 100_000} {
+		for name, stream := range windowStreams(w) {
+			for algo, algoName := range windowAlgos(w) {
+				t.Run(fmt.Sprintf("%s/W=%d/%s", name, w, algoName), func(t *testing.T) {
+					hh, err := NewWindowedListHeavyHitters(WindowConfig{
+						Config: Config{
+							Eps: winEps, Phi: winPhi, Delta: 0.05,
+							Universe: 1 << 31, Algorithm: algo, Seed: 7,
+						},
+						Window: w,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// First half, checkpoint, restore, second half on the
+					// restored solver: the window must survive the trip.
+					half := len(stream) / 2
+					for _, x := range stream[:half] {
+						hh.Insert(x)
+					}
+					blob, err := hh.MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					restored, err := UnmarshalWindowedListHeavyHitters(blob)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, x := range stream[half:] {
+						restored.Insert(x)
+					}
+					m := restored.Len()
+					rep := restored.Report()
+					assertWindowReport(t, stream, rep, w, m)
+					for _, x := range windowStale[name] {
+						for _, r := range rep {
+							if r.Item == x {
+								t.Errorf("stale heavy item %d still reported with %.0f", x, r.F)
+							}
+						}
+					}
+					// Round-trip at the end: reports must be bit-identical.
+					blob2, err := restored.MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					twin, err := UnmarshalWindowedListHeavyHitters(blob2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(rep, twin.Report()) {
+						t.Error("checkpoint round-trip changed the report")
+					}
+					blob3, err := twin.MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(blob2, blob3) {
+						t.Error("re-marshalling a restored solver changed the encoding")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWindowedConformanceSharded: the same streams through the sharded
+// path. Per-shard windows cover per-substream suffixes, which union to
+// approximately the global suffix; the assertions use the planted
+// margins rather than exact suffix counts.
+func TestWindowedConformanceSharded(t *testing.T) {
+	for _, w := range []uint64{1_000, 100_000} {
+		for name, stream := range windowStreams(w) {
+			algo := AlgorithmOptimal
+			if w <= 10_000 {
+				algo = AlgorithmSimple // per-shard windows are W/4: small-window regime
+			}
+			t.Run(fmt.Sprintf("%s/W=%d", name, w), func(t *testing.T) {
+				sh, err := NewShardedListHeavyHitters(ShardedConfig{
+					Config: Config{
+						Eps: winEps, Phi: winPhi, Delta: 0.05,
+						Universe: 1 << 31, Algorithm: algo, Seed: 7,
+					},
+					Shards: 4,
+					Window: w,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sh.Close()
+				if err := sh.InsertBatch(stream); err != nil {
+					t.Fatal(err)
+				}
+				rep := sh.Report()
+				m := sh.Len()
+				if m < w/2 || m > 2*w {
+					t.Fatalf("global covered mass %d implausible for W=%d", m, w)
+				}
+				got := make(map[Item]float64, len(rep))
+				for _, r := range rep {
+					got[r.Item] = r.F
+				}
+				// The tail regime's planted heavies are ≥ 0.06 ≥ ϕ+ε of
+				// any window; they must be reported. Stale heavies must
+				// be gone.
+				window := suffixCounts(stream, min(w, uint64(len(stream))))
+				phiW := winPhi * float64(min(w, uint64(len(stream))))
+				for _, x := range window.Items() {
+					if float64(window.Freq(x)) >= phiW*1.5 { // generous margin for shard skew
+						if _, ok := got[x]; !ok {
+							t.Errorf("item %d window frequency %d well above ϕW=%.0f but unreported",
+								x, window.Freq(x), phiW)
+						}
+					}
+				}
+				for _, x := range windowStale[name] {
+					if f, ok := got[x]; ok {
+						t.Errorf("stale heavy item %d still reported with %.0f", x, f)
+					}
+				}
+				// Checkpoint round-trip: report must be bit-identical.
+				blob, err := sh.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored, err := UnmarshalShardedListHeavyHitters(blob, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer restored.Close()
+				if !restored.Windowed() {
+					t.Fatal("restored solver lost its window")
+				}
+				if !reflect.DeepEqual(rep, restored.Report()) {
+					t.Error("sharded checkpoint round-trip changed the report")
+				}
+				if st, ok := restored.WindowStats(); !ok || st.Covered != m {
+					t.Errorf("restored WindowStats covered %d ok=%v, want %d", st.Covered, ok, m)
+				}
+			})
+		}
+	}
+}
+
+// TestWindowedEdgeCases: W=1, W larger than the stream, and tiny
+// windows over heavy repetition.
+func TestWindowedEdgeCases(t *testing.T) {
+	base := Config{
+		Eps: 0.1, Phi: 0.4, Delta: 0.05, Universe: 1 << 20, Seed: 3,
+		Algorithm: AlgorithmSimple,
+	}
+	t.Run("W=1", func(t *testing.T) {
+		hh, err := NewWindowedListHeavyHitters(WindowConfig{Config: base, Window: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 50; i++ {
+			hh.Insert(i)
+			if hh.Len() != 1 {
+				t.Fatalf("W=1 covered %d", hh.Len())
+			}
+			rep := hh.Report()
+			if len(rep) != 1 || rep[0].Item != i {
+				t.Fatalf("W=1 report %v after inserting %d", rep, i)
+			}
+		}
+	})
+	t.Run("W>stream", func(t *testing.T) {
+		hh, err := NewWindowedListHeavyHitters(WindowConfig{Config: base, Window: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			hh.Insert(uint64(i % 2)) // both ids at 0.5 ≥ ϕ
+		}
+		if hh.Len() != 1000 || hh.Total() != 1000 {
+			t.Fatalf("covered/total %d/%d", hh.Len(), hh.Total())
+		}
+		rep := hh.Report()
+		if len(rep) != 2 {
+			t.Fatalf("want both heavy ids, got %v", rep)
+		}
+		if st := hh.WindowStats(); st.Retired != 0 {
+			t.Fatalf("nothing should retire: %+v", st)
+		}
+	})
+	t.Run("invalid-config", func(t *testing.T) {
+		if _, err := NewWindowedListHeavyHitters(WindowConfig{Config: base}); err == nil {
+			t.Fatal("no window mode must error")
+		}
+		if _, err := NewWindowedListHeavyHitters(WindowConfig{
+			Config: base, Window: 10, WindowDuration: time.Second,
+		}); err == nil {
+			t.Fatal("both window modes must error")
+		}
+		if _, err := NewWindowedListHeavyHitters(WindowConfig{
+			Config:         Config{Eps: 0.1, Phi: 0.4, Delta: 0.05, Universe: 1 << 20},
+			WindowDuration: time.Second, // StreamLength 0: no per-window mass
+		}); err == nil {
+			t.Fatal("duration window without StreamLength must error")
+		}
+		if _, err := NewShardedListHeavyHitters(ShardedConfig{
+			Config: base, Window: 10, WindowDuration: time.Second,
+		}); err == nil {
+			t.Fatal("sharded: both window modes must error")
+		}
+		// Overflow guards: a near-2⁶⁴ window would wrap the ⌈W/B⌉ and
+		// per-shard-split arithmetic into a degenerate window.
+		if _, err := NewWindowedListHeavyHitters(WindowConfig{
+			Config: base, Window: ^uint64(0),
+		}); err == nil {
+			t.Fatal("absurd Window must error, not wrap")
+		}
+		if _, err := NewShardedListHeavyHitters(ShardedConfig{
+			Config: base, Window: ^uint64(0), Shards: 2,
+		}); err == nil {
+			t.Fatal("sharded: absurd Window must error, not wrap")
+		}
+		if _, err := NewShardedListHeavyHitters(ShardedConfig{
+			Config: base, WindowDuration: -time.Second, Shards: 2,
+		}); err == nil {
+			t.Fatal("sharded: negative WindowDuration must error, not silently unwindow")
+		}
+	})
+}
+
+// TestWindowedDuration drives a time-based window with an injected
+// clock through the public API.
+func TestWindowedDuration(t *testing.T) {
+	now := time.Unix(2000, 0)
+	hh, err := NewWindowedListHeavyHitters(WindowConfig{
+		Config: Config{
+			Eps: 0.1, Phi: 0.3, Delta: 0.05, Universe: 1 << 20,
+			StreamLength: 1000, Seed: 5, Algorithm: AlgorithmSimple,
+		},
+		WindowDuration: 10 * time.Second,
+		Clock:          func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		hh.Insert(1)
+	}
+	now = now.Add(4 * time.Second)
+	for i := 0; i < 300; i++ {
+		hh.Insert(2)
+	}
+	rep := hh.Report()
+	if len(rep) != 2 {
+		t.Fatalf("both regimes inside the window: %v", rep)
+	}
+	now = now.Add(8 * time.Second) // id 1 is now 12s old, id 2 8s
+	rep = hh.Report()
+	if len(rep) != 1 || rep[0].Item != 2 {
+		t.Fatalf("id 1 should have aged out: %v", rep)
+	}
+	if st := hh.WindowStats(); st.Retired != 300 {
+		t.Fatalf("expected 300 retired: %+v", st)
+	}
+}
+
+// TestWindowedDurationRoundTrip checkpoints a duration window (real
+// clock, window far longer than the test) and checks report identity.
+func TestWindowedDurationRoundTrip(t *testing.T) {
+	hh, err := NewWindowedListHeavyHitters(WindowConfig{
+		Config: Config{
+			Eps: 0.1, Phi: 0.3, Delta: 0.05, Universe: 1 << 20,
+			StreamLength: 1000, Seed: 5, Algorithm: AlgorithmSimple,
+		},
+		WindowDuration: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 900; i++ {
+		hh.Insert(uint64(i % 3))
+	}
+	blob, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalWindowedListHeavyHitters(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hh.Report(), restored.Report()) {
+		t.Error("duration-window round-trip changed the report")
+	}
+}
+
+// TestWindowedMergeRejected: sliding-window states refuse the merge
+// tier, wrapping ErrIncompatibleMerge, and leave the receiver usable.
+func TestWindowedMergeRejected(t *testing.T) {
+	mk := func() *ShardedListHeavyHitters {
+		sh, err := NewShardedListHeavyHitters(ShardedConfig{
+			Config: Config{
+				Eps: 0.05, Phi: 0.2, Delta: 0.05, Universe: 1 << 20, Seed: 11,
+				Algorithm: AlgorithmSimple, // exact at this tiny window scale
+			},
+			Shards: 2, Window: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 500; i++ {
+		a.Insert(uint64(i % 5))
+		b.Insert(uint64(i % 5))
+	}
+	if err := a.MergeFrom(b); !errors.Is(err, ErrIncompatibleMerge) {
+		t.Fatalf("windowed MergeFrom: got %v, want ErrIncompatibleMerge", err)
+	}
+	// Windowed checkpoint into a non-windowed engine must also refuse.
+	plain, err := NewShardedListHeavyHitters(ShardedConfig{
+		Config: Config{
+			Eps: 0.05, Phi: 0.2, Delta: 0.05, StreamLength: 1000,
+			Universe: 1 << 20, Seed: 11, Algorithm: AlgorithmSimple,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.MergeCheckpoint(blob); !errors.Is(err, ErrIncompatibleMerge) {
+		t.Fatalf("windowed blob into plain engine: got %v, want ErrIncompatibleMerge", err)
+	}
+	if got := a.Report(); len(got) == 0 {
+		t.Fatal("receiver must stay usable after a refused merge")
+	}
+}
+
+// TestWindowShardedRace exercises report-during-retirement: concurrent
+// producers keep rotating and retiring buckets while reports, stats,
+// and checkpoints run. Run with -race.
+func TestWindowShardedRace(t *testing.T) {
+	sh, err := NewShardedListHeavyHitters(ShardedConfig{
+		Config: Config{
+			Eps: 0.05, Phi: 0.2, Delta: 0.05, Universe: 1 << 20, Seed: 13,
+		},
+		Shards: 4, Window: 500, WindowBuckets: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]Item, 256)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range batch {
+					batch[j] = uint64((p*1000 + i + j) % 50)
+				}
+				if err := sh.InsertBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for i := 0; i < 20; i++ {
+		sh.Report()
+		if _, ok := sh.WindowStats(); !ok {
+			t.Error("WindowStats must be available")
+		}
+		if _, err := sh.MarshalBinary(); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sh.Report() // post-close barrier runs inline
+}
