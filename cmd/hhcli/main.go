@@ -3,13 +3,22 @@
 // directly; anything else is hashed (FNV-1a) into the universe, with the
 // original spelling remembered for the report.
 //
+// It is built on the unified l1hh front door: flags become l1hh.New
+// options, so the same binary runs the serial solver, the concurrent
+// sharded engine (-shards), and sliding windows (-window /
+// -window-duration) — the report then covers only the most recent
+// traffic, and the summary line says how much mass aged out.
+//
 // Usage:
 //
 //	hhcli -eps 0.01 -phi 0.05 < access.log
 //	hhcli -eps 0.001 -phi 0.01 -algo simple data.txt
+//	hhcli -eps 0.02 -phi 0.1 -window 100000 data.txt       # last 100k tokens
+//	hhcli -eps 0.01 -phi 0.05 -m 10000000 -shards 8 big.log
 //
 // The stream length is not known in advance, so the unknown-length solver
-// (Theorem 7) runs unless -m is given.
+// (Theorem 7) runs unless -m is given (count windows need no -m; time
+// windows use -m as the expected items per window).
 package main
 
 import (
@@ -23,27 +32,70 @@ import (
 )
 
 var (
-	epsFlag   = flag.Float64("eps", 0.01, "additive error ε")
-	phiFlag   = flag.Float64("phi", 0.05, "heaviness threshold ϕ")
-	deltaFlag = flag.Float64("delta", 0.05, "failure probability δ")
-	mFlag     = flag.Uint64("m", 0, "stream length if known (0 = unknown)")
-	algoFlag  = flag.String("algo", "optimal", "engine: optimal or simple (known m only)")
-	pacedFlag = flag.Int("paced", 0, "per-insert work budget (0 = amortized; known m only)")
-	seedFlag  = flag.Uint64("seed", 1, "RNG seed")
+	epsFlag       = flag.Float64("eps", 0.01, "additive error ε")
+	phiFlag       = flag.Float64("phi", 0.05, "heaviness threshold ϕ")
+	deltaFlag     = flag.Float64("delta", 0.05, "failure probability δ")
+	mFlag         = flag.Uint64("m", 0, "stream length if known (0 = unknown; with -window-duration: expected items per window)")
+	algoFlag      = flag.String("algo", "optimal", "engine: optimal or simple (known m only)")
+	pacedFlag     = flag.Int("paced", 0, "per-insert work budget (0 = amortized; known m only)")
+	seedFlag      = flag.Uint64("seed", 1, "RNG seed")
+	shardsFlag    = flag.Int("shards", -1, "hash-partition the stream across N concurrent solver shards (-1 = serial, 0 = GOMAXPROCS)")
+	windowFlag    = flag.Uint64("window", 0, "count-based sliding window: report the heavy hitters of (at least) the last N tokens (0 = whole stream)")
+	windowDurFlag = flag.Duration("window-duration", 0, "time-based sliding window over arrival time; -m becomes the expected items per window")
+	windowBktFlag = flag.Int("window-buckets", 0, "window epoch granularity (0 = default 8)")
 )
+
+// batchSize is how many ids hhcli hands to InsertBatch at once when a
+// sharded engine is configured; serial engines insert one by one.
+const batchSize = 8192
+
+// buildOptions translates the flags into the l1hh.New option set.
+func buildOptions() ([]l1hh.Option, error) {
+	algo := l1hh.AlgorithmOptimal
+	switch *algoFlag {
+	case "optimal":
+	case "simple":
+		algo = l1hh.AlgorithmSimple
+	default:
+		return nil, fmt.Errorf("unknown -algo %q", *algoFlag)
+	}
+	opts := []l1hh.Option{
+		l1hh.WithEps(*epsFlag),
+		l1hh.WithPhi(*phiFlag),
+		l1hh.WithDelta(*deltaFlag),
+		l1hh.WithUniverse(1 << 62),
+		l1hh.WithAlgorithm(algo),
+		l1hh.WithSeed(*seedFlag),
+	}
+	if *mFlag > 0 {
+		opts = append(opts, l1hh.WithStreamLength(*mFlag))
+	}
+	if *pacedFlag > 0 {
+		opts = append(opts, l1hh.WithPacedBudget(*pacedFlag))
+	}
+	if *shardsFlag >= 0 {
+		opts = append(opts, l1hh.WithShards(*shardsFlag))
+	}
+	switch {
+	case *windowFlag > 0 && *windowDurFlag > 0:
+		return nil, fmt.Errorf("-window and -window-duration are mutually exclusive")
+	case *windowFlag > 0:
+		opts = append(opts, l1hh.WithCountWindow(*windowFlag, *windowBktFlag))
+	case *windowDurFlag > 0:
+		opts = append(opts, l1hh.WithTimeWindow(*windowDurFlag, *windowBktFlag))
+	}
+	return opts, nil
+}
 
 func main() {
 	flag.Parse()
 
-	algo := l1hh.AlgorithmOptimal
-	if *algoFlag == "simple" {
-		algo = l1hh.AlgorithmSimple
+	opts, err := buildOptions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
-		Eps: *epsFlag, Phi: *phiFlag, Delta: *deltaFlag,
-		StreamLength: *mFlag, Universe: 1 << 62,
-		Algorithm: algo, PacedBudget: *pacedFlag, Seed: *seedFlag,
-	})
+	hh, err := l1hh.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -61,20 +113,22 @@ func main() {
 	}
 
 	rd := stream.NewReader(in, 1<<20)
-	for {
-		id, ok := rd.Next()
-		if !ok {
-			break
-		}
-		hh.Insert(id)
+	if err := feed(hh, rd); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if err := rd.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("# %d items, sketch %d bits, ε=%.4g ϕ=%.4g\n",
-		rd.Count(), hh.ModelBits(), *epsFlag, *phiFlag)
+	summary := fmt.Sprintf("# %d items, sketch %d bits, ε=%.4g ϕ=%.4g",
+		rd.Count(), hh.ModelBits(), hh.Eps(), hh.Phi())
+	if win, ok := hh.(l1hh.Windower); ok {
+		st := win.WindowStats()
+		summary += fmt.Sprintf(", window covers %d (%d aged out)", st.Covered, st.Retired)
+	}
+	fmt.Println(summary)
 	for _, r := range hh.Report() {
 		label := rd.Name(r.Item)
 		if label == "" {
@@ -82,4 +136,45 @@ func main() {
 		}
 		fmt.Printf("%-30s %12.0f\n", label, r.F)
 	}
+	hh.Close()
+}
+
+// feed streams the reader's ids into the solver, batching when the
+// engine ingests concurrently (the batch path is the sharded hot path;
+// serial solvers take the plain Insert loop).
+func feed(hh l1hh.HeavyHitters, rd *stream.Reader) error {
+	if _, ok := hh.(l1hh.Sharder); !ok {
+		for {
+			id, ok := rd.Next()
+			if !ok {
+				return nil
+			}
+			if err := hh.Insert(id); err != nil {
+				return err
+			}
+		}
+	}
+	batch := make([]l1hh.Item, 0, batchSize)
+	for {
+		id, ok := rd.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, id)
+		if len(batch) == cap(batch) {
+			if err := hh.InsertBatch(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := hh.InsertBatch(batch); err != nil {
+		return err
+	}
+	// A sharded report is a barrier, but flush explicitly so rd.Count()
+	// and the report are taken against the same drained state.
+	if f, ok := hh.(l1hh.Flusher); ok {
+		f.Flush()
+	}
+	return nil
 }

@@ -77,17 +77,25 @@ func (s *server) pullAndMerge(ctx context.Context, client *http.Client) error {
 			return fmt.Errorf("peer %s: %w", s.peers[i], err)
 		}
 	}
-	fresh, err := l1hh.NewShardedListHeavyHitters(s.scfg)
+	fresh, err := l1hh.New(s.spec.build...)
 	if err != nil {
 		return err
 	}
+	merger, ok := fresh.(l1hh.Merger)
+	if !ok {
+		// Unreachable: startup refuses -peers with windows, and every
+		// non-windowed sharded engine merges.
+		fresh.Close()
+		return fmt.Errorf("aggregator engine %T does not merge", fresh)
+	}
 	for i, blob := range blobs {
-		if err := fresh.MergeCheckpoint(blob); err != nil {
+		if err := merger.Merge(blob); err != nil {
 			s.mergeErrors.Add(1)
 			fresh.Close()
 			return fmt.Errorf("peer %s: %w", s.peers[i], err)
 		}
 	}
+	st := fresh.Stats()
 	s.mu.Lock()
 	old := s.eng
 	s.eng = fresh
@@ -95,9 +103,7 @@ func (s *server) pullAndMerge(ctx context.Context, client *http.Client) error {
 	old.Close()
 	// Reset the rate baseline as /restore does: the swapped-in counter
 	// restarts from the merged total.
-	s.rateMu.Lock()
-	s.lastItems, s.lastScrape = fresh.Items(), time.Now()
-	s.rateMu.Unlock()
+	s.resetRate(st.Items)
 	s.recordMerge(time.Since(start))
 	return nil
 }

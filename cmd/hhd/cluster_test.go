@@ -91,9 +91,7 @@ func TestClusterMergeRejects(t *testing.T) {
 
 	// A checkpoint from a differently-seeded node is decodable but
 	// incompatible: 409 Conflict.
-	misCfg := testConfig(m)
-	misCfg.Seed = 999
-	mismatched, err := newServer(misCfg)
+	mismatched, err := newServer(testSpec(m, 999))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-// hhd is the heavy hitters streaming daemon: a ShardedListHeavyHitters
+// hhd is the heavy hitters streaming daemon: a sharded l1hh engine
 // behind HTTP, ingesting batches concurrently across hash-partitioned
 // solver shards and answering merged reports.
 //
@@ -22,6 +22,12 @@
 //	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds;
 //	                  with a window: hhd.window {covered, retired_total,
 //	                  buckets, span_seconds}
+//
+// The daemon is built entirely on the unified l1hh front door: flags
+// become l1hh.New options, /restore goes through l1hh.Unmarshal, and the
+// handlers discover what the engine can do by asserting the capability
+// interfaces (l1hh.Merger, l1hh.Windower, l1hh.Sharder) — never by
+// naming concrete solver types.
 //
 // Sliding windows: -window N answers for (at least) the last N items,
 // -window-duration D for the last D of wall time (then -m is the
@@ -96,6 +102,39 @@ func main() {
 	}
 }
 
+// specFromFlags translates the command line into the option sets the
+// unified front door understands.
+func specFromFlags(algo l1hh.Algorithm) engineSpec {
+	var spec engineSpec
+	spec.build = []l1hh.Option{
+		l1hh.WithEps(*epsFlag),
+		l1hh.WithPhi(*phiFlag),
+		l1hh.WithDelta(*deltaFlag),
+		l1hh.WithUniverse(*universeFlag),
+		l1hh.WithAlgorithm(algo),
+		l1hh.WithSeed(*seedFlag),
+		l1hh.WithShards(*shardsFlag),
+	}
+	if *mFlag > 0 {
+		spec.build = append(spec.build, l1hh.WithStreamLength(*mFlag))
+	}
+	switch {
+	case *windowFlag > 0:
+		spec.build = append(spec.build, l1hh.WithCountWindow(*windowFlag, *windowBktFlag))
+	case *windowDurFlag > 0:
+		spec.build = append(spec.build, l1hh.WithTimeWindow(*windowDurFlag, *windowBktFlag))
+	}
+	if *queueFlag > 0 {
+		spec.build = append(spec.build, l1hh.WithQueueDepth(*queueFlag))
+		spec.restore = append(spec.restore, l1hh.WithQueueDepth(*queueFlag))
+	}
+	if *batchFlag > 0 {
+		spec.build = append(spec.build, l1hh.WithMaxBatch(*batchFlag))
+		spec.restore = append(spec.restore, l1hh.WithMaxBatch(*batchFlag))
+	}
+	return spec
+}
+
 func run() error {
 	algo := l1hh.AlgorithmOptimal
 	switch *algoFlag {
@@ -135,19 +174,7 @@ func run() error {
 			return errors.New("-peers lists no usable URLs")
 		}
 	}
-	scfg := l1hh.ShardedConfig{
-		Config: l1hh.Config{
-			Eps: *epsFlag, Phi: *phiFlag, Delta: *deltaFlag,
-			StreamLength: *mFlag, Universe: *universeFlag,
-			Algorithm: algo, Seed: *seedFlag,
-		},
-		Shards:         *shardsFlag,
-		QueueDepth:     *queueFlag,
-		MaxBatch:       *batchFlag,
-		Window:         *windowFlag,
-		WindowDuration: *windowDurFlag,
-		WindowBuckets:  *windowBktFlag,
-	}
+	spec := specFromFlags(algo)
 
 	var (
 		srv *server
@@ -155,19 +182,24 @@ func run() error {
 	)
 	if *checkpointFlag != "" {
 		if blob, rerr := os.ReadFile(*checkpointFlag); rerr == nil {
-			eng, uerr := l1hh.UnmarshalShardedListHeavyHitters(blob, scfg.QueueDepth, scfg.MaxBatch)
+			eng, uerr := l1hh.Unmarshal(blob, spec.restore...)
 			if uerr != nil {
 				return fmt.Errorf("loading checkpoint %s: %w", *checkpointFlag, uerr)
 			}
-			srv = newServerWith(scfg, eng)
+			if _, ok := eng.(l1hh.Sharder); !ok {
+				eng.Close()
+				return fmt.Errorf("loading checkpoint %s: restores to a single-owner solver; hhd needs a sharded container", *checkpointFlag)
+			}
+			srv = newServerWith(spec, eng)
+			st := eng.Stats()
 			log.Printf("restored %d items across %d shards from %s",
-				eng.Len(), eng.Shards(), *checkpointFlag)
+				st.Len, st.Shards, *checkpointFlag)
 		} else if !errors.Is(rerr, os.ErrNotExist) {
 			return fmt.Errorf("reading checkpoint %s: %w", *checkpointFlag, rerr)
 		}
 	}
 	if srv == nil {
-		if srv, err = newServer(scfg); err != nil {
+		if srv, err = newServer(spec); err != nil {
 			return err
 		}
 	}
@@ -192,7 +224,7 @@ func run() error {
 		win = fmt.Sprintf(" window=%s", *windowDurFlag)
 	}
 	log.Printf("hhd listening on %s: ε=%g ϕ=%g δ=%g shards=%d algo=%s%s",
-		*addrFlag, *epsFlag, *phiFlag, *deltaFlag, srv.engine().Shards(), *algoFlag, win)
+		*addrFlag, *epsFlag, *phiFlag, *deltaFlag, srv.engine().Stats().Shards, *algoFlag, win)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

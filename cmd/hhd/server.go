@@ -18,23 +18,44 @@ import (
 	l1hh "repro"
 )
 
-// server wires a ShardedListHeavyHitters to HTTP. All handlers are safe
+// engineSpec is how the daemon remembers what it serves: the full option
+// set that builds a fresh engine (aggregator rebuilds, startup) and the
+// runtime subset that tunes a restored checkpoint. The daemon never
+// touches concrete solver types — everything behind l1hh.New and
+// l1hh.Unmarshal is driven through l1hh.HeavyHitters plus the capability
+// interfaces (Merger, Windower, Sharder).
+type engineSpec struct {
+	build   []l1hh.Option // for l1hh.New
+	restore []l1hh.Option // for l1hh.Unmarshal (runtime tuning only)
+}
+
+// server wires a HeavyHitters engine to HTTP. All handlers are safe
 // for concurrent use: ingest and queries take the engine under a read
 // lock; restore swaps it under the write lock.
 type server struct {
 	mux  *http.ServeMux
-	scfg l1hh.ShardedConfig
+	spec engineSpec
 
 	mu  sync.RWMutex
-	eng *l1hh.ShardedListHeavyHitters
+	eng l1hh.HeavyHitters
 
 	start time.Time
 
-	// items/sec is computed per metrics scrape from the accepted-items
-	// counter delta.
+	// items/sec is computed from the accepted-items delta between
+	// distinct Stats snapshots; scrapes that share a cached snapshot
+	// report the previous rate instead of a bogus zero.
 	rateMu     sync.Mutex
 	lastItems  uint64
 	lastScrape time.Time
+	lastRate   float64
+
+	// One engine Stats barrier serves every gauge of a metrics scrape:
+	// the expvar handler reads each published Func independently, so
+	// without the cache a single GET /metrics would pay one all-shards
+	// barrier per gauge.
+	statsMu    sync.Mutex
+	statsAt    time.Time
+	statsCache l1hh.Stats
 
 	// peers is the aggregator configuration: worker base URLs this node
 	// pulls checkpoints from. Set once before the server starts serving;
@@ -60,6 +81,10 @@ const maxSnapshotBody = 1 << 30
 // cannot pin a handler expanding it (the expansion is item-by-item).
 const maxLineCount = 1 << 24
 
+// statsTTL is how long a metrics-scrape Stats snapshot is reused; it
+// spans one expvar handler pass without making dashboards visibly stale.
+const statsTTL = 250 * time.Millisecond
+
 // activeServer lets the process-wide expvar funcs (expvar registration
 // is global and permanent) follow the live server, including across
 // tests that build several servers.
@@ -71,7 +96,7 @@ func publishMetrics() {
 	get := func() *server { return activeServer.Load() }
 	expvar.Publish("hhd.items_total", expvar.Func(func() any {
 		if s := get(); s != nil {
-			return s.engine().Items()
+			return s.scrapeStats().Items
 		}
 		return 0
 	}))
@@ -83,19 +108,21 @@ func publishMetrics() {
 	}))
 	expvar.Publish("hhd.queue_depths", expvar.Func(func() any {
 		if s := get(); s != nil {
-			return s.engine().QueueDepths()
+			if d := s.scrapeStats().QueueDepths; d != nil {
+				return d
+			}
 		}
 		return []int{}
 	}))
 	expvar.Publish("hhd.model_bits", expvar.Func(func() any {
 		if s := get(); s != nil {
-			return s.engine().ModelBits()
+			return s.scrapeStats().ModelBits
 		}
 		return 0
 	}))
 	expvar.Publish("hhd.shards", expvar.Func(func() any {
 		if s := get(); s != nil {
-			return s.engine().Shards()
+			return s.scrapeStats().Shards
 		}
 		return 0
 	}))
@@ -137,12 +164,11 @@ func publishMetrics() {
 		}
 		return -1.0
 	}))
-	// One composite gauge, one WindowStats barrier per scrape — separate
-	// gauges would each pay a full all-shards round-trip for fields that
-	// come out of a single snapshot.
+	// One composite gauge out of the shared Stats snapshot — separate
+	// barriers per field would each pay a full all-shards round-trip.
 	expvar.Publish("hhd.window", expvar.Func(func() any {
 		if s := get(); s != nil {
-			if st, ok := s.engine().WindowStats(); ok {
+			if st := s.scrapeStats().Window; st != nil {
 				return map[string]any{
 					"covered":       st.Covered,
 					"retired_total": st.Retired,
@@ -155,17 +181,17 @@ func publishMetrics() {
 	}))
 }
 
-// newServer builds the engine for scfg and the routing table.
-func newServer(scfg l1hh.ShardedConfig) (*server, error) {
-	eng, err := l1hh.NewShardedListHeavyHitters(scfg)
+// newServer builds the engine for spec and the routing table.
+func newServer(spec engineSpec) (*server, error) {
+	eng, err := l1hh.New(spec.build...)
 	if err != nil {
 		return nil, err
 	}
-	return newServerWith(scfg, eng), nil
+	return newServerWith(spec, eng), nil
 }
 
-func newServerWith(scfg l1hh.ShardedConfig, eng *l1hh.ShardedListHeavyHitters) *server {
-	s := &server{scfg: scfg, eng: eng, start: time.Now()}
+func newServerWith(spec engineSpec, eng l1hh.HeavyHitters) *server {
+	s := &server{spec: spec, eng: eng, start: time.Now()}
 	s.lastScrape = s.start
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -182,28 +208,65 @@ func newServerWith(scfg l1hh.ShardedConfig, eng *l1hh.ShardedListHeavyHitters) *
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *server) engine() *l1hh.ShardedListHeavyHitters {
+func (s *server) engine() l1hh.HeavyHitters {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.eng
 }
 
+// scrapeStats returns the engine's Stats, reusing a snapshot younger
+// than statsTTL so one metrics scrape costs one barrier.
+func (s *server) scrapeStats() l1hh.Stats {
+	st, _ := s.scrapeStatsAt()
+	return st
+}
+
+// scrapeStatsAt additionally reports when the returned snapshot was
+// taken, so rate computations can tell a fresh snapshot from a cached
+// one.
+func (s *server) scrapeStatsAt() (l1hh.Stats, time.Time) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if !s.statsAt.IsZero() && time.Since(s.statsAt) < statsTTL {
+		return s.statsCache, s.statsAt
+	}
+	s.statsCache = s.engine().Stats()
+	s.statsAt = time.Now()
+	return s.statsCache, s.statsAt
+}
+
 func (s *server) itemsPerSec() float64 {
+	st, at := s.scrapeStatsAt()
 	s.rateMu.Lock()
 	defer s.rateMu.Unlock()
-	now := time.Now()
-	items := s.engine().Items()
-	dt := now.Sub(s.lastScrape).Seconds()
+	if !at.After(s.lastScrape) {
+		// Same (cached) snapshot as the previous computation: the delta
+		// would be zero by construction, not because ingest stopped.
+		return s.lastRate
+	}
+	dt := at.Sub(s.lastScrape).Seconds()
 	if dt <= 0 {
+		return s.lastRate
+	}
+	if st.Items < s.lastItems { // engine swapped to an older state
+		s.lastItems, s.lastScrape, s.lastRate = st.Items, at, 0
 		return 0
 	}
-	if items < s.lastItems { // engine swapped to an older state
-		s.lastItems, s.lastScrape = items, now
-		return 0
-	}
-	rate := float64(items-s.lastItems) / dt
-	s.lastItems, s.lastScrape = items, now
+	rate := float64(st.Items-s.lastItems) / dt
+	s.lastItems, s.lastScrape, s.lastRate = st.Items, at, rate
 	return rate
+}
+
+// resetRate re-baselines the items/sec computation and drops the stats
+// snapshot after an engine swap: the swapped-in counter may be far below
+// the old one, and a uint64 delta would wrap into an absurd items/sec.
+func (s *server) resetRate(items uint64) {
+	s.rateMu.Lock()
+	s.lastItems, s.lastScrape, s.lastRate = items, time.Now(), 0
+	s.rateMu.Unlock()
+	s.statsMu.Lock()
+	s.statsAt = time.Time{}
+	s.statsMu.Unlock()
 }
 
 // shutdown stops accepting state changes and drains the engine so the
@@ -261,7 +324,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]uint64{"accepted": accepted})
 }
 
-func ingestBinary(eng *l1hh.ShardedListHeavyHitters, body io.Reader) (uint64, error) {
+func ingestBinary(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
 	br := bufio.NewReaderSize(body, 1<<16)
 	batch := make([]l1hh.Item, 0, ingestBatchSize)
 	var accepted uint64
@@ -297,7 +360,7 @@ type ndjsonLine struct {
 	Count *uint64 `json:"count"`
 }
 
-func ingestNDJSON(eng *l1hh.ShardedListHeavyHitters, body io.Reader) (uint64, error) {
+func ingestNDJSON(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	batch := make([]l1hh.Item, 0, ingestBatchSize)
@@ -396,28 +459,29 @@ type reportedItem struct {
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	eng := s.engine()
 	rep := eng.Report()
+	st := eng.Stats()
 	out := reportResponse{
-		Len:          eng.Len(),
-		Eps:          eng.Eps(),
-		Phi:          eng.Phi(),
-		ModelBits:    eng.ModelBits(),
-		Shards:       eng.Shards(),
+		Len:          st.Len,
+		Eps:          st.Eps,
+		Phi:          st.Phi,
+		ModelBits:    st.ModelBits,
+		Shards:       st.Shards,
 		HeavyHitters: make([]reportedItem, len(rep)),
 	}
 	for i, it := range rep {
 		out.HeavyHitters[i] = reportedItem{Item: it.Item, Estimate: it.F}
 	}
-	if st, ok := eng.WindowStats(); ok {
-		win, dur, _ := eng.Window()
+	if win, ok := eng.(l1hh.Windower); ok && st.Window != nil {
+		n, dur, _ := win.Window()
 		out.Window = &windowMeta{
-			Window:          win,
+			Window:          n,
 			DurationSeconds: dur.Seconds(),
-			Covered:         st.Covered,
-			Total:           st.Total,
-			Retired:         st.Retired,
-			Buckets:         st.Buckets,
-			OldestMass:      st.OldestMass,
-			SpanSeconds:     st.Span.Seconds(),
+			Covered:         st.Window.Covered,
+			Total:           st.Window.Total,
+			Retired:         st.Window.Retired,
+			Buckets:         st.Window.Buckets,
+			OldestMass:      st.Window.OldestMass,
+			SpanSeconds:     st.Window.Span.Seconds(),
 		}
 	}
 	if len(s.peers) > 0 {
@@ -443,9 +507,10 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 // handleMerge folds a peer node's checkpoint blob (the body, as produced
 // by POST /checkpoint on a node with the same configuration) into the
-// live engine, without interrupting ingest. Incompatible checkpoints
-// (different parameters, seed, or shard count) get 409; undecodable ones
-// 400. Merging the same checkpoint twice double-counts — callers own
+// live engine, without interrupting ingest. Engines that do not merge at
+// all (sliding windows) and incompatible checkpoints (different
+// parameters, seed, or shard count) get 409; undecodable ones 400.
+// Merging the same checkpoint twice double-counts — callers own
 // idempotence (the aggregator loop instead rebuilds from scratch each
 // cycle).
 func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
@@ -468,9 +533,21 @@ func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	// are unaffected; only swaps wait.
 	s.mu.RLock()
 	eng := s.eng
+	merger, ok := eng.(l1hh.Merger)
+	if !ok {
+		s.mu.RUnlock()
+		s.mergeErrors.Add(1)
+		httpError(w, http.StatusConflict,
+			"merge: this engine does not merge (sliding-window states are not mergeable — DESIGN.md §8)")
+		return
+	}
 	start := time.Now()
-	err = eng.MergeCheckpoint(blob)
+	err = merger.Merge(blob)
 	mergedLen := eng.Len()
+	shards := 1
+	if sh, ok := eng.(l1hh.Sharder); ok {
+		shards = sh.Shards()
+	}
 	s.mu.RUnlock()
 	if err != nil {
 		s.mergeErrors.Add(1)
@@ -485,7 +562,7 @@ func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"merged": true,
 		"len":    mergedLen,
-		"shards": eng.Shards(),
+		"shards": shards,
 	})
 }
 
@@ -522,25 +599,31 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes", maxSnapshotBody)
 		return
 	}
-	restored, err := l1hh.UnmarshalShardedListHeavyHitters(blob, s.scfg.QueueDepth, s.scfg.MaxBatch)
+	restored, err := l1hh.Unmarshal(blob, s.spec.restore...)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "restore: %v", err)
 		return
 	}
+	// The daemon serves concurrent producers; a checkpoint that restores
+	// to a single-owner solver (a serial or un-sharded windowed state)
+	// must not be swapped in behind HTTP.
+	if _, ok := restored.(l1hh.Sharder); !ok {
+		restored.Close()
+		httpError(w, http.StatusBadRequest,
+			"restore: checkpoint restores to a single-owner solver; hhd needs a sharded container")
+		return
+	}
+	st := restored.Stats()
 	s.mu.Lock()
 	old := s.eng
 	s.eng = restored
 	s.mu.Unlock()
 	old.Close()
-	// Reset the rate baseline: the restored counter may be far below the
-	// old one, and a uint64 delta would wrap into an absurd items/sec.
-	s.rateMu.Lock()
-	s.lastItems, s.lastScrape = restored.Items(), time.Now()
-	s.rateMu.Unlock()
+	s.resetRate(st.Items)
 	writeJSON(w, map[string]any{
 		"restored": true,
-		"len":      restored.Len(),
-		"shards":   restored.Shards(),
+		"len":      st.Len,
+		"shards":   st.Shards,
 	})
 }
 

@@ -14,19 +14,20 @@ import (
 	l1hh "repro"
 )
 
-func testConfig(m uint64) l1hh.ShardedConfig {
-	return l1hh.ShardedConfig{
-		Config: l1hh.Config{
-			Eps: 0.02, Phi: 0.05, Delta: 0.05,
-			StreamLength: m, Universe: 1 << 32, Seed: 7,
-		},
-		Shards: 4,
+func testSpec(m, seed uint64) engineSpec {
+	build := []l1hh.Option{
+		l1hh.WithEps(0.02), l1hh.WithPhi(0.05), l1hh.WithDelta(0.05),
+		l1hh.WithUniverse(1 << 32), l1hh.WithSeed(seed), l1hh.WithShards(4),
 	}
+	if m > 0 {
+		build = append(build, l1hh.WithStreamLength(m))
+	}
+	return engineSpec{build: build}
 }
 
 func newTestServer(t *testing.T, m uint64) *server {
 	t.Helper()
-	s, err := newServer(testConfig(m))
+	s, err := newServer(testSpec(m, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 }
 
 func TestUnknownLengthCheckpointConflict(t *testing.T) {
-	s, err := newServer(testConfig(0)) // unknown stream length
+	s, err := newServer(testSpec(0, 7)) // unknown stream length
 	if err != nil {
 		t.Fatal(err)
 	}

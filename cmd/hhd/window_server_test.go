@@ -14,20 +14,18 @@ import (
 	l1hh "repro"
 )
 
-func windowConfig(window uint64) l1hh.ShardedConfig {
-	return l1hh.ShardedConfig{
-		Config: l1hh.Config{
-			Eps: 0.05, Phi: 0.2, Delta: 0.05,
-			Universe: 1 << 32, Algorithm: l1hh.AlgorithmSimple, Seed: 7,
-		},
-		Shards: 2,
-		Window: window,
-	}
+func windowSpec(window uint64) engineSpec {
+	return engineSpec{build: []l1hh.Option{
+		l1hh.WithEps(0.05), l1hh.WithPhi(0.2), l1hh.WithDelta(0.05),
+		l1hh.WithUniverse(1 << 32), l1hh.WithAlgorithm(l1hh.AlgorithmSimple),
+		l1hh.WithSeed(7), l1hh.WithShards(2),
+		l1hh.WithCountWindow(window, 0),
+	}}
 }
 
 func newWindowServer(t *testing.T, window uint64) *server {
 	t.Helper()
-	s, err := newServer(windowConfig(window))
+	s, err := newServer(windowSpec(window))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,313 @@
+package l1hh
+
+// Backward-compatibility suite for the universal checkpoint codec:
+// golden checkpoint bytes produced by the deprecated per-type API (the
+// PR 1–3 encodings, tags 1–5) are committed under testdata/checkpoints
+// and must keep restoring through the universal Unmarshal; and fresh
+// bytes are interchangeable between the old and new API in both
+// directions. Regenerate the golden files with
+//
+//	go test -run TestGoldenCheckpoints -update-golden .
+//
+// (only when the codec version legitimately moves — the whole point of
+// the files is that old bytes keep working).
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the testdata/checkpoints golden files")
+
+// goldenClock pins windowed bucket timestamps so regenerated golden
+// files do not churn on wall-clock noise.
+var goldenClock = func() time.Time { return time.Unix(1_700_000_000, 0) }
+
+// goldenCase builds one checkpoint through the DEPRECATED constructors —
+// the bytes PR 1–3 deployments have on disk — plus the assertions its
+// restore must satisfy.
+type goldenCase struct {
+	file     string
+	tag      byte
+	build    func() ([]byte, error)
+	wantLen  uint64
+	windower bool
+	sharder  bool
+}
+
+// goldenStream is the fixed stream every golden engine ingests: id 7 on
+// even positions, rotating light ids elsewhere.
+func goldenStream(n int) []Item {
+	out := make([]Item, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = 7
+		} else {
+			out[i] = uint64(100 + i%31)
+		}
+	}
+	return out
+}
+
+func goldenConfig(algo Algorithm) Config {
+	return Config{
+		Eps: 0.05, Phi: 0.2, Delta: 0.05,
+		StreamLength: 4000, Universe: 1 << 20,
+		Algorithm: algo, Seed: 42,
+	}
+}
+
+func goldenCases() []goldenCase {
+	const n = 2000
+	serial := func(algo Algorithm) func() ([]byte, error) {
+		return func() ([]byte, error) {
+			hh, err := NewListHeavyHitters(goldenConfig(algo))
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range goldenStream(n) {
+				hh.Insert(x)
+			}
+			return hh.MarshalBinary()
+		}
+	}
+	return []goldenCase{
+		{file: "tag1_serial_optimal.bin", tag: tagOptimal, build: serial(AlgorithmOptimal), wantLen: n},
+		{file: "tag2_serial_simple.bin", tag: tagSimple, build: serial(AlgorithmSimple), wantLen: n},
+		{file: "tag3_sharded.bin", tag: tagSharded, wantLen: n, sharder: true,
+			build: func() ([]byte, error) {
+				hh, err := NewShardedListHeavyHitters(ShardedConfig{
+					Config: goldenConfig(AlgorithmSimple), Shards: 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+				defer hh.Close()
+				if err := hh.InsertBatch(goldenStream(n)); err != nil {
+					return nil, err
+				}
+				return hh.MarshalBinary()
+			}},
+		{file: "tag4_windowed.bin", tag: tagWindowed, wantLen: 592, windower: true,
+			build: func() ([]byte, error) {
+				// W=512, B=4 → bucket cap 128; after 2000 inserts the ring
+				// holds 4 sealed buckets (512) plus 80 live items = 592
+				// covered (dropping another bucket would fall below W).
+				hh, err := NewWindowedListHeavyHitters(WindowConfig{
+					Config: goldenConfig(AlgorithmSimple),
+					Window: 512, WindowBuckets: 4, Clock: goldenClock,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, x := range goldenStream(n) {
+					hh.Insert(x)
+				}
+				return hh.MarshalBinary()
+			}},
+		{file: "tag5_sharded_windowed.bin", tag: tagShardedWindowed, windower: true, sharder: true,
+			// Per-shard window ⌈512/2⌉=256, cap 64; hash partitioning makes
+			// the exact covered mass shard-dependent, so wantLen is left 0
+			// (checked as Len == covered instead).
+			build: func() ([]byte, error) {
+				hh, err := NewShardedListHeavyHitters(ShardedConfig{
+					Config: goldenConfig(AlgorithmSimple), Shards: 2,
+					Window: 512, WindowBuckets: 4,
+				})
+				if err != nil {
+					return nil, err
+				}
+				defer hh.Close()
+				if err := hh.InsertBatch(goldenStream(n)); err != nil {
+					return nil, err
+				}
+				return hh.MarshalBinary()
+			}},
+	}
+}
+
+// TestGoldenCheckpoints: the committed PR 1–3 era checkpoint bytes
+// restore through the universal Unmarshal with the right tag, length,
+// parameters and capability set — the on-disk compatibility contract.
+func TestGoldenCheckpoints(t *testing.T) {
+	dir := filepath.Join("testdata", "checkpoints")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, gc := range goldenCases() {
+		t.Run(gc.file, func(t *testing.T) {
+			path := filepath.Join(dir, gc.file)
+			if *updateGolden {
+				blob, err := gc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				// Mirror the blob into FuzzUnmarshalAny's committed corpus
+				// so the fuzzer always starts from every container tag.
+				corpusDir := filepath.Join("testdata", "fuzz", "FuzzUnmarshalAny")
+				if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", blob)
+				seed := filepath.Join(corpusDir, "seed_"+gc.file)
+				if err := os.WriteFile(seed, []byte(entry), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+			}
+			if len(blob) == 0 || blob[0] != gc.tag {
+				t.Fatalf("golden file tag = %d, want %d", blob[0], gc.tag)
+			}
+			hh, err := Unmarshal(blob)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			defer hh.Close()
+			if gc.wantLen > 0 && hh.Len() != gc.wantLen {
+				t.Fatalf("restored Len = %d, want %d", hh.Len(), gc.wantLen)
+			}
+			if hh.Eps() != 0.05 || hh.Phi() != 0.2 {
+				t.Fatalf("restored (eps,phi) = (%g,%g), want (0.05,0.2)", hh.Eps(), hh.Phi())
+			}
+			if _, ok := hh.(Windower); ok != gc.windower {
+				t.Errorf("Windower = %v, want %v", ok, gc.windower)
+			}
+			if _, ok := hh.(Sharder); ok != gc.sharder {
+				t.Errorf("Sharder = %v, want %v", ok, gc.sharder)
+			}
+			st := hh.Stats()
+			if st.Len != hh.Len() || st.ModelBits <= 0 {
+				t.Fatalf("restored Stats incoherent: %+v", st)
+			}
+			rep := hh.Report()
+			found := false
+			for _, r := range rep {
+				if r.Item == 7 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("planted heavy item 7 missing from restored report %v", rep)
+			}
+			// The restored solver must remain usable.
+			if err := hh.Insert(7); err != nil {
+				t.Fatalf("Insert on restored solver: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointInterchange: bytes produced by the deprecated API
+// restore via the universal Unmarshal, and bytes produced by the new
+// front door restore via the deprecated per-type functions — for every
+// container tag, with identical reports on both sides.
+func TestCheckpointInterchange(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.file, func(t *testing.T) {
+			oldBlob, err := gc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Old bytes → new API.
+			viaNew, err := Unmarshal(oldBlob)
+			if err != nil {
+				t.Fatalf("Unmarshal(old bytes): %v", err)
+			}
+			defer viaNew.Close()
+
+			// New API bytes → old decoders.
+			newBlob, err := viaNew.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var viaOldReport []ItemEstimate
+			switch gc.tag {
+			case tagOptimal, tagSimple:
+				old, err := UnmarshalListHeavyHitters(newBlob)
+				if err != nil {
+					t.Fatalf("UnmarshalListHeavyHitters(new bytes): %v", err)
+				}
+				viaOldReport = old.Report()
+			case tagSharded, tagShardedWindowed:
+				old, err := UnmarshalShardedListHeavyHitters(newBlob, 0, 0)
+				if err != nil {
+					t.Fatalf("UnmarshalShardedListHeavyHitters(new bytes): %v", err)
+				}
+				defer old.Close()
+				viaOldReport = old.Report()
+			case tagWindowed:
+				old, err := UnmarshalWindowedListHeavyHitters(newBlob)
+				if err != nil {
+					t.Fatalf("UnmarshalWindowedListHeavyHitters(new bytes): %v", err)
+				}
+				viaOldReport = old.Report()
+			}
+			if fmt.Sprint(viaNew.Report()) != fmt.Sprint(viaOldReport) {
+				t.Fatalf("old/new restores diverge:\n%v\n%v", viaNew.Report(), viaOldReport)
+			}
+		})
+	}
+}
+
+// TestUnmarshalRejectsGarbage: the universal decoder errors (never
+// panics) on the malformed-prefix family the per-type decoders already
+// reject.
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, blob := range [][]byte{
+		nil,
+		{},
+		{0},
+		{1},
+		{2, 0, 0},
+		{3, 1, 2, 3},
+		{4, 0xFF},
+		{5},
+		{99, 1, 2, 3},
+	} {
+		if _, err := Unmarshal(blob); err == nil {
+			t.Errorf("Unmarshal(%v) succeeded on garbage", blob)
+		}
+	}
+}
+
+// TestDeprecatedUnmarshalRedirects: the per-type decoders keep their
+// container-mismatch redirect errors.
+func TestDeprecatedUnmarshalRedirects(t *testing.T) {
+	sharded, err := New(WithEps(0.05), WithPhi(0.2), WithStreamLength(1000),
+		WithUniverse(1<<20), WithSeed(1), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	blob, err := sharded.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalListHeavyHitters(blob); err == nil {
+		t.Fatal("serial decoder accepted a sharded container")
+	}
+	if _, err := UnmarshalWindowedListHeavyHitters(blob); err == nil {
+		t.Fatal("windowed decoder accepted a sharded container")
+	}
+	if _, err := UnmarshalShardedListHeavyHitters([]byte{tagOptimal, 0}, 0, 0); err == nil {
+		t.Fatal("sharded decoder accepted a serial encoding")
+	}
+	var wantErr error = ErrIncompatibleMerge
+	if !errors.Is(ErrIncompatibleMerge, wantErr) {
+		t.Fatal("sentinel identity lost")
+	}
+}

@@ -2,17 +2,67 @@
 // for ℓ1-Heavy Hitters in Insertion Streams and Related Problems"
 // (Bhattacharyya, Dey, Woodruff — PODS 2016), grown into a concurrent
 // streaming system: serial solvers, a sharded multi-core ingest engine,
-// a distributed merge tier, and sliding windows.
+// a distributed merge tier, and sliding windows — all behind one front
+// door.
+//
+// # One front door
+//
+// Every heavy hitters solver is built by New from functional options and
+// used through the HeavyHitters interface:
+//
+//	hh, err := l1hh.New(
+//		l1hh.WithEps(0.01), l1hh.WithPhi(0.05),
+//		l1hh.WithStreamLength(1_000_000), l1hh.WithSeed(42),
+//	)
+//	if err != nil { ... }
+//	for _, x := range stream {
+//		if err := hh.Insert(x); err != nil { ... } // ErrClosed after Close
+//	}
+//	for _, r := range hh.Report() {
+//		fmt.Printf("item %d ≈ %.0f occurrences\n", r.Item, r.F)
+//	}
+//
+// The same call composes every tier — options stack in any order and the
+// resulting engine stack is canonical (DESIGN.md §9):
+//
+//	l1hh.New(l1hh.WithEps(ε), l1hh.WithPhi(ϕ))                          // unknown stream length (Theorem 7)
+//	l1hh.New(..., l1hh.WithStreamLength(m))                             // known length (serializable, mergeable)
+//	l1hh.New(..., l1hh.WithStreamLength(m), l1hh.WithPacedBudget(1))    // strict O(1) worst-case inserts (§3.1)
+//	l1hh.New(..., l1hh.WithShards(8))                                   // concurrent sharded ingest (DESIGN.md §3)
+//	l1hh.New(..., l1hh.WithCountWindow(1e6, 64))                        // heavy hitters of the last 10⁶ items (§8)
+//	l1hh.New(..., l1hh.WithShards(8), l1hh.WithCountWindow(1e6, 64))    // concurrent windowed ingest
+//
+// What a particular composition can additionally do is discovered by
+// asserting small capability interfaces, never by naming concrete types:
+//
+//	if m, ok := hh.(l1hh.Merger); ok { m.Merge(peerCheckpoint) }  // distributed fold (DESIGN.md §7)
+//	if w, ok := hh.(l1hh.Windower); ok { w.WindowStats() }        // sliding-window coverage
+//	if f, ok := hh.(l1hh.Flusher); ok { f.Flush() }               // drain buffered work
+//	if s, ok := hh.(l1hh.Sharder); ok { _ = s.Shards() }          // concurrent-ingest marker
+//	if p, ok := hh.(l1hh.Pacable); ok { _ = p.PacedBudget() }     // bounded per-insert work
+//
+// Checkpoints restore through the universal Unmarshal, whatever
+// container produced them (serial, sharded, windowed, both):
+//
+//	blob, _ := hh.MarshalBinary()
+//	restored, err := l1hh.Unmarshal(blob, l1hh.WithQueueDepth(128))
+//
+// The per-type constructors of earlier releases (NewListHeavyHitters,
+// NewShardedListHeavyHitters, NewWindowedListHeavyHitters and their
+// Unmarshal counterparts) remain as deprecated shims over the same
+// engines; their checkpoint bytes are interchangeable with the new API
+// in both directions. README.md carries the old→new migration table.
 //
 // # What it provides
 //
 // Streaming solvers with the paper's optimal space bounds:
 //
-//   - ListHeavyHitters — the (ε,ϕ)-heavy hitters problem: one pass over a
-//     stream of items, report every item with frequency ≥ ϕ·m, no item
-//     with frequency ≤ (ϕ−ε)·m, and per-item estimates within ε·m.
-//     Two engines: Algorithm 1 (simple, near-optimal) and Algorithm 2
-//     (optimal, accelerated counters).
+//   - New — the (ε,ϕ)-heavy hitters problem: one pass over a stream of
+//     items, report every item with frequency ≥ ϕ·m, no item with
+//     frequency ≤ (ϕ−ε)·m, and per-item estimates within ε·m. Two
+//     engines: Algorithm 1 (simple, near-optimal) and Algorithm 2
+//     (optimal, accelerated counters); unknown-length variants
+//     (Theorems 7–8) when WithStreamLength is omitted.
 //   - Maximum — the ε-Maximum problem / ℓ∞ approximation (IITK 2006 Open
 //     Question 3 for ℓ1): the most frequent item and its frequency ± ε·m.
 //   - Minimum — the ε-Minimum problem: an item of approximately minimum
@@ -20,49 +70,28 @@
 //     detection).
 //   - Borda and Maximin sketches — rank-aggregation heavy hitters over
 //     streams of votes (total orders), per Theorems 5 and 6.
-//   - Unknown-length variants of all of the above (Theorems 7–8), which
-//     need no advance knowledge of the stream length.
 //
-// And three system tiers layered over them:
+// And three system tiers composed by New:
 //
-//   - ShardedListHeavyHitters — concurrent ingest: the universe
-//     hash-partitioned across N solver shards, each owned by a worker
-//     goroutine, with batched insertion from any number of producers,
-//     merged reports at global thresholds, and coordinated checkpoints
-//     (DESIGN.md §3).
-//   - MergeFrom / MergeCheckpoint — the distributed merge tier: solvers
-//     built from the same Config (seed included) on different nodes fold
-//     into one summary whose Report answers for the concatenated stream
-//     (DESIGN.md §7). Incompatible states refuse with
-//     ErrIncompatibleMerge.
-//   - WindowedListHeavyHitters — sliding windows: answer (ε,ϕ)-heavy
-//     hitters over the last W items or the last D of wall time instead
-//     of the whole stream, by folding epoch buckets with the merge
-//     tier's rules at report time; the error bound degrades by at most
-//     one retired epoch's mass (DESIGN.md §8). Set ShardedConfig.Window
-//     to run one window per shard behind the concurrent path.
+//   - WithShards — concurrent ingest: the universe hash-partitioned
+//     across N solver shards, each owned by a worker goroutine, with
+//     batched insertion from any number of producers, merged reports at
+//     global thresholds, and coordinated checkpoints (DESIGN.md §3).
+//   - Merger — the distributed merge tier: solvers built from the same
+//     options (seed included) on different nodes fold into one summary
+//     whose Report answers for the concatenated stream (DESIGN.md §7).
+//     Incompatible states refuse with ErrIncompatibleMerge.
+//   - WithCountWindow / WithTimeWindow — sliding windows: answer
+//     (ε,ϕ)-heavy hitters over the last W items or the last D of wall
+//     time instead of the whole stream, by folding epoch buckets with
+//     the merge tier's rules at report time; the error bound degrades by
+//     at most one retired epoch's mass (DESIGN.md §8).
 //
 // Plus the classic baselines the paper compares against (Misra-Gries,
 // Space-Saving, Count-Min, CountSketch, Lossy Counting, Sticky Sampling),
 // synthetic workload generators, and the paper's lower-bound reductions
 // as executable artifacts (internal/commlower). cmd/hhd serves the whole
-// stack over HTTP.
-//
-// # Quick start
-//
-//	cfg := l1hh.Config{Eps: 0.01, Phi: 0.05, Delta: 0.05,
-//		StreamLength: 1_000_000, Universe: 1 << 32, Seed: 42}
-//	hh, err := l1hh.NewListHeavyHitters(cfg)
-//	if err != nil { ... }
-//	for _, x := range stream {
-//		hh.Insert(x)
-//	}
-//	for _, r := range hh.Report() {
-//		fmt.Printf("item %d ≈ %.0f occurrences\n", r.Item, r.F)
-//	}
-//
-// The Example functions on this page are runnable versions of the same
-// flow for the windowed, sharded and merge tiers.
+// stack over HTTP; cmd/hhcli runs it over files and pipes.
 //
 // # Choosing an engine
 //
@@ -80,10 +109,11 @@
 // ids, O(log n)-bit hash seeds, O(log log m)-bit samplers). This is the
 // number Table 1 of the paper bounds, and what the benchmark harness
 // sweeps. Aggregates are honest: K shards cost K sketches, a B-bucket
-// window costs B+1 window-scale sketches. See DESIGN.md for the model,
-// EXPERIMENTS.md for measurements.
+// window costs B+1 window-scale sketches. Stats returns the same number
+// alongside the rest of the operational snapshot. See DESIGN.md for the
+// model, EXPERIMENTS.md for measurements.
 //
-// All randomness is seeded: the same Config produces the same answers on
+// All randomness is seeded: the same options produce the same answers on
 // the same stream, and same-seed solvers on different nodes are what
 // the merge tier folds.
 package l1hh

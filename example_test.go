@@ -10,6 +10,121 @@ import (
 	l1hh "repro"
 )
 
+func ExampleNew() {
+	// The unified front door: one constructor, functional options.
+	// AlgorithmSimple counts exactly on streams within its sample budget,
+	// which keeps this example's output deterministic.
+	hh, err := l1hh.New(
+		l1hh.WithEps(0.05), l1hh.WithPhi(0.2),
+		l1hh.WithStreamLength(1000), l1hh.WithUniverse(1<<20),
+		l1hh.WithAlgorithm(l1hh.AlgorithmSimple), l1hh.WithSeed(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	// Item 7 takes half the stream, the rest is spread thin.
+	for i := 0; i < 1000; i++ {
+		x := uint64(1000 + i)
+		if i%2 == 0 {
+			x = 7
+		}
+		if err := hh.Insert(x); err != nil {
+			panic(err)
+		}
+	}
+	for _, r := range hh.Report() {
+		fmt.Printf("item %d ≈ %.0f of %d\n", r.Item, math.Round(r.F/100)*100, hh.Len())
+	}
+	// After Close, inserts refuse instead of silently dropping.
+	hh.Close()
+	fmt.Println("insert after close:", hh.Insert(7) != nil)
+	// Output:
+	// item 7 ≈ 500 of 1000
+	// insert after close: true
+}
+
+func ExampleNew_sharded() {
+	// WithShards turns the same problem into a concurrent engine: any
+	// number of goroutines may InsertBatch. Capabilities are discovered
+	// by type assertion, not concrete types.
+	hh, err := l1hh.New(
+		l1hh.WithEps(0.05), l1hh.WithPhi(0.2),
+		l1hh.WithStreamLength(1000), l1hh.WithUniverse(1<<20),
+		l1hh.WithAlgorithm(l1hh.AlgorithmSimple), l1hh.WithSeed(2),
+		l1hh.WithShards(4),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer hh.Close()
+	batch := make([]l1hh.Item, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			batch = append(batch, 7)
+		} else {
+			batch = append(batch, uint64(1000+i))
+		}
+	}
+	if err := hh.InsertBatch(batch); err != nil {
+		panic(err)
+	}
+	st := hh.Stats()
+	_, mergeable := hh.(l1hh.Merger)
+	fmt.Printf("items %d across %d shards; mergeable: %v\n", st.Len, st.Shards, mergeable)
+	for _, r := range hh.Report() {
+		fmt.Printf("item %d ≈ %.0f\n", r.Item, r.F)
+	}
+	// Output:
+	// items 1000 across 4 shards; mergeable: true
+	// item 7 ≈ 499
+}
+
+func ExampleNew_window() {
+	// WithCountWindow answers "heavy RIGHT NOW": the last w items, not
+	// the whole stream. The Windower capability exposes the coverage.
+	hh, err := l1hh.New(
+		l1hh.WithEps(0.1), l1hh.WithPhi(0.3), l1hh.WithUniverse(1<<20),
+		l1hh.WithAlgorithm(l1hh.AlgorithmSimple), l1hh.WithSeed(1),
+		l1hh.WithCountWindow(100, 0),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 500; i++ {
+		hh.Insert(7) // old regime
+	}
+	for i := 0; i < 200; i++ {
+		hh.Insert(9) // new regime: item 9 takes over
+	}
+	for _, r := range hh.Report() {
+		fmt.Printf("trending: item %d ≈ %.0f of the last %d\n", r.Item, r.F, hh.Len())
+	}
+	fmt.Printf("retired: %d items aged out\n", hh.(l1hh.Windower).WindowStats().Retired)
+	// Output:
+	// trending: item 9 ≈ 102 of the last 102
+	// retired: 598 items aged out
+}
+
+func ExampleUnmarshal() {
+	// One Unmarshal restores every checkpoint container this package
+	// produces — serial, sharded, windowed — behind the same interface.
+	hh, _ := l1hh.New(
+		l1hh.WithEps(0.1), l1hh.WithPhi(0.4),
+		l1hh.WithStreamLength(200), l1hh.WithUniverse(1<<10), l1hh.WithSeed(5),
+	)
+	for i := 0; i < 100; i++ {
+		hh.Insert(9)
+	}
+	blob, _ := hh.MarshalBinary() // checkpoint
+	restored, _ := l1hh.Unmarshal(blob)
+	for i := 0; i < 100; i++ {
+		restored.Insert(9) // resume on the copy
+	}
+	fmt.Println("items reported:", len(restored.Report()))
+	// Output:
+	// items reported: 1
+}
+
 func ExampleNewListHeavyHitters() {
 	// AlgorithmSimple counts exactly on streams shorter than its sample
 	// budget, which keeps this example's output deterministic; the default

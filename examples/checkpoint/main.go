@@ -19,12 +19,10 @@ import (
 
 func main() {
 	const m = 400_000
-	cfg := l1hh.Config{
-		Eps: 0.01, Phi: 0.05, Delta: 0.05,
-		StreamLength: m, Universe: 1 << 32, Seed: 99,
-	}
-
-	hh, err := l1hh.NewListHeavyHitters(cfg)
+	hh, err := l1hh.New(
+		l1hh.WithEps(0.01), l1hh.WithPhi(0.05), l1hh.WithDelta(0.05),
+		l1hh.WithStreamLength(m), l1hh.WithUniverse(1<<32), l1hh.WithSeed(99),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +43,7 @@ func main() {
 	fmt.Printf("checkpoint after %d items: %d bytes on the wire (%d model bits live)\n",
 		m/2, len(blob), hh.ModelBits())
 
-	restored, err := l1hh.UnmarshalListHeavyHitters(blob)
+	restored, err := l1hh.Unmarshal(blob)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,18 +21,16 @@ import (
 
 func main() {
 	const m = 2_000_000
-	scfg := l1hh.ShardedConfig{
-		Config: l1hh.Config{
-			Eps: 0.01, Phi: 0.05, Delta: 0.05,
-			StreamLength: m, // the GLOBAL length: sampling rates derive from it
-			Universe:     1 << 30, Seed: 42,
-		},
-		Shards: 4,
+	nodeOpts := []l1hh.Option{
+		l1hh.WithEps(0.01), l1hh.WithPhi(0.05), l1hh.WithDelta(0.05),
+		l1hh.WithStreamLength(m), // the GLOBAL length: sampling rates derive from it
+		l1hh.WithUniverse(1 << 30), l1hh.WithSeed(42),
+		l1hh.WithShards(4),
 	}
 	stream := l1hh.Generate(l1hh.NewZipfStream(7, 1<<20, 1.1), m)
 
-	newNode := func() *l1hh.ShardedListHeavyHitters {
-		n, err := l1hh.NewShardedListHeavyHitters(scfg)
+	newNode := func() l1hh.HeavyHitters {
+		n, err := l1hh.New(nodeOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,14 +44,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Node B ships its checkpoint; node A folds it in. Ingest on A could
-	// keep flowing during the merge — it is a barrier, not a stop.
+	// Node B ships its checkpoint; node A folds it in via the Merger
+	// capability. Ingest on A could keep flowing during the merge — it is
+	// a barrier, not a stop.
 	blob, err := nodeB.MarshalBinary()
 	if err != nil {
 		log.Fatal(err)
 	}
 	t0 := time.Now()
-	if err := nodeA.MergeCheckpoint(blob); err != nil {
+	if err := nodeA.(l1hh.Merger).Merge(blob); err != nil {
 		log.Fatal(err)
 	}
 	mergeTime := time.Since(t0)
@@ -69,7 +68,7 @@ func main() {
 		truth[x]++
 	}
 	fmt.Printf("%-12s  %-12s  %-12s  %s\n", "item", "true f", "merged est", "|err|/εm")
-	epsM := scfg.Eps * float64(m)
+	epsM := nodeA.Eps() * float64(m)
 	for _, r := range nodeA.Report() {
 		errFrac := (r.F - truth[r.Item]) / epsM
 		if errFrac < 0 {

@@ -28,10 +28,10 @@ func main() {
 	)
 
 	// The paper's solver answers the iceberg query in one pass.
-	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
-		Eps: eps, Phi: phi, Delta: 0.05,
-		StreamLength: m, Universe: 1 << 62, Seed: 21,
-	})
+	hh, err := l1hh.New(
+		l1hh.WithEps(eps), l1hh.WithPhi(phi), l1hh.WithDelta(0.05),
+		l1hh.WithStreamLength(m), l1hh.WithUniverse(1<<62), l1hh.WithSeed(21),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

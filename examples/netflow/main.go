@@ -29,11 +29,12 @@ func main() {
 		phi = 0.05
 	)
 
-	// Stream length deliberately NOT passed: routers do not know it.
-	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
-		Eps: eps, Phi: phi, Delta: 0.05,
-		Universe: 1 << 60, Seed: 7,
-	})
+	// WithStreamLength deliberately NOT passed: routers do not know it,
+	// so New builds the unknown-length solver.
+	hh, err := l1hh.New(
+		l1hh.WithEps(eps), l1hh.WithPhi(phi), l1hh.WithDelta(0.05),
+		l1hh.WithUniverse(1<<60), l1hh.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,10 +23,10 @@ func main() {
 	// dominate, exactly the workload heavy hitters algorithms exist for.
 	gen := l1hh.NewZipfStream(1, 1<<16, 1.1)
 
-	hh, err := l1hh.NewListHeavyHitters(l1hh.Config{
-		Eps: eps, Phi: phi, Delta: 0.05,
-		StreamLength: m, Universe: universe, Seed: 42,
-	})
+	hh, err := l1hh.New(
+		l1hh.WithEps(eps), l1hh.WithPhi(phi), l1hh.WithDelta(0.05),
+		l1hh.WithStreamLength(m), l1hh.WithUniverse(universe), l1hh.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

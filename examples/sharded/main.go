@@ -25,14 +25,14 @@ func main() {
 		producers = 4
 		shards    = 8
 	)
-	cfg := l1hh.Config{
-		Eps: 0.01, Phi: 0.05, Delta: 0.05,
-		StreamLength: m, Universe: 1 << 30, Seed: 42,
+	problem := []l1hh.Option{
+		l1hh.WithEps(0.01), l1hh.WithPhi(0.05), l1hh.WithDelta(0.05),
+		l1hh.WithStreamLength(m), l1hh.WithUniverse(1 << 30), l1hh.WithSeed(42),
 	}
 	stream := l1hh.Generate(l1hh.NewZipfStream(7, 1<<20, 1.1), m)
 
 	// — serial reference —
-	serial, err := l1hh.NewListHeavyHitters(cfg)
+	serial, err := l1hh.New(problem...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,10 +42,9 @@ func main() {
 	}
 	serialTime := time.Since(t0)
 
-	// — sharded: 4 producers × 8 shard workers —
-	sharded, err := l1hh.NewShardedListHeavyHitters(l1hh.ShardedConfig{
-		Config: cfg, Shards: shards,
-	})
+	// — sharded: 4 producers × 8 shard workers; same problem options,
+	// one extra WithShards —
+	sharded, err := l1hh.New(append(problem, l1hh.WithShards(shards))...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +64,7 @@ func main() {
 		}(stream[p*chunk : (p+1)*chunk])
 	}
 	wg.Wait()
-	sharded.Flush()
+	sharded.(l1hh.Flusher).Flush() // drain the shard queues before timing
 	shardedTime := time.Since(t0)
 
 	fmt.Printf("serial:  %8.1f ms  (%5.1f M items/s, %d model bits)\n",
@@ -73,7 +72,7 @@ func main() {
 		m/serialTime.Seconds()/1e6, serial.ModelBits())
 	fmt.Printf("sharded: %8.1f ms  (%5.1f M items/s, %d model bits across %d shards)\n",
 		float64(shardedTime.Milliseconds()),
-		m/shardedTime.Seconds()/1e6, sharded.ModelBits(), sharded.Shards())
+		m/shardedTime.Seconds()/1e6, sharded.ModelBits(), sharded.(l1hh.Sharder).Shards())
 
 	sr, hr := serial.Report(), sharded.Report()
 	fmt.Printf("\n%-12s  %-14s  %-14s\n", "item", "serial est", "sharded est")

@@ -30,22 +30,19 @@ func main() {
 		phi      = 0.1
 	)
 
-	cfg := l1hh.Config{
-		Eps: eps, Phi: phi, Delta: 0.05,
-		Universe: universe, Seed: 7,
+	problem := []l1hh.Option{
+		l1hh.WithEps(eps), l1hh.WithPhi(phi), l1hh.WithDelta(0.05),
+		l1hh.WithUniverse(universe), l1hh.WithSeed(7),
 	}
 
 	// The window view: (ε,ϕ)-heavy hitters of the last `window` items.
-	win, err := l1hh.NewWindowedListHeavyHitters(l1hh.WindowConfig{
-		Config: cfg, Window: window,
-	})
+	win, err := l1hh.New(append(problem, l1hh.WithCountWindow(window, 0))...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	winStats := win.(l1hh.Windower) // capability: window coverage introspection
 	// The whole-stream view, for contrast (it needs the total length).
-	whole := cfg
-	whole.StreamLength = 450_000
-	all, err := l1hh.NewListHeavyHitters(whole)
+	all, err := l1hh.New(append(problem, l1hh.WithStreamLength(450_000))...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +52,7 @@ func main() {
 			win.Insert(x)
 			all.Insert(x)
 		}
-		st := win.WindowStats()
+		st := winStats.WindowStats()
 		fmt.Printf("— after %s (%d total, %d aged out of the window) —\n",
 			name, st.Total, st.Retired)
 		fmt.Printf("  whole stream: %s\n", top(all.Report()))
@@ -75,7 +72,7 @@ func main() {
 		[]float64{0, 0.15}, 1000, universe, l1hh.OrderShuffled))
 
 	fmt.Printf("\nwindow cost: %d bits across %d epoch buckets (independent of stream length)\n",
-		win.ModelBits(), win.WindowStats().Buckets)
+		win.ModelBits(), winStats.WindowStats().Buckets)
 }
 
 // top formats a report as "item≈count …" for the demo output.

@@ -114,6 +114,78 @@ func FuzzUnmarshalWindowed(f *testing.F) {
 	})
 }
 
+// anySeedBlobs produces one valid checkpoint per container tag (1–5) so
+// FuzzUnmarshalAny starts from decodable encodings of every kind.
+func anySeedBlobs(tb testing.TB) [][]byte {
+	tb.Helper()
+	base := []Option{
+		WithEps(0.1), WithPhi(0.3), WithDelta(0.1),
+		WithUniverse(1 << 16), WithSeed(5),
+	}
+	var blobs [][]byte
+	for _, extra := range [][]Option{
+		{WithStreamLength(1000), WithAlgorithm(AlgorithmOptimal)},               // tag 1
+		{WithStreamLength(1000), WithAlgorithm(AlgorithmSimple)},                // tag 2
+		{WithStreamLength(1000), WithAlgorithm(AlgorithmSimple), WithShards(2)}, // tag 3
+		{WithAlgorithm(AlgorithmSimple), WithCountWindow(64, 4)},                // tag 4
+		{WithAlgorithm(AlgorithmSimple), WithShards(2), WithCountWindow(64, 4)}, // tag 5
+	} {
+		hh, err := New(append(append([]Option{}, base...), extra...)...)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for i := uint64(0); i < 500; i++ {
+			if err := hh.Insert(i % 37); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		blob, err := hh.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		hh.Close()
+		blobs = append(blobs, blob)
+	}
+	return blobs
+}
+
+// FuzzUnmarshalAny feeds hostile bytes to the universal tag-dispatched
+// decoder: every container tag (1–5) routes through one front door, so
+// one fuzz target covers the whole codec surface. Hostile bytes must
+// error — never panic, never allocate proportionally to claimed
+// geometry — and a successful decode must yield a usable solver.
+func FuzzUnmarshalAny(f *testing.F) {
+	for _, b := range anySeedBlobs(f) {
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+	}
+	f.Add([]byte{})
+	for tag := byte(0); tag <= 6; tag++ {
+		f.Add([]byte{tag})
+		f.Add([]byte{tag, 0, 0, 0, 0, 0, 0, 0, 0})
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		hh, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded solver must be usable, whatever it is.
+		if err := hh.Insert(7); err != nil {
+			t.Fatalf("restored solver refused insert: %v", err)
+		}
+		_ = hh.Report()
+		_ = hh.Stats()
+		_ = hh.Len()
+		if w, ok := hh.(Windower); ok {
+			_ = w.WindowStats()
+		}
+		hh.Close()
+	})
+}
+
 // fuzzMergeTarget builds one live engine per process for
 // FuzzMergeCheckpoint to merge hostile blobs into. Successful merges
 // mutate it, which is fine — the property under test is "error, never

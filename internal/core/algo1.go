@@ -124,6 +124,11 @@ func (a *SimpleList) Report() []ItemEstimate {
 // SampleSize returns the number of sampled items s.
 func (a *SimpleList) SampleSize() uint64 { return a.s }
 
+// Params returns the Config the solver was built with; it survives
+// checkpoint round-trips, so restore paths can recover the problem
+// parameters from the state alone.
+func (a *SimpleList) Params() Config { return a.cfg }
+
 // Len returns the number of stream positions consumed.
 func (a *SimpleList) Len() uint64 { return a.offered }
 

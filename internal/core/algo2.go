@@ -227,6 +227,11 @@ func (o *Optimal) Report() []ItemEstimate {
 // SampleSize returns the number of sampled items s.
 func (o *Optimal) SampleSize() uint64 { return o.s }
 
+// Params returns the Config the solver was built with; it survives
+// checkpoint round-trips, so restore paths can recover the problem
+// parameters from the state alone.
+func (o *Optimal) Params() Config { return o.cfg }
+
 // Len returns the number of stream positions consumed.
 func (o *Optimal) Len() uint64 { return o.offered }
 

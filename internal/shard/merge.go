@@ -36,45 +36,92 @@ type EngineMerger interface {
 // (compatibility is invariant under ingest, so the check stays valid
 // until the merge phase), and the merge phase itself cannot fail.
 func (s *Sharded) MergeSnapshot(data []byte, factory RestoreFactory) error {
+	foreign, added, err := s.decodeForeign(data, factory)
+	if err != nil {
+		return err
+	}
+	// Check phase: validate every shard pair before mutating any.
+	if err := s.checkForeign(foreign); err != nil {
+		return err
+	}
+	// Merge phase: every pair checked compatible, so no fold can fail.
+	errs := make([]error, len(s.engines))
+	s.Do(func(i int, e Engine) {
+		errs[i] = e.(EngineMerger).MergeEngine(foreign[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d/%d: checked engine refused merge: %w", i, len(s.engines), err)
+		}
+	}
+	// The foreign items are now part of the live engines; keep the cheap
+	// accepted-items counter coherent with Len.
+	s.items.Add(added)
+	return nil
+}
+
+// CheckSnapshot reports whether MergeSnapshot would succeed, without
+// mutating any live engine: the container checks, the foreign rebuild,
+// and the CheckMergeEngine pass all run exactly as in MergeSnapshot's
+// check phase. Compatibility is invariant under ingest, so a nil result
+// stays valid until parameters or partitions change — which they cannot
+// on a live engine.
+func (s *Sharded) CheckSnapshot(data []byte, factory RestoreFactory) error {
+	foreign, _, err := s.decodeForeign(data, factory)
+	if err != nil {
+		return err
+	}
+	return s.checkForeign(foreign)
+}
+
+// decodeForeign parses a snapshot container against the live partition
+// (shard count and hash seed must match exactly) and rebuilds the
+// foreign engines; added is their summed length. Shared by MergeSnapshot
+// and CheckSnapshot.
+func (s *Sharded) decodeForeign(data []byte, factory RestoreFactory) (foreign []Engine, added uint64, err error) {
 	r := wire.NewReader(data)
 	if v := r.U64(); v != snapshotVersion {
 		if r.Err() != nil {
-			return fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+			return nil, 0, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 		}
-		return fmt.Errorf("shard: unsupported snapshot version %d", v)
+		return nil, 0, fmt.Errorf("shard: unsupported snapshot version %d", v)
 	}
 	shards := r.U64()
 	seed := r.U64()
 	if r.Err() != nil {
-		return fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+		return nil, 0, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 	}
 	if int(shards) != len(s.engines) {
-		return merge.Incompatiblef("shard: snapshot has %d shards, live engine has %d", shards, len(s.engines))
+		return nil, 0, merge.Incompatiblef("shard: snapshot has %d shards, live engine has %d", shards, len(s.engines))
 	}
 	if seed != s.opts.Seed {
-		return merge.Incompatiblef("shard: partition seeds differ — ids route to different shards")
+		return nil, 0, merge.Incompatiblef("shard: partition seeds differ — ids route to different shards")
 	}
 	blobs := make([][]byte, shards)
 	for i := range blobs {
 		blobs[i] = r.Blob()
 	}
 	if r.Err() != nil {
-		return fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
+		return nil, 0, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 	}
 	if !r.Done() {
-		return errors.New("shard: trailing bytes after snapshot")
+		return nil, 0, errors.New("shard: trailing bytes after snapshot")
 	}
-	foreign := make([]Engine, shards)
-	var added uint64
+	foreign = make([]Engine, shards)
 	for i := range foreign {
 		e, err := factory(i, int(shards), blobs[i])
 		if err != nil {
-			return fmt.Errorf("shard %d/%d: %w", i, shards, err)
+			return nil, 0, fmt.Errorf("shard %d/%d: %w", i, shards, err)
 		}
 		foreign[i] = e
 		added += e.Len()
 	}
-	// Check phase: validate every shard pair before mutating any.
+	return foreign, added, nil
+}
+
+// checkForeign runs the non-mutating CheckMergeEngine pass across every
+// live/foreign shard pair.
+func (s *Sharded) checkForeign(foreign []Engine) error {
 	errs := make([]error, len(s.engines))
 	s.Do(func(i int, e Engine) {
 		m, ok := e.(EngineMerger)
@@ -89,17 +136,5 @@ func (s *Sharded) MergeSnapshot(data []byte, factory RestoreFactory) error {
 			return fmt.Errorf("shard %d/%d: %w", i, len(s.engines), err)
 		}
 	}
-	// Merge phase: every pair checked compatible, so no fold can fail.
-	s.Do(func(i int, e Engine) {
-		errs[i] = e.(EngineMerger).MergeEngine(foreign[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("shard %d/%d: checked engine refused merge: %w", i, len(s.engines), err)
-		}
-	}
-	// The foreign items are now part of the live engines; keep the cheap
-	// accepted-items counter coherent with Len.
-	s.items.Add(added)
 	return nil
 }

@@ -27,7 +27,7 @@ type Sketch interface {
 // Algorithm selects the heavy hitters engine.
 type Algorithm int
 
-// Engines for ListHeavyHitters.
+// Engines for the heavy hitters solvers.
 const (
 	// AlgorithmOptimal is the paper's Algorithm 2 (Theorem 2):
 	// O(ε⁻¹·log ϕ⁻¹ + ϕ⁻¹·log n + log log m) bits, optimal.
@@ -38,8 +38,12 @@ const (
 )
 
 // Config configures the heavy hitters, maximum and minimum solvers.
+//
+// For heavy hitters solvers, prefer New with functional options — this
+// struct remains the configuration of the deprecated per-type
+// constructors and of NewMaximum/NewMinimum.
 type Config struct {
-	// Eps is the additive error ε ∈ (0,1); for ListHeavyHitters it must
+	// Eps is the additive error ε ∈ (0,1); for heavy hitters it must
 	// be below Phi.
 	Eps float64
 	// Phi is the heaviness threshold ϕ ∈ (ε, 1]. Ignored by Maximum and
@@ -54,7 +58,7 @@ type Config struct {
 	// Universe is the number of distinct ids; items must lie in
 	// [0, Universe).
 	Universe uint64
-	// Algorithm selects the engine for ListHeavyHitters.
+	// Algorithm selects the engine for the heavy hitters solvers.
 	Algorithm Algorithm
 	// PacedBudget, when positive, bounds the worst-case table work per
 	// Insert to this many units by deferring sampled-item processing (the
@@ -73,6 +77,10 @@ func (c *Config) fill() {
 }
 
 // ListHeavyHitters solves the (ε,ϕ)-heavy hitters problem in one pass.
+//
+// It is the serial engine behind the unified front door; New returns it
+// wrapped in the HeavyHitters interface. The type stays exported for the
+// deprecated constructors and for checkpoint interchange.
 type ListHeavyHitters struct {
 	insert  func(Item)
 	report  func() []ItemEstimate
@@ -87,58 +95,18 @@ type ListHeavyHitters struct {
 	// paced is non-nil when inserts are routed through a de-amortization
 	// queue; merging flushes it first so no table work is outstanding.
 	paced *core.Paced
+
+	// eps and phi are the problem parameters the solver was built with,
+	// recovered from the engine state on restore.
+	eps, phi float64
 }
 
-// NewListHeavyHitters returns a solver for cfg.
+// NewListHeavyHitters returns a serial solver for cfg.
+//
+// Deprecated: use New — for example
+// New(WithEps(cfg.Eps), WithPhi(cfg.Phi), WithStreamLength(cfg.StreamLength)).
 func NewListHeavyHitters(cfg Config) (*ListHeavyHitters, error) {
-	cfg.fill()
-	src := rng.New(cfg.Seed)
-	if cfg.StreamLength == 0 {
-		// The staggering technique of Theorem 7 applies to Algorithm 1
-		// (the paper notes it does not transfer to Algorithm 2).
-		u, err := unknown.NewListHH(src, cfg.Eps, cfg.Phi, cfg.Delta, cfg.Universe)
-		if err != nil {
-			return nil, err
-		}
-		return &ListHeavyHitters{
-			insert: u.Insert, report: u.Report, bits: u.ModelBits, length: u.Len,
-			marshal: func() ([]byte, error) {
-				return nil, errors.New("l1hh: unknown-length solvers are not serializable")
-			},
-		}, nil
-	}
-	ccfg := core.Config{
-		Eps: cfg.Eps, Phi: cfg.Phi, Delta: cfg.Delta,
-		M: cfg.StreamLength, N: cfg.Universe,
-	}
-	switch cfg.Algorithm {
-	case AlgorithmOptimal:
-		a, err := core.NewOptimal(src, ccfg)
-		if err != nil {
-			return nil, err
-		}
-		h := &ListHeavyHitters{
-			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
-			marshal: func() ([]byte, error) { return taggedMarshal(tagOptimal, a) },
-			engine:  a,
-		}
-		h.applyPacing(cfg.PacedBudget, a)
-		return h, nil
-	case AlgorithmSimple:
-		a, err := core.NewSimpleList(src, ccfg)
-		if err != nil {
-			return nil, err
-		}
-		h := &ListHeavyHitters{
-			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
-			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
-			engine:  a,
-		}
-		h.applyPacing(cfg.PacedBudget, a)
-		return h, nil
-	default:
-		return nil, errors.New("l1hh: unknown algorithm")
-	}
+	return buildSerial(cfg)
 }
 
 // applyPacing routes inserts through a core.Paced queue when a budget is
@@ -162,75 +130,28 @@ func (h *ListHeavyHitters) applyPacing(budget int, inner core.Pacable) {
 	}
 }
 
-// Algorithm tags for serialized solvers.
-const (
-	tagOptimal byte = 1
-	tagSimple  byte = 2
-	// tagSharded marks a ShardedListHeavyHitters container, whose frame
-	// nests per-shard encodings that carry their own engine tags.
-	tagSharded byte = 3
-	// tagWindowed marks a WindowedListHeavyHitters frame: window
-	// configuration plus the bucket container, each bucket nesting a
-	// tagOptimal/tagSimple solver encoding.
-	tagWindowed byte = 4
-	// tagShardedWindowed marks the v2 sharded container: the tagSharded
-	// frame extended with the window geometry, nesting tagWindowed
-	// per-shard encodings. Decoders accept both container versions;
-	// encoders emit tagSharded when no window is configured, so
-	// non-windowed checkpoints stay readable by older builds.
-	tagShardedWindowed byte = 5
-)
-
-// taggedMarshal prefixes the engine tag to the engine's own encoding.
-func taggedMarshal(tag byte, m interface{ MarshalBinary() ([]byte, error) }) ([]byte, error) {
-	blob, err := m.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	return append([]byte{tag}, blob...), nil
-}
-
 // MarshalBinary serializes the solver's complete state (tables, hash
 // seeds, sampler position) so it can be checkpointed or shipped to
-// another process and resumed with UnmarshalListHeavyHitters. Only
-// known-stream-length solvers are serializable.
+// another process and resumed with Unmarshal. Only known-stream-length
+// solvers are serializable.
 func (h *ListHeavyHitters) MarshalBinary() ([]byte, error) { return h.marshal() }
 
 // UnmarshalListHeavyHitters reconstructs a solver serialized by
 // MarshalBinary; the restored solver continues the stream exactly where
 // the original stopped.
+//
+// Deprecated: use Unmarshal, which restores every container tag behind
+// the HeavyHitters interface.
 func UnmarshalListHeavyHitters(data []byte) (*ListHeavyHitters, error) {
-	if len(data) < 2 {
-		return nil, errors.New("l1hh: truncated solver encoding")
-	}
-	switch data[0] {
-	case tagOptimal:
-		a := new(core.Optimal)
-		if err := a.UnmarshalBinary(data[1:]); err != nil {
-			return nil, err
+	if len(data) >= 1 {
+		switch data[0] {
+		case tagSharded, tagShardedWindowed:
+			return nil, errors.New("l1hh: sharded container encoding: use UnmarshalShardedListHeavyHitters")
+		case tagWindowed:
+			return nil, errors.New("l1hh: windowed solver encoding: use UnmarshalWindowedListHeavyHitters")
 		}
-		return &ListHeavyHitters{
-			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
-			marshal: func() ([]byte, error) { return taggedMarshal(tagOptimal, a) },
-			engine:  a,
-		}, nil
-	case tagSimple:
-		a := new(core.SimpleList)
-		if err := a.UnmarshalBinary(data[1:]); err != nil {
-			return nil, err
-		}
-		return &ListHeavyHitters{
-			insert: a.Insert, report: a.Report, bits: a.ModelBits, length: a.Len,
-			marshal: func() ([]byte, error) { return taggedMarshal(tagSimple, a) },
-			engine:  a,
-		}, nil
-	case tagSharded, tagShardedWindowed:
-		return nil, errors.New("l1hh: sharded container encoding: use UnmarshalShardedListHeavyHitters")
-	case tagWindowed:
-		return nil, errors.New("l1hh: windowed solver encoding: use UnmarshalWindowedListHeavyHitters")
-	default:
-		return nil, errors.New("l1hh: unrecognized solver encoding")
 	}
+	return unmarshalSerial(data)
 }
 
 // Insert processes one stream item in O(1) time.
@@ -247,6 +168,25 @@ func (h *ListHeavyHitters) ModelBits() int64 { return h.bits() }
 
 // Len returns the number of items inserted so far.
 func (h *ListHeavyHitters) Len() uint64 { return h.length() }
+
+// Eps returns the additive-error parameter ε the solver was built with
+// (preserved across checkpoint restores).
+func (h *ListHeavyHitters) Eps() float64 { return h.eps }
+
+// Phi returns the heaviness threshold ϕ the solver was built with
+// (preserved across checkpoint restores).
+func (h *ListHeavyHitters) Phi() float64 { return h.phi }
+
+// Stats returns the unified operational snapshot (see Stats).
+func (h *ListHeavyHitters) Stats() Stats {
+	n := h.Len()
+	return Stats{
+		Items: n, Len: n,
+		Eps: h.eps, Phi: h.phi,
+		Shards:    1,
+		ModelBits: h.ModelBits(),
+	}
+}
 
 // Maximum solves the ε-Maximum / ℓ∞-approximation problem in one pass.
 type Maximum struct {

@@ -116,31 +116,57 @@ func (h *ListHeavyHitters) CheckMergeEngine(other shard.Engine) error {
 // that runs concurrently with ingest: items enqueued before the call are
 // reflected, and ingest keeps flowing during the merge.
 func (h *ShardedListHeavyHitters) MergeCheckpoint(blob []byte) error {
+	snap, err := h.parseMergeFrame(blob)
+	if err != nil {
+		return err
+	}
+	return h.s.MergeSnapshot(snap, func(i, total int, b []byte) (shard.Engine, error) {
+		return unmarshalSerial(b)
+	})
+}
+
+// checkMergeCheckpoint reports whether MergeCheckpoint(blob) would
+// succeed, without mutating any live shard: the container frame checks,
+// the foreign rebuild, and the per-shard compatibility pass all run
+// exactly as in the merge's check phase. It backs the Merger.CheckMerge
+// capability of the unified front door.
+func (h *ShardedListHeavyHitters) checkMergeCheckpoint(blob []byte) error {
+	snap, err := h.parseMergeFrame(blob)
+	if err != nil {
+		return err
+	}
+	return h.s.CheckSnapshot(snap, func(i, total int, b []byte) (shard.Engine, error) {
+		return unmarshalSerial(b)
+	})
+}
+
+// parseMergeFrame validates a checkpoint container for merging into h —
+// sharded, non-windowed, matching problem parameters — and returns the
+// nested shard snapshot.
+func (h *ShardedListHeavyHitters) parseMergeFrame(blob []byte) ([]byte, error) {
 	if len(blob) >= 1 && blob[0] == tagShardedWindowed || h.Windowed() {
 		// Two nodes' windows cover different wall-clock slices of their
 		// own streams; folding them answers no well-defined window.
-		return merge.Incompatiblef("l1hh: sliding-window states are not mergeable (DESIGN.md §8)")
+		return nil, merge.Incompatiblef("l1hh: sliding-window states are not mergeable (DESIGN.md §8)")
 	}
 	if len(blob) < 1 || blob[0] != tagSharded {
-		return errors.New("l1hh: not a sharded solver encoding")
+		return nil, errors.New("l1hh: not a sharded solver encoding")
 	}
 	r := wire.NewReader(blob[1:])
 	eps := r.F64()
 	phi := r.F64()
 	snap := r.Blob()
 	if r.Err() != nil {
-		return fmt.Errorf("l1hh: corrupt sharded encoding: %w", r.Err())
+		return nil, fmt.Errorf("l1hh: corrupt sharded encoding: %w", r.Err())
 	}
 	if !r.Done() {
-		return errors.New("l1hh: trailing bytes after sharded encoding")
+		return nil, errors.New("l1hh: trailing bytes after sharded encoding")
 	}
 	if eps != h.eps || phi != h.phi {
-		return merge.Incompatiblef("l1hh: problem parameters differ: (ε=%g, ϕ=%g) vs (ε=%g, ϕ=%g)",
+		return nil, merge.Incompatiblef("l1hh: problem parameters differ: (ε=%g, ϕ=%g) vs (ε=%g, ϕ=%g)",
 			h.eps, h.phi, eps, phi)
 	}
-	return h.s.MergeSnapshot(snap, func(i, total int, b []byte) (shard.Engine, error) {
-		return UnmarshalListHeavyHitters(b)
-	})
+	return snap, nil
 }
 
 // MergeFrom folds other into h via other's checkpoint; other is left

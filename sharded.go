@@ -1,20 +1,19 @@
 package l1hh
 
 import (
-	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/rng"
 	"repro/internal/shard"
-	"repro/internal/window"
 	"repro/internal/wire"
 )
 
 // ShardedConfig configures the concurrent sharded solver: the problem
 // parameters of Config plus the ingest-layer knobs and, optionally, a
 // sliding window.
+//
+// Prefer New with WithShards (and WithCountWindow/WithTimeWindow) — this
+// struct remains the configuration of the deprecated constructor.
 type ShardedConfig struct {
 	Config
 	// Shards is the number of independent solver instances the universe
@@ -52,8 +51,13 @@ func (c *ShardedConfig) windowed() bool { return c.Window > 0 || c.WindowDuratio
 // ids are hash-partitioned across Shards independent engines, so an
 // item's entire frequency lands in exactly one shard and per-shard
 // reports union cleanly. Any number of goroutines may call Insert and
-// InsertBatch concurrently; Report, ModelBits, Len, MarshalBinary and
-// Close are barriers that may run concurrently with ingest.
+// InsertBatch concurrently; Report, ModelBits, Len, Stats, MarshalBinary
+// and Close are barriers that may run concurrently with ingest.
+//
+// It is the concurrent container behind the unified front door; New
+// returns it wrapped in the HeavyHitters interface. The type stays
+// exported for the deprecated constructors and for checkpoint
+// interchange.
 //
 // Guarantees (DESIGN.md §3): each shard runs the configured engine at
 // (ε, ϕ, δ/Shards) against its partition; the merged Report applies the
@@ -73,87 +77,20 @@ type ShardedListHeavyHitters struct {
 	windowBuckets int
 }
 
-// NewShardedListHeavyHitters returns a sharded solver for cfg. Per-shard
-// engine seeds and the partition-hash seed all derive from cfg.Seed, so
-// a fixed (Seed, Shards) pair is fully reproducible. With the Window
-// fields set, every shard runs a sliding window over its substream and
-// Report answers for approximately the last Window items (or
-// WindowDuration of time) of the global stream.
+// NewShardedListHeavyHitters returns a sharded solver for cfg.
+//
+// Deprecated: use New with WithShards — for example
+// New(WithEps(cfg.Eps), WithPhi(cfg.Phi), WithStreamLength(cfg.StreamLength), WithShards(cfg.Shards)).
 func NewShardedListHeavyHitters(cfg ShardedConfig) (*ShardedListHeavyHitters, error) {
-	cfg.fill()
-	if cfg.Window > 0 && cfg.WindowDuration > 0 {
-		return nil, errors.New("l1hh: Window and WindowDuration are mutually exclusive")
-	}
-	if cfg.WindowDuration < 0 {
-		// Silently building a whole-stream engine here would leave the
-		// caller believing reports are windowed.
-		return nil, fmt.Errorf("l1hh: negative WindowDuration %s", cfg.WindowDuration)
-	}
-	if cfg.Window > window.MaxLastN {
-		// Guards the per-shard ⌈W/K⌉ split against uint64 wraparound.
-		return nil, fmt.Errorf("l1hh: window %d exceeds the %d maximum", cfg.Window, uint64(window.MaxLastN))
-	}
-	opts := shard.Options{
-		Shards:     cfg.Shards,
-		QueueDepth: cfg.QueueDepth,
-		MaxBatch:   cfg.MaxBatch,
-	}
-	seeds := rng.New(cfg.Seed)
-	opts.Seed = seeds.Uint64()
-	factory := func(i, total int) (shard.Engine, error) {
-		ecfg := shardEngineConfig(cfg.Config, total, seeds.Uint64())
-		if !cfg.windowed() {
-			return NewListHeavyHitters(ecfg)
-		}
-		return NewWindowedListHeavyHitters(shardWindowConfig(cfg, ecfg, total))
-	}
-	s, err := shard.New(factory, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &ShardedListHeavyHitters{
-		s: s, eps: cfg.Eps, phi: cfg.Phi,
-		window: cfg.Window, windowDur: cfg.WindowDuration, windowBuckets: cfg.WindowBuckets,
-	}, nil
-}
-
-// shardWindowConfig derives one shard's window geometry: a count window
-// splits ⌈W/K⌉ per shard (hash partitioning spreads the last W global
-// items ≈ evenly, so per-shard suffixes union to ≈ the global suffix); a
-// time window keeps the same wall-clock span on every shard.
-func shardWindowConfig(cfg ShardedConfig, ecfg Config, total int) WindowConfig {
-	wc := WindowConfig{
-		Config:         ecfg,
-		WindowDuration: cfg.WindowDuration,
-		WindowBuckets:  cfg.WindowBuckets,
-	}
-	if cfg.Window > 0 {
-		wc.Window = (cfg.Window + uint64(total) - 1) / uint64(total)
-	}
-	return wc
-}
-
-// shardEngineConfig derives one shard's solver Config from the global
-// problem: same (ε, ϕ) relative to the shard's own substream, failure
-// probability split δ/K so a union bound covers all shards, and the
-// expected per-shard length m/K (engines accept receiving more or fewer;
-// an overloaded shard oversamples, which costs space, never accuracy).
-func shardEngineConfig(cfg Config, total int, seed uint64) Config {
-	c := cfg
-	c.Delta = cfg.Delta / float64(total)
-	if cfg.StreamLength > 0 {
-		c.StreamLength = (cfg.StreamLength + uint64(total) - 1) / uint64(total)
-	}
-	c.Seed = seed
-	return c
+	return buildSharded(cfg, nil)
 }
 
 // Insert routes one item; prefer InsertBatch on hot paths.
 func (h *ShardedListHeavyHitters) Insert(x Item) error { return h.s.Insert(x) }
 
 // InsertBatch partitions items across the shard queues. Safe for
-// concurrent callers; blocks when a queue is full. Returns
-// shard.ErrClosed after Close.
+// concurrent callers; blocks when a queue is full. Returns ErrClosed
+// after Close.
 func (h *ShardedListHeavyHitters) InsertBatch(items []Item) error {
 	return h.s.InsertBatch(items)
 }
@@ -232,6 +169,13 @@ func (h *ShardedListHeavyHitters) WindowStats() (stats WindowStats, ok bool) {
 			parts[i] = w.WindowStats()
 		}
 	})
+	return sumWindowStats(parts), true
+}
+
+// sumWindowStats aggregates per-shard window statistics: masses and
+// bucket counts sum, the span is the per-shard maximum.
+func sumWindowStats(parts []WindowStats) WindowStats {
+	var stats WindowStats
 	for _, p := range parts {
 		stats.Covered += p.Covered
 		stats.Total += p.Total
@@ -243,7 +187,40 @@ func (h *ShardedListHeavyHitters) WindowStats() (stats WindowStats, ok bool) {
 			stats.Span = p.Span
 		}
 	}
-	return stats, true
+	return stats
+}
+
+// Stats returns the unified operational snapshot (see Stats). All
+// barrier-derived fields — Len, ModelBits, Window — come from one pass
+// over the shards, so they are mutually coherent; Items and QueueDepths
+// are the cheap queue-side counters read at the same moment.
+func (h *ShardedListHeavyHitters) Stats() Stats {
+	st := Stats{
+		Items:       h.s.Items(),
+		Eps:         h.eps,
+		Phi:         h.phi,
+		Shards:      h.s.Shards(),
+		QueueDepths: h.s.QueueDepths(),
+	}
+	lens := make([]uint64, h.s.Shards())
+	bits := make([]int64, h.s.Shards())
+	wins := make([]WindowStats, h.s.Shards())
+	h.s.Do(func(i int, e shard.Engine) {
+		lens[i] = e.Len()
+		bits[i] = e.ModelBits()
+		if w, isWin := e.(*WindowedListHeavyHitters); isWin {
+			wins[i] = w.WindowStats()
+		}
+	})
+	for i := range lens {
+		st.Len += lens[i]
+		st.ModelBits += bits[i]
+	}
+	if h.Windowed() {
+		w := sumWindowStats(wins)
+		st.Window = &w
+	}
+	return st
 }
 
 // ModelBits sums the per-shard sketch sizes under the paper's
@@ -255,7 +232,7 @@ func (h *ShardedListHeavyHitters) Flush() { h.s.Flush() }
 
 // Close drains the queues and stops the workers. Report, ModelBits and
 // MarshalBinary still work afterwards (they run inline); ingest returns
-// shard.ErrClosed. Idempotent.
+// ErrClosed. Idempotent.
 func (h *ShardedListHeavyHitters) Close() error { return h.s.Close() }
 
 // MarshalBinary checkpoints the complete sharded state: the problem
@@ -292,59 +269,9 @@ func (h *ShardedListHeavyHitters) MarshalBinary() ([]byte, error) {
 // decode: tagSharded (no window) and tagShardedWindowed. QueueDepth and
 // MaxBatch are runtime tuning, not serialized state — pass zero for the
 // defaults.
+//
+// Deprecated: use Unmarshal with WithQueueDepth/WithMaxBatch, which
+// restores every container tag behind the HeavyHitters interface.
 func UnmarshalShardedListHeavyHitters(data []byte, queueDepth, maxBatch int) (*ShardedListHeavyHitters, error) {
-	if len(data) < 1 || (data[0] != tagSharded && data[0] != tagShardedWindowed) {
-		return nil, errors.New("l1hh: not a sharded solver encoding")
-	}
-	r := wire.NewReader(data[1:])
-	h := &ShardedListHeavyHitters{}
-	h.eps = r.F64()
-	h.phi = r.F64()
-	if data[0] == tagShardedWindowed {
-		h.window = r.U64()
-		h.windowDur = time.Duration(r.I64())
-		h.windowBuckets = int(r.U64())
-	}
-	snap := r.Blob()
-	if r.Err() != nil {
-		return nil, fmt.Errorf("l1hh: corrupt sharded encoding: %w", r.Err())
-	}
-	if !r.Done() {
-		return nil, errors.New("l1hh: trailing bytes after sharded encoding")
-	}
-	if data[0] == tagShardedWindowed && !h.Windowed() {
-		return nil, errors.New("l1hh: windowed container encodes no window geometry")
-	}
-	// The container tag must agree with the nested engine types, and a
-	// windowed container's frame geometry with each shard's own window
-	// record — otherwise a crafted checkpoint restores with Windowed()
-	// and WindowStats lying about what reports actually cover.
-	s, err := shard.Restore(snap, func(i, total int, blob []byte) (shard.Engine, error) {
-		if len(blob) >= 1 && blob[0] == tagWindowed {
-			if !h.Windowed() {
-				return nil, errors.New("l1hh: windowed shard engine inside a non-windowed container")
-			}
-			w, err := UnmarshalWindowedListHeavyHitters(blob)
-			if err != nil {
-				return nil, err
-			}
-			want := shardWindowConfig(ShardedConfig{
-				Window: h.window, WindowDuration: h.windowDur, WindowBuckets: h.windowBuckets,
-			}, w.cfg.Config, total)
-			if w.cfg.Window != want.Window || w.cfg.WindowDuration != want.WindowDuration ||
-				w.cfg.WindowBuckets != want.WindowBuckets {
-				return nil, errors.New("l1hh: shard window geometry disagrees with the container frame")
-			}
-			return w, nil
-		}
-		if h.Windowed() {
-			return nil, errors.New("l1hh: plain shard engine inside a windowed container")
-		}
-		return UnmarshalListHeavyHitters(blob)
-	}, shard.Options{QueueDepth: queueDepth, MaxBatch: maxBatch})
-	if err != nil {
-		return nil, err
-	}
-	h.s = s
-	return h, nil
+	return unmarshalSharded(data, queueDepth, maxBatch, nil, 0)
 }

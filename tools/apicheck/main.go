@@ -1,0 +1,271 @@
+// apicheck is the API-compatibility gate: it renders the exported
+// surface of a package directory — every exported const, var, func,
+// type, struct field and method, with full signatures — into a
+// normalized text snapshot and compares it against a committed golden
+// file, so an accidental signature change, removal, or addition fails CI
+// instead of sailing through review (the same pattern as the doccheck
+// docs gate).
+//
+// The snapshot is computed from the AST (no go/doc exec, no toolchain
+// version sensitivity): declarations are stripped of bodies and
+// comments, unexported struct fields and interface methods are elided,
+// and everything is sorted, so the file only changes when the API does.
+//
+// Usage:
+//
+//	go run ./tools/apicheck DIR [DIR...]          # compare against golden
+//	go run ./tools/apicheck -update DIR [DIR...]  # rewrite the golden file
+//
+// The golden file lives at -golden (default tools/apicheck/api.txt).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+var (
+	updateFlag = flag.Bool("update", false, "rewrite the golden file instead of comparing")
+	goldenFlag = flag.String("golden", "tools/apicheck/api.txt", "path of the golden API snapshot")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: apicheck [-update] [-golden FILE] DIR [DIR...]")
+		os.Exit(2)
+	}
+	var out bytes.Buffer
+	for _, dir := range flag.Args() {
+		if err := dump(&out, dir); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+	}
+	if *updateFlag {
+		if err := os.WriteFile(*goldenFlag, out.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apicheck: wrote %s (%d bytes)\n", *goldenFlag, out.Len())
+		return
+	}
+	want, err := os.ReadFile(*goldenFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run with -update to create it)\n", err)
+		os.Exit(2)
+	}
+	if !bytes.Equal(want, out.Bytes()) {
+		fmt.Fprintf(os.Stderr, "apicheck: exported API surface changed — diff against %s:\n%s",
+			*goldenFlag, diff(string(want), out.String()))
+		fmt.Fprintln(os.Stderr, "apicheck: if the change is intentional, regenerate with: go run ./tools/apicheck -update .")
+		os.Exit(1)
+	}
+}
+
+// dump renders one package directory's exported API into w.
+func dump(w *bytes.Buffer, dir string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var lines []string
+		for _, f := range pkgs[name].Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, renderDecl(fset, decl)...)
+			}
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(w, "package %s (%s)\n", name, dir)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// renderDecl returns the API lines a declaration contributes: nothing
+// for unexported identifiers, one normalized line per exported one.
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			base := receiverBase(d.Recv.List[0].Type)
+			if base == "" || !ast.IsExported(base) {
+				return nil
+			}
+			recv = "(" + exprString(fset, d.Recv.List[0].Type) + ") "
+		}
+		return []string{"func " + recv + d.Name.Name + strings.TrimPrefix(exprString(fset, d.Type), "func")}
+	case *ast.GenDecl:
+		var lines []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				typ := ""
+				if s.Type != nil {
+					typ = " " + exprString(fset, s.Type)
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						lines = append(lines, kind+" "+n.Name+typ)
+					}
+				}
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					lines = append(lines, renderType(fset, s)...)
+				}
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// renderType emits a type's API: its kind (alias or definition, with the
+// underlying expression for non-struct/interface types), then one line
+// per exported struct field or interface method.
+func renderType(fset *token.FileSet, s *ast.TypeSpec) []string {
+	assign := " "
+	if s.Assign.IsValid() {
+		assign = " = "
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{"type " + s.Name.Name + assign + "struct"}
+		if t.Fields != nil {
+			for _, f := range t.Fields.List {
+				typ := exprString(fset, f.Type)
+				if len(f.Names) == 0 {
+					// Embedded: exported if its base name is.
+					if ast.IsExported(strings.TrimPrefix(baseName(typ), "*")) {
+						lines = append(lines, "type "+s.Name.Name+" struct, embeds "+typ)
+					}
+					continue
+				}
+				for _, n := range f.Names {
+					if n.IsExported() {
+						lines = append(lines, "type "+s.Name.Name+" struct, field "+n.Name+" "+typ)
+					}
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{"type " + s.Name.Name + assign + "interface"}
+		if t.Methods != nil {
+			for _, m := range t.Methods.List {
+				if len(m.Names) == 0 {
+					lines = append(lines, "type "+s.Name.Name+" interface, embeds "+exprString(fset, m.Type))
+					continue
+				}
+				for _, n := range m.Names {
+					if n.IsExported() {
+						sig := strings.TrimPrefix(exprString(fset, m.Type), "func")
+						lines = append(lines, "type "+s.Name.Name+" interface, method "+n.Name+sig)
+					}
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{"type " + s.Name.Name + assign + exprString(fset, s.Type)}
+	}
+}
+
+// exprString prints an AST expression in canonical gofmt form.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	// Normalize internal newlines (multi-line struct/func literals) so
+	// every API entry is a single sortable line.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// receiverBase unwraps a method receiver type ("*T", "T", "T[P]") to its
+// base type name.
+func receiverBase(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// baseName returns the last dot-separated component of a type
+// expression string ("pkg.Type" → "Type").
+func baseName(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// diff renders a minimal line-oriented difference: lines only in want
+// are prefixed with "-", lines only in got with "+". Order changes show
+// up as a remove/add pair, which is exactly what a reviewer needs.
+func diff(want, got string) string {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	wantSet := make(map[string]int, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l]++
+	}
+	gotSet := make(map[string]int, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l]++
+	}
+	var b strings.Builder
+	for _, l := range wantLines {
+		if gotSet[l] > 0 {
+			gotSet[l]--
+			continue
+		}
+		fmt.Fprintf(&b, "-%s\n", l)
+	}
+	for _, l := range gotLines {
+		if wantSet[l] > 0 {
+			wantSet[l]--
+			continue
+		}
+		fmt.Fprintf(&b, "+%s\n", l)
+	}
+	return b.String()
+}

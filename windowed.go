@@ -1,8 +1,6 @@
 package l1hh
 
 import (
-	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/merge"
@@ -14,14 +12,17 @@ import (
 // WindowConfig configures a sliding-window heavy hitters solver: the
 // problem parameters of Config plus the window geometry. Exactly one of
 // Window and WindowDuration must be set.
+//
+// Prefer New with WithCountWindow/WithTimeWindow — this struct remains
+// the configuration of the deprecated constructor.
 type WindowConfig struct {
 	Config
 	// Window selects a count-based window: reports answer for (at
 	// least) the last Window items. Config.StreamLength is ignored in
 	// this mode — the per-bucket solvers are sized to the window.
 	Window uint64
-	// WindowDuration selects a time-based window: reports answer for
-	// (at least) the items of the last WindowDuration of wall time.
+	// WindowDuration selects a time-based window: reports answer for (at
+	// least) the items of the last WindowDuration of wall time.
 	// Config.StreamLength must then be the expected number of items per
 	// window, which sizes the per-bucket solvers (receiving more costs
 	// space, never accuracy).
@@ -34,60 +35,9 @@ type WindowConfig struct {
 	WindowBuckets int
 	// Clock overrides the window clock for time-based windows and
 	// bucket metadata; nil means time.Now. It is not serialized:
-	// restored solvers run on the real clock.
+	// restored solvers run on the real clock unless Unmarshal is given
+	// WithClock.
 	Clock func() time.Time
-}
-
-// minWindowEps is the smallest ε a windowed solver accepts: 2⁻¹³ ≈
-// 1.2·10⁻⁴. Bucket engines are rebuilt from checkpoint frames
-// (UnmarshalWindowedListHeavyHitters feeds decoded parameters straight
-// into the solver constructors), so the decode path must be able to
-// bound the constructors' table allocations — a hostile frame with an
-// absurdly small ε would otherwise demand gigabytes. The floor caps the
-// per-bucket accelerated-counter tables at a few MB and is far below
-// any ε a window-scale stream can support (DESIGN.md §8).
-const minWindowEps = 1.0 / (1 << 13)
-
-// windowEngineConfig derives the per-bucket solver Config: every bucket
-// runs the same engine with the same seed (the fold rules require
-// identical random choices), declared at the maximum mass one report can
-// cover — the window plus one epoch of slack. It also range-checks the
-// problem parameters (rejecting NaN), because both the constructor and
-// the checkpoint decoder route through it.
-func windowEngineConfig(cfg WindowConfig) (Config, error) {
-	c := cfg.Config
-	if !(c.Eps >= minWindowEps && c.Eps < 1) {
-		return c, fmt.Errorf("l1hh: windowed solvers need ε in [2⁻¹³, 1), got %v", c.Eps)
-	}
-	if !(c.Phi > c.Eps && c.Phi <= 1) {
-		return c, fmt.Errorf("l1hh: phi = %v out of (eps, 1]", c.Phi)
-	}
-	if c.Delta != 0 && !(c.Delta > 0 && c.Delta < 1) {
-		return c, fmt.Errorf("l1hh: delta = %v out of (0,1)", c.Delta)
-	}
-	if cfg.Window > window.MaxLastN {
-		// Also guards the slack ceil-division below against wraparound.
-		return c, fmt.Errorf("l1hh: window %d exceeds the %d maximum", cfg.Window, uint64(window.MaxLastN))
-	}
-	b := cfg.WindowBuckets
-	if b == 0 {
-		b = window.DefaultBuckets
-	}
-	if b < 1 {
-		return c, fmt.Errorf("l1hh: invalid window bucket count %d", b)
-	}
-	switch {
-	case cfg.Window > 0:
-		slack := (cfg.Window + uint64(b) - 1) / uint64(b)
-		c.StreamLength = cfg.Window + slack
-	case cfg.WindowDuration > 0:
-		if c.StreamLength == 0 {
-			return c, errors.New("l1hh: a duration window needs Config.StreamLength (expected items per window)")
-		}
-		slack := (c.StreamLength + uint64(b) - 1) / uint64(b)
-		c.StreamLength += slack
-	}
-	return c, nil
 }
 
 // WindowStats describes what a windowed report answers for: the covered
@@ -104,8 +54,12 @@ type WindowStats = window.Stats
 // carries the serial solver's (ε,ϕ) guarantees at m = the covered mass
 // (the window plus at most one epoch — DESIGN.md §8).
 //
-// Like ListHeavyHitters, it is not safe for concurrent use; set the
-// window fields of ShardedConfig for concurrent windowed ingest.
+// It is the window decorator behind the unified front door; New returns
+// it wrapped in the HeavyHitters interface. The type stays exported for
+// the deprecated constructors and for checkpoint interchange.
+//
+// Like ListHeavyHitters, it is not safe for concurrent use; combine
+// WithShards and a window option for concurrent windowed ingest.
 type WindowedListHeavyHitters struct {
 	w        *window.Window
 	cfg      WindowConfig
@@ -117,24 +71,11 @@ type WindowedListHeavyHitters struct {
 // merge tier), so Config.Algorithm must be AlgorithmOptimal or
 // AlgorithmSimple; a duration window additionally needs
 // Config.StreamLength as the expected per-window mass.
+//
+// Deprecated: use New with WithCountWindow or WithTimeWindow — for
+// example New(WithEps(cfg.Eps), WithPhi(cfg.Phi), WithCountWindow(cfg.Window, cfg.WindowBuckets)).
 func NewWindowedListHeavyHitters(cfg WindowConfig) (*WindowedListHeavyHitters, error) {
-	cfg.fill()
-	ecfg, err := windowEngineConfig(cfg)
-	if err != nil {
-		return nil, err
-	}
-	factory := func() (shard.Engine, error) { return NewListHeavyHitters(ecfg) }
-	restorer := func(blob []byte) (shard.Engine, error) { return UnmarshalListHeavyHitters(blob) }
-	w, err := window.New(factory, restorer, window.Options{
-		LastN:        cfg.Window,
-		LastDuration: cfg.WindowDuration,
-		Buckets:      cfg.WindowBuckets,
-		Now:          cfg.Clock,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &WindowedListHeavyHitters{w: w, cfg: cfg, eps: cfg.Eps, phi: cfg.Phi}, nil
+	return buildWindowed(cfg)
 }
 
 // Insert processes one stream item in amortized O(1) time (a bucket
@@ -171,17 +112,37 @@ func (h *WindowedListHeavyHitters) Len() uint64 { return h.w.Len() }
 // has aged out of the window.
 func (h *WindowedListHeavyHitters) Total() uint64 { return h.w.Total() }
 
+// Window returns the configured geometry: the count window W (0 for
+// time windows), the duration D (0 for count windows), and the bucket
+// granularity (defaults resolved).
+func (h *WindowedListHeavyHitters) Window() (w uint64, d time.Duration, buckets int) {
+	return h.w.Geometry()
+}
+
 // WindowStats describes the current coverage: covered/retired mass,
 // live bucket count, and the age of the oldest covered item.
 func (h *WindowedListHeavyHitters) WindowStats() WindowStats { return h.w.Stats() }
+
+// Stats returns the unified operational snapshot (see Stats).
+func (h *WindowedListHeavyHitters) Stats() Stats {
+	st := h.WindowStats()
+	return Stats{
+		Items: st.Total,
+		Len:   st.Covered,
+		Eps:   h.eps, Phi: h.phi,
+		Shards:    1,
+		ModelBits: h.ModelBits(),
+		Window:    &st,
+	}
+}
 
 // ModelBits reports the summed size of the live bucket sketches under
 // the paper's accounting: a B-bucket window honestly costs B+1 sketches.
 func (h *WindowedListHeavyHitters) ModelBits() int64 { return h.w.ModelBits() }
 
 // MarshalBinary serializes the window configuration and every live
-// bucket's solver state; UnmarshalWindowedListHeavyHitters restores a
-// solver that continues the window exactly where this one stopped.
+// bucket's solver state; Unmarshal restores a solver that continues the
+// window exactly where this one stopped.
 func (h *WindowedListHeavyHitters) MarshalBinary() ([]byte, error) {
 	blob, err := h.w.MarshalBinary()
 	if err != nil {
@@ -207,56 +168,12 @@ func (h *WindowedListHeavyHitters) MarshalBinary() ([]byte, error) {
 // WindowedListHeavyHitters.MarshalBinary. Time-based windows resume on
 // the wall clock: buckets that aged out while the checkpoint sat on disk
 // retire on the first operation.
+//
+// Deprecated: use Unmarshal, which restores every container tag behind
+// the HeavyHitters interface (and accepts WithClock for deterministic
+// resumes).
 func UnmarshalWindowedListHeavyHitters(data []byte) (*WindowedListHeavyHitters, error) {
-	if len(data) < 1 || data[0] != tagWindowed {
-		return nil, errors.New("l1hh: not a windowed solver encoding")
-	}
-	r := wire.NewReader(data[1:])
-	var cfg WindowConfig
-	cfg.Eps = r.F64()
-	cfg.Phi = r.F64()
-	cfg.Delta = r.F64()
-	cfg.StreamLength = r.U64()
-	cfg.Universe = r.U64()
-	algo := r.U64()
-	paced := r.U64()
-	cfg.Seed = r.U64()
-	cfg.Window = r.U64()
-	cfg.WindowDuration = time.Duration(r.I64())
-	cfg.WindowBuckets = int(r.U64())
-	blob := r.Blob()
-	if r.Err() != nil {
-		return nil, fmt.Errorf("l1hh: corrupt windowed encoding: %w", r.Err())
-	}
-	if !r.Done() {
-		return nil, errors.New("l1hh: trailing bytes after windowed encoding")
-	}
-	if algo > uint64(AlgorithmSimple) {
-		return nil, fmt.Errorf("l1hh: unknown algorithm %d in windowed encoding", algo)
-	}
-	cfg.Algorithm = Algorithm(algo)
-	cfg.PacedBudget = int(paced)
-	ecfg, err := windowEngineConfig(cfg)
-	if err != nil {
-		return nil, err
-	}
-	factory := func() (shard.Engine, error) { return NewListHeavyHitters(ecfg) }
-	restorer := func(b []byte) (shard.Engine, error) { return UnmarshalListHeavyHitters(b) }
-	w, err := window.Restore(blob, factory, restorer, window.Options{})
-	if err != nil {
-		return nil, err
-	}
-	// The geometry is encoded twice: in this frame (it sizes the bucket
-	// engines above) and in the window snapshot (it drives retirement).
-	// A tampered blob could make them disagree — mis-sized engines and
-	// lying metadata — so reject any mismatch.
-	lastN, lastDur, buckets := w.Geometry()
-	if lastN != cfg.Window || lastDur != cfg.WindowDuration ||
-		(cfg.WindowBuckets != 0 && buckets != cfg.WindowBuckets) ||
-		(cfg.WindowBuckets == 0 && buckets != window.DefaultBuckets) {
-		return nil, errors.New("l1hh: window geometry mismatch between frame and snapshot")
-	}
-	return &WindowedListHeavyHitters{w: w, cfg: cfg, eps: cfg.Eps, phi: cfg.Phi}, nil
+	return unmarshalWindowed(data, nil)
 }
 
 // MergeEngine implements the shard-layer merge contract by refusing:
