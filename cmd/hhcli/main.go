@@ -7,7 +7,11 @@
 // options, so the same binary runs the serial solver, the concurrent
 // sharded engine (-shards), and sliding windows (-window /
 // -window-duration) — the report then covers only the most recent
-// traffic, and the summary line says how much mass aged out.
+// traffic, and the summary line says how much the window actually
+// covers versus what was requested and how much mass aged out (with
+// -shards, skewed traffic can leave per-shard count windows covering
+// less than the requested W; a warning fires below 90% coverage —
+// DESIGN.md §8).
 //
 // Usage:
 //
@@ -126,7 +130,22 @@ func main() {
 		rd.Count(), hh.ModelBits(), hh.Eps(), hh.Phi())
 	if win, ok := hh.(l1hh.Windower); ok {
 		st := win.WindowStats()
-		summary += fmt.Sprintf(", window covers %d (%d aged out)", st.Covered, st.Retired)
+		w, _, _ := win.Window()
+		if w > 0 {
+			// Covered can land well under the requested W: per-shard
+			// count windows slide on per-shard arrivals, so skewed
+			// traffic shrinks the busiest shard's suffix (DESIGN.md §8).
+			// Print both so the summary never overstates coverage.
+			summary += fmt.Sprintf(", window covers %d of requested %d (%d aged out)",
+				st.Covered, w, st.Retired)
+			if st.Total >= w && st.Covered < w-w/10 {
+				fmt.Fprintf(os.Stderr,
+					"hhcli: window coverage %d is below 90%% of the requested %d (per-shard coverage %d–%d); skewed traffic shrinks per-shard count windows — see DESIGN.md §8\n",
+					st.Covered, w, st.CoveredMin, st.CoveredMax)
+			}
+		} else {
+			summary += fmt.Sprintf(", window covers %d (%d aged out)", st.Covered, st.Retired)
+		}
 	}
 	fmt.Println(summary)
 	for _, r := range hh.Report() {

@@ -20,8 +20,9 @@
 //	                  hhd.queue_depths, hhd.model_bits, hhd.shards,
 //	                  hhd.peers, hhd.merges_total, hhd.merge_errors_total,
 //	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds;
-//	                  with a window: hhd.window {covered, retired_total,
-//	                  buckets, span_seconds}
+//	                  with a window: hhd.window {covered, covered_min,
+//	                  covered_max, share_skew, extrapolated,
+//	                  retired_total, buckets, span_seconds}
 //
 // The daemon is built entirely on the unified l1hh front door: flags
 // become l1hh.New options, /restore goes through l1hh.Unmarshal, and the
@@ -31,10 +32,15 @@
 //
 // Sliding windows: -window N answers for (at least) the last N items,
 // -window-duration D for the last D of wall time (then -m is the
-// expected items per window, globally). Reports and checkpoints carry
-// the window; cluster mode is incompatible with windows — two nodes'
-// windows cover different wall-clock slices, so their states do not
-// merge (DESIGN.md §8).
+// expected items per window, globally). With shards > 1, count-window
+// reports are rate-extrapolated: each shard's estimates are scaled by
+// its measured share of recent traffic before the global threshold, so
+// a dominant item no longer shrinks its own shard's window out of the
+// report and stale shards are down-weighted (DESIGN.md §8;
+// -raw-shard-windows restores the old raw fold). Reports and
+// checkpoints carry the window; cluster mode is incompatible with
+// windows — two nodes' windows cover different wall-clock slices, so
+// their states do not merge (DESIGN.md §8).
 //
 // Cluster mode: run one worker per ingest node and one aggregator with
 // -peers; the aggregator pulls every worker's /checkpoint each
@@ -91,6 +97,7 @@ var (
 	windowFlag     = flag.Uint64("window", 0, "count-based sliding window: report the heavy hitters of (at least) the last N items (0 = whole stream)")
 	windowDurFlag  = flag.Duration("window-duration", 0, "time-based sliding window: report the heavy hitters of (at least) the last D of wall time; -m becomes the expected items per window")
 	windowBktFlag  = flag.Int("window-buckets", 0, "window epoch granularity: the report overshoots the window by at most one epoch (0 = default 8)")
+	rawWindowsFlag = flag.Bool("raw-shard-windows", false, "disable rate-extrapolated count-window reports: threshold per-shard estimates at face value, re-exposing the skew-induced deflation of DESIGN.md §8 (with -window and -shards > 1)")
 	peersFlag      = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://a:8080,http://b:8080); enables aggregator mode: pull each worker's /checkpoint periodically and serve the merged global /report")
 	pullFlag       = flag.Duration("pull-every", 10*time.Second, "aggregator pull interval (with -peers)")
 )
@@ -121,6 +128,12 @@ func specFromFlags(algo l1hh.Algorithm) engineSpec {
 	switch {
 	case *windowFlag > 0:
 		spec.build = append(spec.build, l1hh.WithCountWindow(*windowFlag, *windowBktFlag))
+		if *rawWindowsFlag {
+			// Runtime tuning, not serialized state: a restored checkpoint
+			// needs the opt-out re-applied or it would extrapolate.
+			spec.build = append(spec.build, l1hh.WithRawShardWindows())
+			spec.restore = append(spec.restore, l1hh.WithRawShardWindows())
+		}
 	case *windowDurFlag > 0:
 		spec.build = append(spec.build, l1hh.WithTimeWindow(*windowDurFlag, *windowBktFlag))
 	}
@@ -149,6 +162,9 @@ func run() error {
 	}
 	if *windowDurFlag > 0 && *mFlag == 0 {
 		return errors.New("-window-duration requires -m (the expected items per window), which sizes the per-epoch solvers")
+	}
+	if *rawWindowsFlag && *windowFlag == 0 {
+		return errors.New("-raw-shard-windows only applies to count windows (-window): time windows retire on the wall clock and never extrapolate")
 	}
 	windowed := *windowFlag > 0 || *windowDurFlag > 0
 	if *checkpointFlag != "" && *mFlag == 0 && *windowFlag == 0 {

@@ -166,11 +166,19 @@ func publishMetrics() {
 	}))
 	// One composite gauge out of the shared Stats snapshot — separate
 	// barriers per field would each pay a full all-shards round-trip.
+	// covered_min/covered_max/share_skew make the DESIGN.md §8 caveats
+	// observable (a stuck covered_min is a stale shard, a large
+	// share_skew a dominant item), and extrapolated says whether the
+	// report fold corrects for them.
 	expvar.Publish("hhd.window", expvar.Func(func() any {
 		if s := get(); s != nil {
 			if st := s.scrapeStats().Window; st != nil {
 				return map[string]any{
 					"covered":       st.Covered,
+					"covered_min":   st.CoveredMin,
+					"covered_max":   st.CoveredMax,
+					"share_skew":    st.ShareSkew,
+					"extrapolated":  st.Extrapolated,
 					"retired_total": st.Retired,
 					"buckets":       st.Buckets,
 					"span_seconds":  st.Span.Seconds(),
@@ -440,10 +448,26 @@ type windowMeta struct {
 	// them is zero, matching -window vs -window-duration).
 	Window          uint64  `json:"window"`
 	DurationSeconds float64 `json:"duration_seconds"`
+	// Shards and PerShardWindow expose the split geometry: a sharded
+	// count window covers ⌈window/shards⌉ items per shard, which is what
+	// distinguishes a tag-5 container from a tag-4 one at query time.
+	// PerShardWindow is zero for time windows (every shard spans the
+	// same wall clock).
+	Shards         int    `json:"shards"`
+	PerShardWindow uint64 `json:"per_shard_window"`
 	// Covered is the mass the report answered for; Retired has aged out.
 	Covered uint64 `json:"covered"`
 	Total   uint64 `json:"total"`
 	Retired uint64 `json:"retired"`
+	// CoveredMin/CoveredMax bound the per-shard covered masses (a stuck
+	// CoveredMin means a stale shard), and ShareSkew compares the
+	// measured per-shard traffic shares (1 = balanced). Extrapolated
+	// reports whether the count-window fold rate-extrapolates estimates
+	// against those shares (DESIGN.md §8).
+	CoveredMin   uint64  `json:"covered_min"`
+	CoveredMax   uint64  `json:"covered_max"`
+	ShareSkew    float64 `json:"share_skew"`
+	Extrapolated bool    `json:"extrapolated"`
 	// Buckets is the live epoch count across all shards; OldestMass
 	// bounds how much of Covered may predate the exact window.
 	Buckets     int     `json:"buckets"`
@@ -476,9 +500,15 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		out.Window = &windowMeta{
 			Window:          n,
 			DurationSeconds: dur.Seconds(),
+			Shards:          st.Shards,
+			PerShardWindow:  st.Window.PerShardWindow,
 			Covered:         st.Window.Covered,
 			Total:           st.Window.Total,
 			Retired:         st.Window.Retired,
+			CoveredMin:      st.Window.CoveredMin,
+			CoveredMax:      st.Window.CoveredMax,
+			ShareSkew:       st.Window.ShareSkew,
+			Extrapolated:    st.Window.Extrapolated,
 			Buckets:         st.Window.Buckets,
 			OldestMass:      st.Window.OldestMass,
 			SpanSeconds:     st.Window.Span.Seconds(),

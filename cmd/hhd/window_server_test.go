@@ -94,6 +94,21 @@ func TestWindowedDaemon(t *testing.T) {
 	if rep.Window.Covered+rep.Window.Retired != rep.Window.Total {
 		t.Fatalf("window accounting doesn't add up: %+v", rep.Window)
 	}
+	// The split geometry distinguishes a tag-5 window from a tag-4 one:
+	// 2 shards of ⌈1000/2⌉ = 500 items each, extrapolated by default.
+	if rep.Window.Shards != 2 || rep.Window.PerShardWindow != 500 {
+		t.Fatalf("split geometry %d×%d, want 2×500", rep.Window.Shards, rep.Window.PerShardWindow)
+	}
+	if !rep.Window.Extrapolated {
+		t.Fatal("sharded count-window report must advertise extrapolation")
+	}
+	if rep.Window.CoveredMin == 0 || rep.Window.CoveredMax < rep.Window.CoveredMin ||
+		rep.Window.CoveredMin+rep.Window.CoveredMax != rep.Window.Covered {
+		t.Fatalf("per-shard coverage bounds don't add up over 2 shards: %+v", rep.Window)
+	}
+	if rep.Window.ShareSkew < 1 {
+		t.Fatalf("share skew %g < 1", rep.Window.ShareSkew)
+	}
 	// Only the recent regime: id 2 reported, id 1 fully aged out.
 	var sawOld, sawNew bool
 	for _, it := range rep.HeavyHitters {
@@ -183,7 +198,10 @@ func TestWindowedMetrics(t *testing.T) {
 	if vars.Window == nil {
 		t.Fatal("metrics lack hhd.window")
 	}
-	for _, key := range []string{"covered", "retired_total", "buckets", "span_seconds"} {
+	for _, key := range []string{
+		"covered", "covered_min", "covered_max", "share_skew", "extrapolated",
+		"retired_total", "buckets", "span_seconds",
+	} {
 		if _, ok := vars.Window[key]; !ok {
 			t.Errorf("hhd.window lacks %s: %v", key, vars.Window)
 		}

@@ -210,6 +210,73 @@ func TestGoldenCheckpoints(t *testing.T) {
 	}
 }
 
+// TestLegacyWindowCheckpoints: the committed PR 3/4-era windowed golden
+// bytes — whose nested window snapshots are version 1, with no arrival
+// stamps, and whose tag-5 shard container predates the accepted-items
+// field — must keep decoding through the universal Unmarshal. They
+// restore with share accounting reset: the extrapolated fold stays
+// configured (Extrapolated=true on tag 5) but has no usable spans, so
+// it reports with legacy weights, and ShareSkew reads 1 until fresh
+// traffic re-establishes the accounting.
+func TestLegacyWindowCheckpoints(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		tag     byte
+		sharder bool
+	}{
+		{file: "tag4_windowed_v1.bin", tag: tagWindowed},
+		{file: "tag5_sharded_windowed_v1.bin", tag: tagShardedWindowed, sharder: true},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			blob, err := os.ReadFile(filepath.Join("testdata", "checkpoints", tc.file))
+			if err != nil {
+				t.Fatalf("legacy golden file missing (it is frozen history — never regenerate it): %v", err)
+			}
+			if blob[0] != tc.tag {
+				t.Fatalf("tag = %d, want %d", blob[0], tc.tag)
+			}
+			hh, err := Unmarshal(blob)
+			if err != nil {
+				t.Fatalf("PR 3/4-era checkpoint no longer decodes: %v", err)
+			}
+			defer hh.Close()
+			win, ok := hh.(Windower)
+			if !ok {
+				t.Fatal("restored solver lost the Windower capability")
+			}
+			st := win.WindowStats()
+			if st.ShareSkew != 1 {
+				t.Errorf("reset share accounting must read ShareSkew 1, got %g", st.ShareSkew)
+			}
+			if st.Extrapolated != tc.sharder {
+				t.Errorf("Extrapolated = %v, want %v (extrapolation is config, the reset only clears the spans)",
+					st.Extrapolated, tc.sharder)
+			}
+			if _, ok := hh.(Sharder); ok != tc.sharder {
+				t.Fatalf("Sharder = %v, want %v", ok, tc.sharder)
+			}
+			rep := hh.Report()
+			found := false
+			for _, r := range rep {
+				if r.Item == 7 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("planted heavy item 7 missing from legacy restore: %v", rep)
+			}
+			// The restored solver must keep ingesting and re-checkpoint
+			// in the current (v2) codec.
+			if err := hh.Insert(7); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := hh.MarshalBinary(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestCheckpointInterchange: bytes produced by the deprecated API
 // restore via the universal Unmarshal, and bytes produced by the new
 // front door restore via the deprecated per-type functions — for every

@@ -273,22 +273,32 @@ func unmarshalWindowed(data []byte, clock func() time.Time) (*WindowedListHeavyH
 	return &WindowedListHeavyHitters{w: w, cfg: cfg, eps: cfg.Eps, phi: cfg.Phi}, nil
 }
 
+// splitCountWindow is the per-shard count window ⌈w/k⌉ — the one place
+// the split policy is defined. The shard-engine constructor
+// (shardWindowConfig) sizes the actual windows with it, and the Stats
+// geometry (WindowStats.PerShardWindow, surfaced by hhd's /report)
+// reads the same function, so the advertised split can never diverge
+// from the running one.
+func splitCountWindow(w uint64, shards int) uint64 {
+	if w == 0 || shards <= 0 {
+		return 0
+	}
+	return (w + uint64(shards) - 1) / uint64(shards)
+}
+
 // shardWindowConfig derives one shard's window geometry: a count window
 // splits ⌈W/K⌉ per shard (hash partitioning spreads the last W global
 // items ≈ evenly, so per-shard suffixes union to ≈ the global suffix); a
 // time window keeps the same wall-clock span on every shard. clock
 // overrides every shard window's clock (nil means time.Now).
 func shardWindowConfig(cfg ShardedConfig, ecfg Config, total int, clock func() time.Time) WindowConfig {
-	wc := WindowConfig{
+	return WindowConfig{
 		Config:         ecfg,
+		Window:         splitCountWindow(cfg.Window, total),
 		WindowDuration: cfg.WindowDuration,
 		WindowBuckets:  cfg.WindowBuckets,
 		Clock:          clock,
 	}
-	if cfg.Window > 0 {
-		wc.Window = (cfg.Window + uint64(total) - 1) / uint64(total)
-	}
-	return wc
 }
 
 // shardEngineConfig derives one shard's solver Config from the global
@@ -346,6 +356,7 @@ func buildSharded(cfg ShardedConfig, clock func() time.Time) (*ShardedListHeavyH
 	return &ShardedListHeavyHitters{
 		s: s, eps: cfg.Eps, phi: cfg.Phi,
 		window: cfg.Window, windowDur: cfg.WindowDuration, windowBuckets: cfg.WindowBuckets,
+		rawWindows: cfg.RawShardWindows,
 	}, nil
 }
 
@@ -356,13 +367,15 @@ func buildSharded(cfg ShardedConfig, clock func() time.Time) (*ShardedListHeavyH
 // clock overrides restored shard windows' clocks (tag 5 only);
 // pacedBudget re-applies per-shard insert pacing (tag 3 only — windowed
 // frames serialize their own budget), because pacing is runtime tuning
-// the per-shard tag-1/2 blobs do not record.
-func unmarshalSharded(data []byte, queueDepth, maxBatch int, clock func() time.Time, pacedBudget int) (*ShardedListHeavyHitters, error) {
+// the per-shard tag-1/2 blobs do not record; rawWindows re-applies the
+// count-window extrapolation opt-out (tag 5 only), runtime tuning for
+// the same reason.
+func unmarshalSharded(data []byte, queueDepth, maxBatch int, clock func() time.Time, pacedBudget int, rawWindows bool) (*ShardedListHeavyHitters, error) {
 	if len(data) < 1 || (data[0] != tagSharded && data[0] != tagShardedWindowed) {
 		return nil, errors.New("l1hh: not a sharded solver encoding")
 	}
 	r := wire.NewReader(data[1:])
-	h := &ShardedListHeavyHitters{}
+	h := &ShardedListHeavyHitters{rawWindows: rawWindows}
 	h.eps = r.F64()
 	h.phi = r.F64()
 	if data[0] == tagShardedWindowed {

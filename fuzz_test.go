@@ -5,6 +5,8 @@ package l1hh
 // explores further.
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -15,6 +17,22 @@ import (
 	"repro/internal/voting"
 	"repro/internal/wire"
 )
+
+// seedLegacyCheckpoints adds the committed PR 3/4-era golden blobs for
+// the given tags to the corpus, so the fuzzers always explore from both
+// codec versions (the live-built seeds are current-version; these are
+// the frozen v1 layouts old deployments still hold).
+func seedLegacyCheckpoints(f *testing.F, files ...string) {
+	f.Helper()
+	for _, name := range files {
+		blob, err := os.ReadFile(filepath.Join("testdata", "checkpoints", name))
+		if err != nil {
+			f.Fatalf("legacy seed %s missing: %v", name, err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+	}
+}
 
 // seedBlobs produces one valid encoding per solver so the fuzzer starts
 // from decodable inputs.
@@ -97,6 +115,7 @@ func FuzzUnmarshalWindowed(f *testing.F) {
 		f.Add(blob)
 		f.Add(blob[:len(blob)/2])
 	}
+	seedLegacyCheckpoints(f, "tag4_windowed_v1.bin")
 	f.Add([]byte{4})
 	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -159,6 +178,7 @@ func FuzzUnmarshalAny(f *testing.F) {
 		f.Add(b)
 		f.Add(b[:len(b)/2])
 	}
+	seedLegacyCheckpoints(f, "tag4_windowed_v1.bin", "tag5_sharded_windowed_v1.bin")
 	f.Add([]byte{})
 	for tag := byte(0); tag <= 6; tag++ {
 		f.Add([]byte{tag})

@@ -12,7 +12,17 @@ import (
 // routing is identical, and carries each engine's own MarshalBinary blob
 // opaquely — the shard layer never interprets sketch encodings.
 
-const snapshotVersion = 1
+// Snapshot versions: v1 (PR 1–4 era) records the partition and the
+// engine blobs; v2 additionally records the accepted-items counter, the
+// basis of the arrival stamps windowed engines serialize — restoring it
+// keeps post-restore stamps on the same monotone axis as the stamps
+// inside the engine blobs. Restore accepts both; v1 falls back to
+// seeding the counter from the engines' summed lengths (which resets
+// share accounting in windowed engines, see internal/window).
+const (
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
+)
 
 // RestoreFactory rebuilds the engine for one shard from the blob its
 // MarshalBinary produced at snapshot time.
@@ -41,6 +51,7 @@ func (s *Sharded) Snapshot() ([]byte, error) {
 	w.U64(snapshotVersion)
 	w.U64(uint64(len(s.engines)))
 	w.U64(s.opts.Seed)
+	w.U64(s.items.Load())
 	for _, b := range blobs {
 		w.Blob(b)
 	}
@@ -53,7 +64,8 @@ func (s *Sharded) Snapshot() ([]byte, error) {
 // only (its Shards and Seed fields are ignored).
 func Restore(data []byte, factory RestoreFactory, opts Options) (*Sharded, error) {
 	r := wire.NewReader(data)
-	if v := r.U64(); v != snapshotVersion {
+	v := r.U64()
+	if v != snapshotVersion && v != snapshotVersionV1 {
 		if r.Err() != nil {
 			return nil, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 		}
@@ -61,6 +73,10 @@ func Restore(data []byte, factory RestoreFactory, opts Options) (*Sharded, error
 	}
 	shards := r.U64()
 	seed := r.U64()
+	var items uint64
+	if v >= 2 {
+		items = r.U64()
+	}
 	if r.Err() != nil {
 		return nil, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 	}
@@ -85,8 +101,19 @@ func Restore(data []byte, factory RestoreFactory, opts Options) (*Sharded, error
 	if err != nil {
 		return nil, err
 	}
-	// Restored engines already hold their processed items; seed the
-	// accepted-items counter to match so metrics stay coherent.
-	s.items.Store(s.Len())
+	// Seed the accepted-items counter: v2 snapshots recorded it (keeping
+	// it ≥ every arrival stamp the engine blobs carry); v1 snapshots did
+	// not, so fall back to the engines' summed lengths, which keeps
+	// metrics coherent but resets windowed share accounting.
+	if v >= 2 {
+		if l := s.Len(); items < l {
+			// A tampered counter below the engines' own mass would push
+			// stamps backward; clamp to the coherent floor.
+			items = l
+		}
+		s.items.Store(items)
+	} else {
+		s.items.Store(s.Len())
+	}
 	return s, nil
 }

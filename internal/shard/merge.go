@@ -80,7 +80,8 @@ func (s *Sharded) CheckSnapshot(data []byte, factory RestoreFactory) error {
 // and CheckSnapshot.
 func (s *Sharded) decodeForeign(data []byte, factory RestoreFactory) (foreign []Engine, added uint64, err error) {
 	r := wire.NewReader(data)
-	if v := r.U64(); v != snapshotVersion {
+	v := r.U64()
+	if v != snapshotVersion && v != snapshotVersionV1 {
 		if r.Err() != nil {
 			return nil, 0, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 		}
@@ -88,6 +89,13 @@ func (s *Sharded) decodeForeign(data []byte, factory RestoreFactory) (foreign []
 	}
 	shards := r.U64()
 	seed := r.U64()
+	if v >= 2 {
+		// The accepted-items counter matters to Restore (it re-bases the
+		// arrival stamps); a merge only folds engine state, so the
+		// foreign counter is irrelevant here. (Windowed engines refuse
+		// merging anyway — DESIGN.md §8.)
+		_ = r.U64()
+	}
 	if r.Err() != nil {
 		return nil, 0, fmt.Errorf("shard: corrupt snapshot: %w", r.Err())
 	}

@@ -47,6 +47,22 @@ type Marshaler interface {
 	MarshalBinary() ([]byte, error)
 }
 
+// ArrivalObserver is the optional engine contract for global-arrival
+// accounting. Engines that implement it receive, before each batch is
+// inserted, a monotone stamp: the container-wide count of items accepted
+// so far (including the batch itself). A shard engine that records the
+// stamp alongside its own item count can measure its share of recent
+// global traffic — what the rate-extrapolated count-window report fold
+// needs (DESIGN.md §8) — without any per-item work on the insert path.
+// The stamp is batch-granular and, under concurrent producers, may
+// arrive slightly out of order; observers should treat it as a
+// monotone high-water mark.
+type ArrivalObserver interface {
+	// ObserveArrivalStamp records the global accepted-items stamp
+	// carried by the batch about to be inserted.
+	ObserveArrivalStamp(stamp uint64)
+}
+
 // Factory builds the engine for one shard. It is called once per shard,
 // serially and in shard order, so seed derivation inside the factory is
 // deterministic.
@@ -86,9 +102,11 @@ func (o *Options) fill() {
 
 // msg is the unit of work on a shard queue: either a batch of items or a
 // barrier op. FIFO channel order is what makes a barrier observe every
-// batch enqueued before it.
+// batch enqueued before it. Batches carry the global arrival stamp for
+// engines that observe it (ArrivalObserver).
 type msg struct {
 	batch []uint64
+	stamp uint64
 	op    func(e Engine)
 }
 
@@ -145,13 +163,20 @@ func New(factory Factory, opts Options) (*Sharded, error) {
 
 // worker owns engine i: it drains the queue, inserting batches and
 // running barrier ops in arrival order, until Close closes the queue.
+// The ArrivalObserver assertion happens once, outside the loop, so the
+// per-batch cost for engines without arrival accounting is one nil
+// check.
 func (s *Sharded) worker(i int) {
 	defer s.workers.Done()
 	e := s.engines[i]
+	ao, _ := e.(ArrivalObserver)
 	for m := range s.queues[i] {
 		if m.op != nil {
 			m.op(e)
 			continue
+		}
+		if ao != nil {
+			ao.ObserveArrivalStamp(m.stamp)
 		}
 		for _, x := range m.batch {
 			e.Insert(x)
@@ -190,6 +215,13 @@ func (s *Sharded) Insert(x uint64) error { return s.InsertBatch([]uint64{x}) }
 // shard touched (splitting at MaxBatch). Safe for any number of
 // concurrent callers; blocks when a shard queue is full (backpressure).
 // The input slice is not retained.
+//
+// The accepted-items counter reserves the whole call's range up front;
+// each dispatched batch then carries, as its arrival stamp for
+// ArrivalObserver engines, the global position of the last item scanned
+// when it was cut. Stamps are therefore accurate to one dispatched batch
+// even when a single call delivers millions of items, at the cost of
+// one add per call and no per-item work.
 func (s *Sharded) InsertBatch(items []uint64) error {
 	if len(items) == 0 {
 		return nil
@@ -199,24 +231,24 @@ func (s *Sharded) InsertBatch(items []uint64) error {
 	if s.closed {
 		return ErrClosed
 	}
+	base := s.items.Add(uint64(len(items))) - uint64(len(items))
 	parts := make([][]uint64, len(s.engines))
-	for _, x := range items {
+	for idx, x := range items {
 		i := s.ShardOf(x)
 		if parts[i] == nil {
 			parts[i] = s.getBatch()
 		}
 		parts[i] = append(parts[i], x)
 		if len(parts[i]) >= s.opts.MaxBatch {
-			s.queues[i] <- msg{batch: parts[i]}
+			s.queues[i] <- msg{batch: parts[i], stamp: base + uint64(idx) + 1}
 			parts[i] = nil
 		}
 	}
 	for i, p := range parts {
 		if p != nil {
-			s.queues[i] <- msg{batch: p}
+			s.queues[i] <- msg{batch: p, stamp: base + uint64(len(items))}
 		}
 	}
-	s.items.Add(uint64(len(items)))
 	return nil
 }
 

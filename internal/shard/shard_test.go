@@ -408,3 +408,130 @@ func TestFactoryErrorPropagates(t *testing.T) {
 		t.Fatal("factory error swallowed")
 	}
 }
+
+// stampFake is a fake engine that additionally records every arrival
+// stamp the worker hands it, for the ArrivalObserver contract tests.
+type stampFake struct {
+	fake
+	stamps []uint64
+}
+
+func (f *stampFake) ObserveArrivalStamp(stamp uint64) { f.stamps = append(f.stamps, stamp) }
+
+// TestArrivalObserver: every dispatched batch carries a stamp; per
+// engine the stamps are non-decreasing under a single producer, each
+// stamp covers at least the items the engine has seen so far, and the
+// final stamp never exceeds the accepted total.
+func TestArrivalObserver(t *testing.T) {
+	engines := make([]*stampFake, 2)
+	s, err := New(func(i, total int) (Engine, error) {
+		engines[i] = &stampFake{fake: fake{counts: make(map[uint64]uint64)}}
+		return engines[i], nil
+	}, Options{Shards: 2, Seed: 3, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1000
+	batch := make([]uint64, 0, 100)
+	var sent uint64
+	for sent < total {
+		batch = batch[:0]
+		for i := 0; i < cap(batch) && sent < total; i++ {
+			batch = append(batch, sent)
+			sent++
+		}
+		if err := s.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	var seen uint64
+	for i, e := range engines {
+		if len(e.stamps) == 0 {
+			t.Fatalf("engine %d observed no stamps", i)
+		}
+		prev := uint64(0)
+		for j, st := range e.stamps {
+			if st < prev {
+				t.Fatalf("engine %d: stamp %d at %d after %d (not monotone)", i, st, j, prev)
+			}
+			if st > total {
+				t.Fatalf("engine %d: stamp %d exceeds accepted total %d", i, st, total)
+			}
+			prev = st
+		}
+		if last := e.stamps[len(e.stamps)-1]; last < e.n {
+			t.Fatalf("engine %d: final stamp %d below own item count %d", i, last, e.n)
+		}
+		seen += e.n
+	}
+	if seen != total {
+		t.Fatalf("engines hold %d items, want %d", seen, total)
+	}
+	if s.Items() != total {
+		t.Fatalf("Items = %d, want %d", s.Items(), total)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRestoresItemsCounter: a v2 snapshot carries the accepted
+// counter (which can exceed the engines' summed length only under
+// concurrent ingest; here they agree), and a hand-built v1 snapshot
+// falls back to seeding it from the engines — the share-accounting
+// reset path.
+func TestSnapshotRestoresItemsCounter(t *testing.T) {
+	s := newFakeSharded(t, Options{Shards: 2, Seed: 9})
+	for i := uint64(0); i < 500; i++ {
+		if err := s.Insert(i % 17); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func(blob []byte) (*Sharded, error) {
+		return Restore(blob, func(_, _ int, b []byte) (Engine, error) {
+			return unmarshalFake(b)
+		}, Options{})
+	}
+	r, err := restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Items() != s.Items() || r.Items() != 500 {
+		t.Fatalf("restored Items = %d, want %d", r.Items(), s.Items())
+	}
+
+	// Rewrite the same snapshot in the v1 layout (no items field).
+	rd := wire.NewReader(snap)
+	if v := rd.U64(); v != snapshotVersion {
+		t.Fatalf("snapshot version %d, want %d", v, snapshotVersion)
+	}
+	shards, seed := rd.U64(), rd.U64()
+	_ = rd.U64() // items
+	v1 := wire.NewWriter()
+	v1.U64(snapshotVersionV1)
+	v1.U64(shards)
+	v1.U64(seed)
+	for i := uint64(0); i < shards; i++ {
+		v1.Blob(rd.Blob())
+	}
+	if rd.Err() != nil || !rd.Done() {
+		t.Fatal("could not disassemble the snapshot this package produced")
+	}
+	r1, err := restore(v1.Bytes())
+	if err != nil {
+		t.Fatalf("v1 snapshot must keep decoding: %v", err)
+	}
+	defer r1.Close()
+	if r1.Items() != r1.Len() || r1.Len() != 500 {
+		t.Fatalf("v1 restore Items/Len = %d/%d, want 500/500", r1.Items(), r1.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

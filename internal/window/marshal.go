@@ -16,7 +16,17 @@ import (
 // restore in a new process retires what aged out while the checkpoint
 // sat on disk.
 
-const snapshotVersion = 1
+// Snapshot versions: v1 (PR 3/4 era) carries the geometry, the
+// retirement counters, and the buckets; v2 additionally carries the
+// global-arrival share accounting (the window's stamp high-water mark
+// and each bucket's opening stamp). Restore accepts both; v1 decodes
+// with share accounting reset — stamps unknown until the next
+// ObserveArrivalStamp, so the rate-extrapolated fold falls back to
+// legacy per-shard weights instead of inventing spans (DESIGN.md §8).
+const (
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
+)
 
 // MarshalBinary serializes the window configuration and every live
 // bucket. Every bucket engine must implement shard.Marshaler.
@@ -30,6 +40,9 @@ func (w *Window) MarshalBinary() ([]byte, error) {
 	enc.U64(w.total)
 	enc.U64(w.retired)
 	enc.U64(w.retiredBuckets)
+	enc.U64(w.stamp)
+	enc.U64(w.prevStamp)
+	enc.Bool(w.stampKnown)
 	bs := w.buckets()
 	enc.U64(uint64(len(bs)))
 	for _, b := range bs {
@@ -44,19 +57,24 @@ func (w *Window) MarshalBinary() ([]byte, error) {
 		enc.U64(b.count)
 		enc.I64(b.start.UnixNano())
 		enc.I64(b.last.UnixNano())
+		enc.U64(b.startStamp)
+		enc.U64(b.startGap)
+		enc.Bool(b.stamped)
 		enc.Blob(blob)
 	}
 	return enc.Bytes(), nil
 }
 
-// Restore reconstructs a Window from a MarshalBinary blob. The window
-// geometry (mode, size, bucket count) comes from the blob; opts supplies
-// only the clock (its other fields are ignored). factory builds the
-// engines for buckets opened after the restore; restore decodes the
+// Restore reconstructs a Window from a MarshalBinary blob (either
+// snapshot version — v1 blobs decode with share accounting reset). The
+// window geometry (mode, size, bucket count) comes from the blob; opts
+// supplies only the clock (its other fields are ignored). factory builds
+// the engines for buckets opened after the restore; restore decodes the
 // checkpointed ones.
 func Restore(data []byte, factory Factory, restore Restorer, opts Options) (*Window, error) {
 	r := wire.NewReader(data)
-	if v := r.U64(); v != snapshotVersion {
+	v := r.U64()
+	if v != snapshotVersion && v != snapshotVersionV1 {
 		if r.Err() != nil {
 			return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
 		}
@@ -68,6 +86,13 @@ func Restore(data []byte, factory Factory, restore Restorer, opts Options) (*Win
 	total := r.U64()
 	retired := r.U64()
 	retiredBuckets := r.U64()
+	var stamp, prevStamp uint64
+	var stampKnown bool
+	if v >= 2 {
+		stamp = r.U64()
+		prevStamp = r.U64()
+		stampKnown = r.Bool()
+	}
 	n := r.U64()
 	if r.Err() != nil {
 		return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
@@ -90,11 +115,21 @@ func Restore(data []byte, factory Factory, restore Restorer, opts Options) (*Win
 		return nil, err
 	}
 	w.total, w.retired, w.retiredBuckets = total, retired, retiredBuckets
+	// v1 snapshots predate arrival stamps: the accounting starts unknown
+	// and re-establishes on the first observed stamp.
+	w.stamp, w.prevStamp, w.stampKnown = stamp, prevStamp, stampKnown
 	bs := make([]*bucket, n)
 	for i := range bs {
 		count := r.U64()
 		start := r.I64()
 		last := r.I64()
+		var startStamp, startGap uint64
+		var stamped bool
+		if v >= 2 {
+			startStamp = r.U64()
+			startGap = r.U64()
+			stamped = r.Bool()
+		}
 		blob := r.Blob()
 		if r.Err() != nil {
 			return nil, fmt.Errorf("window: corrupt snapshot: %w", r.Err())
@@ -112,10 +147,13 @@ func Restore(data []byte, factory Factory, restore Restorer, opts Options) (*Win
 				i, n, count, got)
 		}
 		bs[i] = &bucket{
-			eng:   eng,
-			count: count,
-			start: time.Unix(0, start),
-			last:  time.Unix(0, last),
+			eng:        eng,
+			count:      count,
+			start:      time.Unix(0, start),
+			last:       time.Unix(0, last),
+			startStamp: startStamp,
+			startGap:   startGap,
+			stamped:    stamped,
 		}
 	}
 	if !r.Done() {

@@ -110,6 +110,18 @@ type bucket struct {
 	// its most recent item. Retirement in time mode keys on last: a
 	// bucket is dead only once even its newest item has aged out.
 	start, last time.Time
+	// startStamp is the global-arrival stamp (ObserveArrivalStamp) when
+	// the bucket was opened; stamped records whether that stamp is
+	// meaningful (false for buckets restored from a pre-stamp snapshot).
+	// The oldest live bucket's startStamp is what turns the covered mass
+	// into a share of global traffic: coverage spans globalNow −
+	// startStamp global arrivals. startGap is the stamp granularity at
+	// opening time (the distance between the two stamps the midpoint was
+	// interpolated from) — the uncertainty of startStamp, which share
+	// consumers compare against the span before trusting it.
+	startStamp uint64
+	startGap   uint64
+	stamped    bool
 }
 
 // Stats is a point-in-time description of what a report answers for.
@@ -132,6 +144,28 @@ type Stats struct {
 	// Span is the wall-time age of the oldest live bucket's first item
 	// (zero when the window has never seen an item).
 	Span time.Duration
+	// CoveredMin and CoveredMax bound the per-shard covered masses when
+	// this Stats aggregates a sharded window (the stale-shard caveat of
+	// DESIGN.md §8 shows up as CoveredMin stuck while CoveredMax moves);
+	// on a single window both equal Covered.
+	CoveredMin, CoveredMax uint64
+	// ShareSkew is the ratio between the largest and smallest per-shard
+	// share of recent global traffic, measured over each shard's covered
+	// span of global arrivals: 1 when balanced (and always on a single
+	// window), larger under item skew or shard staleness. It is 1 when
+	// fewer than two shards have usable share accounting.
+	ShareSkew float64
+	// Extrapolated reports whether sharded count-window reports are
+	// rate-extrapolated against the measured traffic shares (DESIGN.md
+	// §8); false on a single window, under WithRawShardWindows, and for
+	// time windows (whose wall-clock retirement is skew-immune).
+	Extrapolated bool
+	// PerShardWindow is the count window each shard covers: the ⌈W/K⌉
+	// split when this Stats aggregates a sharded window, the window
+	// itself on a single count window, 0 in time mode (every shard
+	// spans the same wall clock). It is what distinguishes a sharded
+	// (tag 5) window from a serial (tag 4) one at query time.
+	PerShardWindow uint64
 }
 
 // Window slides a (ε,ϕ)-report window over a stream by epoch bucketing.
@@ -159,6 +193,22 @@ type Window struct {
 	total          uint64
 	retired        uint64
 	retiredBuckets uint64
+
+	// stamp is the monotone high-water mark of observed global-arrival
+	// stamps; stampKnown records whether it is meaningful. A fresh
+	// window starts known at 0 (the stream origin); a window restored
+	// from a pre-stamp snapshot starts unknown and becomes known again
+	// on the first ObserveArrivalStamp — share accounting resets rather
+	// than inventing spans (DESIGN.md §8). prevStamp trails stamp by one
+	// observation: a batch stamp is the global position of the batch's
+	// END, so a bucket that rotates mid-batch opens at a position
+	// uniformly inside (prevStamp, stamp] — the midpoint is the
+	// unbiased estimate openLive records, where taking stamp itself
+	// would bias every span short by up to a batch and inflate the
+	// extrapolation weights.
+	stamp      uint64
+	prevStamp  uint64
+	stampKnown bool
 }
 
 // newWindow validates and builds the Window shell, without opening the
@@ -172,7 +222,7 @@ func newWindow(factory Factory, restore Restorer, opts Options) (*Window, error)
 	if factory == nil || restore == nil {
 		return nil, errors.New("window: factory and restorer are required")
 	}
-	w := &Window{opts: opts, factory: factory, restore: restore}
+	w := &Window{opts: opts, factory: factory, restore: restore, stampKnown: true}
 	if opts.LastN > 0 {
 		w.bucketCap = (opts.LastN + uint64(opts.Buckets) - 1) / uint64(opts.Buckets)
 	} else {
@@ -204,8 +254,45 @@ func (w *Window) openLive() error {
 		return fmt.Errorf("window: building bucket engine: %w", err)
 	}
 	now := w.opts.Now()
-	w.live = &bucket{eng: e, start: now, last: now}
+	w.live = &bucket{
+		eng: e, start: now, last: now,
+		startStamp: w.prevStamp + (w.stamp-w.prevStamp)/2,
+		startGap:   w.stamp - w.prevStamp,
+		stamped:    w.stampKnown,
+	}
 	return nil
+}
+
+// ObserveArrivalStamp records a global-arrival stamp (the container-wide
+// accepted-items count, per shard.ArrivalObserver). The window keeps the
+// monotone maximum plus its predecessor (see prevStamp); buckets opened
+// afterwards remember the midpoint, which is what prices the covered
+// mass as a share of global traffic. It costs one compare per batch —
+// nothing on the per-item insert path.
+func (w *Window) ObserveArrivalStamp(stamp uint64) {
+	if stamp > w.stamp {
+		w.prevStamp = w.stamp
+		w.stamp = stamp
+	}
+	w.stampKnown = true
+}
+
+// ArrivalStamps reports the global-arrival accounting of the live
+// coverage: oldest is the stamp when the oldest live bucket opened (the
+// covered mass spans roughly globalNow − oldest global arrivals), latest
+// the monotone high-water mark of observed stamps, and gap the stamp
+// granularity at the oldest bucket's opening — the uncertainty of
+// oldest, which callers compare against the span before trusting a
+// share estimate. ok is false when the accounting is unusable — the
+// window was never fed stamps, or it was restored from a pre-stamp
+// snapshot and the oldest covered bucket predates the reset.
+func (w *Window) ArrivalStamps() (oldest, latest, gap uint64, ok bool) {
+	_ = w.advance()
+	bs := w.buckets()
+	if !w.stampKnown || !bs[0].stamped {
+		return 0, 0, 0, false
+	}
+	return bs[0].startStamp, w.stamp, bs[0].startGap, true
 }
 
 // seal moves the live bucket onto the sealed ring and opens a new one.
@@ -414,6 +501,10 @@ func (w *Window) Stats() Stats {
 		RetiredBuckets: w.retiredBuckets,
 		Buckets:        len(bs),
 		OldestMass:     bs[0].count,
+		CoveredMin:     w.covered(),
+		CoveredMax:     w.covered(),
+		ShareSkew:      1,
+		PerShardWindow: w.opts.LastN,
 	}
 	if w.total > 0 {
 		s.Span = w.opts.Now().Sub(bs[0].start)

@@ -392,3 +392,117 @@ func TestModelBits(t *testing.T) {
 		t.Fatalf("model bits %d, want %d", got, int64(w.Len())*128)
 	}
 }
+
+// TestArrivalStamps: a fresh window's accounting is usable from the
+// stream origin, stamps are monotone, buckets inherit midpoint opening
+// stamps so the covered span tracks global arrivals to within one
+// batch, and stale stamps never move the high-water mark backward.
+func TestArrivalStamps(t *testing.T) {
+	const W, B = 10, 5 // cap 2
+	w := newCountWindow(t, W, B)
+	if _, _, _, ok := w.ArrivalStamps(); !ok {
+		t.Fatal("fresh window must report usable (origin) stamps")
+	}
+	// This window is the whole "container": batches of 4, end stamps
+	// 4, 8, …, 40.
+	var n uint64
+	for batch := 0; batch < 10; batch++ {
+		w.ObserveArrivalStamp(uint64(batch+1) * 4)
+		for i := 0; i < 4; i++ {
+			n++
+			w.Insert(n)
+		}
+	}
+	oldest, latest, _, ok := w.ArrivalStamps()
+	if !ok || latest != 40 {
+		t.Fatalf("ArrivalStamps = (%d, %d, %v), want latest 40", oldest, latest, ok)
+	}
+	// Every arrival went to this window, so the covered suffix spans
+	// exactly Len() global items; midpoint stamps recover that to
+	// within one batch.
+	span := latest - oldest
+	if span < w.Len() || span > w.Len()+4 {
+		t.Fatalf("span %d not within one batch of covered %d", span, w.Len())
+	}
+	w.ObserveArrivalStamp(7) // reordered producer: must not regress
+	if _, l, _, _ := w.ArrivalStamps(); l != 40 {
+		t.Fatalf("stale stamp moved the high-water mark to %d", l)
+	}
+}
+
+// TestRestoreV1ResetsStamps: a version-1 snapshot (the PR 3/4 layout,
+// no stamp fields) must keep decoding, with share accounting reset —
+// ArrivalStamps unusable until fresh stamps flow AND every pre-reset
+// bucket has retired, so the extrapolated fold falls back to legacy
+// weights instead of inventing spans.
+func TestRestoreV1ResetsStamps(t *testing.T) {
+	const W, B = 10, 5 // cap 2
+	w := newCountWindow(t, W, B)
+	w.ObserveArrivalStamp(30)
+	for i := uint64(1); i <= 23; i++ {
+		w.Insert(i)
+	}
+	// Re-encode w's state in the v1 layout, from its own fields (this
+	// test lives in the package).
+	enc := wire.NewWriter()
+	enc.U64(snapshotVersionV1)
+	enc.U64(w.opts.LastN)
+	enc.I64(int64(w.opts.LastDuration))
+	enc.U64(uint64(w.opts.Buckets))
+	enc.U64(w.total)
+	enc.U64(w.retired)
+	enc.U64(w.retiredBuckets)
+	bs := w.buckets()
+	enc.U64(uint64(len(bs)))
+	for _, b := range bs {
+		blob, err := b.eng.(shard.Marshaler).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc.U64(b.count)
+		enc.I64(b.start.UnixNano())
+		enc.I64(b.last.UnixNano())
+		enc.Blob(blob)
+	}
+	r, err := Restore(enc.Bytes(), newTestEngine, restoreTestEngine, Options{})
+	if err != nil {
+		t.Fatalf("v1 snapshot must keep decoding: %v", err)
+	}
+	if r.Len() != w.Len() || r.Total() != w.Total() {
+		t.Fatalf("v1 restore covered/total %d/%d, want %d/%d", r.Len(), r.Total(), w.Len(), w.Total())
+	}
+	if _, _, _, ok := r.ArrivalStamps(); ok {
+		t.Fatal("v1 restore must report unusable stamps (share accounting reset)")
+	}
+	// Stamps re-establish for new buckets, but the accounting only
+	// becomes usable once no pre-reset bucket is still covered.
+	for i := uint64(24); i <= 26; i++ {
+		r.ObserveArrivalStamp(40)
+		r.Insert(i)
+	}
+	if _, _, _, ok := r.ArrivalStamps(); ok {
+		t.Fatal("stamps must stay unusable while pre-reset buckets are covered")
+	}
+	for i := uint64(27); i <= 60; i++ {
+		r.ObserveArrivalStamp(40 + i)
+		r.Insert(i)
+	}
+	if oldest, latest, _, ok := r.ArrivalStamps(); !ok || latest != 100 || oldest == 0 {
+		t.Fatalf("stamps should be re-established after the reset era retired: (%d, %d, %v)",
+			oldest, latest, ok)
+	}
+	// And the v2 round-trip preserves the accounting exactly.
+	blob, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restore(blob, newTestEngine, restoreTestEngine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, l1, g1, ok1 := r.ArrivalStamps()
+	o2, l2, g2, ok2 := r2.ArrivalStamps()
+	if o1 != o2 || l1 != l2 || g1 != g2 || ok1 != ok2 {
+		t.Fatalf("v2 round-trip changed stamps: (%d,%d,%d,%v) vs (%d,%d,%d,%v)", o1, l1, g1, ok1, o2, l2, g2, ok2)
+	}
+}

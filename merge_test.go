@@ -206,11 +206,12 @@ func TestMergeCheckpointMixedShardsAtomic(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Disassemble the container: tag | eps | phi | blob(snap), with
-	// snap = version | shards | seed | blob(engine)...
+	// snap = version | shards | seed | items (v2) | blob(engine)...
 	r := wire.NewReader(blob[1:])
 	eps, phi := r.F64(), r.F64()
 	snap := wire.NewReader(r.Blob())
 	version, shards, seed := snap.U64(), snap.U64(), snap.U64()
+	items := snap.U64() // v2 accepted-items counter
 	engines := make([][]byte, shards)
 	for i := range engines {
 		engines[i] = snap.Blob()
@@ -235,6 +236,7 @@ func TestMergeCheckpointMixedShardsAtomic(t *testing.T) {
 	sw.U64(version)
 	sw.U64(shards)
 	sw.U64(seed)
+	sw.U64(items)
 	for _, e := range engines {
 		sw.Blob(e)
 	}

@@ -37,12 +37,13 @@ const (
 	optCountWindow
 	optTimeWindow
 	optClock
+	optRawWindows
 )
 
 // runtimeOpts are the options that tune a restored solver rather than
 // defining the problem: everything else is serialized state and is
 // rejected by Unmarshal.
-const runtimeOpts = optPaced | optQueueDepth | optMaxBatch | optClock
+const runtimeOpts = optPaced | optQueueDepth | optMaxBatch | optClock | optRawWindows
 
 // settings is the resolved option set New and Unmarshal dispatch on.
 type settings struct {
@@ -53,6 +54,7 @@ type settings struct {
 	window        uint64
 	windowDur     time.Duration
 	windowBuckets int
+	rawWindows    bool
 	clock         func() time.Time
 
 	set  uint32  // optXxx bits for every option applied
@@ -227,6 +229,23 @@ func WithTimeWindow(d time.Duration, buckets int) Option {
 	}
 }
 
+// WithRawShardWindows disables the rate-extrapolated report fold on a
+// sharded count-window solver, restoring the raw pre-extrapolation
+// behaviour: per-shard estimates thresholded at face value. That
+// re-exposes the skew-induced deflation DESIGN.md §8 derives — a
+// dominant item inflates its own shard's traffic share, shrinks that
+// shard's ⌈w/k⌉-item suffix, and can be missed at large ϕ — so it
+// exists for comparison and for callers whose traffic is known-balanced.
+// Runtime tuning: valid on New with WithShards and WithCountWindow, and
+// on Unmarshal of sharded windowed (tag 5) checkpoints (the flag is not
+// serialized — pass it again on restore to keep the raw fold).
+func WithRawShardWindows() Option {
+	return func(st *settings) {
+		st.rawWindows = true
+		st.mark(optRawWindows)
+	}
+}
+
 // WithClock overrides the wall clock a windowed solver reads (nil means
 // time.Now): tests and simulations drive time windows deterministically.
 // Runtime tuning — not serialized; also valid on Unmarshal of windowed
@@ -277,6 +296,9 @@ func (st *settings) validateNew() error {
 	}
 	if st.has(optClock) && !st.windowed() {
 		return errors.New("l1hh: WithClock needs a window (WithCountWindow or WithTimeWindow)")
+	}
+	if st.has(optRawWindows) && !(st.sharded() && st.has(optCountWindow)) {
+		return errors.New("l1hh: WithRawShardWindows needs WithShards and WithCountWindow (extrapolation only applies to sharded count windows)")
 	}
 	if st.has(optQueueDepth|optMaxBatch) && !st.sharded() {
 		return errors.New("l1hh: WithQueueDepth/WithMaxBatch need WithShards")

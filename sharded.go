@@ -42,6 +42,14 @@ type ShardedConfig struct {
 	// WindowBuckets is the per-shard epoch granularity (0 = 8); see
 	// WindowConfig.WindowBuckets.
 	WindowBuckets int
+	// RawShardWindows disables the rate-extrapolated count-window report
+	// fold and restores the raw pre-extrapolation behaviour: per-shard
+	// estimates thresholded at face value, with the skew-induced
+	// deflation DESIGN.md §8 derives (a dominant item shrinks its own
+	// shard's window and can be missed). Runtime tuning, not serialized
+	// state — a restored checkpoint extrapolates unless the option is
+	// passed again. Only meaningful with a count window.
+	RawShardWindows bool
 }
 
 // windowed reports whether a sliding window is configured.
@@ -75,6 +83,9 @@ type ShardedListHeavyHitters struct {
 	window        uint64
 	windowDur     time.Duration
 	windowBuckets int
+	// rawWindows opts out of the rate-extrapolated count-window fold
+	// (ShardedConfig.RawShardWindows / WithRawShardWindows).
+	rawWindows bool
 }
 
 // NewShardedListHeavyHitters returns a sharded solver for cfg.
@@ -95,27 +106,157 @@ func (h *ShardedListHeavyHitters) InsertBatch(items []Item) error {
 	return h.s.InsertBatch(items)
 }
 
+// shareMinSample is the smallest per-shard covered mass the
+// rate-extrapolated fold trusts for a traffic-share estimate. Below it
+// the measured share cᵢ = Mᵢ/Sᵢ is sampling noise, so the fold applies
+// the conservative clamp — weight 1, the raw pre-extrapolation
+// behaviour — instead of amplifying a handful of arrivals into a bogus
+// rate (DESIGN.md §8).
+const shareMinSample = 256
+
+// shareSample is one shard's global-arrival accounting, collected under
+// the same barrier as its report: the covered mass, the stamps that
+// price it as a share of recent global traffic, and the stamp
+// granularity (gap) those stamps were measured at.
+type shareSample struct {
+	covered             uint64
+	oldest, latest, gap uint64
+	ok                  bool
+}
+
+// span is the number of global arrivals the shard's covered suffix
+// spans, never less than the covered mass itself (its own arrivals are a
+// subset of the global arrivals in the span, and batch-granular stamps
+// can run slightly behind).
+func (s shareSample) span(globalNow uint64) uint64 {
+	sp := s.covered
+	if sp == 0 {
+		sp = 1
+	}
+	if s.ok && globalNow > s.oldest && globalNow-s.oldest > sp {
+		sp = globalNow - s.oldest
+	}
+	return sp
+}
+
+// trustedSpan returns the shard's covered span when — and only when —
+// the sample is trustworthy. It is THE clamp predicate (DESIGN.md §8),
+// shared by the fold weights and the ShareSkew diagnostic so the two
+// can never disagree: ok is false for unusable accounting (pre-stamp
+// restore), fewer than shareMinSample covered items, or a stamp
+// granularity so coarse — producers batching a sizeable fraction of
+// the span per call — that the measured span is mostly quantization
+// noise.
+func (s shareSample) trustedSpan(globalNow uint64) (uint64, bool) {
+	if !s.ok || s.covered < shareMinSample {
+		return 0, false
+	}
+	span := s.span(globalNow)
+	if s.gap*2 > span {
+		return 0, false
+	}
+	return span, true
+}
+
+// weight is the extrapolation factor λᵢ = M/Sᵢ for the shard's
+// estimates: scaling by it converts a count over the shard's covered
+// span of Sᵢ global arrivals into the equivalent count over the M
+// global arrivals the merged report answers for. Shards whose sample
+// fails the trustedSpan predicate get the conservative clamp λ = 1
+// (raw behaviour).
+func (s shareSample) weight(m, globalNow uint64) float64 {
+	span, ok := s.trustedSpan(globalNow)
+	if !ok || m == 0 {
+		return 1
+	}
+	return float64(m) / float64(span)
+}
+
+// extrapolating reports whether Report rate-extrapolates the per-shard
+// estimates: count windows only (time windows retire on the wall clock,
+// which is skew-immune), more than one shard, and not opted out.
+func (h *ShardedListHeavyHitters) extrapolating() bool {
+	return h.window > 0 && !h.rawWindows && h.s.Shards() > 1
+}
+
+// collectShareSample fills out from a windowed shard engine during a
+// barrier pass (a no-op for non-windowed engines). The accounting comes
+// from the engines themselves (rather than the queue-side accepted
+// counter), which keeps it consistent with the barrier's linearization —
+// and with the serialized state, so a restored checkpoint reports
+// identically.
+func collectShareSample(e shard.Engine, out *shareSample) {
+	if w, ok := e.(*WindowedListHeavyHitters); ok {
+		out.oldest, out.latest, out.gap, out.ok = w.arrivalStamps()
+		out.covered = w.Len()
+	}
+}
+
+// globalArrivalNow is the fold's reference "now" on the global-arrival
+// axis: the latest stamp any shard observed.
+func globalArrivalNow(samples []shareSample) uint64 {
+	var now uint64
+	for _, s := range samples {
+		if s.ok && s.latest > now {
+			now = s.latest
+		}
+	}
+	return now
+}
+
 // Report merges the per-shard reports and applies the (ϕ − ε/2)·m
 // threshold against the global stream length m, returning heavy hitters
 // in decreasing-estimate order. It is a barrier: every item enqueued
 // before the call is reflected.
+//
+// With per-shard count windows the fold is rate-extrapolated (DESIGN.md
+// §8): each shard's estimates are scaled by λᵢ = m/Sᵢ, where Sᵢ is the
+// number of global arrivals the shard's covered suffix spans, before the
+// global threshold applies. An item's per-shard count is thereby
+// converted into its equivalent count over the m arrivals the report
+// answers for — undoing the skew-induced deflation where a dominant item
+// inflates its own shard's traffic share and shrinks that shard's
+// ⌈W/K⌉-item suffix, and down-weighting stale shards whose frozen
+// buckets would otherwise contribute at full weight. Shards whose
+// samples are too small to price (< shareMinSample covered items, or no
+// arrival accounting yet) fall back to raw weights.
+// ShardedConfig.RawShardWindows / WithRawShardWindows disables the
+// extrapolation entirely.
 func (h *ShardedListHeavyHitters) Report() []ItemEstimate {
-	reports := make([][]ItemEstimate, h.s.Shards())
-	lens := make([]uint64, h.s.Shards())
+	n := h.s.Shards()
+	reports := make([][]ItemEstimate, n)
+	lens := make([]uint64, n)
+	extrap := h.extrapolating()
+	var samples []shareSample
+	if extrap {
+		samples = make([]shareSample, n)
+	}
 	h.s.Do(func(i int, e shard.Engine) {
 		reports[i] = e.Report()
 		lens[i] = e.Len()
+		if extrap {
+			collectShareSample(e, &samples[i])
+		}
 	})
 	var m uint64
 	for _, l := range lens {
 		m += l
 	}
 	thresh := (h.phi - h.eps/2) * float64(m)
+	var globalNow uint64
+	if extrap {
+		globalNow = globalArrivalNow(samples)
+	}
 	var out []ItemEstimate
-	for _, rep := range reports {
+	for i, rep := range reports {
+		weight := 1.0
+		if extrap {
+			weight = samples[i].weight(m, globalNow)
+		}
 		for _, r := range rep {
-			if r.F >= thresh {
-				out = append(out, r)
+			f := r.F * weight
+			if f >= thresh {
+				out = append(out, ItemEstimate{Item: r.Item, F: f})
 			}
 		}
 	}
@@ -157,26 +298,34 @@ func (h *ShardedListHeavyHitters) Window() (w uint64, d time.Duration, buckets i
 
 // WindowStats sums the per-shard window statistics — covered, total and
 // retired mass, live and retired bucket counts — and takes the maximum
-// per-shard span. It is a barrier; ok is false when no window is
-// configured.
+// per-shard span. CoveredMin/CoveredMax bound the per-shard covered
+// masses (a stuck CoveredMin is the stale-shard caveat made observable)
+// and ShareSkew compares the measured per-shard traffic shares. It is a
+// barrier; ok is false when no window is configured.
 func (h *ShardedListHeavyHitters) WindowStats() (stats WindowStats, ok bool) {
 	if !h.Windowed() {
 		return WindowStats{}, false
 	}
-	parts := make([]WindowStats, h.s.Shards())
+	n := h.s.Shards()
+	parts := make([]WindowStats, n)
+	samples := make([]shareSample, n)
 	h.s.Do(func(i int, e shard.Engine) {
 		if w, isWin := e.(*WindowedListHeavyHitters); isWin {
 			parts[i] = w.WindowStats()
 		}
+		collectShareSample(e, &samples[i])
 	})
-	return sumWindowStats(parts), true
+	return h.sumWindowStats(parts, samples), true
 }
 
 // sumWindowStats aggregates per-shard window statistics: masses and
-// bucket counts sum, the span is the per-shard maximum.
-func sumWindowStats(parts []WindowStats) WindowStats {
+// bucket counts sum, the wall-time span is the per-shard maximum,
+// CoveredMin/CoveredMax bound the per-shard covered masses, and
+// ShareSkew is the ratio between the largest and smallest measured
+// traffic share (1 when fewer than two shards have usable accounting).
+func (h *ShardedListHeavyHitters) sumWindowStats(parts []WindowStats, samples []shareSample) WindowStats {
 	var stats WindowStats
-	for _, p := range parts {
+	for i, p := range parts {
 		stats.Covered += p.Covered
 		stats.Total += p.Total
 		stats.Retired += p.Retired
@@ -186,8 +335,46 @@ func sumWindowStats(parts []WindowStats) WindowStats {
 		if p.Span > stats.Span {
 			stats.Span = p.Span
 		}
+		if i == 0 || p.Covered < stats.CoveredMin {
+			stats.CoveredMin = p.Covered
+		}
+		if p.Covered > stats.CoveredMax {
+			stats.CoveredMax = p.Covered
+		}
 	}
+	stats.ShareSkew = shareSkew(samples)
+	stats.Extrapolated = h.extrapolating()
+	stats.PerShardWindow = splitCountWindow(h.window, h.s.Shards())
 	return stats
+}
+
+// shareSkew compares the per-shard shares of recent global traffic,
+// cᵢ = Mᵢ/Sᵢ over each shard's covered span, returning max/min across
+// the shards whose samples pass the trustedSpan predicate — the same
+// clamp the fold weights use, so the diagnostic describes exactly the
+// report. 1 means balanced — or too little signal to say otherwise.
+func shareSkew(samples []shareSample) float64 {
+	globalNow := globalArrivalNow(samples)
+	var minShare, maxShare float64
+	qualified := 0
+	for _, s := range samples {
+		span, ok := s.trustedSpan(globalNow)
+		if !ok {
+			continue
+		}
+		c := float64(s.covered) / float64(span)
+		if qualified == 0 || c < minShare {
+			minShare = c
+		}
+		if c > maxShare {
+			maxShare = c
+		}
+		qualified++
+	}
+	if qualified < 2 || minShare <= 0 {
+		return 1
+	}
+	return maxShare / minShare
 }
 
 // Stats returns the unified operational snapshot (see Stats). All
@@ -205,19 +392,21 @@ func (h *ShardedListHeavyHitters) Stats() Stats {
 	lens := make([]uint64, h.s.Shards())
 	bits := make([]int64, h.s.Shards())
 	wins := make([]WindowStats, h.s.Shards())
+	samples := make([]shareSample, h.s.Shards())
 	h.s.Do(func(i int, e shard.Engine) {
 		lens[i] = e.Len()
 		bits[i] = e.ModelBits()
 		if w, isWin := e.(*WindowedListHeavyHitters); isWin {
 			wins[i] = w.WindowStats()
 		}
+		collectShareSample(e, &samples[i])
 	})
 	for i := range lens {
 		st.Len += lens[i]
 		st.ModelBits += bits[i]
 	}
 	if h.Windowed() {
-		w := sumWindowStats(wins)
+		w := h.sumWindowStats(wins, samples)
 		st.Window = &w
 	}
 	return st
@@ -273,5 +462,5 @@ func (h *ShardedListHeavyHitters) MarshalBinary() ([]byte, error) {
 // Deprecated: use Unmarshal with WithQueueDepth/WithMaxBatch, which
 // restores every container tag behind the HeavyHitters interface.
 func UnmarshalShardedListHeavyHitters(data []byte, queueDepth, maxBatch int) (*ShardedListHeavyHitters, error) {
-	return unmarshalSharded(data, queueDepth, maxBatch, nil, 0)
+	return unmarshalSharded(data, queueDepth, maxBatch, nil, 0, false)
 }

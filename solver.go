@@ -184,13 +184,14 @@ func New(opts ...Option) (HeavyHitters, error) {
 	switch {
 	case st.sharded():
 		eng, err := buildSharded(ShardedConfig{
-			Config:         st.cfg,
-			Shards:         st.shards,
-			QueueDepth:     st.queueDepth,
-			MaxBatch:       st.maxBatch,
-			Window:         st.window,
-			WindowDuration: st.windowDur,
-			WindowBuckets:  st.windowBuckets,
+			Config:          st.cfg,
+			Shards:          st.shards,
+			QueueDepth:      st.queueDepth,
+			MaxBatch:        st.maxBatch,
+			Window:          st.window,
+			WindowDuration:  st.windowDur,
+			WindowBuckets:   st.windowBuckets,
+			RawShardWindows: st.rawWindows,
 		}, st.clock)
 		if err != nil {
 			return nil, err
@@ -229,6 +230,8 @@ func New(opts ...Option) (HeavyHitters, error) {
 //	                              engines are re-paced; windowed frames
 //	                              (4, 5) serialize their own budget
 //	WithClock                   — windowed containers (4, 5)
+//	WithRawShardWindows         — sharded windowed containers (5); the
+//	                              extrapolation opt-out is not serialized
 //
 // Checkpoint bytes are interchangeable with the deprecated per-type
 // Unmarshal functions in both directions.
@@ -238,14 +241,14 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 		return nil, err
 	}
 	if st.set&^runtimeOpts != 0 {
-		return nil, errors.New("l1hh: Unmarshal accepts runtime options only (WithPacedBudget, WithQueueDepth, WithMaxBatch, WithClock) — problem parameters come from the checkpoint")
+		return nil, errors.New("l1hh: Unmarshal accepts runtime options only (WithPacedBudget, WithQueueDepth, WithMaxBatch, WithClock, WithRawShardWindows) — problem parameters come from the checkpoint")
 	}
 	if len(data) < 2 {
 		return nil, errors.New("l1hh: truncated solver encoding")
 	}
 	switch data[0] {
 	case tagOptimal, tagSimple:
-		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optClock, "a serial checkpoint"); err != nil {
+		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optClock|optRawWindows, "a serial checkpoint"); err != nil {
 			return nil, err
 		}
 		eng, err := unmarshalSerial(data)
@@ -261,10 +264,10 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 		}
 		return wrapSerial(eng, true, st.cfg.PacedBudget), nil
 	case tagSharded:
-		if err := st.rejectOpts(optClock, "a sharded checkpoint"); err != nil {
+		if err := st.rejectOpts(optClock|optRawWindows, "a sharded checkpoint"); err != nil {
 			return nil, err
 		}
-		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, nil, st.cfg.PacedBudget)
+		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, nil, st.cfg.PacedBudget, false)
 		if err != nil {
 			return nil, err
 		}
@@ -273,13 +276,21 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 		if err := st.rejectOpts(optPaced, "a sharded windowed checkpoint (the windowed frames serialize their own budget)"); err != nil {
 			return nil, err
 		}
-		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, st.clock, 0)
+		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, st.clock, 0, st.rawWindows)
 		if err != nil {
 			return nil, err
 		}
+		if st.has(optRawWindows) && eng.window == 0 {
+			// Mirror New's validation: the opt-out only exists for count
+			// windows, and silently accepting it here would let an
+			// operator believe the raw fold is active on a time-window
+			// container (which never extrapolates anyway).
+			eng.Close()
+			return nil, errors.New("l1hh: WithRawShardWindows does not apply to a time-window checkpoint (only count windows extrapolate)")
+		}
 		return wrapSharded(eng), nil
 	case tagWindowed:
-		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optPaced, "a windowed checkpoint"); err != nil {
+		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optPaced|optRawWindows, "a windowed checkpoint"); err != nil {
 			return nil, err
 		}
 		eng, err := unmarshalWindowed(data, st.clock)

@@ -176,6 +176,26 @@ func UnmarshalWindowedListHeavyHitters(data []byte) (*WindowedListHeavyHitters, 
 	return unmarshalWindowed(data, nil)
 }
 
+// ObserveArrivalStamp implements shard.ArrivalObserver: the sharded
+// container stamps every dispatched batch with its global accepted-items
+// count, and the window records the high-water mark against each epoch
+// bucket. That is what lets the sharded report fold price this shard's
+// covered mass as a share of recent global traffic and extrapolate its
+// estimates (DESIGN.md §8). Single-owner use never calls it; the window
+// then reports with legacy weights.
+func (h *WindowedListHeavyHitters) ObserveArrivalStamp(stamp uint64) {
+	h.w.ObserveArrivalStamp(stamp)
+}
+
+// arrivalStamps exposes the window's global-arrival accounting to the
+// sharded fold: the stamp when the oldest covered bucket opened, the
+// latest observed stamp, the stamp granularity, and whether the
+// accounting is usable (false until stamps flow, and after a pre-stamp
+// checkpoint restore).
+func (h *WindowedListHeavyHitters) arrivalStamps() (oldest, latest, gap uint64, ok bool) {
+	return h.w.ArrivalStamps()
+}
+
 // MergeEngine implements the shard-layer merge contract by refusing:
 // sliding-window states are not mergeable — two nodes' windows cover
 // different wall-clock slices, so folding them answers no well-defined

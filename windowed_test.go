@@ -269,6 +269,233 @@ func TestWindowedConformanceSharded(t *testing.T) {
 	}
 }
 
+// Skew conformance parameters: the DESIGN.md §8 counterexample regime —
+// ϕ large enough that a dominant item's self-inflated shard share can
+// push it under the raw fold's global threshold.
+const (
+	winSkewEps = 0.05
+	winSkewPhi = 0.2
+	winSkewW   = 20_000
+)
+
+// skewStream materializes a single-dominant-item zipf regime: item 1 at
+// rate r, a zipf-flavoured light tail (items 2–6, all far below the
+// (ϕ−ε) exclusion line), and unique-id noise for the rest.
+func skewStream(seed uint64, n int, r float64) []Item {
+	weights := []float64{0, r, 0.050, 0.037, 0.025, 0.012, 0.006}
+	return GeneratePlantedStream(seed, n, weights, 1<<20, 1<<30, OrderShuffled)
+}
+
+// feedChunks streams items through InsertBatch in moderate chunks, the
+// way real producers do. Chunked calls also keep the global-arrival
+// stamps batch-accurate, which is what the share measurement rides on.
+func feedChunks(t *testing.T, sh *ShardedListHeavyHitters, items []Item) {
+	t.Helper()
+	const chunk = 1024
+	for off := 0; off < len(items); off += chunk {
+		end := min(off+chunk, len(items))
+		if err := sh.InsertBatch(items[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newSkewSharded builds the skew-regime solver; raw selects the legacy
+// (pre-extrapolation) report fold.
+func newSkewSharded(t *testing.T, shards int, raw bool) *ShardedListHeavyHitters {
+	t.Helper()
+	sh, err := NewShardedListHeavyHitters(ShardedConfig{
+		Config: Config{
+			Eps: winSkewEps, Phi: winSkewPhi, Delta: 0.05,
+			Universe: 1 << 31, Algorithm: AlgorithmSimple, Seed: 7,
+		},
+		Shards:          shards,
+		Window:          winSkewW,
+		RawShardWindows: raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sh.Close() })
+	return sh
+}
+
+// TestWindowedShardedSkew: a dominant item inflates its own shard's
+// traffic share, shrinking that shard's ⌈W/K⌉-item suffix relative to
+// the global window — DESIGN.md §8 derives that the raw fold then needs
+// r ≥ (ϕ−ε/2)(1+(K−1)r) to report it, which misses a 30%-of-traffic
+// item at ϕ = 0.2, K = 4. The rate-extrapolated fold must report every
+// item with window frequency ≥ ϕ·W regardless of K, exclude everything
+// under (ϕ−ε)·M, survive a checkpoint round-trip bit-identically, and
+// make the skew observable through WindowStats; the WithRawShardWindows
+// twin must reproduce the legacy inclusion boundary, counterexample
+// included.
+func TestWindowedShardedSkew(t *testing.T) {
+	for _, r := range []float64{0.3, 0.5} {
+		for _, shards := range []int{4, 8} {
+			t.Run(fmt.Sprintf("r=%.1f/K=%d", r, shards), func(t *testing.T) {
+				stream := skewStream(307+uint64(shards)+uint64(r*10), 11*winSkewW/4, r)
+				sh := newSkewSharded(t, shards, false)
+				feedChunks(t, sh, stream)
+
+				rep := sh.Report()
+				m := sh.Len()
+				if m < winSkewW || m > 2*winSkewW {
+					t.Fatalf("covered mass %d implausible for W=%d", m, winSkewW)
+				}
+				window := suffixCounts(stream, winSkewW)
+				got := make(map[Item]float64, len(rep))
+				for _, it := range rep {
+					got[it.Item] = it.F
+				}
+				// Inclusion: window frequency ≥ ϕ·W ⇒ reported — the one
+				// guarantee the paper's (ε,ϕ) contract exists to give,
+				// and exactly what the raw fold loses under skew.
+				for _, x := range window.Items() {
+					if float64(window.Freq(x)) >= winSkewPhi*float64(winSkewW) {
+						if _, ok := got[x]; !ok {
+							t.Errorf("item %d window frequency %d ≥ ϕW=%.0f missed by extrapolated fold",
+								x, window.Freq(x), winSkewPhi*float64(winSkewW))
+						}
+					}
+				}
+				if _, ok := got[1]; !ok {
+					t.Errorf("dominant item (rate %.1f) missing from extrapolated report", r)
+				}
+				// Exclusion: nothing under (ϕ−ε)·M is reported.
+				for x := range got {
+					if float64(window.Freq(x)) <= (winSkewPhi-winSkewEps)*float64(m) {
+						t.Errorf("item %d window frequency %d ≤ (ϕ−ε)M=%.0f but reported",
+							x, window.Freq(x), (winSkewPhi-winSkewEps)*float64(m))
+					}
+				}
+				// The dominant item's estimate must be extrapolated back
+				// to ≈ r·M, not the deflated per-shard count r·M/(Kc).
+				if est := got[1]; est < 0.8*r*float64(m) || est > 1.2*r*float64(m) {
+					t.Errorf("dominant estimate %.0f not ≈ rM = %.0f (extrapolation off)", est, r*float64(m))
+				}
+
+				// Observability: the skew shows up in WindowStats.
+				st, ok := sh.WindowStats()
+				if !ok || !st.Extrapolated {
+					t.Fatalf("WindowStats ok=%v extrapolated=%v, want true/true", ok, st.Extrapolated)
+				}
+				if st.ShareSkew < 1.5 {
+					t.Errorf("ShareSkew %.2f too small for a %.0f%%-of-traffic item", st.ShareSkew, 100*r)
+				}
+				if st.CoveredMin == 0 || st.CoveredMax < st.CoveredMin || st.CoveredMax > 2*st.CoveredMin {
+					t.Errorf("per-shard coverage bounds implausible: min %d max %d", st.CoveredMin, st.CoveredMax)
+				}
+
+				// Checkpoint round-trip: the extrapolated report (and the
+				// share accounting behind it) must restore bit-identically.
+				blob, err := sh.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored, err := Unmarshal(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer restored.Close()
+				if !reflect.DeepEqual(rep, restored.Report()) {
+					t.Error("checkpoint round-trip changed the extrapolated report")
+				}
+
+				// The legacy twin reproduces the DESIGN §8 inclusion
+				// boundary: raw per-shard counts clear the global
+				// threshold only when r ≥ (ϕ−ε/2)(1+(K−1)r).
+				raw := newSkewSharded(t, shards, true)
+				feedChunks(t, raw, stream)
+				_, rawHas := reportedSet(raw.Report())[1]
+				wantLegacy := r >= (winSkewPhi-winSkewEps/2)*(1+float64(shards-1)*r)
+				if rawHas != wantLegacy {
+					t.Errorf("raw fold reported dominant = %v, DESIGN §8 bound predicts %v", rawHas, wantLegacy)
+				}
+				if st, ok := raw.WindowStats(); !ok || st.Extrapolated {
+					t.Errorf("raw twin must report Extrapolated=false (ok=%v, got %v)", ok, st.Extrapolated)
+				}
+			})
+		}
+	}
+}
+
+// reportedSet indexes a report by item.
+func reportedSet(rep []ItemEstimate) map[Item]float64 {
+	out := make(map[Item]float64, len(rep))
+	for _, r := range rep {
+		out[r.Item] = r.F
+	}
+	return out
+}
+
+// TestWindowedShardedStaleShard: a shard whose ids stop arriving stops
+// sliding (DESIGN.md §8) — under the raw fold its frozen buckets keep
+// contributing at full weight, so a long-gone heavy item stays in the
+// report indefinitely. The extrapolated fold prices the frozen shard's
+// coverage against the global arrivals it actually spans and
+// down-weights it away, while still reporting the live traffic's
+// heavies; the skew is observable as a large ShareSkew.
+func TestWindowedShardedStaleShard(t *testing.T) {
+	const shards = 4
+	sh := newSkewSharded(t, shards, false)
+	raw := newSkewSharded(t, shards, true)
+
+	// Phase 1: item 1 dominates at 60% — heavy enough that the raw fold
+	// reports it even from its self-skewed shard.
+	phase1 := skewStream(401, 3*winSkewW/2, 0.6)
+	// Phase 2: traffic that never routes to item 1's shard, so that
+	// shard freezes with item 1's buckets live. Item heavyB carries 30%
+	// of the new regime; the background is unique light ids.
+	shardA := sh.s.ShardOf(1)
+	if raw.s.ShardOf(1) != shardA {
+		t.Fatal("twins disagree on the partition — seeds diverged")
+	}
+	pick := func(start uint64) uint64 {
+		for id := start; ; id++ {
+			if sh.s.ShardOf(id) != shardA {
+				return id
+			}
+		}
+	}
+	heavyB := pick(2 << 20)
+	phase2 := make([]Item, 0, 5*winSkewW)
+	next := uint64(3 << 20)
+	for i := 0; len(phase2) < cap(phase2); i++ {
+		if i%10 < 3 {
+			phase2 = append(phase2, heavyB)
+			continue
+		}
+		next = pick(next + 1)
+		phase2 = append(phase2, next)
+	}
+	for _, eng := range []*ShardedListHeavyHitters{sh, raw} {
+		feedChunks(t, eng, phase1)
+		feedChunks(t, eng, phase2)
+	}
+
+	got := reportedSet(sh.Report())
+	if f, ok := got[1]; ok {
+		t.Errorf("frozen shard's stale item still reported with %.0f by the extrapolated fold", f)
+	}
+	if _, ok := got[heavyB]; !ok {
+		t.Errorf("live heavy item %d (30%% of current traffic) missing from extrapolated report", heavyB)
+	}
+	// Regression expectation: the raw fold exhibits the §8 staleness bug
+	// — the frozen buckets contribute at full weight and item 1 (absent
+	// from the last 5·W global items) is still reported.
+	if _, ok := reportedSet(raw.Report())[1]; !ok {
+		t.Error("raw fold no longer reproduces the stale-shard bug the extrapolated fold fixes")
+	}
+	st, ok := sh.WindowStats()
+	if !ok {
+		t.Fatal("WindowStats unavailable")
+	}
+	if st.ShareSkew < 3 {
+		t.Errorf("ShareSkew %.2f should expose the frozen shard (live shards carry ≈ K× its share)", st.ShareSkew)
+	}
+}
+
 // TestWindowedEdgeCases: W=1, W larger than the stream, and tiny
 // windows over heavy repetition.
 func TestWindowedEdgeCases(t *testing.T) {
