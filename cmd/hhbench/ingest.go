@@ -1,0 +1,150 @@
+package main
+
+// The ingest experiment (-exp ingest) measures the insert hot paths the
+// way CI wants them tracked: machine-readable per-item cost, committed
+// as BENCH_ingest.json so regressions show up in review diffs rather
+// than in production. testing.Benchmark runs the same loops as the
+// BenchmarkE1a*/BenchmarkSharded* families in bench_test.go, but the
+// output here is a stable JSON schema instead of the textual bench log.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	l1hh "repro"
+)
+
+// ingestBenchRow is one measured hot path.
+type ingestBenchRow struct {
+	Name          string  `json:"name"`
+	NsPerItem     float64 `json:"ns_per_item"`
+	AllocsPerItem float64 `json:"allocs_per_item"`
+	BytesPerItem  float64 `json:"bytes_per_item"`
+	Items         int     `json:"items"` // items measured (benchmark N)
+}
+
+// ingestBenchReport is the BENCH_ingest.json schema. Fields are
+// append-only: tools diffing snapshots rely on existing keys.
+type ingestBenchReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	GitSHA     string           `json:"git_sha"`
+	Timestamp  string           `json:"timestamp"`
+	Eps        float64          `json:"eps"`
+	Phi        float64          `json:"phi"`
+	Shards     []int            `json:"shards"`
+	Results    []ingestBenchRow `json:"results"`
+}
+
+const ingestBenchChunk = 8192
+
+// expIngest measures serial Insert and sharded InsertBatch per-item
+// cost and writes the JSON snapshot to out ("" = stdout).
+func expIngest(out string) {
+	const eps, phi = 0.01, 0.1
+	shards := []int{1, 4}
+	stream := l1hh.Generate(l1hh.NewZipfStream(*seedFlag+20, 1<<20, 1.1), 1<<20)
+	mask := len(stream) - 1
+
+	rep := ingestBenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Eps:        eps,
+		Phi:        phi,
+		Shards:     shards,
+	}
+
+	newEngine := func(n int) l1hh.HeavyHitters {
+		opts := []l1hh.Option{
+			l1hh.WithEps(eps), l1hh.WithPhi(phi), l1hh.WithDelta(0.1),
+			l1hh.WithStreamLength(1 << 22), l1hh.WithUniverse(1 << 30),
+			l1hh.WithSeed(*seedFlag + 16),
+		}
+		if n > 0 {
+			opts = append(opts, l1hh.WithShards(n))
+		}
+		hh, err := l1hh.New(opts...)
+		must(err)
+		return hh
+	}
+
+	row := func(name string, r testing.BenchmarkResult) {
+		perItem := func(total int64) float64 {
+			if r.N == 0 {
+				return 0
+			}
+			return float64(total) / float64(r.N)
+		}
+		rep.Results = append(rep.Results, ingestBenchRow{
+			Name:          name,
+			NsPerItem:     perItem(r.T.Nanoseconds()),
+			AllocsPerItem: perItem(int64(r.MemAllocs)),
+			BytesPerItem:  perItem(int64(r.MemBytes)),
+			Items:         r.N,
+		})
+	}
+
+	row("serial/insert", testing.Benchmark(func(b *testing.B) {
+		hh := newEngine(0)
+		defer hh.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := hh.Insert(stream[i&mask]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	for _, n := range shards {
+		n := n
+		row(fmt.Sprintf("sharded/insert-batch/shards=%d", n), testing.Benchmark(func(b *testing.B) {
+			hh := newEngine(n)
+			defer hh.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for off := 0; off < b.N; off += ingestBenchChunk {
+				end := off + ingestBenchChunk
+				if end > b.N {
+					end = b.N
+				}
+				lo, hi := off&mask, end&mask
+				if hi <= lo {
+					hi = len(stream)
+				}
+				if err := hh.InsertBatch(stream[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hh.(l1hh.Flusher).Flush()
+		}))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	must(err)
+	blob = append(blob, '\n')
+	if out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	must(os.WriteFile(out, blob, 0o644))
+	fmt.Printf("wrote %s (%d hot paths, go %s, sha %s)\n",
+		out, len(rep.Results), rep.GoVersion, rep.GitSHA)
+}
+
+// gitSHA best-effort resolves HEAD for the snapshot's provenance line;
+// "unknown" outside a git checkout (or without the git binary).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -12,6 +12,10 @@
 //	go run ./cmd/hhbench -exp e3      # row 3, ε-Minimum
 //	go run ./cmd/hhbench -exp a4      # baseline field comparison
 //	go run ./cmd/hhbench -exp all     # everything
+//
+//	go run ./cmd/hhbench -exp ingest -out BENCH_ingest.json
+//	                                  # machine-readable per-item insert
+//	                                  # cost snapshot (ns, allocs, bytes)
 package main
 
 import (
@@ -27,9 +31,10 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, or all")
+	expFlag  = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, ingest, or all")
 	seedFlag = flag.Uint64("seed", 1, "base RNG seed")
 	mFlag    = flag.Int("m", 1_000_000, "stream length")
+	outFlag  = flag.String("out", "", "with -exp ingest: write the JSON snapshot here instead of stdout")
 )
 
 func main() {
@@ -45,6 +50,8 @@ func main() {
 		expE3()
 	case "a4":
 		expA4()
+	case "ingest":
+		expIngest(*outFlag)
 	case "all":
 		expE1a()
 		expE1b()

@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	l1hh "repro"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -47,6 +49,7 @@ var (
 	windowFlag    = flag.Uint64("window", 0, "count-based sliding window: report the heavy hitters of (at least) the last N tokens (0 = whole stream)")
 	windowDurFlag = flag.Duration("window-duration", 0, "time-based sliding window over arrival time; -m becomes the expected items per window")
 	windowBktFlag = flag.Int("window-buckets", 0, "window epoch granularity (0 = default 8)")
+	timingsFlag   = flag.Bool("timings", false, "print a stage-latency summary to stderr after the report (with -shards: per-stage histograms)")
 )
 
 // batchSize is how many ids hhcli hands to InsertBatch at once when a
@@ -99,6 +102,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var clk *ingestClocks
+	if *timingsFlag {
+		clk = newIngestClocks()
+		if *shardsFlag >= 0 {
+			// Serial engines have no enqueue/apply stages; the observer
+			// option would be (rightly) rejected without shards.
+			opts = append(opts, l1hh.WithIngestObserver(clk.timings()))
+		}
+	}
 	hh, err := l1hh.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -117,9 +129,13 @@ func main() {
 	}
 
 	rd := stream.NewReader(in, 1<<20)
+	ingestStart := time.Now()
 	if err := feed(hh, rd); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if clk != nil {
+		clk.ingestWall = time.Since(ingestStart)
 	}
 	if err := rd.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -131,31 +147,106 @@ func main() {
 	if win, ok := hh.(l1hh.Windower); ok {
 		st := win.WindowStats()
 		w, _, _ := win.Window()
-		if w > 0 {
-			// Covered can land well under the requested W: per-shard
-			// count windows slide on per-shard arrivals, so skewed
-			// traffic shrinks the busiest shard's suffix (DESIGN.md §8).
-			// Print both so the summary never overstates coverage.
-			summary += fmt.Sprintf(", window covers %d of requested %d (%d aged out)",
-				st.Covered, w, st.Retired)
-			if st.Total >= w && st.Covered < w-w/10 {
-				fmt.Fprintf(os.Stderr,
-					"hhcli: window coverage %d is below 90%% of the requested %d (per-shard coverage %d–%d); skewed traffic shrinks per-shard count windows — see DESIGN.md §8\n",
-					st.Covered, w, st.CoveredMin, st.CoveredMax)
-			}
-		} else {
-			summary += fmt.Sprintf(", window covers %d (%d aged out)", st.Covered, st.Retired)
+		summary += windowSummary(st, w)
+		if warn := coverageWarning(st, w); warn != "" {
+			fmt.Fprintln(os.Stderr, warn)
 		}
 	}
 	fmt.Println(summary)
-	for _, r := range hh.Report() {
+	reportStart := time.Now()
+	rep := hh.Report()
+	if clk != nil {
+		clk.reportWall = time.Since(reportStart)
+	}
+	for _, r := range rep {
 		label := rd.Name(r.Item)
 		if label == "" {
 			label = strconv.FormatUint(r.Item, 10)
 		}
 		fmt.Printf("%-30s %12.0f\n", label, r.F)
 	}
+	if clk != nil {
+		fmt.Fprint(os.Stderr, clk.summary(rd.Count()))
+	}
 	hh.Close()
+}
+
+// windowSummary renders the window clause of the summary line. Covered
+// can land well under the requested W: per-shard count windows slide on
+// per-shard arrivals, so skewed traffic shrinks the busiest shard's
+// suffix (DESIGN.md §8). Both numbers are printed so the summary never
+// overstates coverage.
+func windowSummary(st l1hh.WindowStats, w uint64) string {
+	if w > 0 {
+		return fmt.Sprintf(", window covers %d of requested %d (%d aged out)",
+			st.Covered, w, st.Retired)
+	}
+	return fmt.Sprintf(", window covers %d (%d aged out)", st.Covered, st.Retired)
+}
+
+// coverageWarning returns the below-90%-coverage warning, or "" when
+// coverage is healthy. It only fires once the stream has filled the
+// requested window: before that, low coverage just means a short
+// stream, not skew.
+func coverageWarning(st l1hh.WindowStats, w uint64) string {
+	if w == 0 || st.Total < w || st.Covered >= w-w/10 {
+		return ""
+	}
+	return fmt.Sprintf(
+		"hhcli: window coverage %d is below 90%% of the requested %d (per-shard coverage %d–%d); skewed traffic shrinks per-shard count windows — see DESIGN.md §8",
+		st.Covered, w, st.CoveredMin, st.CoveredMax)
+}
+
+// ingestClocks collects the -timings data: wall clocks for the ingest
+// and report phases, and (with -shards) the engine's per-stage
+// histograms fed through l1hh.WithIngestObserver.
+type ingestClocks struct {
+	enqueueWait *obs.Histogram
+	batchApply  *obs.Histogram
+	ingestWall  time.Duration
+	reportWall  time.Duration
+}
+
+func newIngestClocks() *ingestClocks {
+	reg := obs.NewRegistry()
+	return &ingestClocks{
+		enqueueWait: reg.Histogram("enqueue_wait", "", nil, obs.DurationBuckets),
+		batchApply:  reg.Histogram("batch_apply", "", nil, obs.DurationBuckets),
+	}
+}
+
+func (c *ingestClocks) timings() l1hh.IngestTimings {
+	return l1hh.IngestTimings{
+		EnqueueWait: c.enqueueWait.ObserveDuration,
+		BatchApply:  c.batchApply.ObserveDuration,
+	}
+}
+
+// summary renders the stderr timing report. Stage quantiles are bucket
+// upper bounds (the histograms trade exactness for a lock-free hot
+// path), so they are labeled ≤.
+func (c *ingestClocks) summary(items uint64) string {
+	rate := ""
+	if s := c.ingestWall.Seconds(); s > 0 {
+		rate = fmt.Sprintf(" (%.3g items/s)", float64(items)/s)
+	}
+	out := fmt.Sprintf("# timings: ingest %s%s, report %s\n",
+		c.ingestWall.Round(time.Microsecond), rate, c.reportWall.Round(time.Microsecond))
+	for _, st := range []struct {
+		name string
+		h    *obs.Histogram
+	}{{"enqueue_wait", c.enqueueWait}, {"batch_apply", c.batchApply}} {
+		n := st.h.Count()
+		if n == 0 {
+			continue
+		}
+		q := func(p float64) time.Duration {
+			return time.Duration(st.h.Quantile(p) * float64(time.Second)).Round(time.Nanosecond)
+		}
+		out += fmt.Sprintf("# timings: %-12s n=%-8d p50≤%-10s p99≤%-10s max≤%s\n",
+			st.name, n, q(0.5), q(0.99), q(1))
+	}
+	return out
 }
 
 // feed streams the reader's ids into the solver, batching when the

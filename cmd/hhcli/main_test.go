@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	l1hh "repro"
+)
+
+// TestCoverageWarning pins when the <90% window-coverage warning fires:
+// only after the stream has filled the requested window, and only when
+// the covered mass falls below 90% of it.
+func TestCoverageWarning(t *testing.T) {
+	const w = 10_000
+	for _, tc := range []struct {
+		name string
+		st   l1hh.WindowStats
+		warn bool
+	}{
+		{"healthy full coverage",
+			l1hh.WindowStats{Total: 50_000, Covered: w, CoveredMin: 2400, CoveredMax: 2600}, false},
+		{"exactly at the 90% threshold",
+			l1hh.WindowStats{Total: 50_000, Covered: w - w/10, CoveredMin: 2000, CoveredMax: 2500}, false},
+		{"one item under the threshold",
+			l1hh.WindowStats{Total: 50_000, Covered: w - w/10 - 1, CoveredMin: 100, CoveredMax: 4000}, true},
+		{"severe skew deflation",
+			l1hh.WindowStats{Total: 200_000, Covered: 4_000, CoveredMin: 10, CoveredMax: 3500}, true},
+		{"short stream never warns",
+			l1hh.WindowStats{Total: w - 1, Covered: w - 1, CoveredMin: 0, CoveredMax: 0}, false},
+		{"empty stream never warns",
+			l1hh.WindowStats{}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			warn := coverageWarning(tc.st, w)
+			if got := warn != ""; got != tc.warn {
+				t.Fatalf("coverageWarning(%+v, %d) = %q, want warn=%v", tc.st, w, warn, tc.warn)
+			}
+			if tc.warn {
+				for _, frag := range []string{"90%", "DESIGN.md"} {
+					if !strings.Contains(warn, frag) {
+						t.Fatalf("warning %q lacks %q", warn, frag)
+					}
+				}
+			}
+		})
+	}
+
+	// A time window (w == 0) has no requested count to fall short of.
+	if warn := coverageWarning(l1hh.WindowStats{Total: 1 << 20, Covered: 1}, 0); warn != "" {
+		t.Fatalf("time window warned: %q", warn)
+	}
+}
+
+// TestWindowSummary pins the two summary shapes (count vs time window).
+func TestWindowSummary(t *testing.T) {
+	st := l1hh.WindowStats{Covered: 950, Retired: 4050}
+	if got := windowSummary(st, 1000); got != ", window covers 950 of requested 1000 (4050 aged out)" {
+		t.Fatalf("count summary %q", got)
+	}
+	if got := windowSummary(st, 0); got != ", window covers 950 (4050 aged out)" {
+		t.Fatalf("time summary %q", got)
+	}
+}
+
+// TestTimingsSummary drives a sharded engine with the -timings clocks
+// installed and checks the stderr report includes live stage lines.
+func TestTimingsSummary(t *testing.T) {
+	clk := newIngestClocks()
+	hh, err := l1hh.New(l1hh.WithEps(0.02), l1hh.WithPhi(0.1),
+		l1hh.WithStreamLength(50_000), l1hh.WithShards(2),
+		l1hh.WithIngestObserver(clk.timings()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hh.Close()
+	start := time.Now()
+	if err := hh.InsertBatch(l1hh.Generate(l1hh.NewZipfStream(3, 1<<16, 1.2), 50_000)); err != nil {
+		t.Fatal(err)
+	}
+	hh.(l1hh.Flusher).Flush()
+	clk.ingestWall = time.Since(start)
+
+	out := clk.summary(50_000)
+	for _, frag := range []string{"# timings: ingest", "items/s", "enqueue_wait", "batch_apply", "p99"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("timings summary lacks %q:\n%s", frag, out)
+		}
+	}
+	if clk.enqueueWait.Count() == 0 || clk.batchApply.Count() == 0 {
+		t.Fatalf("stage histograms empty: waits=%d applies=%d",
+			clk.enqueueWait.Count(), clk.batchApply.Count())
+	}
+}
+
+// TestTimingsSummaryIdleStages: a serial run (no observer) must not
+// print empty stage lines.
+func TestTimingsSummaryIdleStages(t *testing.T) {
+	clk := newIngestClocks()
+	clk.ingestWall = 5 * time.Millisecond
+	out := clk.summary(1000)
+	if strings.Contains(out, "enqueue_wait") || strings.Contains(out, "batch_apply") {
+		t.Fatalf("idle stages printed:\n%s", out)
+	}
+	if !strings.Contains(out, "# timings: ingest") {
+		t.Fatalf("missing wall-clock line:\n%s", out)
+	}
+}

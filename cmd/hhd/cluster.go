@@ -16,7 +16,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -42,7 +42,11 @@ func (s *server) aggregate(ctx context.Context, interval time.Duration) {
 	defer tick.Stop()
 	for {
 		if err := s.pullAndMerge(ctx, client); err != nil {
-			log.Printf("aggregate: %v", err)
+			slog.Warn("aggregate cycle failed", "err", err)
+		} else {
+			// The first complete fleet view is what makes the
+			// aggregator's /report meaningful; /readyz gates on it.
+			s.ready.Store(true)
 		}
 		select {
 		case <-ctx.Done():

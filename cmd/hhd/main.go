@@ -15,14 +15,32 @@
 //	POST /checkpoint  serialized engine state (application/octet-stream)
 //	POST /merge       fold a peer node's checkpoint into the live engine
 //	POST /restore     swap in a previously checkpointed state
-//	GET  /healthz     liveness
+//	GET  /healthz     liveness: 200 whenever the process can answer
+//	GET  /readyz      readiness: 503 while draining, and on an
+//	                  aggregator until the first complete peer pull
 //	GET  /metrics     expvar: hhd.items_total, hhd.items_per_sec,
 //	                  hhd.queue_depths, hhd.model_bits, hhd.shards,
 //	                  hhd.peers, hhd.merges_total, hhd.merge_errors_total,
 //	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds;
 //	                  with a window: hhd.window {covered, covered_min,
 //	                  covered_max, share_skew, extrapolated,
-//	                  retired_total, buckets, span_seconds}
+//	                  retired_total, buckets, span_seconds}; with
+//	                  -sentinel: hhd.sentinel {sample_rate, seen_total,
+//	                  sampled_total, keys, dropped_total, checks_total,
+//	                  violations_total, observed_eps, max_observed_eps,
+//	                  incoherent}
+//	GET  /metrics?format=prometheus
+//	                  the same series in Prometheus text exposition
+//	                  format v0.0.4, plus hhd_stage_duration_seconds
+//	                  {stage=ingest_decode|enqueue_wait|batch_apply|
+//	                  report|merge|checkpoint_encode|checkpoint_decode}
+//	                  latency histograms (DESIGN.md §10)
+//
+// Observability: -log-format text|json and -log-level pick the slog
+// handler (debug turns on the per-request access log, one line per
+// request with an X-Request-Id echo); -pprof ADDR serves net/http/pprof
+// on a separate mux; -sentinel RATE audits every report against a
+// sampled exact shadow and counts (ε,ϕ)-guarantee violations.
 //
 // The daemon is built entirely on the unified l1hh front door: flags
 // become l1hh.New options, /restore goes through l1hh.Unmarshal, and the
@@ -70,8 +88,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -100,13 +119,43 @@ var (
 	rawWindowsFlag = flag.Bool("raw-shard-windows", false, "disable rate-extrapolated count-window reports: threshold per-shard estimates at face value, re-exposing the skew-induced deflation of DESIGN.md §8 (with -window and -shards > 1)")
 	peersFlag      = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://a:8080,http://b:8080); enables aggregator mode: pull each worker's /checkpoint periodically and serve the merged global /report")
 	pullFlag       = flag.Duration("pull-every", 10*time.Second, "aggregator pull interval (with -peers)")
+	sentinelFlag   = flag.Float64("sentinel", 0, "accuracy sentinel sample rate in (0,1]: audit every report against a sampled exact shadow (0 = off; incompatible with windows)")
+	logFormatFlag  = flag.String("log-format", "text", "log output format: text or json")
+	logLevelFlag   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables the per-request access log)")
+	pprofFlag      = flag.String("pprof", "", "serve net/http/pprof on this address, on a mux separate from the API (empty = disabled)")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
+	if err := setupLogging(*logFormatFlag, *logLevelFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	if err := run(); err != nil {
+		slog.Error("hhd exiting", "err", err)
+		os.Exit(1)
+	}
+}
+
+// setupLogging installs the process-wide slog handler per the -log-*
+// flags. JSON output is for log pipelines; text for terminals.
+func setupLogging(format, level string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
 }
 
 // specFromFlags translates the command line into the option sets the
@@ -144,6 +193,12 @@ func specFromFlags(algo l1hh.Algorithm) engineSpec {
 	if *batchFlag > 0 {
 		spec.build = append(spec.build, l1hh.WithMaxBatch(*batchFlag))
 		spec.restore = append(spec.restore, l1hh.WithMaxBatch(*batchFlag))
+	}
+	if *sentinelFlag > 0 {
+		// Audit-only runtime state, never serialized: build-path only.
+		// A -checkpoint restore therefore comes back without a sentinel
+		// (its shadow would be incoherent with the restored counts anyway).
+		spec.build = append(spec.build, l1hh.WithAccuracySentinel(*sentinelFlag))
 	}
 	return spec
 }
@@ -190,6 +245,17 @@ func run() error {
 			return errors.New("-peers lists no usable URLs")
 		}
 	}
+	if *sentinelFlag < 0 || *sentinelFlag > 1 {
+		return fmt.Errorf("-sentinel %v out of range: want a sample rate in (0,1], or 0 to disable", *sentinelFlag)
+	}
+	if *sentinelFlag > 0 {
+		if windowed {
+			return errors.New("-sentinel is incompatible with sliding windows: the exact shadow counts the whole stream, not the window")
+		}
+		if len(peers) > 0 {
+			return errors.New("-sentinel is useless on an aggregator: the first peer merge makes the shadow incoherent — run it on the workers")
+		}
+	}
 	spec := specFromFlags(algo)
 
 	var (
@@ -198,18 +264,12 @@ func run() error {
 	)
 	if *checkpointFlag != "" {
 		if blob, rerr := os.ReadFile(*checkpointFlag); rerr == nil {
-			eng, uerr := l1hh.Unmarshal(blob, spec.restore...)
-			if uerr != nil {
-				return fmt.Errorf("loading checkpoint %s: %w", *checkpointFlag, uerr)
+			if srv, err = newServerFromCheckpoint(spec, blob); err != nil {
+				return fmt.Errorf("loading checkpoint %s: %w", *checkpointFlag, err)
 			}
-			if _, ok := eng.(l1hh.Sharder); !ok {
-				eng.Close()
-				return fmt.Errorf("loading checkpoint %s: restores to a single-owner solver; hhd needs a sharded container", *checkpointFlag)
-			}
-			srv = newServerWith(spec, eng)
-			st := eng.Stats()
-			log.Printf("restored %d items across %d shards from %s",
-				st.Len, st.Shards, *checkpointFlag)
+			st := srv.engine().Stats()
+			slog.Info("restored checkpoint",
+				"path", *checkpointFlag, "items", st.Len, "shards", st.Shards)
 		} else if !errors.Is(rerr, os.ErrNotExist) {
 			return fmt.Errorf("reading checkpoint %s: %w", *checkpointFlag, rerr)
 		}
@@ -224,9 +284,29 @@ func run() error {
 	aggCtx, aggCancel := context.WithCancel(context.Background())
 	defer aggCancel()
 	if len(peers) > 0 {
+		// Not ready until the first complete fleet pull lands: before
+		// that, /report would answer from an empty engine.
+		srv.ready.Store(false)
 		go srv.aggregate(aggCtx, *pullFlag)
-		log.Printf("aggregator mode: pulling %d peers every %s (mutating endpoints answer 409 — ingest on the workers)",
-			len(peers), *pullFlag)
+		slog.Info("aggregator mode: mutating endpoints answer 409 — ingest on the workers",
+			"peers", len(peers), "pull_every", *pullFlag)
+	}
+
+	if *pprofFlag != "" {
+		// A separate mux so profiling never rides the public API address
+		// (and DefaultServeMux stays out of the request path entirely).
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofFlag, pmux); err != nil {
+				slog.Warn("pprof server stopped", "err", err)
+			}
+		}()
+		slog.Info("pprof listening", "addr", *pprofFlag)
 	}
 
 	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv}
@@ -235,12 +315,14 @@ func run() error {
 	win := ""
 	switch {
 	case *windowFlag > 0:
-		win = fmt.Sprintf(" window=%d", *windowFlag)
+		win = fmt.Sprint(*windowFlag)
 	case *windowDurFlag > 0:
-		win = fmt.Sprintf(" window=%s", *windowDurFlag)
+		win = fmt.Sprint(*windowDurFlag)
 	}
-	log.Printf("hhd listening on %s: ε=%g ϕ=%g δ=%g shards=%d algo=%s%s",
-		*addrFlag, *epsFlag, *phiFlag, *deltaFlag, srv.engine().Stats().Shards, *algoFlag, win)
+	slog.Info("hhd listening",
+		"addr", *addrFlag, "eps", *epsFlag, "phi", *phiFlag, "delta", *deltaFlag,
+		"shards", srv.engine().Stats().Shards, "algo", *algoFlag,
+		"window", win, "sentinel", *sentinelFlag)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -248,14 +330,17 @@ func run() error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("%v: draining", s)
+		// Flip /readyz to 503 first so load balancers stop routing here
+		// while in-flight requests finish.
+		srv.setDraining()
+		slog.Info("draining", "signal", s.String())
 	}
 
 	aggCancel() // stop pulling before the engine drains
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		slog.Warn("http shutdown", "err", err)
 	}
 	// Drain the shard queues so the final state covers every accepted item.
 	if err := srv.shutdown(); err != nil {
@@ -269,8 +354,8 @@ func run() error {
 		if err := os.WriteFile(*checkpointFlag, blob, 0o644); err != nil {
 			return err
 		}
-		log.Printf("wrote checkpoint %s (%d bytes, %d items)",
-			*checkpointFlag, len(blob), srv.engine().Len())
+		slog.Info("wrote checkpoint",
+			"path", *checkpointFlag, "bytes", len(blob), "items", srv.engine().Len())
 	}
 	return nil
 }

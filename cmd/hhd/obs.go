@@ -1,0 +1,215 @@
+package main
+
+// obs.go — the daemon's Prometheus-facing metrics: a per-server
+// obs.Registry carrying stage-latency histograms and scrape-time twins
+// of every hhd.* expvar gauge. The registry is per-server (unlike the
+// process-global expvar set) so tests that build several servers do not
+// collide; GET /metrics?format=prometheus serves it in text exposition
+// format v0.0.4.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	l1hh "repro"
+	"repro/internal/obs"
+)
+
+// stage names for hhd_stage_duration_seconds, one per pipeline stage
+// the daemon times. DESIGN.md §10 documents what each covers.
+const (
+	stageIngestDecode = "ingest_decode" // request decode + engine enqueue, whole body
+	stageEnqueueWait  = "enqueue_wait"  // producer blocked on a full shard queue
+	stageBatchApply   = "batch_apply"   // shard worker applying one batch
+	stageReport       = "report"        // report barrier + merge + sort
+	stageMerge        = "merge"         // folding one peer checkpoint (or one pull cycle)
+	stageCkptEncode   = "checkpoint_encode"
+	stageCkptDecode   = "checkpoint_decode"
+)
+
+// serverObs is one server's Prometheus registry plus the histogram
+// handles the hot paths observe into.
+type serverObs struct {
+	reg *obs.Registry
+
+	ingestDecode *obs.Histogram
+	enqueueWait  *obs.Histogram
+	batchApply   *obs.Histogram
+	report       *obs.Histogram
+	merge        *obs.Histogram
+	ckptEncode   *obs.Histogram
+	ckptDecode   *obs.Histogram
+
+	observedEps *obs.Histogram
+}
+
+// newServerObs builds the registry for s. Every gauge reads through
+// s.scrapeStats, so one Prometheus scrape costs at most one engine
+// barrier (shared with the expvar handler via the statsTTL cache).
+func newServerObs(s *server) *serverObs {
+	reg := obs.NewRegistry()
+	o := &serverObs{reg: reg}
+
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("hhd_stage_duration_seconds",
+			"Latency of one pipeline stage, labeled by stage.",
+			obs.L("stage", name), obs.DurationBuckets)
+	}
+	o.ingestDecode = stage(stageIngestDecode)
+	o.enqueueWait = stage(stageEnqueueWait)
+	o.batchApply = stage(stageBatchApply)
+	o.report = stage(stageReport)
+	o.merge = stage(stageMerge)
+	o.ckptEncode = stage(stageCkptEncode)
+	o.ckptDecode = stage(stageCkptDecode)
+
+	o.observedEps = reg.Histogram("hhd_sentinel_observed_eps",
+		"Accuracy sentinel: observed per-report worst error fraction (with -sentinel).",
+		nil, obs.EpsBuckets)
+
+	reg.CounterFunc("hhd_items_total", "Items accepted by the engine.",
+		nil, func() float64 { return float64(s.scrapeStats().Items) })
+	reg.GaugeFunc("hhd_items_per_sec", "Ingest rate from the last two scrapes.",
+		nil, func() float64 { return s.itemsPerSec() })
+	reg.GaugeFunc("hhd_model_bits", "Sketch size under the paper's accounting.",
+		nil, func() float64 { return float64(s.scrapeStats().ModelBits) })
+	reg.GaugeFunc("hhd_shards", "Shard count of the live engine.",
+		nil, func() float64 { return float64(s.scrapeStats().Shards) })
+	reg.GaugeFunc("hhd_uptime_seconds", "Seconds since the server started.",
+		nil, func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("hhd_peers", "Configured aggregator peers (0 on workers).",
+		nil, func() float64 { return float64(len(s.peers)) })
+	reg.GaugeFunc("hhd_ready", "1 when /readyz answers 200, else 0.",
+		nil, func() float64 {
+			if s.isReady() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("hhd_merges_total", "Successful checkpoint merges.",
+		nil, func() float64 { return float64(s.mergesTotal.Load()) })
+	reg.CounterFunc("hhd_merge_errors_total", "Failed checkpoint merges or pulls.",
+		nil, func() float64 { return float64(s.mergeErrors.Load()) })
+	reg.GaugeFunc("hhd_merge_latency_seconds", "Wall time of the last successful merge.",
+		nil, func() float64 { return time.Duration(s.mergeLastNano.Load()).Seconds() })
+	reg.GaugeFunc("hhd_merge_staleness_seconds", "Age of the last successful merge; -1 = never.",
+		nil, func() float64 {
+			if last := s.mergeLastUnix.Load(); last > 0 {
+				return time.Since(time.Unix(0, last)).Seconds()
+			}
+			return -1
+		})
+
+	reg.SeriesFunc("hhd_queue_depth", "Per-shard ingest queue occupancy in batches.",
+		obs.TypeGauge, func() []obs.Sample {
+			depths := s.scrapeStats().QueueDepths
+			out := make([]obs.Sample, len(depths))
+			for i, d := range depths {
+				out[i] = obs.Sample{Labels: obs.L("shard", fmt.Sprint(i)), Value: float64(d)}
+			}
+			return out
+		})
+
+	// The window and sentinel families only exist when the subsystem is
+	// live: SeriesFunc returning nil omits them, headers included.
+	reg.SeriesFunc("hhd_window", "Sliding-window coverage, labeled by field (with -window/-window-duration).",
+		obs.TypeGauge, func() []obs.Sample {
+			w := s.scrapeStats().Window
+			if w == nil {
+				return nil
+			}
+			b := func(v bool) float64 {
+				if v {
+					return 1
+				}
+				return 0
+			}
+			f := func(field string, v float64) obs.Sample {
+				return obs.Sample{Labels: obs.L("field", field), Value: v}
+			}
+			return []obs.Sample{
+				f("covered", float64(w.Covered)),
+				f("covered_min", float64(w.CoveredMin)),
+				f("covered_max", float64(w.CoveredMax)),
+				f("share_skew", w.ShareSkew),
+				f("extrapolated", b(w.Extrapolated)),
+				f("retired_total", float64(w.Retired)),
+				f("buckets", float64(w.Buckets)),
+				f("span_seconds", w.Span.Seconds()),
+			}
+		})
+	reg.SeriesFunc("hhd_sentinel", "Accuracy sentinel audit state, labeled by field (with -sentinel).",
+		obs.TypeGauge, func() []obs.Sample {
+			sen := s.scrapeStats().Sentinel
+			if sen == nil {
+				return nil
+			}
+			b := func(v bool) float64 {
+				if v {
+					return 1
+				}
+				return 0
+			}
+			f := func(field string, v float64) obs.Sample {
+				return obs.Sample{Labels: obs.L("field", field), Value: v}
+			}
+			return []obs.Sample{
+				f("sample_rate", sen.SampleRate),
+				f("seen_total", float64(sen.TotalSeen)),
+				f("sampled_total", float64(sen.Sampled)),
+				f("keys", float64(sen.Keys)),
+				f("dropped_total", float64(sen.Dropped)),
+				f("checks_total", float64(sen.Checks)),
+				f("violations_total", float64(sen.Violations)),
+				f("observed_eps", sen.ObservedEps),
+				f("max_observed_eps", sen.MaxObservedEps),
+				f("incoherent", b(sen.Incoherent)),
+			}
+		})
+	reg.CounterFunc("hhd_guarantee_violations_total",
+		"Accuracy sentinel: cumulative (ε,ϕ)-guarantee violations (with -sentinel).",
+		nil, func() float64 {
+			if sen := s.scrapeStats().Sentinel; sen != nil {
+				return float64(sen.Violations)
+			}
+			return 0
+		})
+
+	return o
+}
+
+// ingestTimings are the engine-level stage hooks this registry feeds;
+// installed on the engine spec so every engine the server ever builds
+// (startup, restore, aggregator rebuilds) reports into the same
+// histograms.
+func (o *serverObs) ingestTimings() l1hh.IngestTimings {
+	return l1hh.IngestTimings{
+		EnqueueWait: o.enqueueWait.ObserveDuration,
+		BatchApply:  o.batchApply.ObserveDuration,
+	}
+}
+
+// observeSentinel records the audit result attached to a Stats snapshot
+// (called after reports, where the sentinel refreshes its observed ε).
+func (o *serverObs) observeSentinel(st l1hh.Stats) {
+	if st.Sentinel != nil && st.Sentinel.Checks > 0 {
+		o.observedEps.Observe(st.Sentinel.ObservedEps)
+	}
+}
+
+// handleMetrics serves GET /metrics: the expvar JSON view by default,
+// Prometheus text exposition format with ?format=prometheus.
+func (s *server) handleMetrics(expvarHandler http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") != "prometheus" {
+			expvarHandler.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := s.obs.reg.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to send.
+			return
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	l1hh "repro"
+	"repro/internal/obs"
+)
+
+// sentinelSpec is testSpec plus the accuracy sentinel, for exercising
+// the hhd_sentinel families end to end.
+func sentinelSpec(m, seed uint64) engineSpec {
+	spec := testSpec(m, seed)
+	spec.build = append(spec.build, l1hh.WithAccuracySentinel(0.5))
+	return spec
+}
+
+// promScrape is a strict little parser for the text exposition format:
+// every non-comment line must be `series value`, every series must
+// belong to a family announced by a # TYPE line.
+type promScrape struct {
+	types   map[string]string  // family name -> counter|gauge|histogram
+	samples map[string]float64 // full series (name + labels) -> value
+	order   []string           // series in exposition order
+}
+
+func scrapePrometheus(t *testing.T, s *server) *promScrape {
+	t.Helper()
+	w := do(t, s, "GET", "/metrics?format=prometheus", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("prometheus scrape status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, obs.ContentType)
+	}
+	sc := &promScrape{types: map[string]string{}, samples: map[string]float64{}}
+	for _, line := range strings.Split(w.Body.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			sc.types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment form %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, raw := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		family := series
+		if j := strings.IndexByte(series, '{'); j >= 0 {
+			family = series[:j]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := sc.types[base]; !ok {
+			if _, ok := sc.types[family]; !ok {
+				t.Fatalf("series %q precedes its # TYPE header", series)
+			}
+		}
+		if _, dup := sc.samples[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		sc.samples[series] = v
+		sc.order = append(sc.order, series)
+		_ = family
+	}
+	return sc
+}
+
+// stageBuckets returns the cumulative bucket values of one stage's
+// histogram in exposition order.
+func (sc *promScrape) stageBuckets(stage string) []float64 {
+	var out []float64
+	for _, series := range sc.order {
+		if strings.HasPrefix(series, "hhd_stage_duration_seconds_bucket{") &&
+			strings.Contains(series, `stage="`+stage+`"`) {
+			out = append(out, sc.samples[series])
+		}
+	}
+	return out
+}
+
+func (sc *promScrape) families() []string {
+	out := make([]string, 0, len(sc.types))
+	for f := range sc.types {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPrometheusExposition drives ingest→report→checkpoint through the
+// HTTP handlers and asserts the scrape parses, the stage histograms
+// moved, and the buckets are cumulative.
+func TestPrometheusExposition(t *testing.T) {
+	const m = 50_000
+	s, err := newServer(sentinelSpec(m, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.engine().Close() })
+
+	stream := plantedStream(m)
+	if w := do(t, s, "POST", "/ingest", "application/octet-stream", binaryBody(stream)); w.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, s, "GET", "/report", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("report status %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, s, "POST", "/checkpoint", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", w.Code, w.Body)
+	}
+
+	sc := scrapePrometheus(t, s)
+
+	if got := sc.samples["hhd_items_total"]; got != m {
+		t.Fatalf("hhd_items_total = %v, want %d", got, m)
+	}
+	for _, stage := range []string{stageIngestDecode, stageEnqueueWait, stageBatchApply, stageReport, stageCkptEncode} {
+		count := sc.samples[`hhd_stage_duration_seconds_count{stage="`+stage+`"}`]
+		if count < 1 {
+			t.Fatalf("stage %q histogram did not move (count %v)\nfamilies: %v",
+				stage, count, sc.families())
+		}
+		buckets := sc.stageBuckets(stage)
+		if len(buckets) == 0 {
+			t.Fatalf("stage %q has no buckets", stage)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] < buckets[i-1] {
+				t.Fatalf("stage %q buckets not cumulative: %v", stage, buckets)
+			}
+		}
+		if last := buckets[len(buckets)-1]; last != count {
+			t.Fatalf("stage %q +Inf bucket %v != count %v", stage, last, count)
+		}
+	}
+	if sc.types["hhd_stage_duration_seconds"] != "histogram" {
+		t.Fatalf("hhd_stage_duration_seconds typed %q", sc.types["hhd_stage_duration_seconds"])
+	}
+
+	// The sentinel audited the report: its families must be live.
+	if v := sc.samples[`hhd_sentinel{field="checks_total"}`]; v < 1 {
+		t.Fatalf("sentinel checks_total = %v after a report", v)
+	}
+	if v := sc.samples[`hhd_sentinel{field="violations_total"}`]; v != 0 {
+		t.Fatalf("correct engine scraped %v violations", v)
+	}
+	if _, ok := sc.samples["hhd_guarantee_violations_total"]; !ok {
+		t.Fatal("hhd_guarantee_violations_total missing")
+	}
+	if v := sc.samples["hhd_sentinel_observed_eps_count"]; v < 1 {
+		t.Fatalf("observed-eps histogram did not record (count %v)", v)
+	}
+
+	// Per-shard queue gauges: one series per shard of the test spec.
+	depths := 0
+	for series := range sc.samples {
+		if strings.HasPrefix(series, "hhd_queue_depth{") {
+			depths++
+		}
+	}
+	if depths != 4 {
+		t.Fatalf("hhd_queue_depth has %d series, want 4", depths)
+	}
+}
+
+// TestPrometheusOmitsDormantFamilies: no -window and no -sentinel means
+// no hhd_window / hhd_sentinel series or headers at all.
+func TestPrometheusOmitsDormantFamilies(t *testing.T) {
+	s := newTestServer(t, 10_000)
+	do(t, s, "GET", "/report", "", nil)
+	sc := scrapePrometheus(t, s)
+	for _, family := range []string{"hhd_window", "hhd_sentinel"} {
+		if _, ok := sc.types[family]; ok {
+			t.Fatalf("dormant family %q exposed", family)
+		}
+		for series := range sc.samples {
+			if strings.HasPrefix(series, family+"{") {
+				t.Fatalf("dormant series %q exposed", series)
+			}
+		}
+	}
+	// And a windowed server exposes hhd_window.
+	ws := newWindowServer(t, 1000)
+	do(t, ws, "POST", "/ingest", "application/octet-stream", binaryBody(plantedStream(2000)))
+	wsc := scrapePrometheus(t, ws)
+	if _, ok := wsc.samples[`hhd_window{field="covered"}`]; !ok {
+		t.Fatalf("windowed server missing hhd_window: %v", wsc.families())
+	}
+}
+
+// TestPrometheusTwinsExpvar pins the mapping between the expvar JSON
+// view and the Prometheus families: every hhd.* key a dashboard might
+// already graph has a prometheus counterpart.
+func TestPrometheusTwinsExpvar(t *testing.T) {
+	const m = 20_000
+	s, err := newServer(sentinelSpec(m, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.engine().Close() })
+	do(t, s, "POST", "/ingest", "application/octet-stream", binaryBody(plantedStream(m)))
+	do(t, s, "GET", "/report", "", nil)
+
+	w := do(t, s, "GET", "/metrics", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("expvar scrape status %d", w.Code)
+	}
+	expvarBody := w.Body.String()
+	sc := scrapePrometheus(t, s)
+
+	twins := map[string]string{
+		"hhd.items_total":             "hhd_items_total",
+		"hhd.items_per_sec":           "hhd_items_per_sec",
+		"hhd.queue_depths":            "hhd_queue_depth",
+		"hhd.model_bits":              "hhd_model_bits",
+		"hhd.shards":                  "hhd_shards",
+		"hhd.uptime_seconds":          "hhd_uptime_seconds",
+		"hhd.peers":                   "hhd_peers",
+		"hhd.merges_total":            "hhd_merges_total",
+		"hhd.merge_errors_total":      "hhd_merge_errors_total",
+		"hhd.merge_latency_seconds":   "hhd_merge_latency_seconds",
+		"hhd.merge_staleness_seconds": "hhd_merge_staleness_seconds",
+		"hhd.sentinel":                "hhd_sentinel",
+	}
+	for expvarKey, family := range twins {
+		if !strings.Contains(expvarBody, `"`+expvarKey+`"`) {
+			t.Errorf("expvar view lost %q", expvarKey)
+		}
+		if _, ok := sc.types[family]; !ok {
+			t.Errorf("expvar %q has no prometheus twin %q", expvarKey, family)
+		}
+	}
+}
+
+// TestReadyz pins the liveness/readiness split: /healthz always answers
+// 200, /readyz flips to 503 while warming or draining.
+func TestReadyz(t *testing.T) {
+	s := newTestServer(t, 10_000)
+	if w := do(t, s, "GET", "/healthz", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz %d", w.Code)
+	}
+	if w := do(t, s, "GET", "/readyz", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("ready worker answered %d: %s", w.Code, w.Body)
+	}
+
+	// Aggregator warming: not ready until the first complete pull.
+	s.ready.Store(false)
+	if w := do(t, s, "GET", "/readyz", "", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("warming server answered %d", w.Code)
+	} else if !strings.Contains(w.Body.String(), "warming") {
+		t.Fatalf("warming body %q", w.Body)
+	}
+	if w := do(t, s, "GET", "/healthz", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz must stay 200 while warming, got %d", w.Code)
+	}
+	s.ready.Store(true)
+
+	s.setDraining()
+	if w := do(t, s, "GET", "/readyz", "", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered %d", w.Code)
+	} else if !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("draining body %q", w.Body)
+	}
+	if w := do(t, s, "GET", "/healthz", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz must stay 200 while draining, got %d", w.Code)
+	}
+	if v := s.obs.reg; v == nil {
+		t.Fatal("server registry missing")
+	}
+}

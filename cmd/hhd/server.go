@@ -8,6 +8,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,6 +41,20 @@ type server struct {
 	eng l1hh.HeavyHitters
 
 	start time.Time
+
+	// obs is the per-server Prometheus registry and its stage-latency
+	// histograms; the engine spec's ingest observer feeds it.
+	obs *serverObs
+
+	// ready gates /readyz: true once the server can answer meaningful
+	// reports (immediately on workers; after the first successful pull
+	// on aggregators). draining flips on shutdown so load balancers
+	// stop routing before the listener closes.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// reqSeq numbers requests for the access log and X-Request-Id.
+	reqSeq atomic.Uint64
 
 	// items/sec is computed from the accepted-items delta between
 	// distinct Stats snapshots; scrapes that share a cached snapshot
@@ -187,19 +202,75 @@ func publishMetrics() {
 		}
 		return nil
 	}))
+	// The accuracy sentinel's audit state (with -sentinel), the same
+	// composite-out-of-one-barrier shape as hhd.window.
+	expvar.Publish("hhd.sentinel", expvar.Func(func() any {
+		if s := get(); s != nil {
+			if sen := s.scrapeStats().Sentinel; sen != nil {
+				return map[string]any{
+					"sample_rate":      sen.SampleRate,
+					"seen_total":       sen.TotalSeen,
+					"sampled_total":    sen.Sampled,
+					"keys":             sen.Keys,
+					"dropped_total":    sen.Dropped,
+					"checks_total":     sen.Checks,
+					"violations_total": sen.Violations,
+					"observed_eps":     sen.ObservedEps,
+					"max_observed_eps": sen.MaxObservedEps,
+					"incoherent":       sen.Incoherent,
+				}
+			}
+		}
+		return nil
+	}))
 }
 
 // newServer builds the engine for spec and the routing table.
 func newServer(spec engineSpec) (*server, error) {
-	eng, err := l1hh.New(spec.build...)
+	s := newShell(spec)
+	eng, err := l1hh.New(s.spec.build...)
 	if err != nil {
 		return nil, err
 	}
-	return newServerWith(spec, eng), nil
+	s.finish(eng)
+	return s, nil
 }
 
-func newServerWith(spec engineSpec, eng l1hh.HeavyHitters) *server {
-	s := &server{spec: spec, eng: eng, start: time.Now()}
+// newServerFromCheckpoint restores the engine from a checkpoint blob
+// instead of building it fresh; the spec's runtime options (including
+// the ingest observer) are re-applied to the restored container.
+func newServerFromCheckpoint(spec engineSpec, blob []byte) (*server, error) {
+	s := newShell(spec)
+	eng, err := l1hh.Unmarshal(blob, s.spec.restore...)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := eng.(l1hh.Sharder); !ok {
+		eng.Close()
+		return nil, errors.New("checkpoint restores to a single-owner solver; hhd needs a sharded container")
+	}
+	s.finish(eng)
+	return s, nil
+}
+
+// newShell allocates the server and its metrics registry BEFORE any
+// engine exists: the stage histograms must be live so the ingest
+// observer option — appended to both option sets here — can reference
+// them from every engine the server will ever run (initial build,
+// checkpoint restore, aggregator rebuilds).
+func newShell(spec engineSpec) *server {
+	s := &server{spec: spec, start: time.Now()}
+	s.obs = newServerObs(s)
+	timings := s.obs.ingestTimings()
+	s.spec.build = append(s.spec.build, l1hh.WithIngestObserver(timings))
+	s.spec.restore = append(s.spec.restore, l1hh.WithIngestObserver(timings))
+	return s
+}
+
+// finish installs the engine and the routing table; the server is ready
+// from here (aggregator mode lowers readiness again before serving).
+func (s *server) finish(eng l1hh.HeavyHitters) {
+	s.eng = eng
 	s.lastScrape = s.start
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -208,13 +279,59 @@ func newServerWith(spec engineSpec, eng l1hh.HeavyHitters) *server {
 	s.mux.HandleFunc("POST /merge", s.handleMerge)
 	s.mux.HandleFunc("POST /restore", s.handleRestore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /metrics", s.handleMetrics(expvar.Handler()))
+	s.ready.Store(true)
 	activeServer.Store(s)
 	publishOnce.Do(publishMetrics)
-	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP wraps the routing table in the access log: every request
+// gets a sequential id (echoed as X-Request-Id) and a structured log
+// line with method, path, status, size and latency.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("%06d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", id)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	slog.Debug("http",
+		"id", id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"bytes", rec.bytes,
+		"dur", time.Since(start).Round(time.Microsecond).String(),
+	)
+}
+
+// statusRecorder captures the status code and body size for the access
+// log without changing handler behaviour.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// isReady reports whether /readyz should answer 200: not draining, and
+// past any warm-up gate (aggregators wait for the first successful
+// pull).
+func (s *server) isReady() bool { return s.ready.Load() && !s.draining.Load() }
+
+// setDraining lowers readiness ahead of shutdown so load balancers
+// stop routing while the listener still answers.
+func (s *server) setDraining() { s.draining.Store(true) }
 
 func (s *server) engine() l1hh.HeavyHitters {
 	s.mu.RLock()
@@ -313,6 +430,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		accepted uint64
 		err      error
 	)
+	start := time.Now()
 	switch {
 	case strings.HasPrefix(ct, "application/octet-stream"):
 		accepted, err = ingestBinary(eng, r.Body)
@@ -323,6 +441,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
 		return
 	}
+	s.obs.ingestDecode.ObserveDuration(time.Since(start))
 	if err != nil {
 		// Items before the malformed point were already inserted;
 		// report both the error and the accepted count.
@@ -482,8 +601,11 @@ type reportedItem struct {
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	eng := s.engine()
+	start := time.Now()
 	rep := eng.Report()
+	s.obs.report.ObserveDuration(time.Since(start))
 	st := eng.Stats()
+	s.obs.observeSentinel(st)
 	out := reportResponse{
 		Len:          st.Len,
 		Eps:          st.Eps,
@@ -525,11 +647,13 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	blob, err := s.engine().MarshalBinary()
 	if err != nil {
 		httpError(w, http.StatusConflict, "checkpoint: %v", err)
 		return
 	}
+	s.obs.ckptEncode.ObserveDuration(time.Since(start))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	w.Write(blob)
@@ -601,6 +725,7 @@ func (s *server) recordMerge(d time.Duration) {
 	s.mergesTotal.Add(1)
 	s.mergeLastNano.Store(d.Nanoseconds())
 	s.mergeLastUnix.Store(time.Now().UnixNano())
+	s.obs.merge.ObserveDuration(d)
 }
 
 // rejectOnAggregator refuses state-mutating requests on a node running
@@ -629,11 +754,13 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes", maxSnapshotBody)
 		return
 	}
+	start := time.Now()
 	restored, err := l1hh.Unmarshal(blob, s.spec.restore...)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "restore: %v", err)
 		return
 	}
+	s.obs.ckptDecode.ObserveDuration(time.Since(start))
 	// The daemon serves concurrent producers; a checkpoint that restores
 	// to a single-owner solver (a serial or un-sharded windowed state)
 	// must not be swapped in behind HTTP.
@@ -657,9 +784,26 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is liveness: always 200 while the process can serve
+// HTTP at all. Routing decisions belong to /readyz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
 	})
+}
+
+// handleReadyz is readiness: 503 while draining for shutdown or before
+// the server can answer meaningful reports (an aggregator that has not
+// completed its first pull). Load balancers should route on this, not
+// on /healthz.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case !s.ready.Load():
+		httpError(w, http.StatusServiceUnavailable, "warming: waiting for the first successful peer pull")
+	default:
+		writeJSON(w, map[string]any{"status": "ready"})
+	}
 }

@@ -320,8 +320,9 @@ func shardEngineConfig(cfg Config, total int, seed uint64) Config {
 // seeds and the partition-hash seed all derive from cfg.Seed, so a fixed
 // (Seed, Shards) pair is fully reproducible. With the Window fields set,
 // every shard runs a sliding window over its substream (built on clock;
-// nil means time.Now).
-func buildSharded(cfg ShardedConfig, clock func() time.Time) (*ShardedListHeavyHitters, error) {
+// nil means time.Now). hooks are the optional ingest stage-timing
+// callbacks (WithIngestObserver); the zero value disables them.
+func buildSharded(cfg ShardedConfig, clock func() time.Time, hooks shard.Hooks) (*ShardedListHeavyHitters, error) {
 	cfg.fill()
 	if cfg.Window > 0 && cfg.WindowDuration > 0 {
 		return nil, errors.New("l1hh: Window and WindowDuration are mutually exclusive")
@@ -339,6 +340,7 @@ func buildSharded(cfg ShardedConfig, clock func() time.Time) (*ShardedListHeavyH
 		Shards:     cfg.Shards,
 		QueueDepth: cfg.QueueDepth,
 		MaxBatch:   cfg.MaxBatch,
+		Hooks:      hooks,
 	}
 	seeds := rng.New(cfg.Seed)
 	opts.Seed = seeds.Uint64()
@@ -369,8 +371,10 @@ func buildSharded(cfg ShardedConfig, clock func() time.Time) (*ShardedListHeavyH
 // frames serialize their own budget), because pacing is runtime tuning
 // the per-shard tag-1/2 blobs do not record; rawWindows re-applies the
 // count-window extrapolation opt-out (tag 5 only), runtime tuning for
-// the same reason.
-func unmarshalSharded(data []byte, queueDepth, maxBatch int, clock func() time.Time, pacedBudget int, rawWindows bool) (*ShardedListHeavyHitters, error) {
+// the same reason; hooks re-install the ingest stage-timing callbacks
+// (WithIngestObserver), runtime instrumentation that is never
+// serialized.
+func unmarshalSharded(data []byte, queueDepth, maxBatch int, clock func() time.Time, pacedBudget int, rawWindows bool, hooks shard.Hooks) (*ShardedListHeavyHitters, error) {
 	if len(data) < 1 || (data[0] != tagSharded && data[0] != tagShardedWindowed) {
 		return nil, errors.New("l1hh: not a sharded solver encoding")
 	}
@@ -428,7 +432,7 @@ func unmarshalSharded(data []byte, queueDepth, maxBatch int, clock func() time.T
 			}
 		}
 		return e, nil
-	}, shard.Options{QueueDepth: queueDepth, MaxBatch: maxBatch})
+	}, shard.Options{QueueDepth: queueDepth, MaxBatch: maxBatch, Hooks: hooks})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution: Observe finds the first
+// bucket whose upper bound holds the value and does two uncontended
+// atomic adds (the bucket count and the running sum) — no mutex, no
+// allocation, no clock read. Quantiles are derived from the bucket
+// counts at read time, so the hot path pays nothing for them.
+//
+// Buckets are cumulative only at exposition time; internally each
+// slot counts its own interval, so concurrent observers never touch
+// more than one slot.
+type Histogram struct {
+	// bounds are the upper bounds of the finite buckets, strictly
+	// increasing; counts has one extra slot for +Inf.
+	bounds []float64
+	counts []atomic.Uint64
+	// sum accumulates observed values in nanounits (value × 1e9) so it
+	// fits an integer add; sumScale converts back on read.
+	sum atomic.Int64
+}
+
+// sumScale is the fixed-point scale of Histogram.sum: 1e9 keeps
+// nanosecond resolution for duration histograms and ~9 significant
+// digits for unit-scale values (observed ε), while a cumulative sum
+// of 2⁶³ nanounits still spans ~9·10⁹ observed seconds.
+const sumScale = 1e9
+
+// DurationBuckets is the default bound set for stage-latency
+// histograms: 5µs to 10s in a 1–2.5–5 progression, covering everything
+// from a batch hand-off to a multi-second checkpoint decode. DESIGN.md
+// §10 documents the choice.
+var DurationBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// EpsBuckets is the default bound set for observed-ε histograms
+// (accuracy sentinel): 10⁻⁶ to 0.5, log-spaced, bracketing every ε a
+// solver in this repo accepts.
+var EpsBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+}
+
+// newHistogram builds a histogram over bounds, validating monotonicity.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. No-op on a nil receiver, so a disabled
+// histogram costs its caller one nil check.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketOf(v)].Add(1)
+	h.sum.Add(int64(v * sumScale))
+}
+
+// ObserveDuration records a duration in seconds. No-op on a nil
+// receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// bucketOf returns the index of the first bucket whose upper bound
+// holds v (len(bounds) = the +Inf slot). Binary search: bound sets are
+// ~20 entries, so this is 4–5 predictable branches.
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the total number of observations; 0 on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load()) / sumScale
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts by linear interpolation within the holding bucket, the same
+// estimator Prometheus's histogram_quantile applies. Values in the
+// +Inf bucket are attributed to the largest finite bound (quantiles
+// cannot exceed it). Returns 0 with no observations or on nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		next := cum + float64(c)
+		if rank > next || c == 0 {
+			cum = next
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: the best point estimate is the largest
+			// finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		return lower + (upper-lower)*((rank-cum)/float64(c))
+	}
+	return h.bounds[len(h.bounds)-1]
+}

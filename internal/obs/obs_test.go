@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth", nil)
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 1} // ≤1: {0.5, 1}; ≤2: {1.5}; ≤4: {3}; +Inf: {100}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 106.0; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1, 1})
+	// 90 observations in (0.001, 0.01], 10 in (0.1, 1].
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); q < 0.001 || q > 0.01 {
+		t.Fatalf("p50 = %v, want within (0.001, 0.01]", q)
+	}
+	if q := h.Quantile(0.99); q < 0.1 || q > 1 {
+		t.Fatalf("p99 = %v, want within (0.1, 1]", q)
+	}
+	// Everything in the overflow bucket pins quantiles to the largest
+	// finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.9); q != 2 {
+		t.Fatalf("overflow p90 = %v, want 2", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DurationBuckets)
+	var wg sync.WaitGroup
+	const workers, each = 8, 10000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(w+1) * 1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "", nil)
+	expectPanic("duplicate series", func() { r.Counter("dup_total", "", nil) })
+	expectPanic("type conflict", func() { r.Gauge("dup_total", "", nil) })
+	expectPanic("bad metric name", func() { r.Counter("0bad", "", nil) })
+	expectPanic("bad label name", func() { r.Counter("ok_total", "", L("0bad", "v")) })
+	expectPanic("odd L", func() { L("only-key") })
+	expectPanic("unsorted bounds", func() { r.Histogram("h", "", nil, []float64{2, 1}) })
+	expectPanic("empty bounds", func() { r.Histogram("h2", "", nil, nil) })
+	// Distinct label sets under one family are fine.
+	r.Counter("labeled_total", "", L("stage", "a"))
+	r.Counter("labeled_total", "", L("stage", "b"))
+	expectPanic("duplicate labeled series", func() { r.Counter("labeled_total", "", L("stage", "a")) })
+}
+
+func TestDefaultBucketSetsAreValid(t *testing.T) {
+	// The exported defaults must satisfy the histogram invariants —
+	// newHistogram panics otherwise.
+	newHistogram(DurationBuckets)
+	newHistogram(EpsBuckets)
+}

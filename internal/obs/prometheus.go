@@ -1,0 +1,142 @@
+package obs
+
+// prometheus.go — a hand-rolled writer for the Prometheus text
+// exposition format, version 0.0.4 (the format every Prometheus server
+// scrapes). Kept deliberately minimal so the repo needs no
+// client_golang dependency: HELP/TYPE headers, escaped label values,
+// cumulative histogram buckets with the canonical le label, _sum and
+// _count series.
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the value a /metrics endpoint should set on the
+// Content-Type header when serving WritePrometheus output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered family in registration
+// order. Dynamic families (SeriesFunc) producing no samples are
+// omitted entirely — including their HELP/TYPE headers — so optional
+// subsystems appear only when live.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// write emits one family: headers, then every series.
+func (f *family) write(w *bufio.Writer) error {
+	var samples []Sample
+	if f.fn != nil {
+		samples = f.fn()
+		if len(samples) == 0 {
+			return nil
+		}
+	}
+	if err := f.writeHeader(w); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		for _, s := range samples {
+			if err := writeSample(w, f.name, renderLabels(s.Labels), s.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range f.series {
+		if err := s.write(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeHeader(w *bufio.Writer) error {
+	if f.help != "" {
+		if _, err := w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("# TYPE " + f.name + " " + f.typ.String() + "\n")
+	return err
+}
+
+// write emits one static series: a single sample for counters and
+// gauges, the full bucket/_sum/_count set for histograms.
+func (s *series) write(w *bufio.Writer, name string) error {
+	switch {
+	case s.c != nil:
+		return writeSample(w, name, s.key, float64(s.c.Value()))
+	case s.g != nil:
+		return writeSample(w, name, s.key, s.g.Value())
+	case s.fn != nil:
+		return writeSample(w, name, s.key, s.fn())
+	case s.h != nil:
+		return s.writeHistogram(w, name)
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket series, then _sum and
+// _count. Bucket counts are loaded low-to-high and summed as written,
+// so the output is monotone by construction even under concurrent
+// observation (a racing Observe may be missed, never double-counted).
+func (s *series) writeHistogram(w *bufio.Writer, name string) error {
+	h := s.h
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatValue(h.bounds[i])
+		}
+		labels := renderLabelsExtra(s.labels, "le", le)
+		if err := writeSample(w, name+"_bucket", labels, float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_sum", s.key, float64(h.sum.Load())/sumScale); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", s.key, float64(cum))
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) error {
+	_, err := w.WriteString(name + labels + " " + formatValue(v) + "\n")
+	return err
+}
+
+// formatValue renders a sample value: integers without an exponent,
+// everything else in Go's shortest-roundtrip form, and the IEEE
+// specials in Prometheus spelling.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeHelp applies the exposition-format escapes for HELP text:
+// backslash and newline (double quotes are fine in help).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a strict parser for the subset of the text format
+// this package emits: HELP/TYPE comment lines and name{labels} value
+// samples. It fails the test on anything malformed and returns the
+// samples by full series name (including the rendered label set).
+func parseExposition(t *testing.T, out string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			if _, dup := typed[parts[0]]; dup {
+				t.Fatalf("line %d: family %q typed twice", ln+1, parts[0])
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value in %q", ln+1, line)
+		}
+		series, valueText := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valueText, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, series)
+			}
+			name = series[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q precedes its TYPE header", ln+1, series)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("line %d: duplicate series %q", ln+1, series)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+func TestWritePrometheusGrammarAndValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_ops_total", "operations", nil)
+	c.Add(42)
+	g := r.Gauge("app_depth", "queue depth", L("shard", "0"))
+	g.Set(7)
+	r.GaugeFunc("app_uptime_seconds", "uptime", nil, func() float64 { return 1.5 })
+	r.CounterFunc("app_items_total", "items", nil, func() float64 { return 9 })
+	h := r.Histogram("app_latency_seconds", "latency", L("stage", "report"), []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.SeriesFunc("app_dynamic", "per-shard", TypeGauge, func() []Sample {
+		return []Sample{{Labels: L("shard", "0"), Value: 1}, {Labels: L("shard", "1"), Value: 2}}
+	})
+	r.SeriesFunc("app_absent", "omitted while empty", TypeGauge, func() []Sample { return nil })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples := parseExposition(t, out)
+
+	for series, want := range map[string]float64{
+		"app_ops_total":                             42,
+		`app_depth{shard="0"}`:                      7,
+		"app_uptime_seconds":                        1.5,
+		"app_items_total":                           9,
+		`app_dynamic{shard="0"}`:                    1,
+		`app_dynamic{shard="1"}`:                    2,
+		`app_latency_seconds_count{stage="report"}`: 3,
+	} {
+		if got, ok := samples[series]; !ok || got != want {
+			t.Errorf("series %s = %v (present=%v), want %v", series, got, ok, want)
+		}
+	}
+	if strings.Contains(out, "app_absent") {
+		t.Error("empty dynamic family must be omitted entirely")
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", nil, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 0.5} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	// Buckets must be cumulative and monotone, ending at _count.
+	prev := -1.0
+	for _, le := range []string{"0.001", "0.01", "0.1", "+Inf"} {
+		series := fmt.Sprintf(`lat_seconds_bucket{le="%s"}`, le)
+		v, ok := samples[series]
+		if !ok {
+			t.Fatalf("missing %s", series)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%s count %v < previous %v: not cumulative", le, v, prev)
+		}
+		prev = v
+	}
+	if inf := samples[`lat_seconds_bucket{le="+Inf"}`]; inf != samples["lat_seconds_count"] {
+		t.Fatalf("+Inf bucket %v != _count %v", inf, samples["lat_seconds_count"])
+	}
+	if got, want := samples["lat_seconds_sum"], 1.0555; got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("_sum = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("esc", "", L("path", "a\\b\"c\nd"))
+	g.Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output %q missing escaped series %q", buf.String(), want)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -63,6 +64,22 @@ type ArrivalObserver interface {
 	ObserveArrivalStamp(stamp uint64)
 }
 
+// Hooks carries optional stage-timing callbacks for the ingest path.
+// Both fields follow the ArrivalObserver cost discipline: a nil hook is
+// one predictable branch on the hot path, and a non-nil hook is invoked
+// from hot loops, so implementations must be cheap, lock-free and
+// allocation-free (an atomic histogram observe, not a log line).
+type Hooks struct {
+	// EnqueueWait observes, once per dispatched batch, how long
+	// InsertBatch blocked waiting for space on a full shard queue.
+	// The fast path — queue had room — reports 0 without reading the
+	// clock, so an uncongested pipeline pays no timer cost.
+	EnqueueWait func(d time.Duration)
+	// BatchApply observes how long a shard worker spent inserting one
+	// batch into its engine. Called from the worker goroutine.
+	BatchApply func(d time.Duration)
+}
+
 // Factory builds the engine for one shard. It is called once per shard,
 // serially and in shard order, so seed derivation inside the factory is
 // deterministic.
@@ -86,6 +103,9 @@ type Options struct {
 	// Seed seeds the partition hash. The same seed must be used to
 	// restore a snapshot (Snapshot records it).
 	Seed uint64
+	// Hooks are optional stage-timing callbacks; the zero value
+	// disables them at nil-check cost.
+	Hooks Hooks
 }
 
 func (o *Options) fill() {
@@ -170,6 +190,7 @@ func (s *Sharded) worker(i int) {
 	defer s.workers.Done()
 	e := s.engines[i]
 	ao, _ := e.(ArrivalObserver)
+	ba := s.opts.Hooks.BatchApply
 	for m := range s.queues[i] {
 		if m.op != nil {
 			m.op(e)
@@ -178,8 +199,16 @@ func (s *Sharded) worker(i int) {
 		if ao != nil {
 			ao.ObserveArrivalStamp(m.stamp)
 		}
-		for _, x := range m.batch {
-			e.Insert(x)
+		if ba == nil {
+			for _, x := range m.batch {
+				e.Insert(x)
+			}
+		} else {
+			start := time.Now()
+			for _, x := range m.batch {
+				e.Insert(x)
+			}
+			ba(time.Since(start))
 		}
 		s.putBatch(m.batch)
 	}
@@ -240,16 +269,37 @@ func (s *Sharded) InsertBatch(items []uint64) error {
 		}
 		parts[i] = append(parts[i], x)
 		if len(parts[i]) >= s.opts.MaxBatch {
-			s.queues[i] <- msg{batch: parts[i], stamp: base + uint64(idx) + 1}
+			s.send(i, msg{batch: parts[i], stamp: base + uint64(idx) + 1})
 			parts[i] = nil
 		}
 	}
 	for i, p := range parts {
 		if p != nil {
-			s.queues[i] <- msg{batch: p, stamp: base + uint64(len(items))}
+			s.send(i, msg{batch: p, stamp: base + uint64(len(items))})
 		}
 	}
 	return nil
+}
+
+// send enqueues one batch on shard i's queue, timing the wait when the
+// EnqueueWait hook is set. The non-blocking attempt keeps the common
+// case — queue has room — free of clock reads; only a genuinely
+// blocking send pays for two timestamps.
+func (s *Sharded) send(i int, m msg) {
+	ew := s.opts.Hooks.EnqueueWait
+	if ew == nil {
+		s.queues[i] <- m
+		return
+	}
+	select {
+	case s.queues[i] <- m:
+		ew(0)
+		return
+	default:
+	}
+	start := time.Now()
+	s.queues[i] <- m
+	ew(time.Since(start))
 }
 
 // Items returns the number of items accepted by InsertBatch (they may

@@ -38,12 +38,17 @@ const (
 	optTimeWindow
 	optClock
 	optRawWindows
+	optSentinel
+	optObserver
 )
 
 // runtimeOpts are the options that tune a restored solver rather than
 // defining the problem: everything else is serialized state and is
-// rejected by Unmarshal.
-const runtimeOpts = optPaced | optQueueDepth | optMaxBatch | optClock | optRawWindows
+// rejected by Unmarshal. WithIngestObserver qualifies — instrumentation
+// changes nothing the checkpoint records; WithAccuracySentinel does not
+// (a restored solver's history was never sampled, so its shadow would
+// report bogus violations).
+const runtimeOpts = optPaced | optQueueDepth | optMaxBatch | optClock | optRawWindows | optObserver
 
 // settings is the resolved option set New and Unmarshal dispatch on.
 type settings struct {
@@ -56,6 +61,8 @@ type settings struct {
 	windowBuckets int
 	rawWindows    bool
 	clock         func() time.Time
+	sentinelRate  float64
+	timings       IngestTimings
 
 	set  uint32  // optXxx bits for every option applied
 	errs []error // deferred per-option validation failures
@@ -261,6 +268,56 @@ func WithClock(now func() time.Time) Option {
 	}
 }
 
+// IngestTimings carries optional stage-timing callbacks for the
+// concurrent ingest path (WithIngestObserver). Hooks run on hot loops —
+// EnqueueWait on every producer's dispatch, BatchApply on every shard
+// worker's batch — so implementations must be cheap, lock-free and
+// allocation-free (an atomic histogram observation, not a log line). A
+// nil field disables that hook at the cost of one predictable branch.
+type IngestTimings struct {
+	// EnqueueWait observes, once per dispatched batch, how long
+	// InsertBatch blocked on a full shard queue; 0 (reported without a
+	// clock read) when the queue had room. Sustained non-zero waits mean
+	// the ingest rate exceeds what the shard workers drain.
+	EnqueueWait func(d time.Duration)
+	// BatchApply observes how long a shard worker spent inserting one
+	// batch into its engine.
+	BatchApply func(d time.Duration)
+}
+
+// WithIngestObserver installs stage-timing callbacks on the concurrent
+// ingest path. Needs WithShards (serial solvers have no queues or
+// workers to time). Runtime tuning: also valid on Unmarshal of sharded
+// checkpoints (tags 3, 5) — instrumentation is never serialized.
+func WithIngestObserver(t IngestTimings) Option {
+	return func(st *settings) {
+		st.timings = t
+		st.mark(optObserver)
+	}
+}
+
+// WithAccuracySentinel enables the run-time accuracy audit: every
+// occurrence is sampled into an exact shadow with probability rate ∈
+// (0,1], and each Report is checked against the shadow's scaled truth —
+// estimates outside ε·m plus a 3σ sampling-noise allowance, or ϕ-heavy
+// shadow items missing from the report, count as guarantee violations
+// (Stats.Sentinel, Stats.ObservedEps). Not available with windows (the
+// shadow has no retirement machinery, so whole-stream truth would be
+// compared against window-scoped reports) and not accepted by Unmarshal
+// (a restored solver's history was never sampled). After a Merge the
+// sentinel marks itself Incoherent and suspends auditing. DESIGN.md §10
+// documents the statistics.
+func WithAccuracySentinel(rate float64) Option {
+	return func(st *settings) {
+		if !(rate > 0 && rate <= 1) {
+			st.failf("l1hh: WithAccuracySentinel needs a rate in (0,1], got %v", rate)
+			return
+		}
+		st.sentinelRate = rate
+		st.mark(optSentinel)
+	}
+}
+
 // resolveOptions applies opts to a fresh settings value and validates
 // the combination. Construction-level parameter ranges (ε, ϕ, δ bounds)
 // are left to the engine constructors, which already enforce them; this
@@ -302,6 +359,12 @@ func (st *settings) validateNew() error {
 	}
 	if st.has(optQueueDepth|optMaxBatch) && !st.sharded() {
 		return errors.New("l1hh: WithQueueDepth/WithMaxBatch need WithShards")
+	}
+	if st.has(optObserver) && !st.sharded() {
+		return errors.New("l1hh: WithIngestObserver needs WithShards (serial solvers have no ingest pipeline to time)")
+	}
+	if st.has(optSentinel) && st.windowed() {
+		return errors.New("l1hh: WithAccuracySentinel does not support windowed solvers (the shadow covers the whole stream, not the window)")
 	}
 	if st.has(optPaced) && !st.has(optStreamLength) && !st.has(optCountWindow) {
 		return errors.New("l1hh: WithPacedBudget needs a known stream length (WithStreamLength or a count window)")

@@ -1,0 +1,275 @@
+package l1hh
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSentinelZipfConformance audits a correct solver on a zipf stream:
+// the sentinel must record zero guarantee violations and an observed ε
+// no worse than the configured ε (the solver's real error is far below
+// ε, and the 1/10 sampling rate on a 200k stream keeps shadow noise
+// small).
+func TestSentinelZipfConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"serial", nil},
+		{"sharded", []Option{WithShards(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const m = 200_000
+			const eps = 0.01
+			opts := append([]Option{
+				WithEps(eps), WithPhi(0.05), WithStreamLength(m),
+				WithSeed(7), WithAccuracySentinel(0.1),
+			}, tc.opts...)
+			hh, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hh.Close()
+			if err := hh.InsertBatch(Generate(NewZipfStream(31, 1<<20, 1.2), m)); err != nil {
+				t.Fatal(err)
+			}
+			rep := hh.Report()
+			if len(rep) == 0 {
+				t.Fatal("zipf(1.2) stream must report heavy hitters")
+			}
+			st := hh.Stats()
+			if st.Sentinel == nil {
+				t.Fatal("Stats.Sentinel must be set with WithAccuracySentinel")
+			}
+			s := st.Sentinel
+			if s.Checks == 0 {
+				t.Fatal("Report must trigger a sentinel audit")
+			}
+			if s.Violations != 0 {
+				t.Fatalf("correct solver audited %d guarantee violations", s.Violations)
+			}
+			if s.TotalSeen != m {
+				t.Fatalf("sentinel saw %d occurrences, want %d", s.TotalSeen, m)
+			}
+			if s.Sampled == 0 || s.Sampled > m {
+				t.Fatalf("implausible sample count %d at rate 0.1", s.Sampled)
+			}
+			if st.ObservedEps > eps {
+				t.Fatalf("observed ε %v exceeds configured ε %v", st.ObservedEps, eps)
+			}
+			if st.ObservedEps != s.ObservedEps || s.MaxObservedEps < s.ObservedEps {
+				t.Fatalf("inconsistent observed-ε bookkeeping: %+v", s)
+			}
+			if s.Incoherent {
+				t.Fatal("sentinel incoherent without any merge")
+			}
+		})
+	}
+}
+
+// TestSentinelCatchesBrokenEstimates plants a deliberately wrong report
+// through the sentinel's own audit to prove the violation path fires:
+// an estimate 5·ε·m away from shadow truth must be flagged, as must a
+// ϕ-heavy shadow item missing from the report.
+func TestSentinelCatchesBrokenEstimates(t *testing.T) {
+	const m = 100_000
+	hh, err := New(WithEps(0.01), WithPhi(0.05), WithStreamLength(m),
+		WithSeed(3), WithAccuracySentinel(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hh.Close()
+	stream := Generate(NewZipfStream(17, 1<<16, 1.3), m)
+	if err := hh.InsertBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	rep := hh.Report()
+	if len(rep) == 0 {
+		t.Fatal("need at least one heavy hitter")
+	}
+	base := hh.Stats().Sentinel.Violations
+
+	// Reach into the adapter to audit a corrupted report directly: the
+	// top item's estimate shifted by 5·ε·m, and the rest dropped (so
+	// every remaining ϕ-heavy shadow item is "missing").
+	sen := hh.(*serialHH).sen
+	broken := []ItemEstimate{{Item: rep[0].Item, F: rep[0].F + 5*0.01*m}}
+	sen.check(broken, 0.01, 0.05)
+
+	after := hh.Stats().Sentinel
+	if after.Violations <= base {
+		t.Fatalf("corrupted report raised no violations (before %d, after %d)", base, after.Violations)
+	}
+	if after.ObservedEps < 0.04 {
+		t.Fatalf("observed ε %v did not register the planted 5ε error", after.ObservedEps)
+	}
+}
+
+// TestSentinelIncoherentAfterMerge checks that folding foreign state
+// suspends the audit instead of reporting bogus violations.
+func TestSentinelIncoherentAfterMerge(t *testing.T) {
+	mk := func(seed uint64, sentinel bool) HeavyHitters {
+		t.Helper()
+		opts := []Option{WithEps(0.02), WithPhi(0.1), WithStreamLength(50_000), WithSeed(42)}
+		if sentinel {
+			opts = append(opts, WithAccuracySentinel(0.2))
+		}
+		hh, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hh.InsertBatch(Generate(NewZipfStream(seed, 1<<16, 1.3), 25_000)); err != nil {
+			t.Fatal(err)
+		}
+		return hh
+	}
+	live := mk(1, true)
+	defer live.Close()
+	peer := mk(2, false)
+	blob, err := peer.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.Close()
+
+	if err := live.(Merger).Merge(blob); err != nil {
+		t.Fatal(err)
+	}
+	st := live.Stats()
+	if st.Sentinel == nil || !st.Sentinel.Incoherent {
+		t.Fatalf("sentinel must be incoherent after merge, got %+v", st.Sentinel)
+	}
+	checks := st.Sentinel.Checks
+	live.Report()
+	if got := live.Stats().Sentinel.Checks; got != checks {
+		t.Fatalf("incoherent sentinel still auditing (checks %d -> %d)", checks, got)
+	}
+	if live.Stats().Sentinel.Violations != 0 {
+		t.Fatal("incoherent sentinel must not report violations")
+	}
+}
+
+// TestSentinelOptionValidation pins the option surface: bad rates,
+// window combinations, and the Unmarshal rejection.
+func TestSentinelOptionValidation(t *testing.T) {
+	base := []Option{WithEps(0.01), WithPhi(0.05), WithStreamLength(1000)}
+	for _, rate := range []float64{0, -1, 1.5} {
+		if _, err := New(append(base, WithAccuracySentinel(rate))...); err == nil {
+			t.Fatalf("rate %v must be rejected", rate)
+		}
+	}
+	if _, err := New(WithEps(0.01), WithPhi(0.05), WithCountWindow(1000, 8),
+		WithAccuracySentinel(0.5)); err == nil {
+		t.Fatal("sentinel + window must be rejected")
+	}
+	hh, err := New(append(base, WithAccuracySentinel(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh.Close()
+	if _, err := Unmarshal(blob, WithAccuracySentinel(0.5)); err == nil {
+		t.Fatal("Unmarshal must reject WithAccuracySentinel")
+	}
+	if _, err := Unmarshal(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSentinelFullRateIsExact checks that rate 1 makes the shadow an
+// exact counter: scale 1, every occurrence sampled, and a correct
+// solver's report within ε·m of exact truth.
+func TestSentinelFullRateIsExact(t *testing.T) {
+	const m = 20_000
+	hh, err := New(WithEps(0.02), WithPhi(0.1), WithStreamLength(m),
+		WithSeed(9), WithAccuracySentinel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hh.Close()
+	if err := hh.InsertBatch(Generate(NewZipfStream(5, 1<<14, 1.4), m)); err != nil {
+		t.Fatal(err)
+	}
+	hh.Report()
+	s := hh.Stats().Sentinel
+	if s.Sampled != m || s.TotalSeen != m {
+		t.Fatalf("rate 1 sampled %d of %d", s.Sampled, s.TotalSeen)
+	}
+	if s.Violations != 0 {
+		t.Fatalf("exact shadow audited %d violations on a correct solver", s.Violations)
+	}
+}
+
+// TestIngestObserverValidation pins WithIngestObserver's surface: it
+// needs WithShards on New and is rejected on serial/windowed restores.
+func TestIngestObserverValidation(t *testing.T) {
+	obs := IngestTimings{EnqueueWait: func(time.Duration) {}}
+	if _, err := New(WithEps(0.01), WithPhi(0.05), WithIngestObserver(obs)); err == nil {
+		t.Fatal("WithIngestObserver without WithShards must be rejected")
+	}
+	serial, err := New(WithEps(0.01), WithPhi(0.05), WithStreamLength(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := serial.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Close()
+	if _, err := Unmarshal(blob, WithIngestObserver(obs)); err == nil {
+		t.Fatal("serial restore must reject WithIngestObserver")
+	}
+}
+
+// TestIngestObserverFires drives a sharded solver with timing callbacks
+// installed and checks both hooks report, including after a checkpoint
+// round-trip (the observer is re-installed on Unmarshal).
+func TestIngestObserverFires(t *testing.T) {
+	run := func(t *testing.T, build func(IngestTimings) (HeavyHitters, error)) {
+		t.Helper()
+		var waits, applies int
+		var mu sync.Mutex
+		obs := IngestTimings{
+			EnqueueWait: func(time.Duration) { mu.Lock(); waits++; mu.Unlock() },
+			BatchApply:  func(time.Duration) { mu.Lock(); applies++; mu.Unlock() },
+		}
+		hh, err := build(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hh.Close()
+		if err := hh.InsertBatch(Generate(NewZipfStream(3, 1<<16, 1.2), 50_000)); err != nil {
+			t.Fatal(err)
+		}
+		hh.(Flusher).Flush()
+		mu.Lock()
+		defer mu.Unlock()
+		if waits == 0 || applies == 0 {
+			t.Fatalf("hooks did not fire: waits=%d applies=%d", waits, applies)
+		}
+	}
+	t.Run("new", func(t *testing.T) {
+		run(t, func(obs IngestTimings) (HeavyHitters, error) {
+			return New(WithEps(0.01), WithPhi(0.05), WithStreamLength(100_000),
+				WithShards(2), WithIngestObserver(obs))
+		})
+	})
+	t.Run("unmarshal", func(t *testing.T) {
+		seed, err := New(WithEps(0.01), WithPhi(0.05), WithStreamLength(100_000), WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := seed.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed.Close()
+		run(t, func(obs IngestTimings) (HeavyHitters, error) {
+			return Unmarshal(blob, WithIngestObserver(obs))
+		})
+	})
+}

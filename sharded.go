@@ -93,7 +93,7 @@ type ShardedListHeavyHitters struct {
 // Deprecated: use New with WithShards — for example
 // New(WithEps(cfg.Eps), WithPhi(cfg.Phi), WithStreamLength(cfg.StreamLength), WithShards(cfg.Shards)).
 func NewShardedListHeavyHitters(cfg ShardedConfig) (*ShardedListHeavyHitters, error) {
-	return buildSharded(cfg, nil)
+	return buildSharded(cfg, nil, shard.Hooks{})
 }
 
 // Insert routes one item; prefer InsertBatch on hot paths.
@@ -462,5 +462,5 @@ func (h *ShardedListHeavyHitters) MarshalBinary() ([]byte, error) {
 // Deprecated: use Unmarshal with WithQueueDepth/WithMaxBatch, which
 // restores every container tag behind the HeavyHitters interface.
 func UnmarshalShardedListHeavyHitters(data []byte, queueDepth, maxBatch int) (*ShardedListHeavyHitters, error) {
-	return unmarshalSharded(data, queueDepth, maxBatch, nil, 0, false)
+	return unmarshalSharded(data, queueDepth, maxBatch, nil, 0, false, shard.Hooks{})
 }

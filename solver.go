@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/merge"
+	"repro/internal/rng"
 	"repro/internal/shard"
 )
 
@@ -97,6 +98,13 @@ type Stats struct {
 	// Window describes the sliding-window coverage; nil when the solver
 	// answers for the whole stream.
 	Window *WindowStats
+	// ObservedEps is the worst per-item error fraction the accuracy
+	// sentinel measured on the most recently audited report; 0 without
+	// WithAccuracySentinel. Includes sampling noise (see SentinelStats).
+	ObservedEps float64
+	// Sentinel describes the accuracy sentinel's audit state; nil
+	// without WithAccuracySentinel.
+	Sentinel *SentinelStats
 }
 
 // Merger is the capability of folding another node's checkpoint into
@@ -192,11 +200,11 @@ func New(opts ...Option) (HeavyHitters, error) {
 			WindowDuration:  st.windowDur,
 			WindowBuckets:   st.windowBuckets,
 			RawShardWindows: st.rawWindows,
-		}, st.clock)
+		}, st.clock, st.shardHooks())
 		if err != nil {
 			return nil, err
 		}
-		return wrapSharded(eng), nil
+		return wrapSharded(eng, st.newSentinel()), nil
 	case st.windowed():
 		eng, err := buildWindowed(WindowConfig{
 			Config:         st.cfg,
@@ -214,8 +222,28 @@ func New(opts ...Option) (HeavyHitters, error) {
 		if err != nil {
 			return nil, err
 		}
-		return wrapSerial(eng, st.cfg.StreamLength > 0, st.cfg.PacedBudget), nil
+		return wrapSerial(eng, st.cfg.StreamLength > 0, st.cfg.PacedBudget, st.newSentinel()), nil
 	}
+}
+
+// shardHooks converts the public ingest-observer callbacks into the
+// internal shard hook set.
+func (st *settings) shardHooks() shard.Hooks {
+	return shard.Hooks{
+		EnqueueWait: st.timings.EnqueueWait,
+		BatchApply:  st.timings.BatchApply,
+	}
+}
+
+// newSentinel builds the accuracy sentinel when requested (nil
+// otherwise — every sentinel call site is nil-safe). The shadow
+// sampler's randomness derives from the solver seed, so audited runs
+// stay reproducible.
+func (st *settings) newSentinel() *sentinel {
+	if !st.has(optSentinel) {
+		return nil
+	}
+	return newSentinel(st.sentinelRate, rng.New(st.cfg.Seed).Split())
 }
 
 // Unmarshal restores a solver from any checkpoint this package produces
@@ -232,6 +260,8 @@ func New(opts ...Option) (HeavyHitters, error) {
 //	WithClock                   — windowed containers (4, 5)
 //	WithRawShardWindows         — sharded windowed containers (5); the
 //	                              extrapolation opt-out is not serialized
+//	WithIngestObserver          — sharded containers (3, 5);
+//	                              instrumentation is never serialized
 //
 // Checkpoint bytes are interchangeable with the deprecated per-type
 // Unmarshal functions in both directions.
@@ -241,14 +271,14 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 		return nil, err
 	}
 	if st.set&^runtimeOpts != 0 {
-		return nil, errors.New("l1hh: Unmarshal accepts runtime options only (WithPacedBudget, WithQueueDepth, WithMaxBatch, WithClock, WithRawShardWindows) — problem parameters come from the checkpoint")
+		return nil, errors.New("l1hh: Unmarshal accepts runtime options only (WithPacedBudget, WithQueueDepth, WithMaxBatch, WithClock, WithRawShardWindows, WithIngestObserver) — problem parameters come from the checkpoint")
 	}
 	if len(data) < 2 {
 		return nil, errors.New("l1hh: truncated solver encoding")
 	}
 	switch data[0] {
 	case tagOptimal, tagSimple:
-		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optClock|optRawWindows, "a serial checkpoint"); err != nil {
+		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optClock|optRawWindows|optObserver, "a serial checkpoint"); err != nil {
 			return nil, err
 		}
 		eng, err := unmarshalSerial(data)
@@ -262,21 +292,21 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 			}
 			eng.applyPacing(st.cfg.PacedBudget, p)
 		}
-		return wrapSerial(eng, true, st.cfg.PacedBudget), nil
+		return wrapSerial(eng, true, st.cfg.PacedBudget, nil), nil
 	case tagSharded:
 		if err := st.rejectOpts(optClock|optRawWindows, "a sharded checkpoint"); err != nil {
 			return nil, err
 		}
-		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, nil, st.cfg.PacedBudget, false)
+		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, nil, st.cfg.PacedBudget, false, st.shardHooks())
 		if err != nil {
 			return nil, err
 		}
-		return wrapSharded(eng), nil
+		return wrapSharded(eng, nil), nil
 	case tagShardedWindowed:
 		if err := st.rejectOpts(optPaced, "a sharded windowed checkpoint (the windowed frames serialize their own budget)"); err != nil {
 			return nil, err
 		}
-		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, st.clock, 0, st.rawWindows)
+		eng, err := unmarshalSharded(data, st.queueDepth, st.maxBatch, st.clock, 0, st.rawWindows, st.shardHooks())
 		if err != nil {
 			return nil, err
 		}
@@ -288,9 +318,9 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 			eng.Close()
 			return nil, errors.New("l1hh: WithRawShardWindows does not apply to a time-window checkpoint (only count windows extrapolate)")
 		}
-		return wrapSharded(eng), nil
+		return wrapSharded(eng, nil), nil
 	case tagWindowed:
-		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optPaced|optRawWindows, "a windowed checkpoint"); err != nil {
+		if err := st.rejectOpts(optQueueDepth|optMaxBatch|optPaced|optRawWindows|optObserver, "a windowed checkpoint"); err != nil {
 			return nil, err
 		}
 		eng, err := unmarshalWindowed(data, st.clock)
@@ -314,26 +344,28 @@ func (st *settings) rejectOpts(bits uint32, kind string) error {
 
 // wrapSerial picks the adapter whose capability set matches a serial
 // engine: unknown-length solvers expose no extras, paced solvers add
-// Flusher and Pacable, and every known-length solver is a Merger.
-func wrapSerial(eng *ListHeavyHitters, known bool, budget int) HeavyHitters {
+// Flusher and Pacable, and every known-length solver is a Merger. sen
+// is the optional accuracy sentinel (nil when not requested).
+func wrapSerial(eng *ListHeavyHitters, known bool, budget int, sen *sentinel) HeavyHitters {
 	switch {
 	case !known:
-		return &unknownSerialHH{newSerialBase(eng)}
+		return &unknownSerialHH{newSerialBase(eng, sen)}
 	case budget > 0 && eng.paced != nil:
-		return &pacedSerialHH{serialHH: serialHH{newSerialBase(eng)}, budget: budget}
+		return &pacedSerialHH{serialHH: serialHH{newSerialBase(eng, sen)}, budget: budget}
 	default:
-		return &serialHH{newSerialBase(eng)}
+		return &serialHH{newSerialBase(eng, sen)}
 	}
 }
 
 // wrapSharded picks the adapter whose capability set matches a sharded
 // container: windowed containers expose Windower, everything else is a
-// Merger; both flush.
-func wrapSharded(eng *ShardedListHeavyHitters) HeavyHitters {
+// Merger; both flush. sen is the optional accuracy sentinel (nil when
+// not requested; never set on windowed containers).
+func wrapSharded(eng *ShardedListHeavyHitters, sen *sentinel) HeavyHitters {
 	if eng.Windowed() {
 		return &shardedWindowedHH{shardedBase{s: eng}}
 	}
-	return &shardedHH{shardedBase{s: eng}}
+	return &shardedHH{shardedBase{s: eng, sen: sen}}
 }
 
 // singleOwnerEngine is the method set the single-owner concrete engines
@@ -352,9 +384,11 @@ type singleOwnerEngine interface {
 
 // singleOwnerBase adapts a single-owner engine to the HeavyHitters
 // interface: error-returning inserts with a closed state, delegation
-// everywhere else.
+// everywhere else. sen is the optional accuracy sentinel; every use is
+// nil-safe, so the disabled path costs one nil check.
 type singleOwnerBase struct {
 	e      singleOwnerEngine
+	sen    *sentinel
 	closed bool
 }
 
@@ -363,6 +397,7 @@ func (s *singleOwnerBase) Insert(x Item) error {
 		return ErrClosed
 	}
 	s.e.Insert(x)
+	s.sen.observe(x)
 	return nil
 }
 
@@ -373,14 +408,34 @@ func (s *singleOwnerBase) InsertBatch(items []Item) error {
 	for _, x := range items {
 		s.e.Insert(x)
 	}
+	s.sen.observeBatch(items)
 	return nil
 }
 
-func (s *singleOwnerBase) Report() []ItemEstimate         { return s.e.Report() }
-func (s *singleOwnerBase) Len() uint64                    { return s.e.Len() }
-func (s *singleOwnerBase) Eps() float64                   { return s.e.Eps() }
-func (s *singleOwnerBase) Phi() float64                   { return s.e.Phi() }
-func (s *singleOwnerBase) Stats() Stats                   { return s.e.Stats() }
+// Report additionally audits the result against the accuracy sentinel's
+// shadow when one is installed.
+func (s *singleOwnerBase) Report() []ItemEstimate {
+	rep := s.e.Report()
+	s.sen.check(rep, s.e.Eps(), s.e.Phi())
+	return rep
+}
+
+func (s *singleOwnerBase) Len() uint64  { return s.e.Len() }
+func (s *singleOwnerBase) Eps() float64 { return s.e.Eps() }
+func (s *singleOwnerBase) Phi() float64 { return s.e.Phi() }
+
+// Stats delegates to the engine and, when the accuracy sentinel is
+// installed, attaches its audit snapshot.
+func (s *singleOwnerBase) Stats() Stats {
+	st := s.e.Stats()
+	if s.sen != nil {
+		ss := s.sen.snapshot()
+		st.Sentinel = &ss
+		st.ObservedEps = ss.ObservedEps
+	}
+	return st
+}
+
 func (s *singleOwnerBase) ModelBits() int64               { return s.e.ModelBits() }
 func (s *singleOwnerBase) MarshalBinary() ([]byte, error) { return s.e.MarshalBinary() }
 
@@ -398,8 +453,8 @@ type serialBase struct {
 	h *ListHeavyHitters
 }
 
-func newSerialBase(h *ListHeavyHitters) serialBase {
-	return serialBase{singleOwnerBase: singleOwnerBase{e: h}, h: h}
+func newSerialBase(h *ListHeavyHitters, sen *sentinel) serialBase {
+	return serialBase{singleOwnerBase: singleOwnerBase{e: h, sen: sen}, h: h}
 }
 
 // Close additionally flushes deferred paced work so the final state
@@ -430,13 +485,18 @@ func (s *serialHH) CheckMerge(checkpoint []byte) error {
 }
 
 // Merge implements Merger: it folds the checkpointed solver's state into
-// the live one (DESIGN.md §7).
+// the live one (DESIGN.md §7). A successful merge marks the accuracy
+// sentinel incoherent — the folded stream was never sampled.
 func (s *serialHH) Merge(checkpoint []byte) error {
 	other, err := decodeSerialPeer(checkpoint)
 	if err != nil {
 		return err
 	}
-	return s.h.MergeFrom(other)
+	if err := s.h.MergeFrom(other); err != nil {
+		return err
+	}
+	s.sen.markForeign()
+	return nil
 }
 
 // decodeSerialPeer decodes a checkpoint for serial merging, reporting
@@ -488,17 +548,54 @@ func (s *windowedHH) Window() (w uint64, d time.Duration, buckets int) { return 
 // shardedBase adapts a *ShardedListHeavyHitters: the concrete type
 // already has the error-returning concurrent ingest path, so the base
 // delegates and the two outer adapters add the honest capability set.
+// sen is the optional accuracy sentinel; it serializes concurrent
+// producers through its own mutex (amortized per batch), never through
+// the engine.
 type shardedBase struct {
-	s *ShardedListHeavyHitters
+	s   *ShardedListHeavyHitters
+	sen *sentinel
 }
 
-func (s *shardedBase) Insert(x Item) error            { return s.s.Insert(x) }
-func (s *shardedBase) InsertBatch(items []Item) error { return s.s.InsertBatch(items) }
-func (s *shardedBase) Report() []ItemEstimate         { return s.s.Report() }
-func (s *shardedBase) Len() uint64                    { return s.s.Len() }
-func (s *shardedBase) Eps() float64                   { return s.s.Eps() }
-func (s *shardedBase) Phi() float64                   { return s.s.Phi() }
-func (s *shardedBase) Stats() Stats                   { return s.s.Stats() }
+func (s *shardedBase) Insert(x Item) error {
+	if err := s.s.Insert(x); err != nil {
+		return err
+	}
+	s.sen.observe(x)
+	return nil
+}
+
+func (s *shardedBase) InsertBatch(items []Item) error {
+	if err := s.s.InsertBatch(items); err != nil {
+		return err
+	}
+	s.sen.observeBatch(items)
+	return nil
+}
+
+// Report additionally audits the result against the accuracy sentinel's
+// shadow when one is installed.
+func (s *shardedBase) Report() []ItemEstimate {
+	rep := s.s.Report()
+	s.sen.check(rep, s.s.Eps(), s.s.Phi())
+	return rep
+}
+
+func (s *shardedBase) Len() uint64  { return s.s.Len() }
+func (s *shardedBase) Eps() float64 { return s.s.Eps() }
+func (s *shardedBase) Phi() float64 { return s.s.Phi() }
+
+// Stats delegates to the container and, when the accuracy sentinel is
+// installed, attaches its audit snapshot.
+func (s *shardedBase) Stats() Stats {
+	st := s.s.Stats()
+	if s.sen != nil {
+		ss := s.sen.snapshot()
+		st.Sentinel = &ss
+		st.ObservedEps = ss.ObservedEps
+	}
+	return st
+}
+
 func (s *shardedBase) ModelBits() int64               { return s.s.ModelBits() }
 func (s *shardedBase) MarshalBinary() ([]byte, error) { return s.s.MarshalBinary() }
 func (s *shardedBase) Close() error                   { return s.s.Close() }
@@ -521,9 +618,14 @@ func (s *shardedHH) CheckMerge(checkpoint []byte) error {
 }
 
 // Merge implements Merger, folding a peer node's checkpoint shard by
-// shard (DESIGN.md §7); failure is atomic.
+// shard (DESIGN.md §7); failure is atomic. A successful merge marks the
+// accuracy sentinel incoherent — the folded stream was never sampled.
 func (s *shardedHH) Merge(checkpoint []byte) error {
-	return s.s.MergeCheckpoint(checkpoint)
+	if err := s.s.MergeCheckpoint(checkpoint); err != nil {
+		return err
+	}
+	s.sen.markForeign()
+	return nil
 }
 
 // shardedWindowedHH is the adapter for sharded containers whose shards
