@@ -1,0 +1,111 @@
+package main
+
+// The bench regression gate (-check): re-run the ingest hot-path
+// measurements and compare them against a committed BENCH_ingest.json
+// snapshot. A fresh ns/item more than -tolerance above the snapshot's,
+// or a hot path that stopped being allocation-free, exits non-zero so
+// CI fails on the regression instead of silently committing it.
+//
+// The comparison is only meaningful between like environments, so it is
+// keyed by (go_version, gomaxprocs): when the runner doesn't match the
+// snapshot the gate still prints the full comparison but only WARNS —
+// cross-machine deltas are provenance noise, not regressions. The
+// allocation assertion has no such escape: allocs/item is
+// machine-independent and must hold everywhere.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// maxAllocsPerItem is the allocation budget per ingested item. The
+// dispatch and decode paths are pooled, so steady-state allocations are
+// amortized sketch-table growth only — a small fraction of an
+// allocation per item. 0.01 allows that amortized tail while failing
+// loudly on any real per-item or per-batch allocation (1/8192 ≈ 1e-4
+// per pooled miss; a per-batch alloc at MaxBatch 4096 shows up as
+// ≈ 2.4e-4, a per-item one as ≥ 1).
+const maxAllocsPerItem = 0.01
+
+// expCheck implements -check: load the committed snapshot, re-measure,
+// compare. Returns through os.Exit(1) on a gating failure.
+func expCheck(snapshotPath string, tolerance float64) {
+	if tolerance <= 0 {
+		fmt.Fprintln(os.Stderr, "check: -tolerance must be positive")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(snapshotPath)
+	must(err)
+	var want ingestBenchReport
+	if err := json.Unmarshal(blob, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "check: parsing %s: %v\n", snapshotPath, err)
+		os.Exit(2)
+	}
+	baseline := make(map[string]ingestBenchRow, len(want.Results))
+	for _, row := range want.Results {
+		baseline[row.Name] = row
+	}
+
+	got := measureIngest()
+
+	// Environment key: ns/item from a different toolchain or processor
+	// budget is not comparable; warn instead of failing.
+	enforce := true
+	if got.GoVersion != want.GoVersion || got.GOMAXPROCS != want.GOMAXPROCS {
+		enforce = false
+		fmt.Printf("check: WARNING: environment mismatch — snapshot (%s, GOMAXPROCS=%d) vs runner (%s, GOMAXPROCS=%d); ns/item deltas reported but not enforced\n",
+			want.GoVersion, want.GOMAXPROCS, got.GoVersion, got.GOMAXPROCS)
+	}
+
+	fmt.Printf("check: %s (sha %s) vs fresh run, tolerance %.0f%%\n",
+		snapshotPath, want.GitSHA, tolerance*100)
+	fmt.Printf("%-34s %12s %12s %8s\n", "hot path", "snapshot ns", "fresh ns", "delta")
+	failed := false
+	for _, row := range got.Results {
+		base, ok := baseline[row.Name]
+		if !ok {
+			fmt.Printf("%-34s %12s %12.1f %8s (new hot path, not in snapshot)\n",
+				row.Name, "—", row.NsPerItem, "—")
+			continue
+		}
+		delta := row.NsPerItem/base.NsPerItem - 1
+		verdict := "ok"
+		if delta > tolerance {
+			if enforce {
+				verdict = "REGRESSION"
+				failed = true
+			} else {
+				verdict = "regression? (not enforced)"
+			}
+		}
+		fmt.Printf("%-34s %12.1f %12.1f %+7.1f%% %s\n",
+			row.Name, base.NsPerItem, row.NsPerItem, delta*100, verdict)
+		if row.AllocsPerItem > maxAllocsPerItem {
+			fmt.Printf("%-34s allocs/item %.4f exceeds the %.2f budget: ingest is no longer allocation-free\n",
+				row.Name, row.AllocsPerItem, maxAllocsPerItem)
+			failed = true
+		}
+	}
+	for _, row := range want.Results {
+		if _, ok := rowByName(got.Results, row.Name); !ok {
+			fmt.Printf("%-34s measured by the snapshot but missing from the fresh run\n", row.Name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("check: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("check: ok")
+}
+
+// rowByName finds a result row by hot-path name.
+func rowByName(rows []ingestBenchRow, name string) (ingestBenchRow, bool) {
+	for _, r := range rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return ingestBenchRow{}, false
+}

@@ -47,6 +47,23 @@ const ingestBenchChunk = 8192
 // expIngest measures serial Insert and sharded InsertBatch per-item
 // cost and writes the JSON snapshot to out ("" = stdout).
 func expIngest(out string) {
+	rep := measureIngest()
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	must(err)
+	blob = append(blob, '\n')
+	if out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	must(os.WriteFile(out, blob, 0o644))
+	fmt.Printf("wrote %s (%d hot paths, go %s, sha %s)\n",
+		out, len(rep.Results), rep.GoVersion, rep.GitSHA)
+}
+
+// measureIngest runs the ingest hot-path benchmarks and returns the
+// snapshot report; expIngest serializes it and expCheck (-check)
+// compares it against a committed snapshot.
+func measureIngest() ingestBenchReport {
 	const eps, phi = 0.01, 0.1
 	shards := []int{1, 4}
 	stream := l1hh.Generate(l1hh.NewZipfStream(*seedFlag+20, 1<<20, 1.1), 1<<20)
@@ -126,17 +143,7 @@ func expIngest(out string) {
 			hh.(l1hh.Flusher).Flush()
 		}))
 	}
-
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	must(err)
-	blob = append(blob, '\n')
-	if out == "" {
-		os.Stdout.Write(blob)
-		return
-	}
-	must(os.WriteFile(out, blob, 0o644))
-	fmt.Printf("wrote %s (%d hot paths, go %s, sha %s)\n",
-		out, len(rep.Results), rep.GoVersion, rep.GitSHA)
+	return rep
 }
 
 // gitSHA best-effort resolves HEAD for the snapshot's provenance line;

@@ -16,6 +16,14 @@
 //	go run ./cmd/hhbench -exp ingest -out BENCH_ingest.json
 //	                                  # machine-readable per-item insert
 //	                                  # cost snapshot (ns, allocs, bytes)
+//
+//	go run ./cmd/hhbench -check BENCH_ingest.json -tolerance 0.15
+//	                                  # re-measure and fail (exit 1) on a
+//	                                  # >15% ns/item regression or any
+//	                                  # allocation on the ingest path;
+//	                                  # warns instead when the snapshot's
+//	                                  # go version / GOMAXPROCS don't
+//	                                  # match this runner
 package main
 
 import (
@@ -31,14 +39,20 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, ingest, or all")
-	seedFlag = flag.Uint64("seed", 1, "base RNG seed")
-	mFlag    = flag.Int("m", 1_000_000, "stream length")
-	outFlag  = flag.String("out", "", "with -exp ingest: write the JSON snapshot here instead of stdout")
+	expFlag   = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, ingest, or all")
+	seedFlag  = flag.Uint64("seed", 1, "base RNG seed")
+	mFlag     = flag.Int("m", 1_000_000, "stream length")
+	outFlag   = flag.String("out", "", "with -exp ingest: write the JSON snapshot here instead of stdout")
+	checkFlag = flag.String("check", "", "bench regression gate: re-measure the ingest hot paths and compare against this committed snapshot (exit 1 on regression)")
+	tolFlag   = flag.Float64("tolerance", 0.15, "with -check: maximum allowed ns/item increase over the snapshot (0.15 = +15%)")
 )
 
 func main() {
 	flag.Parse()
+	if *checkFlag != "" {
+		expCheck(*checkFlag, *tolFlag)
+		return
+	}
 	switch *expFlag {
 	case "e1a":
 		expE1a()

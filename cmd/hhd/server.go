@@ -89,6 +89,26 @@ type server struct {
 // ingestBatchSize is how many items ingest hands to InsertBatch at once.
 const ingestBatchSize = 8192
 
+// ingestBuffers is the per-request scratch the decode paths borrow from
+// ingestPool instead of allocating: the InsertBatch staging slice, the
+// binary path's buffered reader, and the NDJSON scanner's line buffer.
+// With it, steady-state ingest allocates nothing per item (the engine's
+// dispatch layer is pooled too — internal/shard); what remains is a few
+// fixed allocations per request (scanner struct, response encoding).
+type ingestBuffers struct {
+	batch []l1hh.Item
+	br    *bufio.Reader
+	line  []byte
+}
+
+var ingestPool = sync.Pool{New: func() any {
+	return &ingestBuffers{
+		batch: make([]l1hh.Item, 0, ingestBatchSize),
+		br:    bufio.NewReaderSize(nil, 1<<16),
+		line:  make([]byte, 0, 1<<16),
+	}
+}}
+
 // maxSnapshotBody bounds /restore request bodies.
 const maxSnapshotBody = 1 << 30
 
@@ -452,8 +472,12 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func ingestBinary(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
-	br := bufio.NewReaderSize(body, 1<<16)
-	batch := make([]l1hh.Item, 0, ingestBatchSize)
+	bufs := ingestPool.Get().(*ingestBuffers)
+	defer ingestPool.Put(bufs)
+	br := bufs.br
+	br.Reset(body)
+	defer br.Reset(nil) // don't pin the request body in the pool
+	batch := bufs.batch[:0]
 	var accepted uint64
 	var word [8]byte
 	for {
@@ -488,9 +512,11 @@ type ndjsonLine struct {
 }
 
 func ingestNDJSON(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
+	bufs := ingestPool.Get().(*ingestBuffers)
+	defer ingestPool.Put(bufs)
 	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	batch := make([]l1hh.Item, 0, ingestBatchSize)
+	sc.Buffer(bufs.line[:0], 1<<20)
+	batch := bufs.batch[:0]
 	var accepted uint64
 	flush := func() error {
 		if err := eng.InsertBatch(batch); err != nil {

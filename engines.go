@@ -302,16 +302,29 @@ func shardWindowConfig(cfg ShardedConfig, ecfg Config, total int, clock func() t
 }
 
 // shardEngineConfig derives one shard's solver Config from the global
-// problem: same (ε, ϕ) relative to the shard's own substream, failure
-// probability split δ/K so a union bound covers all shards, and the
-// expected per-shard length m/K (engines accept receiving more or fewer;
-// an overloaded shard oversamples, which costs space, never accuracy).
+// problem: same (ε, ϕ), failure probability split δ/K so a union bound
+// covers all shards, and — deliberately — the *global* declared stream
+// length m, not m/K.
+//
+// Declaring m/K per shard (the pre-PR-7 rule) looked natural but
+// multiplied per-item work instead of dividing it: Algorithm 2 samples
+// at rate p = min(1, ℓ/M) with ℓ = Θ(1/ε²), and at production settings
+// (m = 2²², K = 4, ε = 0.01) the per-shard declaration m/K drops below
+// ℓ, pinning every shard at p = 1 — all K shards together process ≈ K·ℓ
+// samples where the serial solver processes ℓ, so sharded ingest cost
+// 3.5× serial (the E8 regression). Declaring the global m keeps the
+// aggregate sample budget at ℓ regardless of K.
+//
+// Accuracy is preserved (DESIGN.md §3): each shard's additive error is
+// ε·M relative to its *declared* length M = m, which is exactly the ε·m
+// the container's global (ϕ − ε/2)·m report threshold budgets for, and
+// a shard receiving fewer than m items only ever oversamples relative
+// to its substream. Skew is also safer than under m/K: no shard can
+// receive more than the global m, so the declared length is never an
+// underestimate.
 func shardEngineConfig(cfg Config, total int, seed uint64) Config {
 	c := cfg
 	c.Delta = cfg.Delta / float64(total)
-	if cfg.StreamLength > 0 {
-		c.StreamLength = (cfg.StreamLength + uint64(total) - 1) / uint64(total)
-	}
 	c.Seed = seed
 	return c
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/compact"
 	"repro/internal/hash"
@@ -31,21 +32,29 @@ const minEpochBase = 16
 // O(ε⁻¹) additive error per repetition, driven to failure probability
 // O(ϕ) by the median over repetitions.
 type Optimal struct {
-	cfg      Config
-	sampler  *sample.Skip
-	t1       *mg.Summary
-	hashes   []hash.Func
-	t2       [][]uint32   // [rep][bucket] subsampled running counts
-	t3       [][][]uint32 // [rep][bucket][epoch] accelerated counters
-	u        uint64       // buckets per repetition
-	reps     int
-	epsK     uint    // ε rounded down to 2^−epsK (Lemma 1 coin)
-	epsEff   float64 // 2^−epsK
-	base     float64 // epoch base B
-	src      *rng.Source
-	s        uint64
-	offered  uint64
-	maxEpoch int
+	cfg     Config
+	sampler *sample.Skip
+	t1      *mg.Summary
+	hashes  []hash.Func
+	t2      [][]uint32   // [rep][bucket] subsampled running counts
+	t3      [][][]uint32 // [rep][bucket][epoch] accelerated counters
+	u       uint64       // buckets per repetition
+	reps    int
+	epsK    uint    // ε rounded down to 2^−epsK (Lemma 1 coin)
+	epsEff  float64 // 2^−epsK
+	base    float64 // epoch base B
+	// epochThresh[t] is the smallest T2 value whose epoch is ≥ t, and
+	// epochStart[b] the epoch of the smallest T2 value of bit length b
+	// (−1 below the base). Together they answer epoch() with one table
+	// lookup and a ≤2-step scan instead of a math.Log2 call per
+	// repetition per sample — the single hottest arithmetic on the
+	// sampled path. Derived from base; rebuilt on restore.
+	epochThresh []uint32
+	epochStart  [33]int8
+	src         *rng.Source
+	s           uint64
+	offered     uint64
+	maxEpoch    int
 
 	// pre is the merge credit for pre-epoch arrivals, per [rep][bucket]
 	// in T2 units: before T2 crosses the epoch base B, arrivals are
@@ -96,16 +105,76 @@ func NewOptimal(src *rng.Source, cfg Config) (*Optimal, error) {
 		o.t2[j] = make([]uint32, u)
 		o.t3[j] = make([][]uint32, u)
 	}
+	o.initEpochs()
 	return o, nil
 }
 
-// epoch returns t = ⌊2·log₂(T2/B)⌋ (the paper's ⌊log(10⁻⁶·T2²)⌋ with
-// B generalized from 1000), or a negative value below the base.
-func (o *Optimal) epoch(t2 uint32) int {
-	if float64(t2) < o.base {
+// refEpoch is the defining formula t = ⌊2·log₂(T2/B)⌋ (the paper's
+// ⌊log(10⁻⁶·T2²)⌋ with B generalized from 1000), or −1 below the base.
+// It is the reference the precomputed tables are built against — and
+// must keep matching bit for bit, because epoch boundaries are part of
+// the serialized-state semantics (merge compares bases, restored T3
+// rows are indexed by epoch).
+func refEpoch(t2 uint32, base float64) int {
+	if float64(t2) < base {
 		return -1
 	}
-	return int(math.Floor(2 * math.Log2(float64(t2)/o.base)))
+	return int(math.Floor(2 * math.Log2(float64(t2)/base)))
+}
+
+// initEpochs builds the epoch lookup tables from base: epochThresh[t]
+// is found by float candidate B·2^{t/2} then fixed up against refEpoch
+// so the boundaries match the formula exactly, and epochStart[b] is the
+// epoch at 2^{b−1}, the entry point for the per-bit-length scan.
+func (o *Optimal) initEpochs() {
+	o.epochThresh = o.epochThresh[:0]
+	for t := 0; ; t++ {
+		v := math.Ceil(o.base * math.Exp2(float64(t)/2))
+		if !(v <= math.MaxUint32) {
+			break
+		}
+		c := uint32(v)
+		for c > 1 && refEpoch(c-1, o.base) >= t {
+			c--
+		}
+		for refEpoch(c, o.base) < t {
+			if c == math.MaxUint32 {
+				c = 0 // candidate rounded below a threshold past the range
+				break
+			}
+			c++
+		}
+		if c == 0 {
+			break
+		}
+		o.epochThresh = append(o.epochThresh, c)
+	}
+	for b := range o.epochStart {
+		o.epochStart[b] = -1
+		if b == 0 {
+			continue
+		}
+		v := uint32(1) << (b - 1)
+		for t, th := range o.epochThresh {
+			if th <= v {
+				o.epochStart[b] = int8(t)
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// epoch returns refEpoch(t2, base) via the precomputed tables: start at
+// the epoch of t2's bit-length floor, then advance past at most two
+// thresholds (a doubling of T2 raises the epoch by exactly 2).
+func (o *Optimal) epoch(t2 uint32) int {
+	t := int(o.epochStart[bits.Len32(t2)])
+	th := o.epochThresh
+	for t+1 < len(th) && t2 >= th[t+1] {
+		t++
+	}
+	return t
 }
 
 // Insert processes one stream item in O(1) amortized time: one sampler

@@ -257,6 +257,7 @@ func (o *Optimal) UnmarshalBinary(data []byte) error {
 		src: rng.FromState(srcState), s: s, offered: offered,
 		maxEpoch: int(maxEpoch), pre: pre,
 	}
+	o.initEpochs()
 	return nil
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package shard
+
+// raceEnabled mirrors the race build tag so tests whose assertions the
+// race detector invalidates (sync.Pool randomly drops Puts under race
+// instrumentation, so "allocation-free" stops being true) can skip.
+const raceEnabled = false

@@ -1,8 +1,9 @@
 // Package shard is the concurrent ingest engine: it hash-partitions the
 // item universe across N independent single-threaded sketches, each owned
-// by a dedicated worker goroutine fed through batched channels (Go
-// channels are ring buffers), and coordinates barrier operations — report,
-// flush, snapshot — against all of them.
+// by a dedicated worker goroutine fed through bounded lock-free rings
+// (cache-line padded, multi-producer single-consumer, batch-granularity
+// handoff), and coordinates barrier operations — report, flush,
+// snapshot — against all of them.
 //
 // The partition is disjoint: every id is routed by a fixed seeded hash to
 // exactly one shard, so each item's full frequency lands in one sketch and
@@ -10,7 +11,7 @@
 // interface; the threshold semantics of the merged report (what counts as
 // heavy against the *global* stream length) belong to the caller — see the
 // l1hh.ShardedListHeavyHitters wrapper, and DESIGN.md §3 for the error
-// analysis.
+// analysis and §11 for the ring protocol.
 //
 // Concurrency model: any number of goroutines may call Insert/InsertBatch
 // concurrently; barrier operations (Report, Len, ModelBits, Snapshot, Do,
@@ -18,6 +19,10 @@
 // of it. Engines themselves are only ever touched by their owning worker
 // goroutine, so they need no locking. After Close, the workers have
 // exited and barrier operations run inline on the caller's goroutine.
+//
+// The ingest path is allocation-free in steady state: batch buffers and
+// partition scratch come from pools, and the dispatch loop pipelines the
+// partition hash over a chunk of items before touching the batches.
 package shard
 
 import (
@@ -71,8 +76,8 @@ type ArrivalObserver interface {
 // allocation-free (an atomic histogram observe, not a log line).
 type Hooks struct {
 	// EnqueueWait observes, once per dispatched batch, how long
-	// InsertBatch blocked waiting for space on a full shard queue.
-	// The fast path — queue had room — reports 0 without reading the
+	// InsertBatch blocked waiting for space on a full shard ring.
+	// The fast path — ring had room — reports 0 without reading the
 	// clock, so an uncongested pipeline pays no timer cost.
 	EnqueueWait func(d time.Duration)
 	// BatchApply observes how long a shard worker spent inserting one
@@ -92,12 +97,12 @@ var ErrClosed = errors.New("shard: engine closed")
 type Options struct {
 	// Shards is the partition width; 0 defaults to GOMAXPROCS.
 	Shards int
-	// QueueDepth is the per-shard channel capacity in batches; 0
-	// defaults to 64. Sends block when a queue is full, which is the
-	// backpressure mechanism.
+	// QueueDepth is the per-shard ring capacity in batches, rounded up
+	// to a power of two; 0 defaults to 64. Pushes block when a ring is
+	// full, which is the backpressure mechanism.
 	QueueDepth int
 	// MaxBatch caps the items per dispatched batch; 0 defaults to 4096.
-	// Larger batches amortize the channel hand-off further at the cost
+	// Larger batches amortize the ring hand-off further at the cost
 	// of latency before a barrier can observe the items.
 	MaxBatch int
 	// Seed seeds the partition hash. The same seed must be used to
@@ -120,12 +125,15 @@ func (o *Options) fill() {
 	}
 }
 
-// msg is the unit of work on a shard queue: either a batch of items or a
-// barrier op. FIFO channel order is what makes a barrier observe every
+// msg is the unit of work on a shard ring: either a batch of items or a
+// barrier op. Ring FIFO order is what makes a barrier observe every
 // batch enqueued before it. Batches carry the global arrival stamp for
-// engines that observe it (ArrivalObserver).
+// engines that observe it (ArrivalObserver), and travel as the pooled
+// buffer's own pointer so the worker can recycle it without
+// re-boxing (a *[]uint64 round-trips through sync.Pool with zero
+// allocations; a []uint64 would cost a header allocation per Put).
 type msg struct {
-	batch []uint64
+	buf   *[]uint64
 	stamp uint64
 	op    func(e Engine)
 }
@@ -134,20 +142,30 @@ type msg struct {
 type Sharded struct {
 	opts    Options
 	engines []Engine
-	queues  []chan msg
+	rings   []*ring
 	workers sync.WaitGroup
 
 	// mix is the partition-hash key, derived from Options.Seed; forced
 	// odd so x*mix is a bijection on uint64.
 	mix uint64
 
-	pool  sync.Pool // *[]uint64 batch buffers, cap == MaxBatch
-	items atomic.Uint64
+	pool    sync.Pool // *[]uint64 batch buffers, cap == MaxBatch
+	scratch sync.Pool // *dispatch partition state, one per in-flight InsertBatch
+	items   atomic.Uint64
 
 	// mu guards the closed transition: ingest and barriers hold it for
-	// read, Close holds it for write so nothing sends on a closed queue.
+	// read, Close holds it for write so nothing pushes on a closed ring.
 	mu     sync.RWMutex
 	closed bool
+}
+
+// dispatch is the per-call partition state InsertBatch borrows from the
+// scratch pool: the open batch per shard (parts) and its pool container
+// (bufs), so the hot loop appends to plain slice headers and only
+// writes the header back into the container at send time.
+type dispatch struct {
+	parts [][]uint64
+	bufs  []*[]uint64
 }
 
 // New builds engines with factory and starts one worker per shard.
@@ -164,15 +182,21 @@ func New(factory Factory, opts Options) (*Sharded, error) {
 		b := make([]uint64, 0, opts.MaxBatch)
 		return &b
 	}
+	s.scratch.New = func() any {
+		return &dispatch{
+			parts: make([][]uint64, opts.Shards),
+			bufs:  make([]*[]uint64, opts.Shards),
+		}
+	}
 	s.engines = make([]Engine, opts.Shards)
-	s.queues = make([]chan msg, opts.Shards)
+	s.rings = make([]*ring, opts.Shards)
 	for i := range s.engines {
 		e, err := factory(i, opts.Shards)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d/%d: %w", i, opts.Shards, err)
 		}
 		s.engines[i] = e
-		s.queues[i] = make(chan msg, opts.QueueDepth)
+		s.rings[i] = newRing(opts.QueueDepth)
 	}
 	s.workers.Add(opts.Shards)
 	for i := range s.engines {
@@ -181,8 +205,8 @@ func New(factory Factory, opts Options) (*Sharded, error) {
 	return s, nil
 }
 
-// worker owns engine i: it drains the queue, inserting batches and
-// running barrier ops in arrival order, until Close closes the queue.
+// worker owns engine i: it drains the ring, inserting batches and
+// running barrier ops in arrival order, until Close closes the ring.
 // The ArrivalObserver assertion happens once, outside the loop, so the
 // per-batch cost for engines without arrival accounting is one nil
 // check.
@@ -191,7 +215,12 @@ func (s *Sharded) worker(i int) {
 	e := s.engines[i]
 	ao, _ := e.(ArrivalObserver)
 	ba := s.opts.Hooks.BatchApply
-	for m := range s.queues[i] {
+	r := s.rings[i]
+	for {
+		m, ok := r.pop()
+		if !ok {
+			return
+		}
 		if m.op != nil {
 			m.op(e)
 			continue
@@ -200,17 +229,17 @@ func (s *Sharded) worker(i int) {
 			ao.ObserveArrivalStamp(m.stamp)
 		}
 		if ba == nil {
-			for _, x := range m.batch {
+			for _, x := range *m.buf {
 				e.Insert(x)
 			}
 		} else {
 			start := time.Now()
-			for _, x := range m.batch {
+			for _, x := range *m.buf {
 				e.Insert(x)
 			}
 			ba(time.Since(start))
 		}
-		s.putBatch(m.batch)
+		s.putBatch(m.buf)
 	}
 }
 
@@ -227,22 +256,53 @@ func (s *Sharded) ShardOf(x uint64) int {
 // Shards returns the partition width.
 func (s *Sharded) Shards() int { return len(s.engines) }
 
-func (s *Sharded) getBatch() []uint64 {
-	return (*s.pool.Get().(*[]uint64))[:0]
+func (s *Sharded) getBatch() *[]uint64 {
+	b := s.pool.Get().(*[]uint64)
+	*b = (*b)[:0]
+	return b
 }
 
-func (s *Sharded) putBatch(b []uint64) {
-	b = b[:0]
-	s.pool.Put(&b)
+// putBatch recycles a batch buffer, unless its capacity no longer
+// matches the pool's — recycling an undersized slice would poison the
+// pool with buffers that force reallocation downstream, and an
+// oversized one would pin its large backing array forever.
+func (s *Sharded) putBatch(b *[]uint64) {
+	if cap(*b) != s.opts.MaxBatch {
+		return
+	}
+	*b = (*b)[:0]
+	s.pool.Put(b)
 }
 
-// Insert routes a single item. It is a one-item batch — correct but slow;
-// high-throughput producers should call InsertBatch.
-func (s *Sharded) Insert(x uint64) error { return s.InsertBatch([]uint64{x}) }
+// Insert routes a single item: a one-entry batch cut from the buffer
+// pool, so even the slow path allocates nothing in steady state.
+// High-throughput producers should still call InsertBatch — the ring
+// handoff amortizes over the batch.
+func (s *Sharded) Insert(x uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	stamp := s.items.Add(1)
+	h := x * s.mix
+	h ^= h >> 29
+	i, _ := bits.Mul64(h, uint64(len(s.engines)))
+	buf := s.getBatch()
+	*buf = append(*buf, x)
+	s.send(int(i), msg{buf: buf, stamp: stamp})
+	return nil
+}
+
+// hashChunk is how many items the dispatch loop hashes ahead of the
+// append pass. The first pass is pure arithmetic with no branches or
+// stores beyond the index buffer, so the multiplies pipeline; the
+// second pass then runs append-only. The buffer lives on the stack.
+const hashChunk = 512
 
 // InsertBatch partitions items by owning shard and enqueues one batch per
 // shard touched (splitting at MaxBatch). Safe for any number of
-// concurrent callers; blocks when a shard queue is full (backpressure).
+// concurrent callers; blocks when a shard ring is full (backpressure).
 // The input slice is not retained.
 //
 // The accepted-items counter reserves the whole call's range up front;
@@ -261,44 +321,67 @@ func (s *Sharded) InsertBatch(items []uint64) error {
 		return ErrClosed
 	}
 	base := s.items.Add(uint64(len(items))) - uint64(len(items))
-	parts := make([][]uint64, len(s.engines))
-	for idx, x := range items {
-		i := s.ShardOf(x)
-		if parts[i] == nil {
-			parts[i] = s.getBatch()
+	d := s.scratch.Get().(*dispatch)
+	parts := d.parts
+	mix, n := s.mix, uint64(len(s.engines))
+	maxBatch := s.opts.MaxBatch
+	var dst [hashChunk]uint32
+	for off := 0; off < len(items); off += hashChunk {
+		chunk := items[off:]
+		if len(chunk) > hashChunk {
+			chunk = chunk[:hashChunk]
 		}
-		parts[i] = append(parts[i], x)
-		if len(parts[i]) >= s.opts.MaxBatch {
-			s.send(i, msg{batch: parts[i], stamp: base + uint64(idx) + 1})
-			parts[i] = nil
+		for k, x := range chunk {
+			h := x * mix
+			h ^= h >> 29
+			hi, _ := bits.Mul64(h, n)
+			dst[k] = uint32(hi)
+		}
+		for k, x := range chunk {
+			i := dst[k]
+			p := parts[i]
+			if p == nil {
+				b := s.getBatch()
+				d.bufs[i], p = b, *b
+			}
+			p = append(p, x)
+			if len(p) >= maxBatch {
+				*d.bufs[i] = p
+				s.send(int(i), msg{buf: d.bufs[i], stamp: base + uint64(off+k) + 1})
+				parts[i], d.bufs[i] = nil, nil
+				continue
+			}
+			parts[i] = p
 		}
 	}
 	for i, p := range parts {
 		if p != nil {
-			s.send(i, msg{batch: p, stamp: base + uint64(len(items))})
+			*d.bufs[i] = p
+			s.send(i, msg{buf: d.bufs[i], stamp: base + uint64(len(items))})
+			parts[i], d.bufs[i] = nil, nil
 		}
 	}
+	s.scratch.Put(d)
 	return nil
 }
 
-// send enqueues one batch on shard i's queue, timing the wait when the
+// send pushes one message onto shard i's ring, timing the wait when the
 // EnqueueWait hook is set. The non-blocking attempt keeps the common
-// case — queue has room — free of clock reads; only a genuinely
-// blocking send pays for two timestamps.
+// case — ring has room — free of clock reads; only a genuinely
+// blocking push pays for two timestamps.
 func (s *Sharded) send(i int, m msg) {
+	r := s.rings[i]
 	ew := s.opts.Hooks.EnqueueWait
 	if ew == nil {
-		s.queues[i] <- m
+		r.push(m)
 		return
 	}
-	select {
-	case s.queues[i] <- m:
+	if r.tryPush(m) {
 		ew(0)
 		return
-	default:
 	}
 	start := time.Now()
-	s.queues[i] <- m
+	r.push(m)
 	ew(time.Since(start))
 }
 
@@ -306,12 +389,12 @@ func (s *Sharded) send(i int, m msg) {
 // still be queued; Flush forces them into the engines).
 func (s *Sharded) Items() uint64 { return s.items.Load() }
 
-// QueueDepths reports the current per-shard queue occupancy in batches,
+// QueueDepths reports the current per-shard ring occupancy in batches,
 // for monitoring.
 func (s *Sharded) QueueDepths() []int {
-	out := make([]int, len(s.queues))
-	for i, q := range s.queues {
-		out[i] = len(q)
+	out := make([]int, len(s.rings))
+	for i, r := range s.rings {
+		out[i] = r.len()
 	}
 	return out
 }
@@ -332,13 +415,15 @@ func (s *Sharded) Do(f func(shard int, e Engine)) {
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(len(s.queues))
-	for i := range s.queues {
+	wg.Add(len(s.rings))
+	for i := range s.rings {
 		i := i
-		s.queues[i] <- msg{op: func(e Engine) {
+		// Pushed directly, not via send: barrier entries are control
+		// traffic, and must not feed the EnqueueWait ingest histogram.
+		s.rings[i].push(msg{op: func(e Engine) {
 			f(i, e)
 			wg.Done()
-		}}
+		}})
 	}
 	wg.Wait()
 }
@@ -386,7 +471,7 @@ func (s *Sharded) ModelBits() int64 {
 	return total
 }
 
-// Close drains every queue, stops the workers and waits for them. After
+// Close drains every ring, stops the workers and waits for them. After
 // Close, ingest calls return ErrClosed but barrier operations (Report,
 // Snapshot, …) still work, running inline — this is the graceful-shutdown
 // path: stop accepting, Close to drain, then take a final report or
@@ -398,8 +483,8 @@ func (s *Sharded) Close() error {
 		return nil
 	}
 	s.closed = true
-	for _, q := range s.queues {
-		close(q) // workers drain remaining messages, then exit
+	for _, r := range s.rings {
+		r.close() // workers drain remaining messages, then exit
 	}
 	// Wait while still holding the write lock: a barrier acquiring the
 	// read lock after us must find the workers already gone, or its

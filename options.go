@@ -165,8 +165,9 @@ func WithShards(k int) Option {
 	}
 }
 
-// WithQueueDepth sets the per-shard ingest queue capacity in batches
-// (default 64); full queues block producers — that is the backpressure.
+// WithQueueDepth sets the per-shard ingest ring capacity in batches
+// (default 64), rounded up to a power of two with a floor of 2; full
+// rings block producers — that is the backpressure.
 // Runtime tuning: valid on New with WithShards and on Unmarshal of
 // sharded checkpoints.
 func WithQueueDepth(depth int) Option {
