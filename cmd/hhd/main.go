@@ -5,7 +5,10 @@
 // Endpoints:
 //
 //	POST /ingest      binary (application/octet-stream, LE uint64s) or
-//	                  NDJSON (bare ids, or {"item":N,"count":K}) batches
+//	                  NDJSON (bare ids, or {"item":N,"count":K}) batches;
+//	                  with -shed-wait, saturated shard queues answer 429 +
+//	                  Retry-After and an "accepted" prefix count instead
+//	                  of blocking; bodies over -max-ingest-bytes answer 413
 //	GET  /report      heavy hitters with estimates, global thresholds;
 //	                  always carries the effective (eps, phi) and the
 //	                  stream length it answered for, plus window coverage
@@ -21,7 +24,9 @@
 //	GET  /metrics     expvar: hhd.items_total, hhd.items_per_sec,
 //	                  hhd.queue_depths, hhd.model_bits, hhd.shards,
 //	                  hhd.peers, hhd.merges_total, hhd.merge_errors_total,
-//	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds;
+//	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds,
+//	                  hhd.ingest_shed_total, hhd.checkpoints_total,
+//	                  hhd.checkpoint_errors_total;
 //	                  with a window: hhd.window {covered, covered_min,
 //	                  covered_max, share_skew, extrapolated,
 //	                  retired_total, buckets, span_seconds}; with
@@ -34,7 +39,9 @@
 //	                  format v0.0.4, plus hhd_stage_duration_seconds
 //	                  {stage=ingest_decode|enqueue_wait|batch_apply|
 //	                  report|merge|checkpoint_encode|checkpoint_decode}
-//	                  latency histograms (DESIGN.md §10)
+//	                  latency histograms (DESIGN.md §10), and the
+//	                  coordinator gauges hhd_checkpoint_last_bytes,
+//	                  hhd_checkpoint_last_seq, hhd_checkpoint_age_seconds
 //
 // Observability: -log-format text|json and -log-level pick the slog
 // handler (debug turns on the per-request access log, one line per
@@ -67,9 +74,21 @@
 // -delta -m -universe -shards -algo -seed) — identical seeds are what
 // make the states foldable. -m is the GLOBAL expected stream length.
 //
+// Durability: -checkpoint-dir DIR starts the async checkpoint
+// coordinator — a background worker that snapshots the engine every
+// -checkpoint-every, publishes each snapshot atomically (write to a
+// temp file, fsync, rename), prunes past -checkpoint-retain, and on
+// startup resumes from the newest snapshot that validates, skipping
+// torn or corrupt frames. A crash (SIGKILL, OOM) therefore loses at
+// most one checkpoint interval of acknowledged items; DESIGN.md §12
+// spells out the contract and test/e2e pins it against a real process
+// kill. The single-file -checkpoint flag remains for shutdown-only
+// snapshots and is mutually exclusive with -checkpoint-dir.
+//
 // Shutdown on SIGINT/SIGTERM is graceful: stop accepting requests, drain
-// every shard queue, and (with -checkpoint) write a final snapshot, so a
-// restart with the same flag resumes the stream where it stopped.
+// every shard queue, and (with -checkpoint or -checkpoint-dir) write a
+// final snapshot, so a restart with the same flag resumes the stream
+// where it stopped.
 //
 // Usage:
 //
@@ -98,6 +117,7 @@ import (
 	"time"
 
 	l1hh "repro"
+	"repro/internal/ckpt"
 )
 
 var (
@@ -113,6 +133,11 @@ var (
 	queueFlag      = flag.Int("queue-depth", 0, "per-shard queue depth in batches (0 = default)")
 	batchFlag      = flag.Int("max-batch", 0, "max items per dispatched batch (0 = default)")
 	checkpointFlag = flag.String("checkpoint", "", "snapshot file: loaded on start if present, written on shutdown")
+	ckptDirFlag    = flag.String("checkpoint-dir", "", "snapshot directory for the async checkpoint coordinator: resumed from on start, written to every -checkpoint-every while serving (mutually exclusive with -checkpoint)")
+	ckptEveryFlag  = flag.Duration("checkpoint-every", 30*time.Second, "checkpoint coordinator snapshot interval (with -checkpoint-dir)")
+	ckptRetainFlag = flag.Int("checkpoint-retain", 4, "how many snapshots -checkpoint-dir keeps; older ones are pruned")
+	shedWaitFlag   = flag.Duration("shed-wait", 100*time.Millisecond, "how long /ingest may wait on saturated shard queues before shedding with 429 + Retry-After (0 = block indefinitely, the pre-shedding behavior)")
+	maxBodyFlag    = flag.Int64("max-ingest-bytes", 0, "largest /ingest request body in bytes; bigger requests answer 413 (0 = unlimited)")
 	windowFlag     = flag.Uint64("window", 0, "count-based sliding window: report the heavy hitters of (at least) the last N items (0 = whole stream)")
 	windowDurFlag  = flag.Duration("window-duration", 0, "time-based sliding window: report the heavy hitters of (at least) the last D of wall time; -m becomes the expected items per window")
 	windowBktFlag  = flag.Int("window-buckets", 0, "window epoch granularity: the report overshoots the window by at most one epoch (0 = default 8)")
@@ -225,6 +250,26 @@ func run() error {
 	if *checkpointFlag != "" && *mFlag == 0 && *windowFlag == 0 {
 		return errors.New("-checkpoint requires a known stream length (-m > 0): unknown-length solvers are not serializable")
 	}
+	if *ckptDirFlag != "" {
+		if *checkpointFlag != "" {
+			return errors.New("-checkpoint and -checkpoint-dir are mutually exclusive: pick the shutdown-only file or the periodic coordinator")
+		}
+		if *mFlag == 0 && *windowFlag == 0 {
+			return errors.New("-checkpoint-dir requires a known stream length (-m > 0): unknown-length solvers are not serializable")
+		}
+		if *ckptEveryFlag <= 0 {
+			return errors.New("-checkpoint-every must be positive")
+		}
+	}
+	if *ckptRetainFlag < 1 {
+		return errors.New("-checkpoint-retain must be at least 1")
+	}
+	if *shedWaitFlag < 0 {
+		return errors.New("-shed-wait must be non-negative")
+	}
+	if *maxBodyFlag < 0 {
+		return errors.New("-max-ingest-bytes must be non-negative")
+	}
 	var peers []string
 	if *peersFlag != "" {
 		if windowed {
@@ -274,11 +319,37 @@ func run() error {
 			return fmt.Errorf("reading checkpoint %s: %w", *checkpointFlag, rerr)
 		}
 	}
+	var (
+		sink      *ckpt.DiskSink
+		resumeSeq uint64
+	)
+	if *ckptDirFlag != "" {
+		if sink, err = ckpt.NewDiskSink(*ckptDirFlag, *ckptRetainFlag); err != nil {
+			return err
+		}
+		// Crash-safe resume: newest valid snapshot wins; corrupt or
+		// truncated ones were already skipped (and logged) by the sink.
+		payload, seq, lerr := sink.LoadNewest()
+		if lerr != nil {
+			return fmt.Errorf("scanning %s: %w", *ckptDirFlag, lerr)
+		}
+		if payload != nil {
+			if srv, err = newServerFromCheckpoint(spec, payload); err != nil {
+				return fmt.Errorf("resuming from %s: %w", *ckptDirFlag, err)
+			}
+			resumeSeq = seq
+			st := srv.engine().Stats()
+			slog.Info("resumed from checkpoint",
+				"dir", *ckptDirFlag, "seq", seq, "items", st.Len, "shards", st.Shards)
+		}
+	}
 	if srv == nil {
 		if srv, err = newServer(spec); err != nil {
 			return err
 		}
 	}
+	srv.shedWait = *shedWaitFlag
+	srv.maxIngestBytes = *maxBodyFlag
 
 	srv.peers = peers
 	aggCtx, aggCancel := context.WithCancel(context.Background())
@@ -290,6 +361,16 @@ func run() error {
 		go srv.aggregate(aggCtx, *pullFlag)
 		slog.Info("aggregator mode: mutating endpoints answer 409 — ingest on the workers",
 			"peers", len(peers), "pull_every", *pullFlag)
+	}
+
+	var coord *coordinator
+	coordCtx, coordCancel := context.WithCancel(context.Background())
+	defer coordCancel()
+	if sink != nil {
+		coord = newCoordinator(srv, sink, *ckptEveryFlag, resumeSeq)
+		go coord.run(coordCtx)
+		slog.Info("checkpoint coordinator running",
+			"dir", *ckptDirFlag, "every", *ckptEveryFlag, "retain", *ckptRetainFlag)
 	}
 
 	if *pprofFlag != "" {
@@ -345,6 +426,15 @@ func run() error {
 	// Drain the shard queues so the final state covers every accepted item.
 	if err := srv.shutdown(); err != nil {
 		return err
+	}
+	if coord != nil {
+		// Stop the ticker before the final snapshot so the two cannot
+		// race for a sequence number, then snapshot the drained engine.
+		coordCancel()
+		coord.wait()
+		coord.finalSnapshot()
+		slog.Info("wrote final checkpoint",
+			"dir", *ckptDirFlag, "seq", srv.ckptLastSeq.Load(), "items", srv.engine().Len())
 	}
 	if *checkpointFlag != "" {
 		blob, err := srv.engine().MarshalBinary()

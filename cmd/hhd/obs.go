@@ -87,6 +87,23 @@ func newServerObs(s *server) *serverObs {
 			}
 			return 0
 		})
+	reg.CounterFunc("hhd_ingest_shed_total", "Ingest requests shed with 429 on saturated shard queues (with -shed-wait).",
+		nil, func() float64 { return float64(s.shedTotal.Load()) })
+	reg.CounterFunc("hhd_checkpoint_total", "Snapshots the checkpoint coordinator stored (with -checkpoint-dir).",
+		nil, func() float64 { return float64(s.ckptTotal.Load()) })
+	reg.CounterFunc("hhd_checkpoint_errors_total", "Snapshot encodes or stores that failed.",
+		nil, func() float64 { return float64(s.ckptErrors.Load()) })
+	reg.GaugeFunc("hhd_checkpoint_last_bytes", "Size of the last stored snapshot.",
+		nil, func() float64 { return float64(s.ckptLastBytes.Load()) })
+	reg.GaugeFunc("hhd_checkpoint_last_seq", "Sequence number of the last stored snapshot.",
+		nil, func() float64 { return float64(s.ckptLastSeq.Load()) })
+	reg.GaugeFunc("hhd_checkpoint_age_seconds", "Age of the last stored snapshot; -1 = never.",
+		nil, func() float64 {
+			if last := s.ckptLastUnix.Load(); last > 0 {
+				return time.Since(time.Unix(0, last)).Seconds()
+			}
+			return -1
+		})
 	reg.CounterFunc("hhd_merges_total", "Successful checkpoint merges.",
 		nil, func() float64 { return float64(s.mergesTotal.Load()) })
 	reg.CounterFunc("hhd_merge_errors_total", "Failed checkpoint merges or pulls.",

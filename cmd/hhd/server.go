@@ -84,6 +84,26 @@ type server struct {
 	mergeErrors   atomic.Uint64
 	mergeLastNano atomic.Int64 // duration of the last successful merge
 	mergeLastUnix atomic.Int64 // UnixNano of the last successful merge; 0 = never
+
+	// Load shedding (-shed-wait): how long an ingest request may wait on
+	// saturated shard queues before answering 429, and how often that
+	// happened. Zero keeps the legacy blocking backpressure.
+	shedWait  time.Duration
+	shedTotal atomic.Uint64
+
+	// maxIngestBytes bounds one /ingest body (0 = unlimited); oversized
+	// requests answer 413 instead of streaming forever.
+	maxIngestBytes int64
+
+	// Checkpoint-coordinator metrics (-checkpoint-dir): written by the
+	// coordinator goroutine, read by the hhd_checkpoint_* gauges. They
+	// live on the server (not the coordinator) because the registry is
+	// built before the coordinator exists.
+	ckptTotal     atomic.Uint64
+	ckptErrors    atomic.Uint64
+	ckptLastBytes atomic.Uint64
+	ckptLastSeq   atomic.Uint64
+	ckptLastUnix  atomic.Int64 // UnixNano of the last stored snapshot; 0 = never
 }
 
 // ingestBatchSize is how many items ingest hands to InsertBatch at once.
@@ -170,6 +190,24 @@ func publishMetrics() {
 	expvar.Publish("hhd.peers", expvar.Func(func() any {
 		if s := get(); s != nil {
 			return len(s.peers)
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.ingest_shed_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.shedTotal.Load()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.checkpoints_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.ckptTotal.Load()
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.checkpoint_errors_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.ckptErrors.Load()
 		}
 		return 0
 	}))
@@ -438,13 +476,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 //     decimal id, or {"item": id} / {"item": id, "count": k} to insert
 //     an id k times.
 //
-// Responds {"accepted": n}. A full shard queue blocks (backpressure)
-// rather than dropping.
+// Responds {"accepted": n}. Backpressure policy depends on -shed-wait:
+// zero keeps the legacy behavior (a full shard queue blocks the
+// request); positive bounds the wait, after which the request is shed
+// with 429 + Retry-After and an "accepted" count so a client can trim
+// its acknowledged prefix before retrying (DESIGN.md §12). Bodies over
+// -max-ingest-bytes answer 413.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.rejectOnAggregator(w) {
 		return
 	}
 	eng := s.engine()
+	body := r.Body
+	if s.maxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	}
+	insert := eng.InsertBatch
+	if s.shedWait > 0 {
+		if sh, ok := eng.(l1hh.Shedder); ok {
+			wait := s.shedWait
+			insert = func(batch []l1hh.Item) error { return sh.InsertBatchBounded(batch, wait) }
+		}
+	}
 	ct := r.Header.Get("Content-Type")
 	var (
 		accepted uint64
@@ -453,25 +506,45 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	switch {
 	case strings.HasPrefix(ct, "application/octet-stream"):
-		accepted, err = ingestBinary(eng, r.Body)
+		accepted, err = ingestBinary(insert, body)
 	case ct == "" || strings.HasPrefix(ct, "application/x-ndjson"),
 		strings.HasPrefix(ct, "application/json"), strings.HasPrefix(ct, "text/"):
-		accepted, err = ingestNDJSON(eng, r.Body)
+		accepted, err = ingestNDJSON(insert, body)
 	default:
 		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
 		return
 	}
 	s.obs.ingestDecode.ObserveDuration(time.Since(start))
 	if err != nil {
-		// Items before the malformed point were already inserted;
-		// report both the error and the accepted count.
-		httpError(w, http.StatusBadRequest, "after %d items: %v", accepted, err)
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.Is(err, l1hh.ErrSaturated):
+			// Load shed: the engine's queues stayed full for the whole
+			// bounded wait. "accepted" counts fully applied chunks — the
+			// saturated chunk may have partially enqueued, which is why
+			// delivery is at-least-once, not exactly-once, across a retry.
+			s.shedTotal.Add(1)
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":    "ingest queues saturated; retry after the indicated delay",
+				"accepted": accepted,
+			})
+		case errors.As(err, &mbe):
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"after %d items: body exceeds the %d-byte ingest limit", accepted, mbe.Limit)
+		default:
+			// Items before the malformed point were already inserted;
+			// report both the error and the accepted count.
+			httpError(w, http.StatusBadRequest, "after %d items: %v", accepted, err)
+		}
 		return
 	}
 	writeJSON(w, map[string]uint64{"accepted": accepted})
 }
 
-func ingestBinary(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
+func ingestBinary(insert func([]l1hh.Item) error, body io.Reader) (uint64, error) {
 	bufs := ingestPool.Get().(*ingestBuffers)
 	defer ingestPool.Put(bufs)
 	br := bufs.br
@@ -490,14 +563,14 @@ func ingestBinary(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
 		}
 		batch = append(batch, binary.LittleEndian.Uint64(word[:]))
 		if len(batch) == cap(batch) {
-			if err := eng.InsertBatch(batch); err != nil {
+			if err := insert(batch); err != nil {
 				return accepted, err
 			}
 			accepted += uint64(len(batch))
 			batch = batch[:0]
 		}
 	}
-	if err := eng.InsertBatch(batch); err != nil {
+	if err := insert(batch); err != nil {
 		return accepted, err
 	}
 	return accepted + uint64(len(batch)), nil
@@ -511,7 +584,7 @@ type ndjsonLine struct {
 	Count *uint64 `json:"count"`
 }
 
-func ingestNDJSON(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
+func ingestNDJSON(insert func([]l1hh.Item) error, body io.Reader) (uint64, error) {
 	bufs := ingestPool.Get().(*ingestBuffers)
 	defer ingestPool.Put(bufs)
 	sc := bufio.NewScanner(body)
@@ -519,7 +592,7 @@ func ingestNDJSON(eng l1hh.HeavyHitters, body io.Reader) (uint64, error) {
 	batch := bufs.batch[:0]
 	var accepted uint64
 	flush := func() error {
-		if err := eng.InsertBatch(batch); err != nil {
+		if err := insert(batch); err != nil {
 			return err
 		}
 		accepted += uint64(len(batch))

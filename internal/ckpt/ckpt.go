@@ -1,0 +1,153 @@
+// Package ckpt is the durability layer behind cmd/hhd's asynchronous
+// checkpoint coordinator: a self-validating snapshot frame (magic,
+// length, CRC32-C) and pluggable sinks that persist framed engine
+// checkpoints. The frame makes crash-time corruption detectable at
+// resume: a snapshot that was mid-write when the process died — torn,
+// truncated, or zero-filled — fails validation and is skipped in favor
+// of the newest intact one, so a restart never loads garbage into the
+// engine (DESIGN.md §12).
+//
+// DiskSink is the production sink: atomic tmp-write + rename per
+// snapshot, fsync before publish, and bounded retention. MemSink is the
+// in-process fake for coordinator tests.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// magic identifies a framed snapshot file; the trailing digits version
+// the frame layout, not the payload (the engine checkpoint inside
+// carries its own container tags and versions).
+const magic = "l1ckpt01"
+
+// headerSize is the fixed frame prefix: magic, payload length, CRC32-C.
+const headerSize = len(magic) + 8 + 4
+
+// maxPayload bounds the declared payload length a decoder will trust,
+// mirroring cmd/hhd's snapshot body limit so a corrupt length field
+// cannot ask for a 2⁶⁴-byte allocation.
+const maxPayload = 1 << 30
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode frames an engine checkpoint for durable storage: magic,
+// little-endian payload length, CRC32-C of the payload, payload.
+func Encode(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint64(out[len(magic):], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[len(magic)+8:], crc32.Checksum(payload, castagnoli))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Decode validates a frame and returns the payload it carries. Every
+// corruption mode a crashed writer can produce — short header, bad
+// magic, truncated payload, trailing junk, checksum mismatch — is a
+// distinct error, so resume logs say what was wrong with a skipped file.
+func Decode(frame []byte) ([]byte, error) {
+	if len(frame) < headerSize {
+		return nil, fmt.Errorf("ckpt: frame truncated at %d bytes (want ≥ %d header bytes)", len(frame), headerSize)
+	}
+	if string(frame[:len(magic)]) != magic {
+		return nil, errors.New("ckpt: bad magic (not a snapshot frame)")
+	}
+	n := binary.LittleEndian.Uint64(frame[len(magic):])
+	if n > maxPayload {
+		return nil, fmt.Errorf("ckpt: declared payload %d exceeds the %d-byte limit", n, maxPayload)
+	}
+	body := frame[headerSize:]
+	if uint64(len(body)) < n {
+		return nil, fmt.Errorf("ckpt: payload truncated: header declares %d bytes, file carries %d", n, len(body))
+	}
+	if uint64(len(body)) > n {
+		return nil, fmt.Errorf("ckpt: %d bytes of trailing junk after the declared payload", uint64(len(body))-n)
+	}
+	want := binary.LittleEndian.Uint32(frame[len(magic)+8:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	return body, nil
+}
+
+// Sink is where the checkpoint coordinator persists snapshots. Store
+// must be durable before it returns (a crash immediately after a
+// successful Store must find the snapshot at LoadNewest); LoadNewest
+// must skip invalid snapshots rather than fail on them.
+type Sink interface {
+	// Store persists one framed snapshot under the given sequence
+	// number. Sequence numbers increase over the life of the stream,
+	// including across restarts.
+	Store(seq uint64, payload []byte) error
+	// LoadNewest returns the payload of the newest snapshot that
+	// validates, with its sequence number; (nil, 0, nil) when no valid
+	// snapshot exists. Invalid snapshots are skipped, not fatal.
+	LoadNewest() (payload []byte, seq uint64, err error)
+}
+
+// MemSink is the in-memory Sink fake for coordinator tests: snapshots
+// live in a map, Store can be scripted to fail, and frames can be
+// corrupted in place to exercise the resume path.
+type MemSink struct {
+	mu     sync.Mutex
+	frames map[uint64][]byte
+	// FailStore, when non-nil, is returned by every Store call — the
+	// write-error injection knob.
+	FailStore error
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink { return &MemSink{frames: make(map[uint64][]byte)} }
+
+// Store implements Sink, framing and retaining the payload in memory.
+func (m *MemSink) Store(seq uint64, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.FailStore != nil {
+		return m.FailStore
+	}
+	m.frames[seq] = Encode(payload)
+	return nil
+}
+
+// LoadNewest implements Sink: newest valid frame wins, invalid ones are
+// skipped silently (the fake has no log).
+func (m *MemSink) LoadNewest() ([]byte, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seqs := make([]uint64, 0, len(m.frames))
+	for s := range m.frames {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, s := range seqs {
+		if payload, err := Decode(m.frames[s]); err == nil {
+			return payload, s, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+// Corrupt truncates the stored frame for seq to n bytes, simulating a
+// snapshot torn by a crash mid-write.
+func (m *MemSink) Corrupt(seq uint64, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.frames[seq]; ok && n < len(f) {
+		m.frames[seq] = f[:n]
+	}
+}
+
+// Len reports how many snapshots the sink holds.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frames)
+}

@@ -1,0 +1,171 @@
+package ckpt
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshot file names: ckpt-<16 hex digits of seq>.l1. Lexicographic
+// order equals sequence order, which keeps directory listings readable.
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".l1"
+)
+
+// DiskSink persists snapshots as framed files in one directory, with
+// crash-safe publication and bounded retention.
+//
+// Store is atomic against crashes: the frame is written to a temporary
+// name, fsynced, and renamed into place, so a reader (including a
+// post-crash LoadNewest) only ever sees complete rename-published files
+// — a torn write leaves a tmp file the sink ignores. After publishing,
+// snapshots beyond Retain are pruned oldest-first.
+type DiskSink struct {
+	dir    string
+	retain int
+}
+
+// NewDiskSink opens (creating if needed) dir as a snapshot directory,
+// retaining the newest retain snapshots (minimum 1).
+func NewDiskSink(dir string, retain int) (*DiskSink, error) {
+	if retain < 1 {
+		retain = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating snapshot dir: %w", err)
+	}
+	return &DiskSink{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the snapshot directory.
+func (d *DiskSink) Dir() string { return d.dir }
+
+// fileName renders the snapshot file name for seq.
+func fileName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", filePrefix, seq, fileSuffix)
+}
+
+// parseSeq extracts the sequence number from a snapshot file name,
+// reporting ok=false for anything that is not one.
+func parseSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix)
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Store implements Sink: frame → tmp file → fsync → rename → prune.
+func (d *DiskSink) Store(seq uint64, payload []byte) error {
+	final := filepath.Join(d.dir, fileName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: creating %s: %w", tmp, err)
+	}
+	frame := Encode(payload)
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: publishing %s: %w", final, err)
+	}
+	d.syncDir() // make the rename itself durable (best effort)
+	d.prune()
+	return nil
+}
+
+// syncDir fsyncs the snapshot directory so a published rename survives
+// a power cut. Best effort: some filesystems refuse directory fsync,
+// and the rename is still atomic against process crashes without it.
+func (d *DiskSink) syncDir() {
+	if dir, err := os.Open(d.dir); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+}
+
+// list returns the sequence numbers of every published snapshot file,
+// newest first.
+func (d *DiskSink) list() ([]uint64, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: listing snapshot dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// prune removes snapshots beyond the retention budget, oldest first.
+// Errors are logged, not fatal: a failed prune costs disk, not
+// correctness.
+func (d *DiskSink) prune() {
+	seqs, err := d.list()
+	if err != nil {
+		slog.Warn("checkpoint prune: listing failed", "err", err)
+		return
+	}
+	for _, seq := range seqs[min(len(seqs), d.retain):] {
+		path := filepath.Join(d.dir, fileName(seq))
+		if err := os.Remove(path); err != nil {
+			slog.Warn("checkpoint prune failed", "path", path, "err", err)
+		}
+	}
+}
+
+// LoadNewest implements Sink: it walks published snapshots newest
+// first, returning the first one whose frame validates. Invalid
+// snapshots — truncated by a crash, corrupted on disk — are skipped
+// with a logged reason, so one bad file costs at most one checkpoint
+// interval of progress, never the resume.
+func (d *DiskSink) LoadNewest() ([]byte, uint64, error) {
+	seqs, err := d.list()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, seq := range seqs {
+		path := filepath.Join(d.dir, fileName(seq))
+		frame, err := os.ReadFile(path)
+		if err != nil {
+			slog.Warn("checkpoint skipped: unreadable", "path", path, "err", err)
+			continue
+		}
+		payload, err := Decode(frame)
+		if err != nil {
+			slog.Warn("checkpoint skipped: invalid frame", "path", path, "reason", err)
+			continue
+		}
+		return payload, seq, nil
+	}
+	return nil, 0, nil
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ring is the bounded multi-producer / single-consumer queue one shard
@@ -103,6 +104,25 @@ func (r *ring) push(m msg) (ok, blocked bool) {
 		}
 		blocked = true
 		r.waitNotFull()
+	}
+}
+
+// pushWait enqueues m like push, but gives up once deadline passes
+// instead of blocking indefinitely: it reports (false, true) on timeout
+// — the load-shedding signal — and (false, false) when the ring is
+// closed. A final tryPush after the deadline keeps the call linearizable
+// with a consumer that freed a slot exactly at expiry.
+func (r *ring) pushWait(m msg, deadline time.Time) (ok, timedOut bool) {
+	for {
+		if r.tryPush(m) {
+			return true, false
+		}
+		if r.closed.Load() {
+			return false, false
+		}
+		if !r.waitNotFullUntil(deadline) {
+			return r.tryPush(m), true
+		}
 	}
 }
 
@@ -211,6 +231,41 @@ func (r *ring) waitNotFull() {
 	r.producerWaiters.Add(-1)
 	r.mu.Unlock()
 }
+
+// waitNotFullUntil is waitNotFull with a deadline: it reports false
+// when the deadline passed without space freeing up. The timeout is
+// realized as a one-shot timer that broadcasts notFull — a spurious
+// wakeup for other waiting producers, which re-check and go back to
+// sleep, never a lost one.
+func (r *ring) waitNotFullUntil(deadline time.Time) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	r.producerWaiters.Add(1)
+	tail := r.tail.Load()
+	slot := &r.slots[tail&r.mask]
+	if int64(slot.seq.Load())-int64(tail) >= 0 || r.closed.Load() {
+		r.producerWaiters.Add(-1)
+		r.mu.Unlock()
+		return true
+	}
+	timer := time.AfterFunc(remaining, func() {
+		r.mu.Lock()
+		r.notFull.Broadcast()
+		r.mu.Unlock()
+	})
+	r.notFull.Wait()
+	r.producerWaiters.Add(-1)
+	r.mu.Unlock()
+	timer.Stop()
+	return time.Now().Before(deadline)
+}
+
+// free reports the current spare capacity in entries (racy, for the
+// load-shedding probe and monitoring).
+func (r *ring) free() int { return r.capacity() - r.len() }
 
 // close marks the ring closed and wakes the parked consumer and any
 // waiting producers. Entries already pushed remain poppable (drain);

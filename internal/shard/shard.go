@@ -93,6 +93,14 @@ type Factory func(shard, total int) (Engine, error)
 // ErrClosed is returned by ingest calls after Close.
 var ErrClosed = errors.New("shard: engine closed")
 
+// ErrSaturated is returned by InsertBatchBounded when a shard ring
+// stayed full for the whole bounded wait: the ingest rate exceeds what
+// the shard workers drain, and the caller should shed load (back off
+// and retry) instead of queueing more. Items dispatched before the
+// saturated ring was hit HAVE been enqueued — delivery under shedding
+// is at-least-once, not atomic (DESIGN.md §12).
+var ErrSaturated = errors.New("shard: ingest queues saturated")
+
 // Options configures the ingest layer (not the sketches).
 type Options struct {
 	// Shards is the partition width; 0 defaults to GOMAXPROCS.
@@ -363,6 +371,145 @@ func (s *Sharded) InsertBatch(items []uint64) error {
 	}
 	s.scratch.Put(d)
 	return nil
+}
+
+// InsertBatchBounded is InsertBatch with load shedding instead of
+// unbounded backpressure: when a shard ring stays full past wait, it
+// returns ErrSaturated rather than blocking until space frees up. The
+// wait budget covers the whole call, not each enqueue.
+//
+// Shedding is not atomic: batches dispatched to non-saturated shards
+// before the full ring was hit have been enqueued and will be applied.
+// The accepted-items counter is rolled back for the unsent remainder,
+// so Items still tracks what the engines will eventually see; arrival
+// stamps handed out by concurrent calls in the shed window may exceed
+// the counter briefly, which ArrivalObserver engines already tolerate
+// (stamps are a monotone high-water mark). Callers that need exact
+// delivery accounting should treat a saturated call as "retry the whole
+// batch" — at-least-once, duplicates possible (DESIGN.md §12).
+func (s *Sharded) InsertBatchBounded(items []uint64, wait time.Duration) error {
+	if len(items) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	deadline := time.Now().Add(wait)
+	total := uint64(len(items))
+	base := s.items.Add(total) - total
+	d := s.scratch.Get().(*dispatch)
+	parts := d.parts
+	mix, n := s.mix, uint64(len(s.engines))
+	maxBatch := s.opts.MaxBatch
+	var sent uint64
+	var dst [hashChunk]uint32
+	for off := 0; off < len(items); off += hashChunk {
+		chunk := items[off:]
+		if len(chunk) > hashChunk {
+			chunk = chunk[:hashChunk]
+		}
+		for k, x := range chunk {
+			h := x * mix
+			h ^= h >> 29
+			hi, _ := bits.Mul64(h, n)
+			dst[k] = uint32(hi)
+		}
+		for k, x := range chunk {
+			i := dst[k]
+			p := parts[i]
+			if p == nil {
+				b := s.getBatch()
+				d.bufs[i], p = b, *b
+			}
+			p = append(p, x)
+			if len(p) >= maxBatch {
+				*d.bufs[i] = p
+				if !s.sendBounded(int(i), msg{buf: d.bufs[i], stamp: base + uint64(off+k) + 1}, deadline) {
+					s.putBatch(d.bufs[i]) // the failed batch's items count as unsent
+					parts[i], d.bufs[i] = nil, nil
+					return s.abortDispatch(d, total-sent)
+				}
+				sent += uint64(len(p))
+				parts[i], d.bufs[i] = nil, nil
+				continue
+			}
+			parts[i] = p
+		}
+	}
+	for i, p := range parts {
+		if p != nil {
+			*d.bufs[i] = p
+			if !s.sendBounded(i, msg{buf: d.bufs[i], stamp: base + total}, deadline) {
+				s.putBatch(d.bufs[i])
+				parts[i], d.bufs[i] = nil, nil
+				return s.abortDispatch(d, total-sent)
+			}
+			sent += uint64(len(p))
+			parts[i], d.bufs[i] = nil, nil
+		}
+	}
+	s.scratch.Put(d)
+	return nil
+}
+
+// abortDispatch unwinds a saturated InsertBatchBounded call: open
+// per-shard buffers are recycled, the accepted-items counter gives back
+// the unsent remainder (the saturated batch itself plus everything not
+// yet dispatched), and the scratch state goes back to the pool.
+func (s *Sharded) abortDispatch(d *dispatch, unsent uint64) error {
+	for i, p := range d.parts {
+		if p != nil {
+			*d.bufs[i] = p
+			s.putBatch(d.bufs[i])
+			d.parts[i], d.bufs[i] = nil, nil
+		}
+	}
+	s.items.Add(^(unsent - 1)) // subtract: two's-complement add
+	s.scratch.Put(d)
+	return ErrSaturated
+}
+
+// sendBounded pushes one message with a deadline, reporting false on
+// timeout (the message was NOT enqueued). Same EnqueueWait hook
+// discipline as send: the non-blocking fast path observes 0 without a
+// clock read.
+func (s *Sharded) sendBounded(i int, m msg, deadline time.Time) bool {
+	r := s.rings[i]
+	ew := s.opts.Hooks.EnqueueWait
+	if r.tryPush(m) {
+		if ew != nil {
+			ew(0)
+		}
+		return true
+	}
+	if ew == nil {
+		ok, _ := r.pushWait(m, deadline)
+		return ok
+	}
+	start := time.Now()
+	ok, _ := r.pushWait(m, deadline)
+	ew(time.Since(start))
+	return ok
+}
+
+// SpareCapacity reports the smallest spare ring capacity across the
+// shards, in batches — the non-blocking saturation probe: 0 means at
+// least one shard ring is full and an unbounded InsertBatch would
+// block. Racy by nature (rings drain concurrently); treat it as a
+// monitoring signal, not a reservation.
+func (s *Sharded) SpareCapacity() int {
+	spare := -1
+	for _, r := range s.rings {
+		if f := r.free(); spare < 0 || f < spare {
+			spare = f
+		}
+	}
+	if spare < 0 {
+		return 0
+	}
+	return spare
 }
 
 // send pushes one message onto shard i's ring, timing the wait when the

@@ -1,0 +1,66 @@
+package hhclient
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ErrQueueFull is returned by Add and AddBatch when the client's bounded
+// in-memory queue has no room. The item was NOT enqueued; the caller
+// decides whether to drop, block, or apply its own backpressure.
+var ErrQueueFull = errors.New("hhclient: ingest queue full")
+
+// ErrClosed is returned by Add, AddBatch, and Flush after Close.
+var ErrClosed = errors.New("hhclient: client closed")
+
+// APIError is a non-2xx response from the daemon. Status 429 and 5xx
+// are retryable (the client retries them itself); other 4xx are
+// terminal — the request was understood and refused, so resending the
+// same bytes cannot succeed.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the daemon's error string, when the body carried one.
+	Msg string
+	// RetryAfter is the server-requested retry delay (zero when the
+	// response carried no Retry-After header).
+	RetryAfter time.Duration
+	// Accepted is how many leading items of the rejected batch the
+	// daemon applied before refusing the rest (the "accepted" field of
+	// a 429 shed response). The client trims this prefix before
+	// retrying, so only unacknowledged items are resent.
+	Accepted uint64
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("hhclient: server returned %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("hhclient: server returned %d", e.Status)
+}
+
+// Retryable reports whether resending the request may succeed: true for
+// 429 (load shed — the daemon asked for a retry) and 5xx, false for
+// other 4xx.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// IsRetryable classifies any error the client's send path can surface.
+// Transport errors (connection refused, reset, timeout) are retryable:
+// the daemon may be restarting. An *APIError answers for itself.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	// Anything that never produced an HTTP status is a transport-level
+	// failure; resending is the only way to find out if it cleared.
+	return true
+}

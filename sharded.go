@@ -106,6 +106,23 @@ func (h *ShardedListHeavyHitters) InsertBatch(items []Item) error {
 	return h.s.InsertBatch(items)
 }
 
+// InsertBatchBounded is InsertBatch with load shedding instead of
+// unbounded backpressure: when a shard queue stays full past wait, it
+// returns ErrSaturated rather than blocking. Batches dispatched to
+// non-saturated shards before the full queue was hit have been
+// enqueued, so a caller that retries the whole batch gets at-least-once
+// delivery with possible duplicates (DESIGN.md §12). The wait budget
+// covers the whole call.
+func (h *ShardedListHeavyHitters) InsertBatchBounded(items []Item, wait time.Duration) error {
+	return h.s.InsertBatchBounded(items, wait)
+}
+
+// SpareCapacity reports the smallest spare ingest-queue capacity across
+// the shards, in batches: 0 means at least one queue is full and an
+// unbounded InsertBatch would block. A racy monitoring probe, not a
+// reservation.
+func (h *ShardedListHeavyHitters) SpareCapacity() int { return h.s.SpareCapacity() }
+
 // shareMinSample is the smallest per-shard covered mass the
 // rate-extrapolated fold trusts for a traffic-share estimate. Below it
 // the measured share cᵢ = Mᵢ/Sᵢ is sampling noise, so the fold applies

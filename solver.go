@@ -24,6 +24,13 @@ import (
 // solver.
 var ErrClosed = shard.ErrClosed
 
+// ErrSaturated is returned by Shedder.InsertBatchBounded when a shard
+// ingest queue stayed full for the whole bounded wait: the offered load
+// exceeds what the shard workers drain, and the caller should back off
+// and retry (the batch was not fully enqueued — see Shedder for the
+// delivery semantics). Test with errors.Is.
+var ErrSaturated = shard.ErrSaturated
+
 // HeavyHitters is the one interface every (ε,ϕ)-heavy hitters solver in
 // this package presents, regardless of how New composed it (serial,
 // paced, windowed, sharded, or sharded+windowed). Construction scenarios
@@ -164,6 +171,27 @@ type Pacable interface {
 type Sharder interface {
 	// Shards returns the partition width.
 	Shards() int
+}
+
+// Shedder is the capability of bounded-wait ingest with load shedding,
+// for servers that must never park a handler goroutine on a full shard
+// queue (cmd/hhd answers 429 + Retry-After from it — DESIGN.md §12).
+// Implemented by the sharded containers; single-owner solvers apply
+// items inline and have no queue to saturate.
+//
+// Delivery semantics: a call that returns ErrSaturated may have
+// enqueued a prefix of its batches (those routed to non-saturated
+// shards). Retrying the whole batch is therefore at-least-once —
+// duplicates are possible, bounded by one call's items per shed.
+type Shedder interface {
+	// InsertBatchBounded inserts like InsertBatch but returns
+	// ErrSaturated instead of blocking once a shard queue stays full
+	// past wait (the budget covers the whole call).
+	InsertBatchBounded(items []Item, wait time.Duration) error
+	// SpareCapacity reports the smallest spare ingest-queue capacity
+	// across the shards, in batches; 0 means a queue is full. Racy —
+	// a monitoring probe, not a reservation.
+	SpareCapacity() int
 }
 
 // New builds a heavy hitters solver from functional options — the one
@@ -571,6 +599,24 @@ func (s *shardedBase) InsertBatch(items []Item) error {
 	s.sen.observeBatch(items)
 	return nil
 }
+
+// InsertBatchBounded implements Shedder. A saturated call marks the
+// accuracy sentinel incoherent: the engines may have applied a prefix
+// of the batch the shadow never sampled, so audits would report bogus
+// violations.
+func (s *shardedBase) InsertBatchBounded(items []Item, wait time.Duration) error {
+	if err := s.s.InsertBatchBounded(items, wait); err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.sen.markForeign()
+		}
+		return err
+	}
+	s.sen.observeBatch(items)
+	return nil
+}
+
+// SpareCapacity implements Shedder.
+func (s *shardedBase) SpareCapacity() int { return s.s.SpareCapacity() }
 
 // Report additionally audits the result against the accuracy sentinel's
 // shadow when one is installed.
