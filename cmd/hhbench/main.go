@@ -13,6 +13,10 @@
 //	go run ./cmd/hhbench -exp a4      # baseline field comparison
 //	go run ./cmd/hhbench -exp all     # everything
 //
+//	go run ./cmd/hhbench -exp pool    # multi-tenant pool churn: insert
+//	                                  # throughput under budget-forced
+//	                                  # spill/revive cycles
+//
 //	go run ./cmd/hhbench -exp ingest -out BENCH_ingest.json
 //	                                  # machine-readable per-item insert
 //	                                  # cost snapshot (ns, allocs, bytes)
@@ -39,7 +43,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, ingest, or all")
+	expFlag   = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, ingest, pool, or all")
 	seedFlag  = flag.Uint64("seed", 1, "base RNG seed")
 	mFlag     = flag.Int("m", 1_000_000, "stream length")
 	outFlag   = flag.String("out", "", "with -exp ingest: write the JSON snapshot here instead of stdout")
@@ -66,6 +70,8 @@ func main() {
 		expA4()
 	case "ingest":
 		expIngest(*outFlag)
+	case "pool":
+		expPool()
 	case "all":
 		expE1a()
 		expE1b()
@@ -359,6 +365,62 @@ func expA4() {
 		}
 		fmt.Printf("%-12s  %9d  %9.1f  %12.5f\n",
 			r.name, r.sketch.ModelBits(), nsPer, maxErr)
+	}
+	fmt.Println()
+}
+
+// expPool measures multi-tenant pool churn: a fixed tenant population is
+// touched round-robin — the access pattern most hostile to an LRU budget,
+// since every touch beyond the resident set forces a spill and a revive.
+// Rows sweep the resident fraction from "everything fits" (no budget) down
+// to 1/16 of the population, so the throughput column isolates the cost of
+// the spill/revive cycle itself.
+func expPool() {
+	const tenants = 256
+	m := *mFlag
+	fmt.Printf("=== POOL: tenant churn — %d tenants round-robin, %d items total (algo1, ε=0.02, ϕ=0.1) ===\n", tenants, m)
+	defaults := []l1hh.Option{
+		l1hh.WithEps(0.02), l1hh.WithPhi(0.1),
+		l1hh.WithStreamLength(uint64(m)), l1hh.WithUniverse(1 << 30),
+		l1hh.WithAlgorithm(l1hh.AlgorithmSimple), l1hh.WithSeed(*seedFlag),
+	}
+	batch := make([]uint64, 256)
+	for i := range batch {
+		batch[i] = uint64(i % 97)
+	}
+	// Probe one warmed tenant's footprint to convert "resident tenants"
+	// into a bit budget.
+	probe, err := l1hh.NewPool(l1hh.WithTenantDefaults(defaults...))
+	must(err)
+	must(probe.InsertBatch("probe", batch))
+	pst, err := probe.TenantStats("probe")
+	must(err)
+	must(probe.Close())
+	perTenantBits := pst.ModelBits
+
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%03d", i)
+	}
+	fmt.Println("resident  items/s       evictions  revives   spilled_KiB")
+	for _, resident := range []int{tenants, tenants / 4, tenants / 16} {
+		popts := []l1hh.PoolOption{l1hh.WithTenantDefaults(defaults...)}
+		if resident < tenants {
+			popts = append(popts, l1hh.WithPoolBudget(int64(resident)*perTenantBits))
+		}
+		p, err := l1hh.NewPool(popts...)
+		must(err)
+		rounds := m / len(batch)
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			must(p.InsertBatch(names[i%tenants], batch))
+		}
+		elapsed := time.Since(start).Seconds()
+		st := p.Stats()
+		fmt.Printf("%-8d  %12.0f  %9d  %7d  %11.1f\n",
+			resident, float64(rounds*len(batch))/elapsed,
+			st.Evictions, st.Revives, float64(st.SpilledBytes)/1024)
+		must(p.Close())
 	}
 	fmt.Println()
 }

@@ -78,17 +78,35 @@ func (co *coordinator) wait() { <-co.done }
 // engine has drained, so this is the state a restart resumes from.
 func (co *coordinator) finalSnapshot() { co.snapshot(true) }
 
-// snapshot serializes the engine and stores one snapshot. Failures are
-// logged and counted, never fatal: the daemon keeps serving and the
-// next tick tries again.
+// snapshot serializes the current state and stores one snapshot.
+// Failures are logged and counted, never fatal: the daemon keeps
+// serving and the next tick tries again. With a multi-tenant pool
+// (-tenants) the snapshot is the pool checkpoint — the manifest plus
+// every serializable tenant, dirty or spilled — instead of the default
+// engine's; the frame cache inside the pool keeps untouched tenants
+// from being re-encoded each tick.
 func (co *coordinator) snapshot(force bool) {
+	if p := co.srv.pool; p != nil {
+		st := p.Stats()
+		if !force && st.Items == co.lastItems {
+			return
+		}
+		co.encodeAndStore(p.MarshalBinary, st.Items)
+		return
+	}
 	eng := co.srv.engine()
 	st := eng.Stats()
 	if !force && !co.windowed && st.Items == co.lastItems {
 		return
 	}
+	co.encodeAndStore(eng.MarshalBinary, st.Items)
+}
+
+// encodeAndStore runs one marshal + store cycle and settles the
+// coordinator's sequence, skip baseline and metrics.
+func (co *coordinator) encodeAndStore(marshal func() ([]byte, error), items uint64) {
 	start := time.Now()
-	blob, err := eng.MarshalBinary()
+	blob, err := marshal()
 	co.srv.obs.ckptEncode.ObserveDuration(time.Since(start))
 	if err != nil {
 		co.srv.ckptErrors.Add(1)
@@ -102,10 +120,10 @@ func (co *coordinator) snapshot(force bool) {
 		return
 	}
 	co.seq = seq
-	co.lastItems = st.Items
+	co.lastItems = items
 	co.srv.ckptTotal.Add(1)
 	co.srv.ckptLastBytes.Store(uint64(len(blob)))
 	co.srv.ckptLastSeq.Store(seq)
 	co.srv.ckptLastUnix.Store(time.Now().UnixNano())
-	slog.Debug("checkpoint stored", "seq", seq, "bytes", len(blob), "items", st.Items)
+	slog.Debug("checkpoint stored", "seq", seq, "bytes", len(blob), "items", items)
 }

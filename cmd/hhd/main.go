@@ -43,6 +43,28 @@
 //	                  coordinator gauges hhd_checkpoint_last_bytes,
 //	                  hhd_checkpoint_last_seq, hhd_checkpoint_age_seconds
 //
+// Multi-tenant mode: -tenants adds a tenant-keyed engine pool behind
+// the /t/{tenant}/... route family (tenant names are URL path segments,
+// percent-escaped as needed, at most 512 bytes decoded):
+//
+//	POST /t/{tenant}/ingest      same bodies and backpressure as /ingest;
+//	                             the tenant's engine is created on first
+//	                             touch from the problem flags (serial —
+//	                             -shards does not apply per tenant)
+//	GET  /t/{tenant}/report      the tenant's heavy hitters (404 unknown)
+//	POST /t/{tenant}/checkpoint  the tenant's engine state, exportable
+//	GET  /t/{tenant}/stats       the tenant engine's operational snapshot
+//
+// -tenant-budget-bits caps the summed model bits of resident engines;
+// past it the pool checkpoints least-recently-used tenants out to the
+// spill store (-spill-dir, or in-memory) and revives them transparently
+// on their next touch. -sentinel-tenant NAME pins one tenant with an
+// accuracy sentinel at the -sentinel rate. With -checkpoint or
+// -checkpoint-dir the snapshots cover the whole pool (every
+// serializable tenant); the metrics gain hhd.pool / hhd_pool{field=...}
+// and the pool_spill / pool_revive stage histograms. -peers is
+// incompatible: pool states are per-node and do not merge.
+//
 // Observability: -log-format text|json and -log-level pick the slog
 // handler (debug turns on the per-request access log, one line per
 // request with an X-Request-Id echo); -pprof ADDR serves net/http/pprof
@@ -144,7 +166,11 @@ var (
 	rawWindowsFlag = flag.Bool("raw-shard-windows", false, "disable rate-extrapolated count-window reports: threshold per-shard estimates at face value, re-exposing the skew-induced deflation of DESIGN.md §8 (with -window and -shards > 1)")
 	peersFlag      = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://a:8080,http://b:8080); enables aggregator mode: pull each worker's /checkpoint periodically and serve the merged global /report")
 	pullFlag       = flag.Duration("pull-every", 10*time.Second, "aggregator pull interval (with -peers)")
-	sentinelFlag   = flag.Float64("sentinel", 0, "accuracy sentinel sample rate in (0,1]: audit every report against a sampled exact shadow (0 = off; incompatible with windows)")
+	sentinelFlag   = flag.Float64("sentinel", 0, "accuracy sentinel sample rate in (0,1]: audit every report against a sampled exact shadow (0 = off; incompatible with windows; with -tenants it applies to -sentinel-tenant)")
+	tenantsFlag    = flag.Bool("tenants", false, "multi-tenant mode: serve per-tenant engines under /t/{tenant}/... backed by a shared-budget pool with LRU spill/revive (DESIGN.md §13); the single-tenant routes keep working against the default engine")
+	tenantBudget   = flag.Int64("tenant-budget-bits", 0, "shared model-bits budget across resident tenant engines; past it least-recently-used tenants are checkpointed out to the spill store (0 = unlimited; requires -tenants)")
+	spillDirFlag   = flag.String("spill-dir", "", "directory evicted tenants spill to, one file per tenant; default is an in-memory store that does not survive the process (requires -tenants)")
+	sentTenantFlag = flag.String("sentinel-tenant", "", "tenant audited by the accuracy sentinel at the -sentinel rate; the tenant is pinned resident (requires -tenants and -sentinel > 0)")
 	logFormatFlag  = flag.String("log-format", "text", "log output format: text or json")
 	logLevelFlag   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables the per-request access log)")
 	pprofFlag      = flag.String("pprof", "", "serve net/http/pprof on this address, on a mux separate from the API (empty = disabled)")
@@ -219,13 +245,42 @@ func specFromFlags(algo l1hh.Algorithm) engineSpec {
 		spec.build = append(spec.build, l1hh.WithMaxBatch(*batchFlag))
 		spec.restore = append(spec.restore, l1hh.WithMaxBatch(*batchFlag))
 	}
-	if *sentinelFlag > 0 {
+	if *sentinelFlag > 0 && !*tenantsFlag {
 		// Audit-only runtime state, never serialized: build-path only.
 		// A -checkpoint restore therefore comes back without a sentinel
 		// (its shadow would be incoherent with the restored counts anyway).
+		// In multi-tenant mode the sentinel attaches to -sentinel-tenant
+		// instead of the default engine.
 		spec.build = append(spec.build, l1hh.WithAccuracySentinel(*sentinelFlag))
 	}
 	return spec
+}
+
+// tenantDefaultsFromFlags is the per-tenant twin of specFromFlags: the
+// Option set every tenant engine is built from on first touch. Tenant
+// engines are serial — the pool already serializes per-tenant
+// operations, and an unsharded sketch is the cheapest resident under
+// the shared budget — so -shards, -queue-depth and -max-batch do not
+// apply. The sentinel attaches per tenant (-sentinel-tenant), not here.
+func tenantDefaultsFromFlags(algo l1hh.Algorithm) []l1hh.Option {
+	opts := []l1hh.Option{
+		l1hh.WithEps(*epsFlag),
+		l1hh.WithPhi(*phiFlag),
+		l1hh.WithDelta(*deltaFlag),
+		l1hh.WithUniverse(*universeFlag),
+		l1hh.WithAlgorithm(algo),
+		l1hh.WithSeed(*seedFlag),
+	}
+	if *mFlag > 0 {
+		opts = append(opts, l1hh.WithStreamLength(*mFlag))
+	}
+	switch {
+	case *windowFlag > 0:
+		opts = append(opts, l1hh.WithCountWindow(*windowFlag, *windowBktFlag))
+	case *windowDurFlag > 0:
+		opts = append(opts, l1hh.WithTimeWindow(*windowDurFlag, *windowBktFlag))
+	}
+	return opts
 }
 
 func run() error {
@@ -301,20 +356,55 @@ func run() error {
 			return errors.New("-sentinel is useless on an aggregator: the first peer merge makes the shadow incoherent — run it on the workers")
 		}
 	}
+	if !*tenantsFlag {
+		switch {
+		case *tenantBudget != 0:
+			return errors.New("-tenant-budget-bits requires -tenants")
+		case *spillDirFlag != "":
+			return errors.New("-spill-dir requires -tenants")
+		case *sentTenantFlag != "":
+			return errors.New("-sentinel-tenant requires -tenants")
+		}
+	} else {
+		if *tenantBudget < 0 {
+			return errors.New("-tenant-budget-bits must be non-negative")
+		}
+		if len(peers) > 0 {
+			return errors.New("-tenants is incompatible with -peers: pool states are per-node and do not merge")
+		}
+		if *sentTenantFlag != "" && *sentinelFlag == 0 {
+			return errors.New("-sentinel-tenant requires -sentinel > 0 (the audit sample rate)")
+		}
+		if *sentinelFlag > 0 && *sentTenantFlag == "" {
+			return errors.New("with -tenants, -sentinel needs -sentinel-tenant: naming the audited tenant keeps the shadow's cost off every other tenant")
+		}
+		if len(*sentTenantFlag) > l1hh.MaxTenantName {
+			return fmt.Errorf("-sentinel-tenant longer than %d bytes", l1hh.MaxTenantName)
+		}
+	}
 	spec := specFromFlags(algo)
 
 	var (
-		srv *server
-		err error
+		srv        *server
+		err        error
+		poolResume []byte // pool checkpoint to restore (-tenants), nil = fresh pool
 	)
 	if *checkpointFlag != "" {
 		if blob, rerr := os.ReadFile(*checkpointFlag); rerr == nil {
-			if srv, err = newServerFromCheckpoint(spec, blob); err != nil {
+			if *tenantsFlag {
+				// Multi-tenant snapshots cover the pool; the default engine
+				// always starts fresh.
+				if !l1hh.IsPoolCheckpoint(blob) {
+					return fmt.Errorf("checkpoint %s is a single-solver snapshot; restore it without -tenants", *checkpointFlag)
+				}
+				poolResume = blob
+			} else if srv, err = newServerFromCheckpoint(spec, blob); err != nil {
 				return fmt.Errorf("loading checkpoint %s: %w", *checkpointFlag, err)
+			} else {
+				st := srv.engine().Stats()
+				slog.Info("restored checkpoint",
+					"path", *checkpointFlag, "items", st.Len, "shards", st.Shards)
 			}
-			st := srv.engine().Stats()
-			slog.Info("restored checkpoint",
-				"path", *checkpointFlag, "items", st.Len, "shards", st.Shards)
 		} else if !errors.Is(rerr, os.ErrNotExist) {
 			return fmt.Errorf("reading checkpoint %s: %w", *checkpointFlag, rerr)
 		}
@@ -334,13 +424,21 @@ func run() error {
 			return fmt.Errorf("scanning %s: %w", *ckptDirFlag, lerr)
 		}
 		if payload != nil {
-			if srv, err = newServerFromCheckpoint(spec, payload); err != nil {
-				return fmt.Errorf("resuming from %s: %w", *ckptDirFlag, err)
+			if *tenantsFlag {
+				if !l1hh.IsPoolCheckpoint(payload) {
+					return fmt.Errorf("%s holds single-solver snapshots; resume them without -tenants", *ckptDirFlag)
+				}
+				poolResume = payload
+				resumeSeq = seq
+			} else {
+				if srv, err = newServerFromCheckpoint(spec, payload); err != nil {
+					return fmt.Errorf("resuming from %s: %w", *ckptDirFlag, err)
+				}
+				resumeSeq = seq
+				st := srv.engine().Stats()
+				slog.Info("resumed from checkpoint",
+					"dir", *ckptDirFlag, "seq", seq, "items", st.Len, "shards", st.Shards)
 			}
-			resumeSeq = seq
-			st := srv.engine().Stats()
-			slog.Info("resumed from checkpoint",
-				"dir", *ckptDirFlag, "seq", seq, "items", st.Len, "shards", st.Shards)
 		}
 	}
 	if srv == nil {
@@ -350,6 +448,47 @@ func run() error {
 	}
 	srv.shedWait = *shedWaitFlag
 	srv.maxIngestBytes = *maxBodyFlag
+
+	if *tenantsFlag {
+		popts := []l1hh.PoolOption{
+			l1hh.WithTenantDefaults(tenantDefaultsFromFlags(algo)...),
+			l1hh.WithPoolObserver(srv.obs.poolTimings()),
+		}
+		if *tenantBudget > 0 {
+			popts = append(popts, l1hh.WithPoolBudget(*tenantBudget))
+		}
+		if *spillDirFlag != "" {
+			store, serr := l1hh.NewDiskSpillStore(*spillDirFlag)
+			if serr != nil {
+				return fmt.Errorf("opening -spill-dir: %w", serr)
+			}
+			popts = append(popts, l1hh.WithPoolSpill(store))
+		}
+		var hpool *l1hh.Pool
+		if poolResume != nil {
+			if hpool, err = l1hh.UnmarshalPool(poolResume, popts...); err != nil {
+				return fmt.Errorf("restoring tenant pool: %w", err)
+			}
+			st := hpool.Stats()
+			slog.Info("restored tenant pool",
+				"tenants", st.TenantsSpilled, "items", st.Items, "seq", resumeSeq)
+		} else if hpool, err = l1hh.NewPool(popts...); err != nil {
+			return fmt.Errorf("building tenant pool: %w", err)
+		}
+		if *sentTenantFlag != "" {
+			// Sentinels are not serialized: a tenant carried over by the
+			// checkpoint already has an engine and cannot take the option —
+			// it keeps serving unaudited rather than failing startup.
+			if oerr := hpool.SetTenantOptions(*sentTenantFlag,
+				l1hh.WithAccuracySentinel(*sentinelFlag)); oerr != nil {
+				slog.Warn("sentinel tenant not attached", "tenant", *sentTenantFlag, "err", oerr)
+			}
+		}
+		srv.enablePool(hpool)
+		slog.Info("multi-tenant pool serving /t/{tenant}/",
+			"budget_bits", *tenantBudget, "spill_dir", *spillDirFlag,
+			"sentinel_tenant", *sentTenantFlag)
+	}
 
 	srv.peers = peers
 	aggCtx, aggCancel := context.WithCancel(context.Background())
@@ -423,21 +562,38 @@ func run() error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		slog.Warn("http shutdown", "err", err)
 	}
-	// Drain the shard queues so the final state covers every accepted item.
+	// Drain the shard queues so the final state covers every accepted
+	// item; a pool's resident engines drain on Close the same way (and
+	// still checkpoint afterwards — that is the shutdown contract).
 	if err := srv.shutdown(); err != nil {
 		return err
 	}
+	if srv.pool != nil {
+		if err := srv.pool.Close(); err != nil {
+			return err
+		}
+	}
+	finalItems := func() uint64 {
+		if srv.pool != nil {
+			return srv.pool.Stats().Items
+		}
+		return srv.engine().Len()
+	}
 	if coord != nil {
 		// Stop the ticker before the final snapshot so the two cannot
-		// race for a sequence number, then snapshot the drained engine.
+		// race for a sequence number, then snapshot the drained state.
 		coordCancel()
 		coord.wait()
 		coord.finalSnapshot()
 		slog.Info("wrote final checkpoint",
-			"dir", *ckptDirFlag, "seq", srv.ckptLastSeq.Load(), "items", srv.engine().Len())
+			"dir", *ckptDirFlag, "seq", srv.ckptLastSeq.Load(), "items", finalItems())
 	}
 	if *checkpointFlag != "" {
-		blob, err := srv.engine().MarshalBinary()
+		marshal := srv.engine().MarshalBinary
+		if srv.pool != nil {
+			marshal = srv.pool.MarshalBinary
+		}
+		blob, err := marshal()
 		if err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
@@ -445,7 +601,7 @@ func run() error {
 			return err
 		}
 		slog.Info("wrote checkpoint",
-			"path", *checkpointFlag, "bytes", len(blob), "items", srv.engine().Len())
+			"path", *checkpointFlag, "bytes", len(blob), "items", finalItems())
 	}
 	return nil
 }

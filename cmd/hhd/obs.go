@@ -26,6 +26,8 @@ const (
 	stageMerge        = "merge"         // folding one peer checkpoint (or one pull cycle)
 	stageCkptEncode   = "checkpoint_encode"
 	stageCkptDecode   = "checkpoint_decode"
+	stagePoolSpill    = "pool_spill"  // evicting one tenant: encode + durable store write
+	stagePoolRevive   = "pool_revive" // reviving one tenant: store read + decode + restore
 )
 
 // serverObs is one server's Prometheus registry plus the histogram
@@ -40,6 +42,8 @@ type serverObs struct {
 	merge        *obs.Histogram
 	ckptEncode   *obs.Histogram
 	ckptDecode   *obs.Histogram
+	poolSpill    *obs.Histogram
+	poolRevive   *obs.Histogram
 
 	observedEps *obs.Histogram
 }
@@ -63,6 +67,8 @@ func newServerObs(s *server) *serverObs {
 	o.merge = stage(stageMerge)
 	o.ckptEncode = stage(stageCkptEncode)
 	o.ckptDecode = stage(stageCkptDecode)
+	o.poolSpill = stage(stagePoolSpill)
+	o.poolRevive = stage(stagePoolRevive)
 
 	o.observedEps = reg.Histogram("hhd_sentinel_observed_eps",
 		"Accuracy sentinel: observed per-report worst error fraction (with -sentinel).",
@@ -184,6 +190,33 @@ func newServerObs(s *server) *serverObs {
 				f("incoherent", b(sen.Incoherent)),
 			}
 		})
+	// The multi-tenant pool's occupancy (with -tenants): nil without a
+	// pool omits the family, headers included. pool.Stats is cheap (a
+	// mutex, no engine barrier), so it bypasses the statsTTL cache.
+	reg.SeriesFunc("hhd_pool", "Multi-tenant pool occupancy, labeled by field (with -tenants).",
+		obs.TypeGauge, func() []obs.Sample {
+			p := s.pool
+			if p == nil {
+				return nil
+			}
+			st := p.Stats()
+			f := func(field string, v float64) obs.Sample {
+				return obs.Sample{Labels: obs.L("field", field), Value: v}
+			}
+			return []obs.Sample{
+				f("tenants_live", float64(st.TenantsLive)),
+				f("tenants_spilled", float64(st.TenantsSpilled)),
+				f("tenants_pinned", float64(st.TenantsPinned)),
+				f("model_bits_in_use", float64(st.ModelBitsInUse)),
+				f("budget_bits", float64(st.BudgetBits)),
+				f("evictions_total", float64(st.Evictions)),
+				f("revives_total", float64(st.Revives)),
+				f("spill_errors_total", float64(st.SpillErrors)),
+				f("tenants_created_total", float64(st.TenantsCreated)),
+				f("spilled_bytes", float64(st.SpilledBytes)),
+				f("items_total", float64(st.Items)),
+			}
+		})
 	reg.CounterFunc("hhd_guarantee_violations_total",
 		"Accuracy sentinel: cumulative (ε,ϕ)-guarantee violations (with -sentinel).",
 		nil, func() float64 {
@@ -204,6 +237,15 @@ func (o *serverObs) ingestTimings() l1hh.IngestTimings {
 	return l1hh.IngestTimings{
 		EnqueueWait: o.enqueueWait.ObserveDuration,
 		BatchApply:  o.batchApply.ObserveDuration,
+	}
+}
+
+// poolTimings feeds the pool's spill and revive latencies into the
+// stage-duration histograms, the same shape as ingestTimings.
+func (o *serverObs) poolTimings() l1hh.PoolTimings {
+	return l1hh.PoolTimings{
+		Spill:  o.poolSpill.ObserveDuration,
+		Revive: o.poolRevive.ObserveDuration,
 	}
 }
 

@@ -77,6 +77,11 @@ type server struct {
 	// empty on workers.
 	peers []string
 
+	// pool is the multi-tenant engine pool behind the /t/{tenant}/*
+	// route family (-tenants); nil in single-tenant mode. Installed by
+	// enablePool before the server starts serving, never swapped.
+	pool *l1hh.Pool
+
 	// Cluster-merge metrics: counts cover both POST /merge and the
 	// aggregator loop; latency is the last successful merge's wall time;
 	// staleness derives from the last success timestamp.
@@ -256,6 +261,28 @@ func publishMetrics() {
 					"buckets":       st.Buckets,
 					"span_seconds":  st.Span.Seconds(),
 				}
+			}
+		}
+		return nil
+	}))
+	// The multi-tenant pool's occupancy (with -tenants): null without a
+	// pool, one composite gauge otherwise — pool.Stats is cheap (a mutex,
+	// no engine barrier), so it takes no part in the statsTTL cache.
+	expvar.Publish("hhd.pool", expvar.Func(func() any {
+		if s := get(); s != nil && s.pool != nil {
+			st := s.pool.Stats()
+			return map[string]any{
+				"tenants_live":          st.TenantsLive,
+				"tenants_spilled":       st.TenantsSpilled,
+				"tenants_pinned":        st.TenantsPinned,
+				"model_bits_in_use":     st.ModelBitsInUse,
+				"budget_bits":           st.BudgetBits,
+				"evictions_total":       st.Evictions,
+				"revives_total":         st.Revives,
+				"spill_errors_total":    st.SpillErrors,
+				"tenants_created_total": st.TenantsCreated,
+				"spilled_bytes":         st.SpilledBytes,
+				"items_total":           st.Items,
 			}
 		}
 		return nil
@@ -487,16 +514,26 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	eng := s.engine()
-	body := r.Body
-	if s.maxIngestBytes > 0 {
-		body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
-	}
 	insert := eng.InsertBatch
 	if s.shedWait > 0 {
 		if sh, ok := eng.(l1hh.Shedder); ok {
 			wait := s.shedWait
 			insert = func(batch []l1hh.Item) error { return sh.InsertBatchBounded(batch, wait) }
 		}
+	}
+	s.serveIngest(w, r, insert)
+}
+
+// serveIngest decodes one ingest body and feeds it through insert,
+// sharing the format negotiation, body limit and error vocabulary
+// between the single-tenant route and the /t/{tenant} family. A bounded
+// wait that expires surfaces as 429 whether the engine's shard queues
+// stayed saturated (ErrSaturated) or the tenant's engine stayed busy
+// (ErrTenantBusy).
+func (s *server) serveIngest(w http.ResponseWriter, r *http.Request, insert func([]l1hh.Item) error) {
+	body := r.Body
+	if s.maxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
 	}
 	ct := r.Header.Get("Content-Type")
 	var (
@@ -518,17 +555,18 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		switch {
-		case errors.Is(err, l1hh.ErrSaturated):
-			// Load shed: the engine's queues stayed full for the whole
-			// bounded wait. "accepted" counts fully applied chunks — the
-			// saturated chunk may have partially enqueued, which is why
-			// delivery is at-least-once, not exactly-once, across a retry.
+		case errors.Is(err, l1hh.ErrSaturated), errors.Is(err, l1hh.ErrTenantBusy):
+			// Load shed: the engine's queues stayed full (or the tenant's
+			// engine stayed busy) for the whole bounded wait. "accepted"
+			// counts fully applied chunks — the saturated chunk may have
+			// partially enqueued, which is why delivery is at-least-once,
+			// not exactly-once, across a retry.
 			s.shedTotal.Add(1)
 			w.Header().Set("Retry-After", "1")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
 			json.NewEncoder(w).Encode(map[string]any{
-				"error":    "ingest queues saturated; retry after the indicated delay",
+				"error":    "ingest saturated; retry after the indicated delay",
 				"accepted": accepted,
 			})
 		case errors.As(err, &mbe):
@@ -756,6 +794,183 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	w.Write(blob)
+}
+
+// enablePool installs the multi-tenant engine pool and its route
+// family (-tenants):
+//
+//	POST /t/{tenant}/ingest      same bodies and backpressure as /ingest
+//	GET  /t/{tenant}/report      the tenant's heavy hitters (404 unknown)
+//	POST /t/{tenant}/checkpoint  the tenant's engine state, exportable
+//	                             through l1hh.Unmarshal
+//	GET  /t/{tenant}/stats       the tenant engine's operational snapshot
+//
+// Must run after finish and before the server starts serving. The
+// single-tenant routes keep working against the default engine.
+func (s *server) enablePool(p *l1hh.Pool) {
+	s.pool = p
+	s.mux.HandleFunc("POST /t/{tenant}/ingest", s.handleTenantIngest)
+	s.mux.HandleFunc("GET /t/{tenant}/report", s.handleTenantReport)
+	s.mux.HandleFunc("POST /t/{tenant}/checkpoint", s.handleTenantCheckpoint)
+	s.mux.HandleFunc("GET /t/{tenant}/stats", s.handleTenantStats)
+}
+
+// tenantError maps the pool tier's error vocabulary onto HTTP statuses
+// for the /t/{tenant} read routes.
+func tenantError(w http.ResponseWriter, tenant string, err error) {
+	switch {
+	case errors.Is(err, l1hh.ErrUnknownTenant):
+		httpError(w, http.StatusNotFound, "unknown tenant %q", tenant)
+	case errors.Is(err, l1hh.ErrInvalidTenant):
+		httpError(w, http.StatusBadRequest,
+			"invalid tenant name (want 1..%d bytes)", l1hh.MaxTenantName)
+	case errors.Is(err, l1hh.ErrTenantBusy):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "tenant %q busy; retry", tenant)
+	default:
+		httpError(w, http.StatusInternalServerError, "tenant %q: %v", tenant, err)
+	}
+}
+
+// handleTenantIngest is POST /t/{tenant}/ingest: the tenant-keyed twin
+// of /ingest, creating (or reviving) the tenant's engine on first
+// touch. With -shed-wait, a tenant whose engine stays busy past the
+// bound sheds with 429 exactly like a saturated shard queue.
+func (s *server) handleTenantIngest(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	s.serveIngest(w, r, func(batch []l1hh.Item) error {
+		if s.shedWait > 0 {
+			return s.pool.InsertBatchBounded(tenant, batch, s.shedWait)
+		}
+		return s.pool.InsertBatch(tenant, batch)
+	})
+}
+
+// handleTenantReport is GET /t/{tenant}/report: the tenant engine's
+// heavy hitters in the same reportResponse shape as /report, reviving
+// the tenant if it was spilled. Unknown tenants answer 404 — a report
+// never creates an engine.
+func (s *server) handleTenantReport(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	start := time.Now()
+	rep, err := s.pool.Report(tenant)
+	if err != nil {
+		tenantError(w, tenant, err)
+		return
+	}
+	s.obs.report.ObserveDuration(time.Since(start))
+	st, err := s.pool.TenantStats(tenant)
+	if err != nil {
+		tenantError(w, tenant, err)
+		return
+	}
+	s.obs.observeSentinel(st)
+	out := reportResponse{
+		Len:          st.Len,
+		Eps:          st.Eps,
+		Phi:          st.Phi,
+		ModelBits:    st.ModelBits,
+		Shards:       st.Shards,
+		HeavyHitters: make([]reportedItem, len(rep)),
+	}
+	for i, it := range rep {
+		out.HeavyHitters[i] = reportedItem{Item: it.Item, Estimate: it.F}
+	}
+	// Tenant engines are single-owner, so the window meta omits the
+	// sharded-geometry fields; the coverage numbers come straight from
+	// the engine's Stats.
+	if ws := st.Window; ws != nil {
+		out.Window = &windowMeta{
+			Shards:       st.Shards,
+			Covered:      ws.Covered,
+			Total:        ws.Total,
+			Retired:      ws.Retired,
+			CoveredMin:   ws.CoveredMin,
+			CoveredMax:   ws.CoveredMax,
+			ShareSkew:    ws.ShareSkew,
+			Extrapolated: ws.Extrapolated,
+			Buckets:      ws.Buckets,
+			OldestMass:   ws.OldestMass,
+			SpanSeconds:  ws.Span.Seconds(),
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleTenantCheckpoint is POST /t/{tenant}/checkpoint: the tenant
+// engine's serialized state — the same bytes l1hh.Unmarshal accepts, so
+// one tenant can be exported out of the pool.
+func (s *server) handleTenantCheckpoint(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	start := time.Now()
+	blob, err := s.pool.Checkpoint(tenant)
+	switch {
+	case err == nil:
+	case errors.Is(err, l1hh.ErrUnknownTenant),
+		errors.Is(err, l1hh.ErrInvalidTenant),
+		errors.Is(err, l1hh.ErrTenantBusy):
+		tenantError(w, tenant, err)
+		return
+	default:
+		httpError(w, http.StatusConflict, "checkpoint %q: %v", tenant, err)
+		return
+	}
+	s.obs.ckptEncode.ObserveDuration(time.Since(start))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.Write(blob)
+}
+
+// tenantStatsResponse is the GET /t/{tenant}/stats body: the tenant
+// engine's operational snapshot, with the accuracy-sentinel audit when
+// one is attached (-sentinel-tenant).
+type tenantStatsResponse struct {
+	Tenant    string        `json:"tenant"`
+	Items     uint64        `json:"items"`
+	Len       uint64        `json:"len"`
+	Eps       float64       `json:"eps"`
+	Phi       float64       `json:"phi"`
+	ModelBits int64         `json:"model_bits"`
+	Sentinel  *sentinelMeta `json:"sentinel,omitempty"`
+}
+
+// sentinelMeta is the audit subset of l1hh.SentinelStats a monitoring
+// client acts on.
+type sentinelMeta struct {
+	SampleRate     float64 `json:"sample_rate"`
+	Checks         uint64  `json:"checks_total"`
+	Violations     uint64  `json:"violations_total"`
+	ObservedEps    float64 `json:"observed_eps"`
+	MaxObservedEps float64 `json:"max_observed_eps"`
+	Incoherent     bool    `json:"incoherent"`
+}
+
+func (s *server) handleTenantStats(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	st, err := s.pool.TenantStats(tenant)
+	if err != nil {
+		tenantError(w, tenant, err)
+		return
+	}
+	out := tenantStatsResponse{
+		Tenant:    tenant,
+		Items:     st.Items,
+		Len:       st.Len,
+		Eps:       st.Eps,
+		Phi:       st.Phi,
+		ModelBits: st.ModelBits,
+	}
+	if sen := st.Sentinel; sen != nil {
+		out.Sentinel = &sentinelMeta{
+			SampleRate:     sen.SampleRate,
+			Checks:         sen.Checks,
+			Violations:     sen.Violations,
+			ObservedEps:    sen.ObservedEps,
+			MaxObservedEps: sen.MaxObservedEps,
+			Incoherent:     sen.Incoherent,
+		}
+	}
+	writeJSON(w, out)
 }
 
 // handleMerge folds a peer node's checkpoint blob (the body, as produced

@@ -47,6 +47,35 @@
 //	blob, _ := hh.MarshalBinary()
 //	restored, err := l1hh.Unmarshal(blob, l1hh.WithQueueDepth(128))
 //
+// # Multi-tenant pools
+//
+// NewPool keys independent sketches by tenant name behind one shared
+// model-bits budget: a tenant's engine is built from the pool defaults
+// on first touch, the least-recently-used tenant is checkpointed out to
+// a spill store when the budget overflows, and a spilled tenant is
+// revived transparently — bit-identical — on its next touch
+// (DESIGN.md §13). One budget of B bits serves far more than
+// B/ModelBits tenants; only the hot set is resident.
+//
+//	p, err := l1hh.NewPool(
+//		l1hh.WithTenantDefaults(
+//			l1hh.WithEps(0.01), l1hh.WithPhi(0.05),
+//			l1hh.WithStreamLength(1_000_000), l1hh.WithSeed(42)),
+//		l1hh.WithPoolBudget(50_000_000),                      // bits; 0 = never evict
+//		l1hh.WithPoolSpill(l1hh.NewDiskSpillStore(spillDir)), // default: in-memory
+//	)
+//	if err != nil { ... }
+//	_ = p.Insert("alice", 17)                 // first touch builds alice's engine
+//	rep, err := p.Report("alice")             // revives alice if she was spilled
+//	blob, _ := p.MarshalBinary()              // whole pool, spilled tenants included
+//	restored, err := l1hh.UnmarshalPool(blob, l1hh.WithTenantDefaults( /* same */ ))
+//
+// Time-window and accuracy-sentinel tenants are pinned resident (their
+// state cannot survive a spill gap), unknown-length tenants are
+// volatile (never spilled, absent from pool checkpoints), and
+// everything else spills. cmd/hhd mounts a pool under /t/{tenant}/…
+// routes with -tenants.
+//
 // The per-type constructors of earlier releases (NewListHeavyHitters,
 // NewShardedListHeavyHitters, NewWindowedListHeavyHitters and their
 // Unmarshal counterparts) remain as deprecated shims over the same

@@ -36,6 +36,11 @@ const (
 	// encoders emit tagSharded when no window is configured, so
 	// non-windowed checkpoints stay readable by older builds.
 	tagShardedWindowed byte = 5
+	// tagPool marks a multi-tenant pool checkpoint: a manifest of
+	// per-tenant engine encodings (each nesting one of the tags above)
+	// plus the pool's budget and counters. Restored by UnmarshalPool,
+	// not Unmarshal — a pool is a container of solvers, not a solver.
+	tagPool byte = 6
 )
 
 // taggedMarshal prefixes the engine tag to the engine's own encoding.

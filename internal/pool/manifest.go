@@ -1,0 +1,272 @@
+package pool
+
+// manifest.go — the pool's own checkpoint: a manifest of every
+// serializable tenant (resident ones encoded in place, spilled ones
+// copied from the store) that Restore turns back into a pool whose
+// tenants are all spilled, reviving lazily on first touch. Each
+// tenant's engine checkpoint travels inside its own ckpt frame, so a
+// single flipped bit in one tenant is caught by that frame's CRC
+// before an engine ever decodes it.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/wire"
+)
+
+// manifestVersion versions the manifest layout.
+const manifestVersion = 1
+
+// flagPinned marks a record whose tenant was pinned (serializable but
+// never evicted at runtime); Restore preserves the classification.
+const flagPinned = 1
+
+// manifestRecord is one tenant in a pool checkpoint.
+type manifestRecord struct {
+	Tenant string
+	Pinned bool
+	Bits   int64  // model bits the engine held when encoded
+	Frame  []byte // ckpt-framed engine checkpoint (validated on decode)
+}
+
+// manifest is the decoded form of a pool checkpoint.
+type manifest struct {
+	BudgetBits int64
+	Records    []manifestRecord
+}
+
+// encodeManifest serializes m deterministically (records sorted by
+// tenant name).
+func encodeManifest(m manifest) []byte {
+	recs := make([]manifestRecord, len(m.Records))
+	copy(recs, m.Records)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Tenant < recs[j].Tenant })
+	w := wire.NewWriter()
+	w.U64(manifestVersion)
+	w.I64(m.BudgetBits)
+	w.U64(uint64(len(recs)))
+	for _, r := range recs {
+		w.Blob([]byte(r.Tenant))
+		var flags uint64
+		if r.Pinned {
+			flags |= flagPinned
+		}
+		w.U64(flags)
+		w.U64(uint64(r.Bits))
+		w.Blob(r.Frame)
+	}
+	return w.Bytes()
+}
+
+// decodeManifest validates and decodes a pool checkpoint body. Every
+// field a hostile or torn encoding could corrupt is checked before it
+// is trusted: the record count against the remaining bytes, tenant
+// names for emptiness, length and uniqueness, the flag set against the
+// known flags, the bits field against int64 range, and every
+// per-tenant frame against its own checksum.
+func decodeManifest(data []byte) (manifest, error) {
+	var m manifest
+	r := wire.NewReader(data)
+	if v := r.U64(); r.Err() == nil && v != manifestVersion {
+		return m, fmt.Errorf("pool: unsupported manifest version %d", v)
+	}
+	m.BudgetBits = r.I64()
+	if r.Err() == nil && m.BudgetBits < 0 {
+		return m, errors.New("pool: manifest carries a negative budget")
+	}
+	count := r.U64()
+	if r.Err() != nil {
+		return m, fmt.Errorf("pool: manifest: %w", r.Err())
+	}
+	// Each record costs at least 4 bytes (two varints and two empty
+	// blob lengths); a declared count beyond that is corrupt — fail
+	// before allocating.
+	if count > uint64(len(data))/4+1 {
+		return m, errors.New("pool: manifest record count exceeds the encoding size")
+	}
+	seen := make(map[string]bool, count)
+	m.Records = make([]manifestRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		name := string(r.Blob())
+		flags := r.U64()
+		bits := r.U64()
+		frame := r.Blob()
+		if err := r.Err(); err != nil {
+			return m, fmt.Errorf("pool: manifest record %d: %w", i, err)
+		}
+		if name == "" || len(name) > MaxTenantName {
+			return m, fmt.Errorf("pool: manifest record %d: invalid tenant name (%d bytes)", i, len(name))
+		}
+		if seen[name] {
+			return m, fmt.Errorf("pool: manifest repeats tenant %q", name)
+		}
+		seen[name] = true
+		if flags&^uint64(flagPinned) != 0 {
+			return m, fmt.Errorf("pool: manifest record %q carries unknown flags %#x", name, flags)
+		}
+		if bits > math.MaxInt64 {
+			return m, fmt.Errorf("pool: manifest record %q: bits field overflows", name)
+		}
+		if _, err := ckpt.Decode(frame); err != nil {
+			return m, fmt.Errorf("pool: manifest record %q: %w", name, err)
+		}
+		m.Records = append(m.Records, manifestRecord{
+			Tenant: name,
+			Pinned: flags&flagPinned != 0,
+			Bits:   int64(bits),
+			// Copy: Blob aliases the input, which the caller may reuse.
+			Frame: append([]byte(nil), frame...),
+		})
+	}
+	if !r.Done() {
+		return m, errors.New("pool: trailing junk after the manifest")
+	}
+	return m, nil
+}
+
+// Snapshot serializes the pool: every serializable tenant — spillable
+// and pinned, resident and spilled — as one manifest. Volatile tenants
+// are omitted (they cannot serialize; a restart finds them empty).
+// Per-tenant state is consistent (each engine is encoded under its
+// semaphore) but the manifest is not a cross-tenant barrier: tenants
+// touched while the snapshot walks encode either before or after the
+// touch. Successfully encoded frames are cached per entry, so an
+// untouched tenant costs nothing at the next Snapshot — that cache is
+// the "dirty tenants only" part of checkpoint coordination.
+//
+// Snapshot still works after Close: the shutdown sequence is Close
+// (drain engines) then Snapshot (final checkpoint).
+func (p *Pool) Snapshot() ([]byte, error) {
+	p.mu.Lock()
+	budget := p.cfg.BudgetBits
+	resident := make([]*entry, 0, len(p.res))
+	for _, e := range p.res {
+		resident = append(resident, e)
+	}
+	spilledNames := make([]string, 0, len(p.spilled))
+	for t := range p.spilled {
+		spilledNames = append(spilledNames, t)
+	}
+	p.mu.Unlock()
+
+	recs := make([]manifestRecord, 0, len(resident)+len(spilledNames))
+	done := make(map[string]bool, cap(recs))
+	var firstErr error
+	addStored := func(tenant string) {
+		if done[tenant] || p.cfg.Store == nil {
+			return
+		}
+		frame, ok, err := p.cfg.Store.Get(tenant)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pool: snapshot read of spilled %q: %w", tenant, err)
+			}
+			return
+		}
+		if !ok {
+			// Revived (or deleted) since we listed it; the resident
+			// walk covers revivals, and a truly vanished tenant has no
+			// state to save.
+			return
+		}
+		p.mu.Lock()
+		rec, stillSpilled := p.spilled[tenant]
+		p.mu.Unlock()
+		if !stillSpilled {
+			return
+		}
+		done[tenant] = true
+		recs = append(recs, manifestRecord{
+			Tenant: tenant,
+			Pinned: rec.mode == Pinned,
+			Bits:   rec.bits,
+			Frame:  frame,
+		})
+	}
+
+	for _, e := range resident {
+		e.sem <- struct{}{}
+		if e.gone {
+			// Evicted between the listing and here — its state is in
+			// the store now.
+			<-e.sem
+			addStored(e.tenant)
+			continue
+		}
+		if e.mode == Volatile {
+			<-e.sem
+			continue
+		}
+		frame := e.frame
+		if frame == nil {
+			blob, err := e.eng.MarshalBinary()
+			if err != nil {
+				<-e.sem
+				if firstErr == nil {
+					firstErr = fmt.Errorf("pool: snapshot of %q: %w", e.tenant, err)
+				}
+				continue
+			}
+			frame = ckpt.Encode(blob)
+			e.frame = frame
+		}
+		p.mu.Lock()
+		bits := e.bits
+		p.mu.Unlock()
+		done[e.tenant] = true
+		recs = append(recs, manifestRecord{
+			Tenant: e.tenant,
+			Pinned: e.mode == Pinned,
+			Bits:   bits,
+			Frame:  frame,
+		})
+		<-e.sem
+	}
+	for _, t := range spilledNames {
+		addStored(t)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return encodeManifest(manifest{BudgetBits: budget, Records: recs}), nil
+}
+
+// Restore builds a pool from a Snapshot encoding: every manifest
+// tenant starts spilled (its frame seeded into cfg.Store) and revives
+// lazily on first touch, so a restart pays nothing for tenants that
+// never come back. cfg provides the runtime wiring — Factory, Store,
+// Restorer, Hooks — and may override the budget: cfg.BudgetBits > 0
+// wins, 0 inherits the manifest's. cfg.Store and cfg.Restorer are
+// required whenever the manifest carries tenants.
+func Restore(data []byte, cfg Config) (*Pool, error) {
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BudgetBits == 0 {
+		cfg.BudgetBits = m.BudgetBits
+	}
+	if len(m.Records) > 0 && cfg.Store == nil {
+		return nil, errors.New("pool: restoring a non-empty manifest needs a spill Store")
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range m.Records {
+		if err := cfg.Store.Put(rec.Tenant, rec.Frame); err != nil {
+			return nil, fmt.Errorf("pool: seeding spill store with %q: %w", rec.Tenant, err)
+		}
+		mode := Spillable
+		if rec.Pinned {
+			mode = Pinned
+		}
+		p.spilled[rec.Tenant] = spillRec{bits: rec.Bits, bytes: len(rec.Frame), mode: mode}
+		p.spilledBytes += int64(len(rec.Frame))
+	}
+	return p, nil
+}

@@ -1,0 +1,647 @@
+// Package pool implements the tenant-keyed engine pool behind
+// l1hh.Pool: one heavy-hitters engine per tenant, created lazily on
+// first touch, sharing one model-bits budget. When the resident bits
+// exceed the budget the least-recently-used spillable tenant is
+// evicted — serialized, framed with the ckpt checksum, and handed to a
+// pluggable Store — and revived transparently on its next touch. The
+// paper's point is that one (ε,ϕ) summary costs O(ε⁻¹ log ϕ⁻¹ + log
+// δ⁻¹ + log log m) bits; the pool is what turns that constant into
+// capacity — a budget of B bits holds B/bits-per-sketch hot tenants,
+// and every cold tenant costs only its spilled frame.
+//
+// Concurrency model: each resident tenant is guarded by a capacity-1
+// semaphore channel, so per-tenant operations are serialized (engines
+// here are single-owner) while distinct tenants proceed in parallel.
+// The pool-wide map, LRU list and bits accounting live under one
+// mutex. Lock order is semaphore → mutex, never the reverse: an
+// evictor marks its victims under the mutex, releases it, and only
+// then waits for each victim's semaphore.
+package pool
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/shard"
+)
+
+// Engine is what the pool manages: the subset of l1hh.HeavyHitters the
+// pool itself needs. The caller's callbacks get the Engine back and
+// may assert it to the full interface.
+type Engine interface {
+	// ModelBits is the engine's size under the paper's accounting —
+	// the currency of the pool budget.
+	ModelBits() int64
+	// MarshalBinary checkpoints the engine for spilling.
+	MarshalBinary() ([]byte, error)
+	// Close stops the engine; called after a successful spill and on
+	// pool Close.
+	Close() error
+}
+
+// Mode classifies how a tenant's engine interacts with the spill
+// machinery.
+type Mode uint8
+
+const (
+	// Spillable engines serialize and restore transparently; they are
+	// the LRU eviction candidates.
+	Spillable Mode = iota
+	// Pinned engines serialize (they appear in pool snapshots) but are
+	// never evicted at runtime: their semantics would be silently
+	// wrong across a spill gap (time windows age by wall clock; an
+	// accuracy sentinel's shadow never saw restored history).
+	Pinned
+	// Volatile engines cannot serialize at all (unknown stream
+	// length): never evicted, absent from snapshots, empty after a
+	// restart.
+	Volatile
+)
+
+// String names the mode for logs and errors.
+func (m Mode) String() string {
+	switch m {
+	case Spillable:
+		return "spillable"
+	case Pinned:
+		return "pinned"
+	case Volatile:
+		return "volatile"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Factory builds the engine for a tenant's first touch, classifying
+// how it may spill.
+type Factory func(tenant string) (Engine, Mode, error)
+
+// Restorer rebuilds an engine from the checkpoint payload a spill
+// stored (the bytes the engine's MarshalBinary produced, after frame
+// validation).
+type Restorer func(tenant string, blob []byte) (Engine, error)
+
+// Hooks carries optional observability callbacks. They run outside the
+// pool locks but inside the eviction/revive paths, so they should be
+// cheap (a histogram observation, not a log line).
+type Hooks struct {
+	// Evicted observes one completed spill: the wall time from
+	// semaphore acquisition to durable store, and the bits released.
+	Evicted func(tenant string, d time.Duration, bits int64)
+	// Revived observes one completed revive: store read, frame
+	// validation and engine restore.
+	Revived func(tenant string, d time.Duration)
+}
+
+// Config assembles a pool.
+type Config struct {
+	// BudgetBits is the shared model-bits budget across resident
+	// engines; 0 means unlimited (no eviction). Pinned and volatile
+	// tenants count against the budget but only spillable tenants can
+	// be evicted to relieve it.
+	BudgetBits int64
+	// Store receives evicted tenants. Required when BudgetBits > 0.
+	Store Store
+	// Factory builds engines on first touch. Required.
+	Factory Factory
+	// Restorer revives spilled tenants. Required when Store is set.
+	Restorer Restorer
+	// Hooks are the optional observability callbacks.
+	Hooks Hooks
+}
+
+// Errors the pool adds to the engine's own vocabulary; test with
+// errors.Is.
+var (
+	// ErrBusy is returned by bounded operations when the tenant's
+	// engine stayed busy for the whole wait.
+	ErrBusy = errors.New("pool: tenant busy")
+	// ErrUnknownTenant is returned by read operations for tenants that
+	// were never inserted into.
+	ErrUnknownTenant = errors.New("pool: unknown tenant")
+	// ErrInvalidTenant rejects empty or oversized tenant names.
+	ErrInvalidTenant = errors.New("pool: invalid tenant name")
+	// ErrClosed is returned by every operation after Close; it is the
+	// same sentinel the engines themselves return.
+	ErrClosed = shard.ErrClosed
+)
+
+// MaxTenantName bounds tenant name length, keeping manifest records
+// and spill file names sane.
+const MaxTenantName = 512
+
+// entry is one resident tenant. The semaphore serializes engine
+// access; eng, mode and bits are written only while it is held (bits
+// additionally under p.mu for the accounting). gone marks an entry
+// that left the pool (evicted, or its creation failed) — waiters that
+// acquire the semaphore of a gone entry must drop it and re-look-up.
+type entry struct {
+	tenant string
+	sem    chan struct{}
+	eng    Engine
+	mode   Mode
+	bits   int64
+	// frame caches the ckpt-framed checkpoint of the engine's current
+	// state: non-nil only while the engine is untouched since the
+	// frame was encoded. Snapshot sets it; every engine operation
+	// clears it; eviction reuses it, which is what makes a
+	// checkpoint-then-evict sequence encode once.
+	frame    []byte
+	elem     *list.Element // LRU position; nil for pinned/volatile
+	ready    bool          // materialization complete; guarded by p.mu
+	gone     bool
+	evicting bool // reserved by an evictor; guarded by p.mu
+}
+
+// spillRec is the pool's memory of an evicted tenant: enough to revive
+// it and to report stats without touching the store.
+type spillRec struct {
+	bits  int64
+	bytes int
+	mode  Mode
+}
+
+// Stats is one coherent snapshot of the pool's occupancy counters.
+type Stats struct {
+	// TenantsLive counts resident engines (all modes).
+	TenantsLive int
+	// TenantsSpilled counts evicted tenants awaiting revival.
+	TenantsSpilled int
+	// TenantsPinned counts resident tenants that refuse eviction
+	// (pinned or volatile).
+	TenantsPinned int
+	// BitsInUse is the resident model-bits total; BudgetBits the
+	// configured ceiling (0 = unlimited).
+	BitsInUse, BudgetBits int64
+	// Evictions, Revives, SpillErrors and Created count lifecycle
+	// events since construction.
+	Evictions, Revives, SpillErrors, Created uint64
+	// SpilledBytes sums the frame sizes of currently spilled tenants.
+	SpilledBytes int64
+}
+
+// Pool is the tenant-keyed engine pool. All methods are safe for
+// concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	closed  bool
+	res     map[string]*entry
+	lru     *list.List // spillable entries only; front = MRU
+	spilled map[string]spillRec
+
+	bitsInUse    int64
+	evictingBits int64 // bits reserved by in-flight evictions
+
+	evictions, revives, spillErrors, created uint64
+	spilledBytes                             int64
+}
+
+// New builds a pool from cfg.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Factory == nil {
+		return nil, errors.New("pool: Config.Factory is required")
+	}
+	if cfg.BudgetBits < 0 {
+		return nil, fmt.Errorf("pool: negative budget %d", cfg.BudgetBits)
+	}
+	if cfg.BudgetBits > 0 && cfg.Store == nil {
+		return nil, errors.New("pool: a budget needs a spill Store")
+	}
+	if cfg.Store != nil && cfg.Restorer == nil {
+		return nil, errors.New("pool: a spill Store needs a Restorer")
+	}
+	return &Pool{
+		cfg:     cfg,
+		res:     make(map[string]*entry),
+		lru:     list.New(),
+		spilled: make(map[string]spillRec),
+	}, nil
+}
+
+// validTenant rejects names the manifest and stores cannot carry.
+func validTenant(tenant string) error {
+	if tenant == "" || len(tenant) > MaxTenantName {
+		return ErrInvalidTenant
+	}
+	return nil
+}
+
+// Do runs fn with tenant's engine, creating or reviving it as needed,
+// blocking while the engine is busy. fn owns the engine exclusively
+// for the duration of the call and must not retain it.
+func (p *Pool) Do(tenant string, fn func(Engine) error) error {
+	return p.with(tenant, true, -1, fn)
+}
+
+// DoBounded is Do with a bounded wait for the tenant's engine: if it
+// stays busy past wait, ErrBusy is returned and fn never ran (wait 0
+// means try-only). Creation and revival are not bounded — only the
+// wait on a busy engine is.
+func (p *Pool) DoBounded(tenant string, wait time.Duration, fn func(Engine) error) error {
+	if wait < 0 {
+		wait = 0
+	}
+	return p.with(tenant, true, wait, fn)
+}
+
+// View runs fn like Do but never creates an engine: unknown tenants
+// get ErrUnknownTenant. Spilled tenants are revived — a report is a
+// touch.
+func (p *Pool) View(tenant string, fn func(Engine) error) error {
+	return p.with(tenant, false, -1, fn)
+}
+
+// acquire takes the semaphore: wait < 0 blocks, otherwise the take is
+// bounded and ErrBusy reports a timeout.
+func acquire(sem chan struct{}, wait time.Duration) error {
+	if wait < 0 {
+		sem <- struct{}{}
+		return nil
+	}
+	select {
+	case sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if wait == 0 {
+		return ErrBusy
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrBusy
+	}
+}
+
+// with is the one access path: look up or materialize the tenant's
+// entry, run fn under its semaphore, then settle the bits accounting
+// and evict whatever the budget demands.
+func (p *Pool) with(tenant string, create bool, wait time.Duration, fn func(Engine) error) error {
+	if err := validTenant(tenant); err != nil {
+		return err
+	}
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return ErrClosed
+		}
+		if e, ok := p.res[tenant]; ok {
+			if e.elem != nil {
+				p.lru.MoveToFront(e.elem)
+			}
+			p.mu.Unlock()
+			if err := acquire(e.sem, wait); err != nil {
+				return err
+			}
+			if e.gone {
+				// The entry was evicted (or its creation failed)
+				// between lookup and acquisition; re-resolve.
+				<-e.sem
+				continue
+			}
+			return p.run(e, fn)
+		}
+		rec, wasSpilled := p.spilled[tenant]
+		if !wasSpilled && !create {
+			p.mu.Unlock()
+			return ErrUnknownTenant
+		}
+		// Materialize: install a placeholder whose semaphore we
+		// already hold, so concurrent touches of the same tenant queue
+		// behind the creation instead of duplicating it.
+		e := &entry{tenant: tenant, sem: make(chan struct{}, 1)}
+		e.sem <- struct{}{}
+		p.res[tenant] = e
+		delete(p.spilled, tenant)
+		p.mu.Unlock()
+
+		var (
+			eng  Engine
+			mode Mode
+			err  error
+		)
+		if wasSpilled {
+			eng, err = p.revive(tenant)
+			mode = rec.mode
+		} else {
+			eng, mode, err = p.cfg.Factory(tenant)
+			if err == nil && eng == nil {
+				err = errors.New("pool: factory returned a nil engine")
+			}
+		}
+		if err != nil {
+			p.mu.Lock()
+			delete(p.res, tenant)
+			if wasSpilled {
+				p.spilled[tenant] = rec
+			}
+			p.mu.Unlock()
+			e.gone = true
+			<-e.sem
+			return err
+		}
+		e.eng = eng
+		e.mode = mode
+		e.bits = eng.ModelBits()
+		p.mu.Lock()
+		p.bitsInUse += e.bits
+		e.ready = true
+		if mode == Spillable {
+			e.elem = p.lru.PushFront(e)
+		}
+		if wasSpilled {
+			p.revives++
+			p.spilledBytes -= int64(rec.bytes)
+		} else {
+			p.created++
+		}
+		p.mu.Unlock()
+		return p.run(e, fn)
+	}
+}
+
+// run executes fn with e's semaphore held (the caller acquired it),
+// settles the accounting, and enforces the budget. Lock order inside:
+// semaphore is held, p.mu is taken briefly — that order is the
+// pool-wide invariant.
+func (p *Pool) run(e *entry, fn func(Engine) error) error {
+	ferr := fn(e.eng)
+	e.frame = nil // conservatively assume fn touched the engine
+	newBits := e.eng.ModelBits()
+	p.mu.Lock()
+	p.bitsInUse += newBits - e.bits
+	if e.evicting {
+		// The entry is reserved by an in-flight evictor: keep its
+		// reservation in step with the bits it will release.
+		p.evictingBits += newBits - e.bits
+	}
+	e.bits = newBits
+	victims := p.collectVictimsLocked()
+	p.mu.Unlock()
+	<-e.sem
+	for _, v := range victims {
+		p.evict(v)
+	}
+	return ferr
+}
+
+// collectVictimsLocked reserves LRU victims until the projected
+// residency fits the budget. Reserved entries stay in the map and list
+// (marked evicting) so concurrent touches still find them; the caller
+// evicts after releasing p.mu.
+func (p *Pool) collectVictimsLocked() []*entry {
+	if p.cfg.BudgetBits <= 0 {
+		return nil
+	}
+	var victims []*entry
+	projected := p.bitsInUse - p.evictingBits
+	for el := p.lru.Back(); el != nil && projected > p.cfg.BudgetBits; el = el.Prev() {
+		v := el.Value.(*entry)
+		if v.evicting {
+			continue
+		}
+		v.evicting = true
+		p.evictingBits += v.bits
+		projected -= v.bits
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// evict spills one reserved victim: wait for its semaphore, serialize
+// (reusing the cached frame when the engine is untouched since the
+// last snapshot), store, close, and only then remove it from the
+// residency. A store failure cancels the eviction — the tenant stays
+// resident and the error is counted, never lost data.
+func (p *Pool) evict(v *entry) {
+	v.sem <- struct{}{}
+	if v.gone {
+		p.mu.Lock()
+		p.evictingBits -= v.bits
+		p.mu.Unlock()
+		<-v.sem
+		return
+	}
+	start := time.Now()
+	frame := v.frame
+	var err error
+	if frame == nil {
+		var blob []byte
+		blob, err = v.eng.MarshalBinary()
+		if err == nil {
+			frame = ckpt.Encode(blob)
+		}
+	}
+	if err == nil {
+		err = p.cfg.Store.Put(v.tenant, frame)
+	}
+	if err != nil {
+		p.mu.Lock()
+		v.evicting = false
+		p.evictingBits -= v.bits
+		p.spillErrors++
+		if v.elem != nil {
+			// Move the victim off the LRU tail so the next budget
+			// check does not immediately re-pick the tenant whose
+			// spill just failed.
+			p.lru.MoveToFront(v.elem)
+		}
+		p.mu.Unlock()
+		<-v.sem
+		return
+	}
+	v.eng.Close()
+	d := time.Since(start)
+	p.mu.Lock()
+	delete(p.res, v.tenant)
+	if v.elem != nil {
+		p.lru.Remove(v.elem)
+		v.elem = nil
+	}
+	p.bitsInUse -= v.bits
+	p.evictingBits -= v.bits
+	p.spilled[v.tenant] = spillRec{bits: v.bits, bytes: len(frame), mode: v.mode}
+	p.evictions++
+	p.spilledBytes += int64(len(frame))
+	bits := v.bits
+	p.mu.Unlock()
+	v.gone = true
+	<-v.sem
+	if p.cfg.Hooks.Evicted != nil {
+		p.cfg.Hooks.Evicted(v.tenant, d, bits)
+	}
+}
+
+// revive loads a spilled tenant back from the store: read, validate
+// the ckpt frame, restore the engine. The stored frame is deleted
+// best-effort afterwards (a leftover frame is shadowed by residency
+// and overwritten on the next spill).
+func (p *Pool) revive(tenant string) (Engine, error) {
+	start := time.Now()
+	frame, ok, err := p.cfg.Store.Get(tenant)
+	if err != nil {
+		return nil, fmt.Errorf("pool: spill read for %q: %w", tenant, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("pool: spill frame for %q missing from store", tenant)
+	}
+	blob, err := ckpt.Decode(frame)
+	if err != nil {
+		return nil, fmt.Errorf("pool: spill frame for %q: %w", tenant, err)
+	}
+	eng, err := p.cfg.Restorer(tenant, blob)
+	if err != nil {
+		return nil, fmt.Errorf("pool: revive %q: %w", tenant, err)
+	}
+	p.cfg.Store.Delete(tenant)
+	if p.cfg.Hooks.Revived != nil {
+		p.cfg.Hooks.Revived(tenant, time.Since(start))
+	}
+	return eng, nil
+}
+
+// Evict forces one tenant out to the spill store regardless of budget
+// pressure. Pinned and volatile tenants refuse (that is their point);
+// an already-spilled tenant is a no-op.
+func (p *Pool) Evict(tenant string) error {
+	if err := validTenant(tenant); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := p.spilled[tenant]; ok {
+		p.mu.Unlock()
+		return nil
+	}
+	e, ok := p.res[tenant]
+	if !ok {
+		p.mu.Unlock()
+		return ErrUnknownTenant
+	}
+	if !e.ready {
+		// Mid-creation: its mode is not settled yet and the creator
+		// owns the semaphore.
+		p.mu.Unlock()
+		return ErrBusy
+	}
+	if e.mode != Spillable {
+		mode := e.mode
+		p.mu.Unlock()
+		return fmt.Errorf("pool: tenant %q is %s and cannot be evicted", tenant, mode)
+	}
+	if p.cfg.Store == nil {
+		p.mu.Unlock()
+		return errors.New("pool: no spill store configured")
+	}
+	if e.evicting {
+		// An evictor already owns it; its spill counts as ours.
+		p.mu.Unlock()
+		return nil
+	}
+	e.evicting = true
+	p.evictingBits += e.bits
+	p.mu.Unlock()
+	p.evict(e)
+	// evict reports failures through the spillErrors counter, not an
+	// error return (budget evictions are asynchronous); the forced
+	// path checks whether the tenant actually left.
+	p.mu.Lock()
+	_, stillThere := p.res[tenant]
+	p.mu.Unlock()
+	if stillThere {
+		return fmt.Errorf("pool: spill of %q failed (see SpillErrors)", tenant)
+	}
+	return nil
+}
+
+// Known reports whether the pool holds state for tenant, resident or
+// spilled. Racy by nature — a monitoring/validation probe, not a
+// reservation.
+func (p *Pool) Known(tenant string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.res[tenant]; ok {
+		return true
+	}
+	_, ok := p.spilled[tenant]
+	return ok
+}
+
+// Tenants returns the sorted names of every tenant the pool knows,
+// resident and spilled.
+func (p *Pool) Tenants() []string {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.res)+len(p.spilled))
+	for t := range p.res {
+		names = append(names, t)
+	}
+	for t := range p.spilled {
+		names = append(names, t)
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns one coherent snapshot of the occupancy counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pinned := 0
+	for _, e := range p.res {
+		if e.mode != Spillable {
+			pinned++
+		}
+	}
+	return Stats{
+		TenantsLive:    len(p.res),
+		TenantsSpilled: len(p.spilled),
+		TenantsPinned:  pinned,
+		BitsInUse:      p.bitsInUse,
+		BudgetBits:     p.cfg.BudgetBits,
+		Evictions:      p.evictions,
+		Revives:        p.revives,
+		SpillErrors:    p.spillErrors,
+		Created:        p.created,
+		SpilledBytes:   p.spilledBytes,
+	}
+}
+
+// Close stops the pool: every subsequent operation returns ErrClosed
+// (Snapshot excepted — a final checkpoint after Close is the shutdown
+// sequence), and every resident engine is closed. Idempotent.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	entries := make([]*entry, 0, len(p.res))
+	for _, e := range p.res {
+		entries = append(entries, e)
+	}
+	p.mu.Unlock()
+	for _, e := range entries {
+		e.sem <- struct{}{}
+		if !e.gone {
+			e.eng.Close()
+		}
+		<-e.sem
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package pool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeEngine is a deterministic Engine for pool tests: its "state" is
+// a list of inserted values, its bits grow with the state, and its
+// encoding depends only on the state — so spill→revive round trips can
+// be checked bit for bit.
+type fakeEngine struct {
+	mu     sync.Mutex
+	data   []uint64
+	closed bool
+}
+
+const fakeBaseBits = 128
+
+func (f *fakeEngine) insert(v uint64) {
+	f.mu.Lock()
+	f.data = append(f.data, v)
+	f.mu.Unlock()
+}
+
+func (f *fakeEngine) ModelBits() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fakeBaseBits + 64*int64(len(f.data))
+}
+
+func (f *fakeEngine) MarshalBinary() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := wire.NewWriter()
+	w.U64s(f.data)
+	return w.Bytes(), nil
+}
+
+func (f *fakeEngine) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	return nil
+}
+
+func restoreFake(_ string, blob []byte) (Engine, error) {
+	r := wire.NewReader(blob)
+	data := r.U64s()
+	if r.Err() != nil || !r.Done() {
+		return nil, errors.New("fake: corrupt blob")
+	}
+	return &fakeEngine{data: data}, nil
+}
+
+// testPool builds a pool of fakeEngines over a MemStore. modeFor picks
+// the mode per tenant (nil = all Spillable).
+func testPool(t *testing.T, budget int64, modeFor func(string) Mode) (*Pool, *MemStore) {
+	t.Helper()
+	store := NewMemStore()
+	p, err := New(Config{
+		BudgetBits: budget,
+		Store:      store,
+		Factory: func(tenant string) (Engine, Mode, error) {
+			m := Spillable
+			if modeFor != nil {
+				m = modeFor(tenant)
+			}
+			return &fakeEngine{}, m, nil
+		},
+		Restorer: restoreFake,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, store
+}
+
+func insertN(t *testing.T, p *Pool, tenant string, vals ...uint64) {
+	t.Helper()
+	err := p.Do(tenant, func(e Engine) error {
+		for _, v := range vals {
+			e.(*fakeEngine).insert(v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do(%s): %v", tenant, err)
+	}
+}
+
+func tenantData(t *testing.T, p *Pool, tenant string) []uint64 {
+	t.Helper()
+	var out []uint64
+	err := p.View(tenant, func(e Engine) error {
+		f := e.(*fakeEngine)
+		f.mu.Lock()
+		out = append([]uint64(nil), f.data...)
+		f.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("View(%s): %v", tenant, err)
+	}
+	return out
+}
+
+// TestLRUBudgetBoundary pins the eviction boundary exactly: a budget
+// that fits N engines keeps N resident; the touch that exceeds it
+// evicts exactly the least-recently-used tenant.
+func TestLRUBudgetBoundary(t *testing.T) {
+	// Engines with one value cost fakeBaseBits+64 bits each; budget
+	// exactly 3 of them.
+	per := int64(fakeBaseBits + 64)
+	p, store := testPool(t, 3*per, nil)
+	insertN(t, p, "a", 1)
+	insertN(t, p, "b", 2)
+	insertN(t, p, "c", 3)
+	if st := p.Stats(); st.Evictions != 0 || st.TenantsLive != 3 || st.BitsInUse != 3*per {
+		t.Fatalf("at the boundary: %+v", st)
+	}
+	// Touch a so the LRU order is b < c < a, then add d: b must go.
+	insertN(t, p, "a")
+	insertN(t, p, "d", 4)
+	st := p.Stats()
+	if st.Evictions != 1 || st.TenantsLive != 3 || st.TenantsSpilled != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	if _, ok, _ := store.Get("b"); !ok {
+		t.Fatal("expected b (the LRU tenant) to be spilled")
+	}
+	if st.BitsInUse != 3*per {
+		t.Fatalf("BitsInUse = %d, want %d", st.BitsInUse, 3*per)
+	}
+}
+
+// TestSpillReviveRoundTrip checks the spill→revive cycle preserves
+// engine state bit for bit and that reviving consumes the stored
+// frame.
+func TestSpillReviveRoundTrip(t *testing.T) {
+	p, store := testPool(t, 0, nil)
+	insertN(t, p, "x", 10, 20, 30)
+	var before []byte
+	p.View("x", func(e Engine) error {
+		before, _ = e.MarshalBinary()
+		return nil
+	})
+	if err := p.Evict("x"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if got := p.Stats(); got.TenantsSpilled != 1 || got.TenantsLive != 0 {
+		t.Fatalf("after evict: %+v", got)
+	}
+	if data := tenantData(t, p, "x"); fmt.Sprint(data) != fmt.Sprint([]uint64{10, 20, 30}) {
+		t.Fatalf("revived data = %v", data)
+	}
+	var after []byte
+	p.View("x", func(e Engine) error {
+		after, _ = e.MarshalBinary()
+		return nil
+	})
+	if !bytes.Equal(before, after) {
+		t.Fatal("revived engine encoding differs from the pre-spill encoding")
+	}
+	if _, ok, _ := store.Get("x"); ok {
+		t.Fatal("revive should delete the stored frame")
+	}
+	if st := p.Stats(); st.Revives != 1 || st.SpilledBytes != 0 {
+		t.Fatalf("after revive: %+v", st)
+	}
+}
+
+// TestModesRefuseEviction: pinned and volatile tenants refuse forced
+// eviction, and the budget sweep never selects them.
+func TestModesRefuseEviction(t *testing.T) {
+	modes := map[string]Mode{"pin": Pinned, "vol": Volatile, "sp": Spillable}
+	per := int64(fakeBaseBits + 64)
+	p, _ := testPool(t, 2*per, func(tenant string) Mode { return modes[tenant] })
+	insertN(t, p, "pin", 1)
+	insertN(t, p, "vol", 2)
+	if err := p.Evict("pin"); err == nil {
+		t.Fatal("evicting a pinned tenant should fail")
+	}
+	if err := p.Evict("vol"); err == nil {
+		t.Fatal("evicting a volatile tenant should fail")
+	}
+	// Over budget with only pinned+volatile resident: nothing to
+	// evict, the pool runs over budget rather than corrupting them.
+	insertN(t, p, "sp", 3)
+	st := p.Stats()
+	if st.TenantsLive < 2 {
+		t.Fatalf("pinned/volatile tenants must stay resident: %+v", st)
+	}
+	if data := tenantData(t, p, "pin"); len(data) != 1 {
+		t.Fatalf("pinned tenant lost state: %v", data)
+	}
+}
+
+// TestSpillFailureKeepsTenant: a failing store cancels the eviction;
+// the tenant stays resident with its state intact and the failure is
+// counted.
+func TestSpillFailureKeepsTenant(t *testing.T) {
+	p, store := testPool(t, 0, nil)
+	insertN(t, p, "x", 1, 2)
+	store.FailPut = errors.New("disk full")
+	if err := p.Evict("x"); err == nil {
+		t.Fatal("forced evict with a failing store should report failure")
+	}
+	st := p.Stats()
+	if st.SpillErrors != 1 || st.TenantsLive != 1 || st.TenantsSpilled != 0 {
+		t.Fatalf("after failed spill: %+v", st)
+	}
+	store.FailPut = nil
+	if data := tenantData(t, p, "x"); len(data) != 2 {
+		t.Fatalf("tenant lost state across a failed spill: %v", data)
+	}
+}
+
+// TestUnknownAndInvalidTenants pins the error vocabulary.
+func TestUnknownAndInvalidTenants(t *testing.T) {
+	p, _ := testPool(t, 0, nil)
+	if err := p.View("nope", func(Engine) error { return nil }); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("View unknown: %v", err)
+	}
+	if err := p.Do("", func(Engine) error { return nil }); !errors.Is(err, ErrInvalidTenant) {
+		t.Fatalf("empty tenant: %v", err)
+	}
+	long := string(make([]byte, MaxTenantName+1))
+	if err := p.Do(long, func(Engine) error { return nil }); !errors.Is(err, ErrInvalidTenant) {
+		t.Fatalf("oversized tenant: %v", err)
+	}
+	if err := p.Evict("nope"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("Evict unknown: %v", err)
+	}
+}
+
+// TestDoBoundedBusy: a busy tenant bounds out with ErrBusy while other
+// tenants proceed.
+func TestDoBoundedBusy(t *testing.T) {
+	p, _ := testPool(t, 0, nil)
+	insertN(t, p, "x", 1)
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	go p.Do("x", func(Engine) error {
+		close(held)
+		<-hold
+		return nil
+	})
+	<-held
+	if err := p.DoBounded("x", 0, func(Engine) error { return nil }); !errors.Is(err, ErrBusy) {
+		t.Fatalf("DoBounded on busy tenant: %v", err)
+	}
+	if err := p.DoBounded("y", 0, func(Engine) error { return nil }); err != nil {
+		t.Fatalf("other tenant should be free: %v", err)
+	}
+	close(hold)
+}
+
+// TestCloseStopsOps: after Close every operation returns ErrClosed and
+// resident engines are closed; Snapshot still works.
+func TestCloseStopsOps(t *testing.T) {
+	p, _ := testPool(t, 0, nil)
+	insertN(t, p, "x", 1)
+	var eng *fakeEngine
+	p.View("x", func(e Engine) error { eng = e.(*fakeEngine); return nil })
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close is idempotent: %v", err)
+	}
+	eng.mu.Lock()
+	closed := eng.closed
+	eng.mu.Unlock()
+	if !closed {
+		t.Fatal("Close should close resident engines")
+	}
+	if err := p.Do("x", func(Engine) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close: %v", err)
+	}
+	if _, err := p.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after Close: %v", err)
+	}
+}
+
+// TestConcurrentChurn hammers a small budget from many goroutines so
+// inserts, evictions and revivals interleave; run under -race. At the
+// end every tenant must hold exactly the values inserted into it and
+// the bits accounting must equal the sum over resident engines.
+func TestConcurrentChurn(t *testing.T) {
+	const tenants = 16
+	const perG = 50
+	per := int64(fakeBaseBits + 64)
+	p, _ := testPool(t, 4*per, nil) // ~4 resident out of 16
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tenant := fmt.Sprintf("t%d", (g*perG+i)%tenants)
+				if err := p.Do(tenant, func(e Engine) error {
+					e.(*fakeEngine).insert(uint64(g))
+					return nil
+				}); err != nil {
+					t.Errorf("Do(%s): %v", tenant, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < tenants; i++ {
+		total += len(tenantData(t, p, fmt.Sprintf("t%d", i)))
+	}
+	if total != 8*perG {
+		t.Fatalf("lost inserts across churn: got %d, want %d", total, 8*perG)
+	}
+	st := p.Stats()
+	if st.Evictions == 0 || st.Revives == 0 {
+		t.Fatalf("churn should evict and revive: %+v", st)
+	}
+	// Settle: no evictions are in flight (all Do calls returned and
+	// each ran its victims synchronously), so BitsInUse must equal the
+	// sum over resident engines exactly.
+	p.mu.Lock()
+	var sum int64
+	for _, e := range p.res {
+		sum += e.bits
+	}
+	if p.bitsInUse != sum {
+		t.Fatalf("bits accounting drifted: bitsInUse=%d, sum=%d", p.bitsInUse, sum)
+	}
+	if p.evictingBits != 0 {
+		t.Fatalf("evictingBits leaked: %d", p.evictingBits)
+	}
+	p.mu.Unlock()
+}
+
+// TestConcurrentSameTenant serializes concurrent touches of one
+// tenant through the semaphore; with a tiny budget the tenant also
+// self-evicts between touches.
+func TestConcurrentSameTenant(t *testing.T) {
+	p, _ := testPool(t, fakeBaseBits, nil) // any engine with data overflows
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := p.Do("only", func(e Engine) error {
+					e.(*fakeEngine).insert(1)
+					return nil
+				}); err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if data := tenantData(t, p, "only"); len(data) != 100 {
+		t.Fatalf("lost inserts: %d/100", len(data))
+	}
+	if st := p.Stats(); st.Evictions == 0 {
+		t.Fatalf("an over-budget singleton should self-evict: %+v", st)
+	}
+}
+
+// TestDiskStore round-trips frames through the filesystem, including
+// a tenant name that needs the digest fallback.
+func TestDiskStore(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := string(bytes.Repeat([]byte("x"), MaxTenantName))
+	for _, tenant := range []string{"simple", "we/ird name\x00", long} {
+		frame := []byte("frame for " + tenant)
+		if err := d.Put(tenant, frame); err != nil {
+			t.Fatalf("Put(%q): %v", tenant, err)
+		}
+		got, ok, err := d.Get(tenant)
+		if err != nil || !ok || !bytes.Equal(got, frame) {
+			t.Fatalf("Get(%q) = %q, %v, %v", tenant, got, ok, err)
+		}
+		if err := d.Delete(tenant); err != nil {
+			t.Fatalf("Delete(%q): %v", tenant, err)
+		}
+		if _, ok, _ := d.Get(tenant); ok {
+			t.Fatalf("Get(%q) after Delete should miss", tenant)
+		}
+	}
+	if err := d.Delete("never-stored"); err != nil {
+		t.Fatalf("Delete of absent tenant: %v", err)
+	}
+}
+
+// TestFactoryErrorRetries: a failing factory does not wedge the
+// tenant; the next touch retries.
+func TestFactoryErrorRetries(t *testing.T) {
+	fail := true
+	p, err := New(Config{
+		Factory: func(string) (Engine, Mode, error) {
+			if fail {
+				return nil, 0, errors.New("factory down")
+			}
+			return &fakeEngine{}, Spillable, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Do("x", func(Engine) error { return nil }); err == nil {
+		t.Fatal("first touch should surface the factory error")
+	}
+	fail = false
+	if err := p.Do("x", func(Engine) error { return nil }); err != nil {
+		t.Fatalf("retry after factory recovery: %v", err)
+	}
+}
+
+// TestEvictWaitsForBusyEngine: an eviction initiated while a tenant is
+// busy completes after the operation finishes, with the operation's
+// writes included in the spilled state.
+func TestEvictWaitsForBusyEngine(t *testing.T) {
+	p, store := testPool(t, 0, nil)
+	insertN(t, p, "x", 1)
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	go p.Do("x", func(e Engine) error {
+		close(inFn)
+		<-release
+		e.(*fakeEngine).insert(2)
+		return nil
+	})
+	<-inFn
+	evictDone := make(chan error, 1)
+	go func() { evictDone <- p.Evict("x") }()
+	// The evictor must be blocked on the semaphore; give it a moment
+	// to be queued, then release the operation.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-evictDone; err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	frame, ok, _ := store.Get("x")
+	if !ok {
+		t.Fatal("tenant not spilled")
+	}
+	eng, err := restoreFake("x", mustDecodeFrame(t, frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data := eng.(*fakeEngine).data; len(data) != 2 {
+		t.Fatalf("spilled state missed the in-flight insert: %v", data)
+	}
+}

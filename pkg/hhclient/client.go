@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -128,6 +129,19 @@ func WithBackoff(base, cap time.Duration) Option {
 // reproducible in tests.
 func WithSeed(seed int64) Option { return func(c *Client) { c.seed = seed } }
 
+// WithTenant points the client at one tenant of a multi-tenant daemon
+// (-tenants on cmd/hhd): ingest posts to /t/{tenant}/ingest and Report
+// reads /t/{tenant}/report. The name is URL-escaped here, so any
+// tenant the daemon accepts (spaces, slashes, up to 512 bytes) is safe
+// to pass verbatim. An empty name keeps the single-tenant routes.
+func WithTenant(tenant string) Option {
+	return func(c *Client) {
+		if tenant != "" {
+			c.pathPrefix = "/t/" + url.PathEscape(tenant)
+		}
+	}
+}
+
 // WithMetrics registers the client's counters (hhclient_*) on an obs
 // registry, typically the one the embedding process already exposes.
 func WithMetrics(reg *obs.Registry) Option { return func(c *Client) { c.reg = reg } }
@@ -136,7 +150,9 @@ func WithMetrics(reg *obs.Registry) Option { return func(c *Client) { c.reg = re
 // for concurrent use. Add/AddBatch never block — a full queue is the
 // caller's backpressure signal.
 type Client struct {
-	baseURL    string
+	baseURL string
+	// pathPrefix is "/t/{tenant}" under WithTenant, empty otherwise.
+	pathPrefix string
 	hc         *http.Client
 	batchSize  int
 	flushEvery time.Duration
@@ -431,7 +447,7 @@ func (c *Client) send(batch []uint64) {
 // post performs one POST /ingest with a binary little-endian body.
 // nil means every item in the body was acknowledged.
 func (c *Client) post(body []byte) error {
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.baseURL+"/ingest", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.baseURL+c.pathPrefix+"/ingest", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -512,7 +528,7 @@ type ReportedItem struct {
 // Report fetches the daemon's current heavy-hitter report. It is a
 // plain request-response call, independent of the ingest queue.
 func (c *Client) Report(ctx context.Context) (*Report, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/report", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+c.pathPrefix+"/report", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,7 @@ type faultTransport struct {
 	mu       sync.Mutex
 	steps    []step
 	requests [][]uint64
+	paths    []string // EscapedPath of each request, in order
 }
 
 func (f *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
@@ -45,6 +46,7 @@ func (f *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	f.mu.Lock()
 	f.requests = append(f.requests, items)
+	f.paths = append(f.paths, req.URL.EscapedPath())
 	var st step
 	if len(f.steps) > 0 {
 		st = f.steps[0]
@@ -78,6 +80,12 @@ func (f *faultTransport) sent() [][]uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([][]uint64(nil), f.requests...)
+}
+
+func (f *faultTransport) seenPaths() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.paths...)
 }
 
 // newTestClient builds a client over a fault transport with an injected
@@ -352,6 +360,45 @@ func TestAgeFlush(t *testing.T) {
 	}
 	if reqs := ft.sent(); len(reqs) != 1 || len(reqs[0]) != 1 || reqs[0][0] != 77 {
 		t.Fatalf("age flush sent %v, want the single item 77", reqs)
+	}
+}
+
+// TestWithTenantRoutes pins the multi-tenant path rewriting: ingest and
+// Report both ride the /t/{tenant} family, with the name URL-escaped
+// exactly once.
+func TestWithTenantRoutes(t *testing.T) {
+	ft := &faultTransport{steps: []step{
+		{}, // ingest flush
+		{body: `{"len":1,"eps":0.1,"phi":0.3,"heavy_hitters":[{"item":5,"estimate":1}]}`},
+	}}
+	c, _ := newTestClient(t, ft, WithTenant("team a/7"))
+	addAll(t, c, []uint64{5})
+	flush(t, c)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rep, err := c.Report(ctx)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if len(rep.HeavyHitters) != 1 || rep.HeavyHitters[0].Item != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	want := []string{"/t/team%20a%2F7/ingest", "/t/team%20a%2F7/report"}
+	got := ft.seenPaths()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("paths = %v, want %v", got, want)
+	}
+}
+
+// TestWithTenantEmptyKeepsSingleRoutes: an empty tenant is a no-op, not
+// a "/t//" prefix.
+func TestWithTenantEmptyKeepsSingleRoutes(t *testing.T) {
+	ft := &faultTransport{}
+	c, _ := newTestClient(t, ft, WithTenant(""))
+	addAll(t, c, []uint64{1})
+	flush(t, c)
+	if got := ft.seenPaths(); len(got) != 1 || got[0] != "/ingest" {
+		t.Fatalf("paths = %v, want [/ingest]", got)
 	}
 }
 

@@ -356,6 +356,8 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 			return nil, err
 		}
 		return newWindowedHH(eng), nil
+	case tagPool:
+		return nil, errors.New("l1hh: this is a multi-tenant pool checkpoint — restore it with UnmarshalPool")
 	default:
 		return nil, errors.New("l1hh: unrecognized solver encoding")
 	}
