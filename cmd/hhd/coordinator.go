@@ -88,7 +88,12 @@ func (co *coordinator) finalSnapshot() { co.snapshot(true) }
 func (co *coordinator) snapshot(force bool) {
 	if p := co.srv.pool; p != nil {
 		st := p.Stats()
-		if !force && st.Items == co.lastItems {
+		// Pinned tenants (time windows, accuracy sentinels) change
+		// state by wall clock without moving the item counter, so their
+		// presence disables the no-op skip — the pool-side mirror of the
+		// single-engine windowed rule below. The pool's frame cache
+		// keeps the untouched spillable tenants cheap to re-snapshot.
+		if !force && st.Items == co.lastItems && st.TenantsPinned == 0 {
 			return
 		}
 		co.encodeAndStore(p.MarshalBinary, st.Items)

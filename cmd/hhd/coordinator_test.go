@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	l1hh "repro"
 	"repro/internal/ckpt"
 )
 
@@ -76,6 +77,42 @@ func TestCoordinatorSnapshotSkipResume(t *testing.T) {
 	co2.snapshot(false)
 	if restored.ckptLastSeq.Load() != seq+1 {
 		t.Fatalf("resumed coordinator wrote seq %d, want %d", restored.ckptLastSeq.Load(), seq+1)
+	}
+}
+
+// TestCoordinatorPoolPinnedDisablesSkip: with a multi-tenant pool the
+// unchanged-items skip must not apply while a pinned (time-window)
+// tenant exists — its state retires mass by wall clock without moving
+// the item counter, so an idle pool still needs fresh checkpoints.
+func TestCoordinatorPoolPinnedDisablesSkip(t *testing.T) {
+	s := newTestPoolServer(t)
+	sink := ckpt.NewMemSink()
+
+	// A traffic-idle pool with only spillable tenants skips.
+	feedTenantHTTP(t, s, "plain", 42)
+	co := newCoordinator(s, sink, time.Hour, 0)
+	co.snapshot(false)
+	if sink.Len() != 1 {
+		t.Fatalf("first pool snapshot: %d frames, want 1", sink.Len())
+	}
+	co.snapshot(false)
+	if sink.Len() != 1 {
+		t.Fatal("idle pool without pinned tenants was not skipped")
+	}
+
+	// A time-window tenant is pinned; its presence forces every tick.
+	if err := s.pool.SetTenantOptions("win",
+		l1hh.WithTimeWindow(time.Hour, 4), l1hh.WithStreamLength(1000)); err != nil {
+		t.Fatal(err)
+	}
+	feedTenantHTTP(t, s, "win", 7)
+	co.snapshot(false)
+	if sink.Len() != 2 {
+		t.Fatalf("snapshot with new items: %d frames, want 2", sink.Len())
+	}
+	co.snapshot(false)
+	if sink.Len() != 3 {
+		t.Fatalf("idle pool with a pinned tenant must still snapshot: %d frames, want 3", sink.Len())
 	}
 }
 

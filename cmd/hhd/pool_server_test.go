@@ -71,6 +71,36 @@ func feedTenantHTTP(t *testing.T, s *server, tenant string, heavy uint64) {
 	}
 }
 
+// TestEmptyIngestDoesNotRegisterTenant: a zero-item body (empty binary
+// or blank NDJSON) must not create the tenant's engine — otherwise
+// empty probes permanently register tenants and consume budget.
+func TestEmptyIngestDoesNotRegisterTenant(t *testing.T) {
+	s := newTestPoolServer(t)
+	for _, tc := range []struct {
+		name, ct string
+		body     []byte
+	}{
+		{"binary", "application/octet-stream", nil},
+		{"ndjson", "application/x-ndjson", []byte("\n \n")},
+	} {
+		w := do(t, s, "POST", "/t/ghost-"+tc.name+"/ingest", tc.ct, tc.body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s empty ingest: %d: %s", tc.name, w.Code, w.Body)
+		}
+		var resp map[string]uint64
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp["accepted"] != 0 {
+			t.Fatalf("%s empty ingest response: %s (%v)", tc.name, w.Body, err)
+		}
+		w = do(t, s, "GET", "/t/ghost-"+tc.name+"/report", "", nil)
+		if w.Code != http.StatusNotFound {
+			t.Fatalf("%s: empty ingest registered the tenant: %d: %s", tc.name, w.Code, w.Body)
+		}
+	}
+	if st := s.pool.Stats(); st.TenantsCreated != 0 || st.TenantsLive != 0 {
+		t.Fatalf("empty ingests created engines: %+v", st)
+	}
+}
+
 func TestTenantRoutes(t *testing.T) {
 	s := newTestPoolServer(t)
 

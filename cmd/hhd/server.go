@@ -608,8 +608,13 @@ func ingestBinary(insert func([]l1hh.Item) error, body io.Reader) (uint64, error
 			batch = batch[:0]
 		}
 	}
-	if err := insert(batch); err != nil {
-		return accepted, err
+	// An empty tail is not inserted: on the tenant routes an insert is a
+	// touch that creates (or revives) the engine, and a zero-item body
+	// must not register a tenant.
+	if len(batch) > 0 {
+		if err := insert(batch); err != nil {
+			return accepted, err
+		}
 	}
 	return accepted + uint64(len(batch)), nil
 }
@@ -630,6 +635,11 @@ func ingestNDJSON(insert func([]l1hh.Item) error, body io.Reader) (uint64, error
 	batch := bufs.batch[:0]
 	var accepted uint64
 	flush := func() error {
+		if len(batch) == 0 {
+			// Nothing to insert — and on the tenant routes an empty
+			// insert would still create (or revive) the engine.
+			return nil
+		}
 		if err := insert(batch); err != nil {
 			return err
 		}

@@ -144,40 +144,61 @@ func (p *Pool) Snapshot() ([]byte, error) {
 	p.mu.Lock()
 	budget := p.cfg.BudgetBits
 	resident := make([]*entry, 0, len(p.res))
-	for _, e := range p.res {
+	known := make(map[string]bool, len(p.res)+len(p.spilled))
+	for t, e := range p.res {
 		resident = append(resident, e)
+		known[t] = true
 	}
-	spilledNames := make([]string, 0, len(p.spilled))
-	for t := range p.spilled {
-		spilledNames = append(spilledNames, t)
+	startSpill := make(map[string]spillRec, len(p.spilled))
+	for t, rec := range p.spilled {
+		startSpill[t] = rec
+		known[t] = true
 	}
 	p.mu.Unlock()
 
-	recs := make([]manifestRecord, 0, len(resident)+len(spilledNames))
-	done := make(map[string]bool, cap(recs))
+	recs := make([]manifestRecord, 0, len(known))
+	done := make(map[string]bool, len(known)) // encoded into recs
+	skip := make(map[string]bool)             // volatile or stateless: nothing to encode
 	var firstErr error
-	addStored := func(tenant string) {
-		if done[tenant] || p.cfg.Store == nil {
-			return
+
+	// addStored copies a spilled tenant's frame out of the store,
+	// reporting whether the tenant is settled. false means the frame was
+	// missing or the spill record mid-transition — the tenant revived
+	// concurrently; the revival sweep below re-resolves it through the
+	// live maps instead of silently dropping it.
+	addStored := func(tenant string) bool {
+		if done[tenant] || skip[tenant] {
+			return true
+		}
+		if p.cfg.Store == nil {
+			skip[tenant] = true
+			return true
 		}
 		frame, ok, err := p.cfg.Store.Get(tenant)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("pool: snapshot read of spilled %q: %w", tenant, err)
 			}
-			return
+			return true
 		}
 		if !ok {
-			// Revived (or deleted) since we listed it; the resident
-			// walk covers revivals, and a truly vanished tenant has no
-			// state to save.
-			return
+			return false
 		}
 		p.mu.Lock()
-		rec, stillSpilled := p.spilled[tenant]
+		rec, haveRec := p.spilled[tenant]
 		p.mu.Unlock()
-		if !stillSpilled {
-			return
+		if !haveRec {
+			// Revived since the Get. The frame still encodes the
+			// tenant's state as of its spill — a valid "before the
+			// touch" snapshot — and a tenant's classification is stable
+			// across spill cycles, so the listing-time record still
+			// describes it.
+			rec, haveRec = startSpill[tenant]
+		}
+		if !haveRec {
+			// Evicted and revived again entirely within the walk; the
+			// revival sweep resolves it through the resident map.
+			return false
 		}
 		done[tenant] = true
 		recs = append(recs, manifestRecord{
@@ -186,33 +207,46 @@ func (p *Pool) Snapshot() ([]byte, error) {
 			Bits:   rec.bits,
 			Frame:  frame,
 		})
+		return true
 	}
 
-	for _, e := range resident {
+	// encodeResident serializes one resident entry under its semaphore,
+	// reporting whether the tenant is settled (false: it moved to the
+	// store mid-walk and its frame could not be copied yet).
+	encodeResident := func(e *entry) bool {
+		if done[e.tenant] || skip[e.tenant] {
+			return true
+		}
 		e.sem <- struct{}{}
 		if e.gone {
 			// Evicted between the listing and here — its state is in
 			// the store now.
 			<-e.sem
-			addStored(e.tenant)
-			continue
+			return addStored(e.tenant)
 		}
 		if e.mode == Volatile {
 			<-e.sem
-			continue
+			skip[e.tenant] = true
+			return true
 		}
 		frame := e.frame
-		if frame == nil {
+		if frame == nil || e.mode == Pinned {
+			// Pinned engines (time windows, sentinels) can change state
+			// by wall clock alone — retirement runs on the next
+			// operation — so a cached frame may be stale for them;
+			// re-encode every snapshot.
 			blob, err := e.eng.MarshalBinary()
 			if err != nil {
 				<-e.sem
 				if firstErr == nil {
 					firstErr = fmt.Errorf("pool: snapshot of %q: %w", e.tenant, err)
 				}
-				continue
+				return true
 			}
 			frame = ckpt.Encode(blob)
-			e.frame = frame
+			if e.mode != Pinned {
+				e.frame = frame
+			}
 		}
 		p.mu.Lock()
 		bits := e.bits
@@ -225,9 +259,68 @@ func (p *Pool) Snapshot() ([]byte, error) {
 			Frame:  frame,
 		})
 		<-e.sem
+		return true
 	}
-	for _, t := range spilledNames {
+
+	for _, e := range resident {
+		encodeResident(e)
+	}
+	for t := range startSpill {
 		addStored(t)
+	}
+
+	// Revival sweep: the lists above were captured once, so a tenant
+	// spilled at listing time but revived (store frame deleted) before
+	// its addStored ran is in neither walk — it would vanish from the
+	// manifest even though it holds live state. Re-read the live maps
+	// and chase every known tenant that is not yet settled until none
+	// are missed; each unsettled outcome requires another concurrent
+	// spill/revive transition, so the sweep terminates as soon as the
+	// tenant holds still.
+	for firstErr == nil {
+		p.mu.Lock()
+		var missedRes []*entry
+		var missedSpilled []string
+		for t := range known {
+			if done[t] || skip[t] {
+				continue
+			}
+			if e, ok := p.res[t]; ok {
+				missedRes = append(missedRes, e)
+			} else if _, ok := p.spilled[t]; ok {
+				missedSpilled = append(missedSpilled, t)
+			} else {
+				skip[t] = true // no state anywhere — nothing to save
+			}
+		}
+		p.mu.Unlock()
+		if len(missedRes)+len(missedSpilled) == 0 {
+			break
+		}
+		progress := false
+		for _, e := range missedRes {
+			if encodeResident(e) {
+				progress = true
+			}
+		}
+		for _, t := range missedSpilled {
+			if addStored(t) {
+				progress = true
+			}
+		}
+		if !progress {
+			// A full pass resolved nothing. A spill record whose store
+			// frame is gone and that has not become resident is not a
+			// transient revival — the store lost the frame; there is
+			// nothing left to save.
+			p.mu.Lock()
+			for _, t := range missedSpilled {
+				if _, ok := p.res[t]; !ok {
+					skip[t] = true
+				}
+			}
+			p.mu.Unlock()
+		}
 	}
 	if firstErr != nil {
 		return nil, firstErr

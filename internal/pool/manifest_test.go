@@ -71,6 +71,97 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// hookEngine is a fakeEngine whose MarshalBinary first runs a callback
+// — the lever tests use to interleave pool operations with a snapshot
+// walk deterministically.
+type hookEngine struct {
+	fakeEngine
+	onMarshal func()
+}
+
+func (h *hookEngine) MarshalBinary() ([]byte, error) {
+	if h.onMarshal != nil {
+		h.onMarshal()
+	}
+	return h.fakeEngine.MarshalBinary()
+}
+
+// TestSnapshotCoversConcurrentRevival reproduces the lost-tenant race:
+// the snapshot lists residents and spilled tenants once up front, so a
+// tenant that is spilled at listing time but revived (store frame
+// deleted) before the spilled walk reads it was in neither walk and
+// vanished from the manifest. The revival sweep must pick it up from
+// the live resident map instead.
+func TestSnapshotCoversConcurrentRevival(t *testing.T) {
+	blocker := &hookEngine{}
+	store := NewMemStore()
+	p, err := New(Config{
+		Store: store,
+		Factory: func(tenant string) (Engine, Mode, error) {
+			if tenant == "blocker" {
+				return blocker, Spillable, nil
+			}
+			return &fakeEngine{}, Spillable, nil
+		},
+		Restorer: restoreFake,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertN(t, p, "victim", 1, 2, 3)
+	if err := p.Do("blocker", func(e Engine) error {
+		e.(*hookEngine).insert(9)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Evict("victim"); err != nil {
+		t.Fatal(err)
+	}
+	// While the snapshot's resident walk encodes the blocker, the victim
+	// revives: its store frame is deleted and it joins the resident map
+	// — after the snapshot captured both listings.
+	revived := false
+	blocker.onMarshal = func() {
+		if revived {
+			return
+		}
+		revived = true
+		if err := p.Do("victim", func(Engine) error { return nil }); err != nil {
+			t.Errorf("revive victim: %v", err)
+		}
+	}
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revived {
+		t.Fatal("test harness: the marshal hook never fired")
+	}
+	m, err := decodeManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]byte{}
+	for _, r := range m.Records {
+		got[r.Tenant] = mustDecodeFrame(t, r.Frame)
+	}
+	if _, ok := got["blocker"]; !ok {
+		t.Fatalf("blocker missing from manifest: %v", m.Records)
+	}
+	victim, ok := got["victim"]
+	if !ok {
+		t.Fatalf("tenant revived during the snapshot walk vanished from the manifest: %v", m.Records)
+	}
+	eng, err := restoreFake("victim", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data := eng.(*fakeEngine).data; fmt.Sprint(data) != fmt.Sprint([]uint64{1, 2, 3}) {
+		t.Fatalf("victim state after revival race = %v, want [1 2 3]", data)
+	}
+}
+
 // TestSnapshotDirtyCache: an untouched tenant reuses its cached frame
 // across snapshots; a touch invalidates it.
 func TestSnapshotDirtyCache(t *testing.T) {
@@ -92,6 +183,43 @@ func TestSnapshotDirtyCache(t *testing.T) {
 	p.mu.Unlock()
 	if cached != nil {
 		t.Fatal("a touch must invalidate the cached frame")
+	}
+}
+
+// TestSnapshotPinnedNotCached: pinned engines (time windows,
+// sentinels) can change state by wall clock alone, with no pool
+// operation to invalidate the frame cache — so a snapshot must always
+// re-encode them rather than reuse a cached frame.
+func TestSnapshotPinnedNotCached(t *testing.T) {
+	p, _ := testPool(t, 0, func(string) Mode { return Pinned })
+	insertN(t, p, "win", 1)
+	if _, err := p.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the engine behind the pool's back, as wall-clock
+	// retirement does: no pool operation runs, so nothing clears a
+	// cached frame.
+	p.mu.Lock()
+	e := p.res["win"]
+	p.mu.Unlock()
+	e.eng.(*fakeEngine).insert(2)
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != 1 || m.Records[0].Tenant != "win" || !m.Records[0].Pinned {
+		t.Fatalf("manifest records: %+v", m.Records)
+	}
+	eng, err := restoreFake("win", mustDecodeFrame(t, m.Records[0].Frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data := eng.(*fakeEngine).data; fmt.Sprint(data) != fmt.Sprint([]uint64{1, 2}) {
+		t.Fatalf("pinned tenant snapshotted stale state %v, want [1 2]", data)
 	}
 }
 

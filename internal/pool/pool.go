@@ -391,7 +391,9 @@ func (p *Pool) run(e *entry, fn func(Engine) error) error {
 	p.mu.Unlock()
 	<-e.sem
 	for _, v := range victims {
-		p.evict(v)
+		// Budget evictions are asynchronous to any one caller; failures
+		// are surfaced through the SpillErrors counter.
+		_ = p.evict(v)
 	}
 	return ferr
 }
@@ -422,16 +424,18 @@ func (p *Pool) collectVictimsLocked() []*entry {
 // evict spills one reserved victim: wait for its semaphore, serialize
 // (reusing the cached frame when the engine is untouched since the
 // last snapshot), store, close, and only then remove it from the
-// residency. A store failure cancels the eviction — the tenant stays
-// resident and the error is counted, never lost data.
-func (p *Pool) evict(v *entry) {
+// residency. A marshal or store failure cancels the eviction — the
+// tenant stays resident, the error is counted and returned, never lost
+// data. A nil return means the tenant left residency (here or, for a
+// gone entry, via whoever removed it first).
+func (p *Pool) evict(v *entry) error {
 	v.sem <- struct{}{}
 	if v.gone {
 		p.mu.Lock()
 		p.evictingBits -= v.bits
 		p.mu.Unlock()
 		<-v.sem
-		return
+		return nil
 	}
 	start := time.Now()
 	frame := v.frame
@@ -459,7 +463,7 @@ func (p *Pool) evict(v *entry) {
 		}
 		p.mu.Unlock()
 		<-v.sem
-		return
+		return err
 	}
 	v.eng.Close()
 	d := time.Since(start)
@@ -481,6 +485,7 @@ func (p *Pool) evict(v *entry) {
 	if p.cfg.Hooks.Evicted != nil {
 		p.cfg.Hooks.Evicted(v.tenant, d, bits)
 	}
+	return nil
 }
 
 // revive loads a spilled tenant back from the store: read, validate
@@ -555,15 +560,11 @@ func (p *Pool) Evict(tenant string) error {
 	e.evicting = true
 	p.evictingBits += e.bits
 	p.mu.Unlock()
-	p.evict(e)
-	// evict reports failures through the spillErrors counter, not an
-	// error return (budget evictions are asynchronous); the forced
-	// path checks whether the tenant actually left.
-	p.mu.Lock()
-	_, stillThere := p.res[tenant]
-	p.mu.Unlock()
-	if stillThere {
-		return fmt.Errorf("pool: spill of %q failed (see SpillErrors)", tenant)
+	// evict reports its outcome directly — inferring failure from
+	// residency would misreport success when a concurrent touch revives
+	// the tenant right after the spill completes.
+	if err := p.evict(e); err != nil {
+		return fmt.Errorf("pool: spill of %q: %w", tenant, err)
 	}
 	return nil
 }

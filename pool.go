@@ -347,12 +347,21 @@ func (p *Pool) InsertBatch(tenant string, items []Item) error {
 // multi-tenant server cares about: ErrTenantBusy when the tenant's
 // engine stayed busy past wait, and — for tenants whose engines are
 // Shedders (sharded overrides) — ErrSaturated from the engine's own
-// bounded enqueue. Either error means back off and retry.
+// bounded enqueue. Either error means back off and retry. wait is one
+// shared bound: whatever the wait for the tenant's engine consumed is
+// deducted from the wait given to the engine's bounded enqueue, so the
+// total block stays within wait (plus any unbounded first-touch
+// creation or revival, after which the enqueue degrades to try-only).
 func (p *Pool) InsertBatchBounded(tenant string, items []Item, wait time.Duration) error {
+	start := time.Now()
 	err := p.inner.DoBounded(tenant, wait, func(e pool.Engine) error {
 		hh := e.(HeavyHitters)
 		if sh, ok := hh.(Shedder); ok {
-			return sh.InsertBatchBounded(items, wait)
+			remaining := wait - time.Since(start)
+			if remaining < 0 {
+				remaining = 0
+			}
+			return sh.InsertBatchBounded(items, remaining)
 		}
 		return hh.InsertBatch(items)
 	})
