@@ -13,6 +13,10 @@
 //	go run ./cmd/hhbench -exp a4      # baseline field comparison
 //	go run ./cmd/hhbench -exp all     # everything
 //
+//	go run ./cmd/hhbench -exp vote    # rows 4–5 via the problem front
+//	                                  # door: ε-Borda and ε-maximin bits,
+//	                                  # throughput and winner quality
+//
 //	go run ./cmd/hhbench -exp pool    # multi-tenant pool churn: insert
 //	                                  # throughput under budget-forced
 //	                                  # spill/revive cycles
@@ -43,7 +47,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, ingest, pool, or all")
+	expFlag   = flag.String("exp", "all", "experiment: e1a, e1b, e2, e3, a4, vote, ingest, pool, or all")
 	seedFlag  = flag.Uint64("seed", 1, "base RNG seed")
 	mFlag     = flag.Int("m", 1_000_000, "stream length")
 	outFlag   = flag.String("out", "", "with -exp ingest: write the JSON snapshot here instead of stdout")
@@ -68,6 +72,8 @@ func main() {
 		expE3()
 	case "a4":
 		expA4()
+	case "vote":
+		expVote()
 	case "ingest":
 		expIngest(*outFlag)
 	case "pool":
@@ -365,6 +371,70 @@ func expA4() {
 		}
 		fmt.Printf("%-12s  %9d  %9.1f  %12.5f\n",
 			r.name, r.sketch.ModelBits(), nsPer, maxErr)
+	}
+	fmt.Println()
+}
+
+// expVote — Table 1 rows 4–5 exercised through the problem front door:
+// build ε-Borda and ε-maximin solvers with l1hh.New(WithProblem(...)),
+// stream one Mallows-distributed election through each, and compare the
+// sampled winner and scores against an exact tally. Errors are reported
+// in each problem's own units — Borda scores live on a 0..m·n scale
+// (Definition 7), maximin scores on 0..m (Definition 9) — so both error
+// columns are comparable to ε.
+func expVote() {
+	const n = 16
+	m := *mFlag
+	fmt.Printf("=== VOTE: ε-Borda and ε-maximin — Mallows(q=0.7) election, n=%d candidates, m=%d ballots ===\n", n, m)
+	center := make(l1hh.Ranking, n)
+	for i := range center {
+		center[i] = uint32(i)
+	}
+	ex := l1hh.NewVoteTally(n)
+	gen := l1hh.NewMallows(*seedFlag+11, center, 0.7)
+	for i := 0; i < m; i++ {
+		ex.Add(gen.Next())
+	}
+	exBorda, exBordaScore := ex.BordaWinner()
+	exMaximin, exMaximinScore := ex.MaximinWinner()
+	fmt.Printf("exact: borda winner %d (score %d), maximin winner %d (score %d)\n",
+		exBorda, exBordaScore, exMaximin, exMaximinScore)
+	fmt.Println("problem  eps      bits      votes/s      winner  max|err| (score units)")
+	for _, eps := range []float64{0.05, 0.02, 0.01} {
+		for _, pr := range []struct {
+			problem l1hh.Problem
+			name    string
+			scale   float64 // score-unit denominator: m·n for Borda, m for maximin
+			exact   func() []uint64
+		}{
+			{l1hh.BordaProblem, "borda", float64(m) * n, ex.BordaScores},
+			{l1hh.MaximinProblem, "maximin", float64(m), ex.MaximinScores},
+		} {
+			hh, err := l1hh.New(
+				l1hh.WithProblem(pr.problem),
+				l1hh.WithCandidates(n),
+				l1hh.WithEps(eps), l1hh.WithPhi(0.1), l1hh.WithDelta(0.1),
+				l1hh.WithStreamLength(uint64(m)), l1hh.WithSeed(*seedFlag+11),
+			)
+			must(err)
+			v := hh.(l1hh.Voter)
+			g := l1hh.NewMallows(*seedFlag+11, center, 0.7)
+			start := time.Now()
+			for i := 0; i < m; i++ {
+				must(v.Vote(g.Next()))
+			}
+			elapsed := time.Since(start).Seconds()
+			winner, _ := v.Winner()
+			maxErr := 0.0
+			exScores := pr.exact()
+			for c, est := range v.Scores() {
+				if e := math.Abs(est-float64(exScores[c])) / pr.scale; e > maxErr {
+					maxErr = e
+				}
+			}
+			fmt.Printf("%-7s  %-7.3f  %8d  %11.0f  %6d  %10.5f\n",
+				pr.name, eps, hh.ModelBits(), float64(m)/elapsed, winner, maxErr)
+		}
 	}
 	fmt.Println()
 }

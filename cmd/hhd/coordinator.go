@@ -46,7 +46,7 @@ func newCoordinator(srv *server, sink ckpt.Sink, every time.Duration, startSeq u
 		sink:     sink,
 		every:    every,
 		seq:      startSeq,
-		windowed: srv.engine().Stats().Window != nil,
+		windowed: srv.engineStats().Window != nil,
 		done:     make(chan struct{}),
 	}
 }
@@ -99,12 +99,14 @@ func (co *coordinator) snapshot(force bool) {
 		co.encodeAndStore(p.MarshalBinary, st.Items)
 		return
 	}
-	eng := co.srv.engine()
-	st := eng.Stats()
+	// Stats and MarshalBinary go through the server's lock discipline: a
+	// single-owner problem engine (-problem) must not be snapshotted
+	// while a /vote or /ingest handler is mutating it.
+	st := co.srv.engineStats()
 	if !force && !co.windowed && st.Items == co.lastItems {
 		return
 	}
-	co.encodeAndStore(eng.MarshalBinary, st.Items)
+	co.encodeAndStore(co.srv.marshalEngine, st.Items)
 }
 
 // encodeAndStore runs one marshal + store cycle and settles the

@@ -18,6 +18,17 @@
 //	POST /checkpoint  serialized engine state (application/octet-stream)
 //	POST /merge       fold a peer node's checkpoint into the live engine
 //	POST /restore     swap in a previously checkpointed state
+//	POST /vote        ballot ingest (-problem borda|maximin): NDJSON,
+//	                  one ballot per line — a bare JSON array of
+//	                  candidate ids, most preferred first, or
+//	                  {"ranking": [...], "count": k}
+//	GET  /winner      the current voting winner, every candidate's
+//	                  score estimate, and the (ε,ϕ)-List answer at the
+//	                  engine's threshold (known stream length)
+//	GET  /extremes    the frequency extreme the engine tracks
+//	                  (-problem minfreq|maxfreq) with its ε·m error bar
+//	GET  /point?item=N  the item's frequency estimate with the §3
+//	                  additive ε·m bound (known-length heavy hitters)
 //	GET  /healthz     liveness: 200 whenever the process can answer
 //	GET  /readyz      readiness: 503 while draining, and on an
 //	                  aggregator until the first complete peer pull
@@ -25,8 +36,8 @@
 //	                  hhd.queue_depths, hhd.model_bits, hhd.shards,
 //	                  hhd.peers, hhd.merges_total, hhd.merge_errors_total,
 //	                  hhd.merge_latency_seconds, hhd.merge_staleness_seconds,
-//	                  hhd.ingest_shed_total, hhd.checkpoints_total,
-//	                  hhd.checkpoint_errors_total;
+//	                  hhd.ingest_shed_total, hhd.votes_total,
+//	                  hhd.checkpoints_total, hhd.checkpoint_errors_total;
 //	                  with a window: hhd.window {covered, covered_min,
 //	                  covered_max, share_skew, extrapolated,
 //	                  retired_total, buckets, span_seconds}; with
@@ -74,8 +85,23 @@
 // The daemon is built entirely on the unified l1hh front door: flags
 // become l1hh.New options, /restore goes through l1hh.Unmarshal, and the
 // handlers discover what the engine can do by asserting the capability
-// interfaces (l1hh.Merger, l1hh.Windower, l1hh.Sharder) — never by
-// naming concrete solver types.
+// interfaces (l1hh.Merger, l1hh.Windower, l1hh.Sharder, l1hh.Voter,
+// l1hh.Extremes, l1hh.PointQuerier) — never by naming concrete solver
+// types.
+//
+// Related problems: -problem picks what the engine solves — hh (the
+// default), borda or maximin (rank aggregation over -candidates
+// candidates; ingest moves from /ingest to /vote, queries to /winner),
+// minfreq or maxfreq (frequency extremes; query /extremes). The
+// problem engines are single-owner, so the daemon serializes their
+// handlers; -shards, -algo, windows and the sentinel do not apply, and
+// /merge answers 409 except for Borda (linear tallies fold — so
+// -peers works for borda too). Checkpoints carry the problem (tags
+// 7–10) and /restore refuses a blob answering a different problem
+// family than the daemon was started for. With -tenants, every tenant
+// engine solves the chosen problem and the /t/{tenant}/vote, winner,
+// extremes and point twins apply; voting tenants spill and revive
+// under the shared budget like any other (DESIGN.md §14).
 //
 // Sliding windows: -window N answers for (at least) the last N items,
 // -window-duration D for the last D of wall time (then -m is the
@@ -151,6 +177,8 @@ var (
 	universeFlag   = flag.Uint64("universe", 1<<62, "universe size; ids in [0, universe)")
 	shardsFlag     = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
 	algoFlag       = flag.String("algo", "optimal", "engine: optimal or simple")
+	problemFlag    = flag.String("problem", "hh", "problem the engine solves: hh (heavy hitters), borda, maximin, minfreq, maxfreq (DESIGN.md §14); non-hh problems run a single-owner engine, so -shards, -algo, windows and the sentinel do not apply")
+	candidatesFlag = flag.Int("candidates", 0, "number of candidates for the voting problems (-problem borda|maximin); ballots are permutations of [0, candidates)")
 	seedFlag       = flag.Uint64("seed", 1, "RNG seed")
 	queueFlag      = flag.Int("queue-depth", 0, "per-shard queue depth in batches (0 = default)")
 	batchFlag      = flag.Int("max-batch", 0, "max items per dispatched batch (0 = default)")
@@ -209,10 +237,57 @@ func setupLogging(format, level string) error {
 	return nil
 }
 
+// parseProblem maps the -problem flag onto the front door's Problem
+// constants.
+func parseProblem(name string) (l1hh.Problem, error) {
+	switch name {
+	case "hh", "heavy-hitters":
+		return l1hh.HeavyHittersProblem, nil
+	case "borda":
+		return l1hh.BordaProblem, nil
+	case "maximin":
+		return l1hh.MaximinProblem, nil
+	case "minfreq", "min-frequency":
+		return l1hh.MinFrequencyProblem, nil
+	case "maxfreq", "max-frequency":
+		return l1hh.MaxFrequencyProblem, nil
+	}
+	return 0, fmt.Errorf("unknown -problem %q (want hh, borda, maximin, minfreq or maxfreq)", name)
+}
+
+// problemOptions is the option set for a non-default -problem: exactly
+// the flags in that problem's vocabulary — the front door rejects
+// anything else, and run() has already refused the explicitly-set
+// strays so a default value never smuggles through as configuration.
+func problemOptions(problem l1hh.Problem) []l1hh.Option {
+	opts := []l1hh.Option{
+		l1hh.WithProblem(problem),
+		l1hh.WithEps(*epsFlag),
+		l1hh.WithDelta(*deltaFlag),
+		l1hh.WithSeed(*seedFlag),
+	}
+	switch problem {
+	case l1hh.BordaProblem, l1hh.MaximinProblem:
+		opts = append(opts, l1hh.WithPhi(*phiFlag), l1hh.WithCandidates(*candidatesFlag))
+	case l1hh.MinFrequencyProblem, l1hh.MaxFrequencyProblem:
+		opts = append(opts, l1hh.WithUniverse(*universeFlag))
+	}
+	if *mFlag > 0 {
+		opts = append(opts, l1hh.WithStreamLength(*mFlag))
+	}
+	return opts
+}
+
 // specFromFlags translates the command line into the option sets the
 // unified front door understands.
-func specFromFlags(algo l1hh.Algorithm) engineSpec {
+func specFromFlags(algo l1hh.Algorithm, problem l1hh.Problem) engineSpec {
 	var spec engineSpec
+	spec.problem = problem
+	spec.m = *mFlag
+	if problem != l1hh.HeavyHittersProblem {
+		spec.build = problemOptions(problem)
+		return spec
+	}
 	spec.build = []l1hh.Option{
 		l1hh.WithEps(*epsFlag),
 		l1hh.WithPhi(*phiFlag),
@@ -262,7 +337,13 @@ func specFromFlags(algo l1hh.Algorithm) engineSpec {
 // operations, and an unsharded sketch is the cheapest resident under
 // the shared budget — so -shards, -queue-depth and -max-batch do not
 // apply. The sentinel attaches per tenant (-sentinel-tenant), not here.
-func tenantDefaultsFromFlags(algo l1hh.Algorithm) []l1hh.Option {
+// With a non-default -problem every tenant solves that problem; its
+// checkpoints (tags 7–10) spill and revive through the pool's Restorer
+// like any other spillable engine.
+func tenantDefaultsFromFlags(algo l1hh.Algorithm, problem l1hh.Problem) []l1hh.Option {
+	if problem != l1hh.HeavyHittersProblem {
+		return problemOptions(problem)
+	}
 	opts := []l1hh.Option{
 		l1hh.WithEps(*epsFlag),
 		l1hh.WithPhi(*phiFlag),
@@ -283,6 +364,54 @@ func tenantDefaultsFromFlags(algo l1hh.Algorithm) []l1hh.Option {
 	return opts
 }
 
+// validateProblemFlags refuses flag combinations outside the chosen
+// problem's vocabulary. The front door would reject most of them too
+// (WithProblem validates the whole option set), but catching the
+// explicitly-set strays here distinguishes "you passed -shards" from a
+// default value the spec simply never forwards.
+func validateProblemFlags(problem l1hh.Problem) error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	voting := problem == l1hh.BordaProblem || problem == l1hh.MaximinProblem
+	if problem == l1hh.HeavyHittersProblem {
+		if set["candidates"] {
+			return errors.New("-candidates only applies to the voting problems (-problem borda|maximin)")
+		}
+		return nil
+	}
+	for _, name := range []string{
+		"shards", "algo", "queue-depth", "max-batch",
+		"window", "window-duration", "window-buckets", "raw-shard-windows",
+		"sentinel", "sentinel-tenant",
+	} {
+		if set[name] {
+			return fmt.Errorf("-%s does not apply to -problem %s: the problem engines are single-owner, unsharded and unwindowed (DESIGN.md §14)", name, problem)
+		}
+	}
+	if voting {
+		if *candidatesFlag <= 0 {
+			return fmt.Errorf("-problem %s requires -candidates (ballots are permutations of [0, candidates))", problem)
+		}
+		if set["universe"] {
+			return fmt.Errorf("-universe does not apply to -problem %s: ballots range over the candidates, not the item universe", problem)
+		}
+		if set["peers"] && problem != l1hh.BordaProblem {
+			return errors.New("-peers requires mergeable states: Borda tallies fold, maximin's sampled tallies do not (DESIGN.md §14)")
+		}
+	} else {
+		if set["candidates"] {
+			return fmt.Errorf("-candidates does not apply to -problem %s", problem)
+		}
+		if set["phi"] {
+			return fmt.Errorf("-phi does not apply to -problem %s: the extremes problems have no heaviness threshold", problem)
+		}
+		if set["peers"] {
+			return fmt.Errorf("-peers does not apply to -problem %s: extremes states do not merge", problem)
+		}
+	}
+	return nil
+}
+
 func run() error {
 	algo := l1hh.AlgorithmOptimal
 	switch *algoFlag {
@@ -291,6 +420,13 @@ func run() error {
 		algo = l1hh.AlgorithmSimple
 	default:
 		return fmt.Errorf("unknown -algo %q", *algoFlag)
+	}
+	problem, err := parseProblem(*problemFlag)
+	if err != nil {
+		return err
+	}
+	if err := validateProblemFlags(problem); err != nil {
+		return err
 	}
 	if *windowFlag > 0 && *windowDurFlag > 0 {
 		return errors.New("-window and -window-duration are mutually exclusive")
@@ -382,11 +518,10 @@ func run() error {
 			return fmt.Errorf("-sentinel-tenant longer than %d bytes", l1hh.MaxTenantName)
 		}
 	}
-	spec := specFromFlags(algo)
+	spec := specFromFlags(algo, problem)
 
 	var (
 		srv        *server
-		err        error
 		poolResume []byte // pool checkpoint to restore (-tenants), nil = fresh pool
 	)
 	if *checkpointFlag != "" {
@@ -451,7 +586,7 @@ func run() error {
 
 	if *tenantsFlag {
 		popts := []l1hh.PoolOption{
-			l1hh.WithTenantDefaults(tenantDefaultsFromFlags(algo)...),
+			l1hh.WithTenantDefaults(tenantDefaultsFromFlags(algo, problem)...),
 			l1hh.WithPoolObserver(srv.obs.poolTimings()),
 		}
 		if *tenantBudget > 0 {
@@ -540,8 +675,9 @@ func run() error {
 		win = fmt.Sprint(*windowDurFlag)
 	}
 	slog.Info("hhd listening",
-		"addr", *addrFlag, "eps", *epsFlag, "phi", *phiFlag, "delta", *deltaFlag,
-		"shards", srv.engine().Stats().Shards, "algo", *algoFlag,
+		"addr", *addrFlag, "problem", problem.String(),
+		"eps", *epsFlag, "phi", *phiFlag, "delta", *deltaFlag,
+		"shards", srv.engineStats().Shards, "algo", *algoFlag,
 		"window", win, "sentinel", *sentinelFlag)
 
 	sig := make(chan os.Signal, 1)
@@ -589,7 +725,7 @@ func run() error {
 			"dir", *ckptDirFlag, "seq", srv.ckptLastSeq.Load(), "items", finalItems())
 	}
 	if *checkpointFlag != "" {
-		marshal := srv.engine().MarshalBinary
+		marshal := srv.marshalEngine
 		if srv.pool != nil {
 			marshal = srv.pool.MarshalBinary
 		}

@@ -95,6 +95,8 @@ func newServerObs(s *server) *serverObs {
 		})
 	reg.CounterFunc("hhd_ingest_shed_total", "Ingest requests shed with 429 on saturated shard queues (with -shed-wait).",
 		nil, func() float64 { return float64(s.shedTotal.Load()) })
+	reg.CounterFunc("hhd_votes_total", "Ballots accepted by /vote and /t/{tenant}/vote (with -problem borda|maximin).",
+		nil, func() float64 { return float64(s.votesTotal.Load()) })
 	reg.CounterFunc("hhd_checkpoint_total", "Snapshots the checkpoint coordinator stored (with -checkpoint-dir).",
 		nil, func() float64 { return float64(s.ckptTotal.Load()) })
 	reg.CounterFunc("hhd_checkpoint_errors_total", "Snapshot encodes or stores that failed.",

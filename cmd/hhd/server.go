@@ -28,6 +28,17 @@ import (
 type engineSpec struct {
 	build   []l1hh.Option // for l1hh.New
 	restore []l1hh.Option // for l1hh.Unmarshal (runtime tuning only)
+
+	// problem is what the default engine solves (-problem). Non-default
+	// problems build single-owner engines: the shell skips the ingest
+	// observer (their option vocabulary has no runtime tuning) and every
+	// handler serializes engine access through withEngine.
+	problem l1hh.Problem
+
+	// m is the configured stream length (-m; 0 = unknown). /point quotes
+	// its error bar against it — the engine's sampler is tuned for m, so
+	// ε·len would understate the bound mid-stream.
+	m uint64
 }
 
 // server wires a HeavyHitters engine to HTTP. All handlers are safe
@@ -39,6 +50,12 @@ type server struct {
 
 	mu  sync.RWMutex
 	eng l1hh.HeavyHitters
+
+	// serialEng flips every engine access to the write lock: set by
+	// finish when the engine is not a Sharder (the problem engines —
+	// voting, extremes — are single-owner and internally unsynchronized,
+	// so the handlers provide the mutual exclusion).
+	serialEng bool
 
 	start time.Time
 
@@ -89,6 +106,10 @@ type server struct {
 	mergeErrors   atomic.Uint64
 	mergeLastNano atomic.Int64 // duration of the last successful merge
 	mergeLastUnix atomic.Int64 // UnixNano of the last successful merge; 0 = never
+
+	// votesTotal counts ballots accepted by /vote and /t/{tenant}/vote
+	// (hhd.votes_total / hhd_votes_total).
+	votesTotal atomic.Uint64
 
 	// Load shedding (-shed-wait): how long an ingest request may wait on
 	// saturated shard queues before answering 429, and how often that
@@ -195,6 +216,12 @@ func publishMetrics() {
 	expvar.Publish("hhd.peers", expvar.Func(func() any {
 		if s := get(); s != nil {
 			return len(s.peers)
+		}
+		return 0
+	}))
+	expvar.Publish("hhd.votes_total", expvar.Func(func() any {
+		if s := get(); s != nil {
+			return s.votesTotal.Load()
 		}
 		return 0
 	}))
@@ -330,12 +357,46 @@ func newServerFromCheckpoint(spec engineSpec, blob []byte) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, ok := eng.(l1hh.Sharder); !ok {
+	if spec.problem != l1hh.HeavyHittersProblem {
+		// Problem mode runs a single-owner engine anyway (handlers
+		// serialize); the blob just has to answer the same problem family
+		// the flags asked for.
+		if got, want := problemKind(eng), kindForProblem(spec.problem); got != want {
+			eng.Close()
+			return nil, fmt.Errorf("checkpoint restores to a %s engine; -problem %s needs a %s engine", got, spec.problem, want)
+		}
+	} else if _, ok := eng.(l1hh.Sharder); !ok {
 		eng.Close()
 		return nil, errors.New("checkpoint restores to a single-owner solver; hhd needs a sharded container")
 	}
 	s.finish(eng)
 	return s, nil
+}
+
+// problemKind classifies an engine by the capability it answers — the
+// daemon's stand-in for "which problem is this" that never names
+// concrete solver types.
+func problemKind(eng l1hh.HeavyHitters) string {
+	switch eng.(type) {
+	case l1hh.Voter:
+		return "voting"
+	case l1hh.Extremes:
+		return "extremes"
+	default:
+		return "heavy-hitters"
+	}
+}
+
+// kindForProblem maps a -problem value onto the problemKind vocabulary.
+func kindForProblem(p l1hh.Problem) string {
+	switch p {
+	case l1hh.BordaProblem, l1hh.MaximinProblem:
+		return "voting"
+	case l1hh.MinFrequencyProblem, l1hh.MaxFrequencyProblem:
+		return "extremes"
+	default:
+		return "heavy-hitters"
+	}
 }
 
 // newShell allocates the server and its metrics registry BEFORE any
@@ -346,9 +407,14 @@ func newServerFromCheckpoint(spec engineSpec, blob []byte) (*server, error) {
 func newShell(spec engineSpec) *server {
 	s := &server{spec: spec, start: time.Now()}
 	s.obs = newServerObs(s)
-	timings := s.obs.ingestTimings()
-	s.spec.build = append(s.spec.build, l1hh.WithIngestObserver(timings))
-	s.spec.restore = append(s.spec.restore, l1hh.WithIngestObserver(timings))
+	if spec.problem == l1hh.HeavyHittersProblem {
+		// The problem engines take no runtime tuning — their option
+		// vocabulary (and their checkpoints' Unmarshal) reject the
+		// observer, so only the heavy hitters stack gets the stage hooks.
+		timings := s.obs.ingestTimings()
+		s.spec.build = append(s.spec.build, l1hh.WithIngestObserver(timings))
+		s.spec.restore = append(s.spec.restore, l1hh.WithIngestObserver(timings))
+	}
 	return s
 }
 
@@ -356,6 +422,8 @@ func newShell(spec engineSpec) *server {
 // from here (aggregator mode lowers readiness again before serving).
 func (s *server) finish(eng l1hh.HeavyHitters) {
 	s.eng = eng
+	_, sharded := eng.(l1hh.Sharder)
+	s.serialEng = !sharded
 	s.lastScrape = s.start
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -363,6 +431,10 @@ func (s *server) finish(eng l1hh.HeavyHitters) {
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /merge", s.handleMerge)
 	s.mux.HandleFunc("POST /restore", s.handleRestore)
+	s.mux.HandleFunc("POST /vote", s.handleVote)
+	s.mux.HandleFunc("GET /winner", s.handleWinner)
+	s.mux.HandleFunc("GET /extremes", s.handleExtremes)
+	s.mux.HandleFunc("GET /point", s.handlePoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", s.handleMetrics(expvar.Handler()))
@@ -424,6 +496,41 @@ func (s *server) engine() l1hh.HeavyHitters {
 	return s.eng
 }
 
+// withEngine runs f against the live engine under the lock discipline
+// it needs. Sharded engines synchronize internally, so readers share
+// the read lock (engine swaps exclude via the write lock, exactly as
+// before); a single-owner problem engine (-problem borda, maximin,
+// minfreq, maxfreq) is unsynchronized, so every access — ingest,
+// queries, snapshots — serializes under the write lock.
+func (s *server) withEngine(f func(eng l1hh.HeavyHitters)) {
+	if s.serialEng {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	f(s.eng)
+}
+
+// engineStats takes one Stats snapshot under withEngine's discipline.
+func (s *server) engineStats() l1hh.Stats {
+	var st l1hh.Stats
+	s.withEngine(func(eng l1hh.HeavyHitters) { st = eng.Stats() })
+	return st
+}
+
+// marshalEngine snapshots the live engine's serialized state under
+// withEngine's discipline (/checkpoint, the coordinator).
+func (s *server) marshalEngine() ([]byte, error) {
+	var (
+		blob []byte
+		err  error
+	)
+	s.withEngine(func(eng l1hh.HeavyHitters) { blob, err = eng.MarshalBinary() })
+	return blob, err
+}
+
 // scrapeStats returns the engine's Stats, reusing a snapshot younger
 // than statsTTL so one metrics scrape costs one barrier.
 func (s *server) scrapeStats() l1hh.Stats {
@@ -440,7 +547,7 @@ func (s *server) scrapeStatsAt() (l1hh.Stats, time.Time) {
 	if !s.statsAt.IsZero() && time.Since(s.statsAt) < statsTTL {
 		return s.statsCache, s.statsAt
 	}
-	s.statsCache = s.engine().Stats()
+	s.statsCache = s.engineStats()
 	s.statsAt = time.Now()
 	return s.statsCache, s.statsAt
 }
@@ -513,12 +620,29 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.rejectOnAggregator(w) {
 		return
 	}
-	eng := s.engine()
-	insert := eng.InsertBatch
-	if s.shedWait > 0 {
-		if sh, ok := eng.(l1hh.Shedder); ok {
-			wait := s.shedWait
-			insert = func(batch []l1hh.Item) error { return sh.InsertBatchBounded(batch, wait) }
+	var insert func([]l1hh.Item) error
+	if s.serialEng {
+		// Single-owner engine: each batch takes the write lock. The
+		// Shedder capability still applies when the engine offers it.
+		insert = func(batch []l1hh.Item) error {
+			var err error
+			s.withEngine(func(eng l1hh.HeavyHitters) {
+				if sh, ok := eng.(l1hh.Shedder); ok && s.shedWait > 0 {
+					err = sh.InsertBatchBounded(batch, s.shedWait)
+					return
+				}
+				err = eng.InsertBatch(batch)
+			})
+			return err
+		}
+	} else {
+		eng := s.engine()
+		insert = eng.InsertBatch
+		if s.shedWait > 0 {
+			if sh, ok := eng.(l1hh.Shedder); ok {
+				wait := s.shedWait
+				insert = func(batch []l1hh.Item) error { return sh.InsertBatchBounded(batch, wait) }
+			}
 		}
 	}
 	s.serveIngest(w, r, insert)
@@ -572,6 +696,10 @@ func (s *server) serveIngest(w http.ResponseWriter, r *http.Request, insert func
 		case errors.As(err, &mbe):
 			httpError(w, http.StatusRequestEntityTooLarge,
 				"after %d items: body exceeds the %d-byte ingest limit", accepted, mbe.Limit)
+		case errors.Is(err, l1hh.ErrNotItems):
+			// Wrong currency: this engine consumes rankings. Mirror the
+			// /vote-on-items contract with a 409 redirect.
+			httpError(w, http.StatusConflict, "after %d items: %v", accepted, err)
 		default:
 			// Items before the malformed point were already inserted;
 			// report both the error and the accepted count.
@@ -747,11 +875,23 @@ type reportedItem struct {
 }
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
-	eng := s.engine()
-	start := time.Now()
-	rep := eng.Report()
-	s.obs.report.ObserveDuration(time.Since(start))
-	st := eng.Stats()
+	var (
+		rep    []l1hh.ItemEstimate
+		st     l1hh.Stats
+		winN   uint64
+		winDur time.Duration
+		hasWin bool
+	)
+	s.withEngine(func(eng l1hh.HeavyHitters) {
+		start := time.Now()
+		rep = eng.Report()
+		s.obs.report.ObserveDuration(time.Since(start))
+		st = eng.Stats()
+		if win, ok := eng.(l1hh.Windower); ok {
+			winN, winDur, _ = win.Window()
+			hasWin = true
+		}
+	})
 	s.obs.observeSentinel(st)
 	out := reportResponse{
 		Len:          st.Len,
@@ -764,11 +904,10 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	for i, it := range rep {
 		out.HeavyHitters[i] = reportedItem{Item: it.Item, Estimate: it.F}
 	}
-	if win, ok := eng.(l1hh.Windower); ok && st.Window != nil {
-		n, dur, _ := win.Window()
+	if hasWin && st.Window != nil {
 		out.Window = &windowMeta{
-			Window:          n,
-			DurationSeconds: dur.Seconds(),
+			Window:          winN,
+			DurationSeconds: winDur.Seconds(),
 			Shards:          st.Shards,
 			PerShardWindow:  st.Window.PerShardWindow,
 			Covered:         st.Window.Covered,
@@ -795,7 +934,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	blob, err := s.engine().MarshalBinary()
+	blob, err := s.marshalEngine()
 	if err != nil {
 		httpError(w, http.StatusConflict, "checkpoint: %v", err)
 		return
@@ -806,6 +945,282 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Write(blob)
 }
 
+// voteLine is the object form of a /vote NDJSON line. Count is a
+// pointer so an explicit "count": 0 (a no-op ballot) is distinct from
+// an absent count (vote once).
+type voteLine struct {
+	Ranking []uint32 `json:"ranking"`
+	Count   *uint64  `json:"count"`
+}
+
+// serveVote decodes one /vote body and feeds each ballot through vote,
+// sharing the line format and error vocabulary between the
+// single-tenant route and the /t/{tenant} twin. The body is NDJSON:
+// one ballot per line, either a bare JSON array of candidate ids (most
+// preferred first) — "[2,0,1]" — or {"ranking": [...], "count": k} to
+// count a ballot k times. Responds {"accepted": n} ballots.
+func (s *server) serveVote(w http.ResponseWriter, r *http.Request, vote func(l1hh.Ranking) error) {
+	body := r.Body
+	if s.maxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var accepted uint64
+	fail := func(code int, format string, args ...any) {
+		// Ballots before the failing point were already counted; report
+		// both, matching /ingest's partial-acceptance contract.
+		s.votesTotal.Add(accepted)
+		httpError(w, code, "after %d ballots: %s", accepted, fmt.Sprintf(format, args...))
+	}
+	start := time.Now()
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var (
+			rk    l1hh.Ranking
+			count uint64 = 1
+		)
+		if line[0] == '{' {
+			var l voteLine
+			if err := json.Unmarshal([]byte(line), &l); err != nil {
+				fail(http.StatusBadRequest, "line %d: %v", lineno, err)
+				return
+			}
+			rk = l1hh.Ranking(l.Ranking)
+			if l.Count != nil {
+				if *l.Count > maxLineCount {
+					fail(http.StatusBadRequest, "line %d: count %d exceeds limit %d", lineno, *l.Count, maxLineCount)
+					return
+				}
+				count = *l.Count
+			}
+		} else if err := json.Unmarshal([]byte(line), &rk); err != nil {
+			fail(http.StatusBadRequest, "line %d: %v", lineno, err)
+			return
+		}
+		for ; count > 0; count-- {
+			if err := vote(rk); err != nil {
+				switch {
+				case errors.Is(err, l1hh.ErrNotRankings):
+					fail(http.StatusConflict, "%v", err)
+				case errors.Is(err, l1hh.ErrUnknownTenant),
+					errors.Is(err, l1hh.ErrInvalidTenant),
+					errors.Is(err, l1hh.ErrTenantBusy):
+					s.votesTotal.Add(accepted)
+					tenantError(w, r.PathValue("tenant"), err)
+				default:
+					fail(http.StatusBadRequest, "line %d: %v", lineno, err)
+				}
+				return
+			}
+			accepted++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.obs.ingestDecode.ObserveDuration(time.Since(start))
+	s.votesTotal.Add(accepted)
+	writeJSON(w, map[string]uint64{"accepted": accepted})
+}
+
+// handleVote is POST /vote: ballot ingest for the voting problems
+// (-problem borda|maximin). A heavy hitters or extremes engine answers
+// 409 — the capability is discovered by assertion, never assumed.
+func (s *server) handleVote(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnAggregator(w) {
+		return
+	}
+	s.serveVote(w, r, func(rk l1hh.Ranking) error {
+		var err error
+		s.withEngine(func(eng l1hh.HeavyHitters) {
+			v, ok := eng.(l1hh.Voter)
+			if !ok {
+				err = l1hh.ErrNotRankings
+				return
+			}
+			err = v.Vote(rk)
+		})
+		return err
+	})
+}
+
+// winnerResponse is the GET /winner body: the current winner under the
+// engine's voting rule, every candidate's score estimate, and — when
+// the stream length is known — the (ε,ϕ)-List answer at the engine's
+// threshold.
+type winnerResponse struct {
+	Candidate  int               `json:"candidate"`
+	Score      float64           `json:"score"`
+	Candidates int               `json:"candidates"`
+	Ballots    uint64            `json:"ballots"`
+	Eps        float64           `json:"eps"`
+	Phi        float64           `json:"phi"`
+	Scores     []float64         `json:"scores"`
+	List       []scoredCandidate `json:"list,omitempty"`
+}
+
+type scoredCandidate struct {
+	Candidate int     `json:"candidate"`
+	Score     float64 `json:"score"`
+}
+
+// winnerFor builds the /winner body when eng is a Voter.
+func winnerFor(eng l1hh.HeavyHitters) (*winnerResponse, bool) {
+	v, ok := eng.(l1hh.Voter)
+	if !ok {
+		return nil, false
+	}
+	c, score := v.Winner()
+	out := &winnerResponse{
+		Candidate:  c,
+		Score:      score,
+		Candidates: v.Candidates(),
+		Ballots:    eng.Len(),
+		Eps:        eng.Eps(),
+		Phi:        eng.Phi(),
+		Scores:     v.Scores(),
+	}
+	if list := v.List(eng.Phi()); list != nil {
+		out.List = make([]scoredCandidate, len(list))
+		for i, sc := range list {
+			out.List[i] = scoredCandidate{Candidate: sc.Candidate, Score: sc.Score}
+		}
+	}
+	return out, true
+}
+
+func (s *server) handleWinner(w http.ResponseWriter, r *http.Request) {
+	var (
+		out *winnerResponse
+		ok  bool
+	)
+	s.withEngine(func(eng l1hh.HeavyHitters) { out, ok = winnerFor(eng) })
+	if !ok {
+		httpError(w, http.StatusConflict,
+			"winner: this engine does not aggregate ballots; start hhd with -problem borda or -problem maximin")
+		return
+	}
+	writeJSON(w, out)
+}
+
+// extremesResponse is the GET /extremes body: the one frequency extreme
+// the engine tracks, with its error bar ε·m.
+type extremesResponse struct {
+	Kind     string  `json:"kind"` // "min-frequency" or "max-frequency"
+	Item     uint64  `json:"item"`
+	Estimate float64 `json:"estimate"`
+	Bound    float64 `json:"bound"`
+	Len      uint64  `json:"len"`
+	Eps      float64 `json:"eps"`
+}
+
+// extremesFor builds the /extremes body when eng is an Extremes engine.
+// ok is false when the capability is absent; err carries ErrEmptyStream.
+func extremesFor(eng l1hh.HeavyHitters) (out *extremesResponse, ok bool, err error) {
+	ex, isExtremes := eng.(l1hh.Extremes)
+	if !isExtremes {
+		return nil, false, nil
+	}
+	kind := "min-frequency"
+	est, bound, qerr := ex.MinItem()
+	if errors.Is(qerr, l1hh.ErrWrongExtreme) {
+		kind = "max-frequency"
+		est, bound, qerr = ex.MaxItem()
+	}
+	if qerr != nil {
+		return nil, true, qerr
+	}
+	return &extremesResponse{
+		Kind:     kind,
+		Item:     est.Item,
+		Estimate: est.F,
+		Bound:    bound,
+		Len:      eng.Len(),
+		Eps:      eng.Eps(),
+	}, true, nil
+}
+
+func (s *server) handleExtremes(w http.ResponseWriter, r *http.Request) {
+	var (
+		out *extremesResponse
+		ok  bool
+		err error
+	)
+	s.withEngine(func(eng l1hh.HeavyHitters) { out, ok, err = extremesFor(eng) })
+	switch {
+	case !ok:
+		httpError(w, http.StatusConflict,
+			"extremes: this engine does not track a frequency extreme; start hhd with -problem minfreq or -problem maxfreq")
+	case err != nil:
+		httpError(w, http.StatusConflict, "extremes: %v", err)
+	default:
+		writeJSON(w, out)
+	}
+}
+
+// pointResponse is the GET /point?item=N body: the item's frequency
+// estimate over the whole stream with the §3 additive bound ε·m.
+type pointResponse struct {
+	Item     uint64  `json:"item"`
+	Estimate float64 `json:"estimate"`
+	Bound    float64 `json:"bound"`
+	Len      uint64  `json:"len"`
+	Eps      float64 `json:"eps"`
+}
+
+// pointFor builds the /point body when eng answers point queries. m is
+// the configured stream length the engine's sampler was tuned for; the
+// bound is quoted against max(m, len) so a mid-stream query does not
+// understate the error bar.
+func pointFor(eng l1hh.HeavyHitters, x, m uint64) (*pointResponse, bool) {
+	pq, ok := eng.(l1hh.PointQuerier)
+	if !ok {
+		return nil, false
+	}
+	n := eng.Len()
+	if m > n {
+		n = m
+	}
+	return &pointResponse{
+		Item:     x,
+		Estimate: pq.Estimate(x),
+		Bound:    eng.Eps() * float64(n),
+		Len:      eng.Len(),
+		Eps:      eng.Eps(),
+	}, true
+}
+
+func (s *server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	item := r.URL.Query().Get("item")
+	if item == "" {
+		httpError(w, http.StatusBadRequest, "point: missing ?item=N")
+		return
+	}
+	x, err := strconv.ParseUint(item, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "point: bad item %q: %v", item, err)
+		return
+	}
+	var (
+		out *pointResponse
+		ok  bool
+	)
+	s.withEngine(func(eng l1hh.HeavyHitters) { out, ok = pointFor(eng, x, s.spec.m) })
+	if !ok {
+		httpError(w, http.StatusConflict,
+			"point: this engine cannot bound a per-item estimate (unknown stream length, sliding window, or a non-frequency problem)")
+		return
+	}
+	writeJSON(w, out)
+}
+
 // enablePool installs the multi-tenant engine pool and its route
 // family (-tenants):
 //
@@ -814,6 +1229,10 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 //	POST /t/{tenant}/checkpoint  the tenant's engine state, exportable
 //	                             through l1hh.Unmarshal
 //	GET  /t/{tenant}/stats       the tenant engine's operational snapshot
+//	POST /t/{tenant}/vote        ballot ingest (voting-problem tenants)
+//	GET  /t/{tenant}/winner      the tenant's voting winner
+//	GET  /t/{tenant}/extremes    the tenant's frequency extreme
+//	GET  /t/{tenant}/point       the tenant's per-item estimate
 //
 // Must run after finish and before the server starts serving. The
 // single-tenant routes keep working against the default engine.
@@ -823,6 +1242,103 @@ func (s *server) enablePool(p *l1hh.Pool) {
 	s.mux.HandleFunc("GET /t/{tenant}/report", s.handleTenantReport)
 	s.mux.HandleFunc("POST /t/{tenant}/checkpoint", s.handleTenantCheckpoint)
 	s.mux.HandleFunc("GET /t/{tenant}/stats", s.handleTenantStats)
+	s.mux.HandleFunc("POST /t/{tenant}/vote", s.handleTenantVote)
+	s.mux.HandleFunc("GET /t/{tenant}/winner", s.handleTenantWinner)
+	s.mux.HandleFunc("GET /t/{tenant}/extremes", s.handleTenantExtremes)
+	s.mux.HandleFunc("GET /t/{tenant}/point", s.handleTenantPoint)
+}
+
+// handleTenantVote is POST /t/{tenant}/vote: ballot ingest against the
+// tenant's engine, creating (or reviving) it on first touch — so a
+// voting tenant spills and revives under the shared budget exactly
+// like a heavy hitters tenant.
+func (s *server) handleTenantVote(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	s.serveVote(w, r, func(rk l1hh.Ranking) error {
+		return s.pool.Vote(tenant, rk)
+	})
+}
+
+// handleTenantWinner is GET /t/{tenant}/winner: the tenant's voting
+// winner, reviving the tenant if it was spilled (404 unknown).
+func (s *server) handleTenantWinner(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	var (
+		out *winnerResponse
+		ok  bool
+	)
+	err := s.pool.View(tenant, func(hh l1hh.HeavyHitters) error {
+		out, ok = winnerFor(hh)
+		return nil
+	})
+	switch {
+	case err != nil:
+		tenantError(w, tenant, err)
+	case !ok:
+		httpError(w, http.StatusConflict,
+			"winner: tenant %q does not aggregate ballots", tenant)
+	default:
+		writeJSON(w, out)
+	}
+}
+
+// handleTenantExtremes is GET /t/{tenant}/extremes: the tenant's
+// frequency extreme (404 unknown tenant, 409 wrong problem).
+func (s *server) handleTenantExtremes(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	var (
+		out  *extremesResponse
+		ok   bool
+		qerr error
+	)
+	err := s.pool.View(tenant, func(hh l1hh.HeavyHitters) error {
+		out, ok, qerr = extremesFor(hh)
+		return nil
+	})
+	switch {
+	case err != nil:
+		tenantError(w, tenant, err)
+	case !ok:
+		httpError(w, http.StatusConflict,
+			"extremes: tenant %q does not track a frequency extreme", tenant)
+	case qerr != nil:
+		httpError(w, http.StatusConflict, "extremes: tenant %q: %v", tenant, qerr)
+	default:
+		writeJSON(w, out)
+	}
+}
+
+// handleTenantPoint is GET /t/{tenant}/point?item=N: the tenant's
+// per-item frequency estimate (404 unknown tenant).
+func (s *server) handleTenantPoint(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	item := r.URL.Query().Get("item")
+	if item == "" {
+		httpError(w, http.StatusBadRequest, "point: missing ?item=N")
+		return
+	}
+	x, perr := strconv.ParseUint(item, 10, 64)
+	if perr != nil {
+		httpError(w, http.StatusBadRequest, "point: bad item %q: %v", item, perr)
+		return
+	}
+	var (
+		out *pointResponse
+		ok  bool
+	)
+	err := s.pool.View(tenant, func(hh l1hh.HeavyHitters) error {
+		out, ok = pointFor(hh, x, s.spec.m)
+		return nil
+	})
+	switch {
+	case err != nil:
+		tenantError(w, tenant, err)
+	case !ok:
+		httpError(w, http.StatusConflict,
+			"point: tenant %q cannot bound a per-item estimate", tenant)
+	default:
+		writeJSON(w, out)
+	}
 }
 
 // tenantError maps the pool tier's error vocabulary onto HTTP statuses
@@ -1008,15 +1524,20 @@ func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	// /restore or aggregator swap (which takes the write lock to replace
 	// and close the engine) cannot discard this fold mid-flight and
 	// leave it acknowledged with 200. Other readers — ingest, reports —
-	// are unaffected; only swaps wait.
-	s.mu.RLock()
+	// are unaffected; only swaps wait. A single-owner problem engine
+	// takes the write lock instead: its Merge is unsynchronized.
+	lock, unlock := s.mu.RLock, s.mu.RUnlock
+	if s.serialEng {
+		lock, unlock = s.mu.Lock, s.mu.Unlock
+	}
+	lock()
 	eng := s.eng
 	merger, ok := eng.(l1hh.Merger)
 	if !ok {
-		s.mu.RUnlock()
+		unlock()
 		s.mergeErrors.Add(1)
 		httpError(w, http.StatusConflict,
-			"merge: this engine does not merge (sliding-window states are not mergeable — DESIGN.md §8)")
+			"merge: this engine does not merge (sliding-window and sampled-tally states are not mergeable — DESIGN.md §8, §14)")
 		return
 	}
 	start := time.Now()
@@ -1026,7 +1547,7 @@ func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if sh, ok := eng.(l1hh.Sharder); ok {
 		shards = sh.Shards()
 	}
-	s.mu.RUnlock()
+	unlock()
 	if err != nil {
 		s.mergeErrors.Add(1)
 		code := http.StatusBadRequest
@@ -1085,10 +1606,20 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.obs.ckptDecode.ObserveDuration(time.Since(start))
-	// The daemon serves concurrent producers; a checkpoint that restores
-	// to a single-owner solver (a serial or un-sharded windowed state)
-	// must not be swapped in behind HTTP.
-	if _, ok := restored.(l1hh.Sharder); !ok {
+	if s.spec.problem != l1hh.HeavyHittersProblem {
+		// Problem mode already serializes every engine access, so a
+		// single-owner restore is fine — it just has to answer the same
+		// problem family the daemon was started for.
+		if got, want := problemKind(restored), kindForProblem(s.spec.problem); got != want {
+			restored.Close()
+			httpError(w, http.StatusBadRequest,
+				"restore: checkpoint restores to a %s engine; -problem %s needs a %s engine", got, s.spec.problem, want)
+			return
+		}
+	} else if _, ok := restored.(l1hh.Sharder); !ok {
+		// The default daemon serves concurrent producers; a checkpoint
+		// that restores to a single-owner solver (a serial or un-sharded
+		// windowed state) must not be swapped in behind HTTP.
 		restored.Close()
 		httpError(w, http.StatusBadRequest,
 			"restore: checkpoint restores to a single-owner solver; hhd needs a sharded container")

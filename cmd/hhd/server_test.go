@@ -22,7 +22,7 @@ func testSpec(m, seed uint64) engineSpec {
 	if m > 0 {
 		build = append(build, l1hh.WithStreamLength(m))
 	}
-	return engineSpec{build: build}
+	return engineSpec{build: build, m: m}
 }
 
 func newTestServer(t *testing.T, m uint64) *server {

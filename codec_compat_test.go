@@ -13,11 +13,13 @@ package l1hh
 // the files is that old bytes keep working).
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -38,6 +40,11 @@ type goldenCase struct {
 	wantLen  uint64
 	windower bool
 	sharder  bool
+	// problem marks the engines built through the problem-keyed front
+	// door (tags 7–10); their assertions run in the problem's own
+	// currency (ballots / bounded items) instead of the planted-item
+	// heavy-hitters checks.
+	problem Problem
 }
 
 // goldenStream is the fixed stream every golden engine ingests: id 7 on
@@ -50,6 +57,25 @@ func goldenStream(n int) []Item {
 		} else {
 			out[i] = uint64(100 + i%31)
 		}
+	}
+	return out
+}
+
+// goldenBallots is the fixed election every golden voting engine
+// counts: ballot i is the identity ranking rotated by i mod n, so
+// candidate 0 leads both the Borda and maximin tallies.
+func goldenBallots(m, n int) []Ranking {
+	out := make([]Ranking, m)
+	for i := range out {
+		rk := make(Ranking, n)
+		rot := i % n
+		if i%3 == 0 {
+			rot = 0 // candidate 0 tops every third ballot
+		}
+		for j := range rk {
+			rk[j] = uint32((j + rot) % n)
+		}
+		out[i] = rk
 	}
 	return out
 }
@@ -128,6 +154,54 @@ func goldenCases() []goldenCase {
 				}
 				return hh.MarshalBinary()
 			}},
+		{file: "tag7_borda.bin", tag: tagBorda, wantLen: n, problem: BordaProblem,
+			build: buildGoldenVoter(BordaProblem, n)},
+		{file: "tag8_maximin.bin", tag: tagMaximin, wantLen: n, problem: MaximinProblem,
+			build: buildGoldenVoter(MaximinProblem, n)},
+		{file: "tag9_minimum.bin", tag: tagMinimum, wantLen: n, problem: MinFrequencyProblem,
+			build: buildGoldenExtremes(MinFrequencyProblem, n)},
+		{file: "tag10_maximum.bin", tag: tagMaximum, wantLen: n, problem: MaxFrequencyProblem,
+			build: buildGoldenExtremes(MaxFrequencyProblem, n)},
+	}
+}
+
+// buildGoldenVoter checkpoints a tag 7/8 voting engine over the fixed
+// golden election, through the problem-keyed front door.
+func buildGoldenVoter(problem Problem, m int) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		hh, err := New(WithProblem(problem), WithCandidates(8),
+			WithEps(0.05), WithPhi(0.2), WithDelta(0.05),
+			WithStreamLength(4000), WithSeed(42))
+		if err != nil {
+			return nil, err
+		}
+		v := hh.(Voter)
+		for _, rk := range goldenBallots(m, 8) {
+			if err := v.Vote(rk); err != nil {
+				return nil, err
+			}
+		}
+		return hh.MarshalBinary()
+	}
+}
+
+// buildGoldenExtremes checkpoints a tag 9/10 extremes engine over the
+// golden stream folded into a 64-item universe (the ε-Minimum machinery
+// indexes by item id, so the golden universe stays small).
+func buildGoldenExtremes(problem Problem, m int) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		hh, err := New(WithProblem(problem),
+			WithEps(0.05), WithDelta(0.05),
+			WithStreamLength(4000), WithUniverse(64), WithSeed(42))
+		if err != nil {
+			return nil, err
+		}
+		for _, x := range goldenStream(m) {
+			if err := hh.Insert(x % 64); err != nil {
+				return nil, err
+			}
+		}
+		return hh.MarshalBinary()
 	}
 }
 
@@ -179,8 +253,12 @@ func TestGoldenCheckpoints(t *testing.T) {
 			if gc.wantLen > 0 && hh.Len() != gc.wantLen {
 				t.Fatalf("restored Len = %d, want %d", hh.Len(), gc.wantLen)
 			}
-			if hh.Eps() != 0.05 || hh.Phi() != 0.2 {
-				t.Fatalf("restored (eps,phi) = (%g,%g), want (0.05,0.2)", hh.Eps(), hh.Phi())
+			wantPhi := 0.2
+			if gc.problem == MinFrequencyProblem || gc.problem == MaxFrequencyProblem {
+				wantPhi = 0 // extremes solvers have no heaviness threshold
+			}
+			if hh.Eps() != 0.05 || hh.Phi() != wantPhi {
+				t.Fatalf("restored (eps,phi) = (%g,%g), want (0.05,%g)", hh.Eps(), hh.Phi(), wantPhi)
 			}
 			if _, ok := hh.(Windower); ok != gc.windower {
 				t.Errorf("Windower = %v, want %v", ok, gc.windower)
@@ -192,21 +270,66 @@ func TestGoldenCheckpoints(t *testing.T) {
 			if st.Len != hh.Len() || st.ModelBits <= 0 {
 				t.Fatalf("restored Stats incoherent: %+v", st)
 			}
-			rep := hh.Report()
-			found := false
-			for _, r := range rep {
-				if r.Item == 7 {
-					found = true
-				}
-			}
-			if !found {
-				t.Fatalf("planted heavy item 7 missing from restored report %v", rep)
-			}
-			// The restored solver must remain usable.
-			if err := hh.Insert(7); err != nil {
-				t.Fatalf("Insert on restored solver: %v", err)
-			}
+			checkGoldenRestore(t, gc, hh)
 		})
+	}
+}
+
+// checkGoldenRestore asserts a restored golden engine answers — and
+// stays usable — in its problem's own currency.
+func checkGoldenRestore(t *testing.T, gc goldenCase, hh HeavyHitters) {
+	t.Helper()
+	switch gc.problem {
+	case BordaProblem, MaximinProblem:
+		v, ok := hh.(Voter)
+		if !ok {
+			t.Fatalf("restored %s engine lost the Voter capability", gc.problem)
+		}
+		if c, _ := v.Winner(); c != 0 {
+			t.Fatalf("golden election winner = %d, want the planted candidate 0", c)
+		}
+		if err := hh.Insert(7); !errors.Is(err, ErrNotItems) {
+			t.Fatalf("Insert on a voting engine = %v, want ErrNotItems", err)
+		}
+		if err := v.Vote(Ranking{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+			t.Fatalf("Vote on restored voter: %v", err)
+		}
+	case MinFrequencyProblem, MaxFrequencyProblem:
+		ex, ok := hh.(Extremes)
+		if !ok {
+			t.Fatalf("restored %s engine lost the Extremes capability", gc.problem)
+		}
+		right, wrong := ex.MinItem, ex.MaxItem
+		if gc.problem == MaxFrequencyProblem {
+			right, wrong = ex.MaxItem, ex.MinItem
+		}
+		if _, _, err := right(); err != nil {
+			t.Fatalf("extremes query on restored solver: %v", err)
+		}
+		if _, _, err := wrong(); !errors.Is(err, ErrWrongExtreme) {
+			t.Fatalf("wrong-side query = %v, want ErrWrongExtreme", err)
+		}
+		if err := hh.Insert(7); err != nil {
+			t.Fatalf("in-universe Insert on restored solver: %v", err)
+		}
+		if err := hh.Insert(1 << 40); err == nil {
+			t.Fatal("out-of-universe Insert succeeded on restored extremes solver")
+		}
+	default:
+		rep := hh.Report()
+		found := false
+		for _, r := range rep {
+			if r.Item == 7 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("planted heavy item 7 missing from restored report %v", rep)
+		}
+		// The restored solver must remain usable.
+		if err := hh.Insert(7); err != nil {
+			t.Fatalf("Insert on restored solver: %v", err)
+		}
 	}
 }
 
@@ -280,7 +403,10 @@ func TestLegacyWindowCheckpoints(t *testing.T) {
 // TestCheckpointInterchange: bytes produced by the deprecated API
 // restore via the universal Unmarshal, and bytes produced by the new
 // front door restore via the deprecated per-type functions — for every
-// container tag, with identical reports on both sides.
+// container tag, with identical reports on both sides, and a
+// restore→re-marshal cycle that reproduces the original bytes exactly
+// (tags 1–6 must stay byte-identical across the problem-keyed
+// refactor; the pool row lives in its own subtest below).
 func TestCheckpointInterchange(t *testing.T) {
 	for _, gc := range goldenCases() {
 		t.Run(gc.file, func(t *testing.T) {
@@ -300,6 +426,9 @@ func TestCheckpointInterchange(t *testing.T) {
 			newBlob, err := viaNew.MarshalBinary()
 			if err != nil {
 				t.Fatal(err)
+			}
+			if !bytes.Equal(newBlob, oldBlob) {
+				t.Fatalf("restore→re-marshal changed the bytes: %d in, %d out", len(oldBlob), len(newBlob))
 			}
 			var viaOldReport []ItemEstimate
 			switch gc.tag {
@@ -322,11 +451,130 @@ func TestCheckpointInterchange(t *testing.T) {
 					t.Fatalf("UnmarshalWindowedListHeavyHitters(new bytes): %v", err)
 				}
 				viaOldReport = old.Report()
+			case tagBorda, tagMaximin, tagMinimum, tagMaximum:
+				// No deprecated per-type decoder exists for the problem
+				// engines; the interchange contract is the redirect (the
+				// serial decoder names Unmarshal) plus round-trip report
+				// stability through the universal door.
+				if _, err := UnmarshalListHeavyHitters(newBlob); err == nil ||
+					!strings.Contains(err.Error(), "use Unmarshal") {
+					t.Fatalf("deprecated decoder on problem bytes = %v, want a redirect to Unmarshal", err)
+				}
+				again, err := Unmarshal(newBlob)
+				if err != nil {
+					t.Fatalf("Unmarshal(round-trip bytes): %v", err)
+				}
+				defer again.Close()
+				viaOldReport = again.Report()
 			}
 			if fmt.Sprint(viaNew.Report()) != fmt.Sprint(viaOldReport) {
 				t.Fatalf("old/new restores diverge:\n%v\n%v", viaNew.Report(), viaOldReport)
 			}
 		})
+	}
+
+	t.Run("tag6_pool", func(t *testing.T) {
+		defaults := WithTenantDefaults(
+			WithEps(0.05), WithPhi(0.2), WithDelta(0.05),
+			WithStreamLength(4000), WithUniverse(1<<20), WithSeed(42))
+		p, err := NewPool(defaults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		if err := p.InsertBatch("golden", goldenStream(2000)); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blob[0] != tagPool {
+			t.Fatalf("pool tag = %d, want %d", blob[0], tagPool)
+		}
+		restored, err := UnmarshalPool(blob, defaults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer restored.Close()
+		again, err := restored.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, blob) {
+			t.Fatalf("pool restore→re-marshal changed the bytes: %d in, %d out", len(blob), len(again))
+		}
+	})
+}
+
+// TestDefaultProblemBytesUnchanged is the tentpole's byte-compatibility
+// contract, in two layers per heavy-hitters container shape: spelling
+// out the default — WithProblem(HeavyHittersProblem) — changes nothing
+// about what New builds (byte-identical checkpoints), and both match
+// the deprecated per-type constructors where those can be built
+// deterministically (tags 1–4; the deprecated sharded-windowed API has
+// no clock injection, so its arrival stamps defeat byte comparison).
+func TestDefaultProblemBytesUnchanged(t *testing.T) {
+	const n = 2000
+	front := func(explicit bool, extra ...Option) []byte {
+		t.Helper()
+		opts := []Option{
+			WithEps(0.05), WithPhi(0.2), WithDelta(0.05),
+			WithStreamLength(4000), WithUniverse(1 << 20), WithSeed(42),
+		}
+		if explicit {
+			opts = append(opts, WithProblem(HeavyHittersProblem))
+		}
+		opts = append(opts, extra...)
+		hh, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hh.Close()
+		if err := hh.InsertBatch(goldenStream(n)); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := hh.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	for _, gc := range goldenCases() {
+		var extra []Option
+		switch gc.tag {
+		case tagOptimal:
+			extra = []Option{WithAlgorithm(AlgorithmOptimal)}
+		case tagSimple:
+			extra = []Option{WithAlgorithm(AlgorithmSimple)}
+		case tagSharded:
+			extra = []Option{WithAlgorithm(AlgorithmSimple), WithShards(2)}
+		case tagWindowed:
+			extra = []Option{WithAlgorithm(AlgorithmSimple),
+				WithCountWindow(512, 4), WithClock(goldenClock)}
+		case tagShardedWindowed:
+			extra = []Option{WithAlgorithm(AlgorithmSimple), WithShards(2),
+				WithCountWindow(512, 4), WithClock(goldenClock)}
+		default:
+			continue // problem tags have no implicit-default twin
+		}
+		implicit := front(false, extra...)
+		explicit := front(true, extra...)
+		if !bytes.Equal(implicit, explicit) {
+			t.Errorf("%s: WithProblem(HeavyHittersProblem) changed the bytes (%d vs %d)",
+				gc.file, len(implicit), len(explicit))
+		}
+		if gc.tag == tagShardedWindowed {
+			continue // the deprecated twin cannot pin its clock
+		}
+		viaOld, err := gc.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(explicit, viaOld) {
+			t.Errorf("%s: front-door bytes (%d) differ from deprecated-API bytes (%d)",
+				gc.file, len(explicit), len(viaOld))
+		}
 	}
 }
 
@@ -343,11 +591,35 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 		{3, 1, 2, 3},
 		{4, 0xFF},
 		{5},
+		{7},
+		{8, 0xFF},
+		{9, 0, 0},
+		{10},
 		{99, 1, 2, 3},
 	} {
 		if _, err := Unmarshal(blob); err == nil {
 			t.Errorf("Unmarshal(%v) succeeded on garbage", blob)
 		}
+	}
+}
+
+// TestUnmarshalUnknownTagError: an unrecognized tag names the valid tag
+// range and the one decoder that lives outside it (UnmarshalPool), so
+// an operator holding a mystery blob knows where to send it next.
+func TestUnmarshalUnknownTagError(t *testing.T) {
+	_, err := Unmarshal([]byte{42, 0, 0, 0})
+	if err == nil {
+		t.Fatal("Unmarshal accepted tag 42")
+	}
+	for _, want := range []string{"tag 42", "UnmarshalPool"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-tag error %q does not mention %q", err, want)
+		}
+	}
+	// The pool tag itself redirects by name.
+	if _, err := Unmarshal([]byte{6, 0, 0}); err == nil ||
+		!strings.Contains(err.Error(), "UnmarshalPool") {
+		t.Errorf("pool-tag error %v does not redirect to UnmarshalPool", err)
 	}
 }
 

@@ -47,6 +47,42 @@
 //	blob, _ := hh.MarshalBinary()
 //	restored, err := l1hh.Unmarshal(blob, l1hh.WithQueueDepth(128))
 //
+// # Related problems
+//
+// WithProblem keys the same front door to the paper's Related Problems
+// (Theorems 5, 6 and §4): the default HeavyHittersProblem ingests items,
+// the voting problems ingest ballots, and the extremes problems answer
+// frequency-extreme queries. Each problem has its own option vocabulary
+// — New rejects options outside it with an error naming the conflict —
+// and its own capability interface discovered by type assertion:
+//
+//	v, _ := l1hh.New(
+//		l1hh.WithProblem(l1hh.BordaProblem), l1hh.WithCandidates(10),
+//		l1hh.WithEps(0.01), l1hh.WithPhi(0.1), l1hh.WithDelta(0.05),
+//		l1hh.WithStreamLength(1_000_000), l1hh.WithSeed(42),
+//	)
+//	voter := v.(l1hh.Voter)                    // BordaProblem, MaximinProblem
+//	_ = voter.Vote(l1hh.Ranking{2, 0, 1, ...}) // one ballot: a total order
+//	winner, score := voter.Winner()            // Borda: score within ε·m·n
+//
+//	e, _ := l1hh.New(
+//		l1hh.WithProblem(l1hh.MinFrequencyProblem), l1hh.WithUniverse(1000),
+//		l1hh.WithEps(0.01), l1hh.WithDelta(0.05), l1hh.WithStreamLength(1_000_000),
+//	)
+//	min := e.(l1hh.Extremes)                 // MinFrequencyProblem, MaxFrequencyProblem
+//	est, bound, _ := min.MinItem()           // estimate within bound = ε·m
+//
+//	if q, ok := hh.(l1hh.PointQuerier); ok { // serial and sharded heavy hitters
+//		_ = q.Estimate(17)                   // any item's frequency ± ε·m
+//	}
+//
+// Currency errors are sentinels: Insert on a voting engine returns
+// ErrNotItems, Vote on an items engine returns ErrNotRankings. The
+// problem travels with the checkpoint (tags 7–10), so Unmarshal restores
+// a Borda sketch as a Voter without being told. cmd/hhd serves the
+// problems over /vote, /winner, /extremes and /point (-problem flag),
+// and pool tenants can override the problem per tenant. DESIGN.md §14.
+//
 // # Multi-tenant pools
 //
 // NewPool keys independent sketches by tenant name behind one shared

@@ -41,6 +41,16 @@ const (
 	// plus the pool's budget and counters. Restored by UnmarshalPool,
 	// not Unmarshal — a pool is a container of solvers, not a solver.
 	tagPool byte = 6
+	// tagBorda and tagMaximin mark the voting problem engines
+	// (WithProblem): the List threshold ϕ framing the sketch's own
+	// encoding, which carries the remaining parameters.
+	tagBorda   byte = 7
+	tagMaximin byte = 8
+	// tagMinimum and tagMaximum mark the frequency-extreme problem
+	// engines; the inner encodings are fully self-describing, so the tag
+	// prefixes them directly.
+	tagMinimum byte = 9
+	tagMaximum byte = 10
 )
 
 // taggedMarshal prefixes the engine tag to the engine's own encoding.

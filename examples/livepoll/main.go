@@ -1,0 +1,114 @@
+// Livepoll: a complete election on the problem-keyed front door.
+//
+// The same l1hh.New call that builds a heavy-hitters sketch builds the
+// paper's voting sketches when keyed with WithProblem (DESIGN.md §14).
+// This example runs a live poll end to end: Mallows-distributed ballots
+// stream into Borda and maximin engines built through the front door, a
+// mid-stream checkpoint restores through the universal l1hh.Unmarshal
+// (the problem travels with the blob, tags 7–8), and an exact
+// l1hh.VoteTally shadow verifies the realized score error against the
+// ±ε·m·n (Borda) and ±ε·m (maximin) guarantees.
+//
+//	go run ./examples/livepoll
+package main
+
+import (
+	"fmt"
+	"log"
+
+	l1hh "repro"
+)
+
+func main() {
+	candidates := []string{"Asha", "Bruno", "Chen", "Dara", "Eiji", "Freya"}
+	n := len(candidates)
+	const ballots = 300_000
+	const eps = 0.01
+
+	// The electorate leans Chen ≻ Asha ≻ Bruno ≻ … with Mallows noise.
+	truth := l1hh.Ranking{2, 0, 1, 3, 4, 5}
+	gen := l1hh.NewMallows(11, truth, 0.6)
+
+	newVoter := func(problem l1hh.Problem, seed uint64) l1hh.Voter {
+		hh, err := l1hh.New(
+			l1hh.WithProblem(problem), l1hh.WithCandidates(n),
+			l1hh.WithEps(eps), l1hh.WithPhi(0.1), l1hh.WithDelta(0.05),
+			l1hh.WithStreamLength(ballots), l1hh.WithSeed(seed),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return hh.(l1hh.Voter) // the voting problems always satisfy Voter
+	}
+	borda := newVoter(l1hh.BordaProblem, 1)
+	maximin := newVoter(l1hh.MaximinProblem, 2)
+	exact := l1hh.NewVoteTally(n) // the shadow this sketch replaces
+
+	for i := 0; i < ballots; i++ {
+		b := gen.Next()
+		if err := borda.Vote(b); err != nil {
+			log.Fatal(err)
+		}
+		if err := maximin.Vote(b); err != nil {
+			log.Fatal(err)
+		}
+		exact.Add(b)
+
+		// Halfway through, checkpoint the Borda engine and carry on with
+		// the restored copy — the blob carries the problem (tag 7), so
+		// Unmarshal hands back a Voter without being told what it holds.
+		if i == ballots/2 {
+			blob, err := borda.(l1hh.HeavyHitters).MarshalBinary()
+			if err != nil {
+				log.Fatal(err)
+			}
+			restored, err := l1hh.Unmarshal(blob)
+			if err != nil {
+				log.Fatal(err)
+			}
+			borda = restored.(l1hh.Voter)
+			fmt.Printf("checkpointed at %d ballots: %d bytes, restored as a Voter\n\n",
+				i+1, len(blob))
+		}
+	}
+
+	// Ballots are not items: the wrong currency is a sentinel, not a
+	// silent misread.
+	if err := borda.(l1hh.HeavyHitters).Insert(7); err != nil {
+		fmt.Printf("Insert on a voting engine: %v\n\n", err)
+	}
+
+	bWin, bScore := borda.Winner()
+	mWin, mScore := maximin.Winner()
+	exWin, exScore := exact.BordaWinner()
+	exMaximin, exMaximinScore := exact.MaximinWinner()
+
+	fmt.Printf("%-28s %-10s sketch score   exact score   error (of guarantee ε)\n", "rule", "winner")
+	fmt.Printf("%-28s %-10s %12.0f   %11d   %.4f of ±ε·m·n\n",
+		"Borda (Theorem 5)", candidates[bWin], bScore, exScore,
+		abs(bScore-float64(exScore))/(eps*float64(ballots)*float64(n)))
+	fmt.Printf("%-28s %-10s %12.0f   %11d   %.4f of ±ε·m\n",
+		"maximin (Theorem 6)", candidates[mWin], mScore, exMaximinScore,
+		abs(mScore-float64(exMaximinScore))/(eps*float64(ballots)))
+	if bWin != exWin || mWin != exMaximin {
+		log.Fatalf("sketch winners (%d, %d) disagree with exact (%d, %d)",
+			bWin, mWin, exWin, exMaximin)
+	}
+
+	// The (ε,ϕ)-List variant: every candidate scoring ≥ ϕ of the maximum.
+	fmt.Printf("\nBorda leaders at ϕ=0.1:\n")
+	for _, sc := range borda.List(0.1) {
+		fmt.Printf("  %-8s ≈ %.0f\n", candidates[sc.Candidate], sc.Score)
+	}
+
+	bits := borda.(l1hh.HeavyHitters).ModelBits()
+	fmt.Printf("\nsketch: %d bits for %d ballots vs %d×%d exact counters\n",
+		bits, ballots, n, n)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -5,6 +5,7 @@ package l1hh
 // explores further.
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -133,8 +134,9 @@ func FuzzUnmarshalWindowed(f *testing.F) {
 	})
 }
 
-// anySeedBlobs produces one valid checkpoint per container tag (1–5) so
-// FuzzUnmarshalAny starts from decodable encodings of every kind.
+// anySeedBlobs produces one valid checkpoint per container tag (1–5 and
+// the problem tags 7–10) so FuzzUnmarshalAny starts from decodable
+// encodings of every kind.
 func anySeedBlobs(tb testing.TB) [][]byte {
 	tb.Helper()
 	base := []Option{
@@ -165,14 +167,59 @@ func anySeedBlobs(tb testing.TB) [][]byte {
 		hh.Close()
 		blobs = append(blobs, blob)
 	}
+
+	// The problem engines (tags 7–10): voting ingests rankings, extremes
+	// ingest bounded items — both through the same problem-keyed front
+	// door the heavy-hitters engines use.
+	for _, problem := range []Problem{BordaProblem, MaximinProblem} {
+		hh, err := New(WithProblem(problem), WithCandidates(4),
+			WithEps(0.1), WithPhi(0.3), WithDelta(0.1),
+			WithStreamLength(1000), WithSeed(5))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		v := hh.(Voter)
+		for i := 0; i < 200; i++ {
+			if err := v.Vote(Ranking{uint32(i % 4), uint32((i + 1) % 4), uint32((i + 2) % 4), uint32((i + 3) % 4)}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		blob, err := hh.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		hh.Close()
+		blobs = append(blobs, blob)
+	}
+	for _, problem := range []Problem{MinFrequencyProblem, MaxFrequencyProblem} {
+		hh, err := New(WithProblem(problem),
+			WithEps(0.1), WithDelta(0.1), WithUniverse(64),
+			WithStreamLength(1000), WithSeed(5))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for i := uint64(0); i < 500; i++ {
+			if err := hh.Insert(i % 37); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		blob, err := hh.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		hh.Close()
+		blobs = append(blobs, blob)
+	}
 	return blobs
 }
 
 // FuzzUnmarshalAny feeds hostile bytes to the universal tag-dispatched
-// decoder: every container tag (1–5) routes through one front door, so
-// one fuzz target covers the whole codec surface. Hostile bytes must
-// error — never panic, never allocate proportionally to claimed
-// geometry — and a successful decode must yield a usable solver.
+// decoder: every container tag (1–5, plus the problem tags 7–10) routes
+// through one front door, so one fuzz target covers the whole codec
+// surface. Hostile bytes must error — never panic, never allocate
+// proportionally to claimed geometry — and a successful decode must
+// yield a usable solver in its own currency: items for heavy hitters,
+// rankings for the voting engines, bounded items for extremes.
 func FuzzUnmarshalAny(f *testing.F) {
 	for _, b := range anySeedBlobs(f) {
 		f.Add(b)
@@ -180,7 +227,7 @@ func FuzzUnmarshalAny(f *testing.F) {
 	}
 	seedLegacyCheckpoints(f, "tag4_windowed_v1.bin", "tag5_sharded_windowed_v1.bin")
 	f.Add([]byte{})
-	for tag := byte(0); tag <= 6; tag++ {
+	for tag := byte(0); tag <= 10; tag++ {
 		f.Add([]byte{tag})
 		f.Add([]byte{tag, 0, 0, 0, 0, 0, 0, 0, 0})
 	}
@@ -192,9 +239,44 @@ func FuzzUnmarshalAny(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// A successfully decoded solver must be usable, whatever it is.
-		if err := hh.Insert(7); err != nil {
-			t.Fatalf("restored solver refused insert: %v", err)
+		switch v := hh.(type) {
+		case Voter:
+			// Items are the wrong currency here: Insert must refuse with
+			// the redirect sentinel, and a well-formed ballot must land.
+			if err := hh.Insert(7); !errors.Is(err, ErrNotItems) {
+				t.Fatalf("voting engine Insert = %v, want ErrNotItems", err)
+			}
+			n := v.Candidates()
+			if n <= 0 || n > 1<<20 {
+				t.Fatalf("restored voter claims %d candidates", n)
+			}
+			rk := make(Ranking, n)
+			for i := range rk {
+				rk[i] = uint32(i)
+			}
+			if err := v.Vote(rk); err != nil {
+				t.Fatalf("restored voter refused a valid ballot: %v", err)
+			}
+			_ = v.Scores()
+			if _, s := v.Winner(); s < 0 {
+				t.Fatalf("negative winner score %g", s)
+			}
+		case Extremes:
+			// Extremes engines bound inserts to their universe; item 0 is
+			// always inside it.
+			if err := hh.Insert(0); err != nil {
+				t.Fatalf("restored extremes solver refused item 0: %v", err)
+			}
+			for _, q := range []func() (ItemEstimate, float64, error){v.MinItem, v.MaxItem} {
+				if _, _, err := q(); err != nil &&
+					!errors.Is(err, ErrWrongExtreme) && !errors.Is(err, ErrEmptyStream) {
+					t.Fatalf("extremes query: %v", err)
+				}
+			}
+		default:
+			if err := hh.Insert(7); err != nil {
+				t.Fatalf("restored solver refused insert: %v", err)
+			}
 		}
 		_ = hh.Report()
 		_ = hh.Stats()

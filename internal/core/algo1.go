@@ -247,6 +247,11 @@ func (a *Maximum) SampleSize() uint64 { return a.s }
 // Len returns the number of stream positions consumed.
 func (a *Maximum) Len() uint64 { return a.offered }
 
+// Params returns the configuration the solver runs with (Tuning and Phi
+// filled), so a restored solver's wrapper can recover the problem
+// parameters without a side channel.
+func (a *Maximum) Params() Config { return a.cfg }
+
 // ModelBits charges the hashed table, one real id, the hash seeds and the
 // sampler — the O(min{1/ε,n}(log 1/ε + log log 1/δ) + log n + log log m)
 // of Theorem 3.

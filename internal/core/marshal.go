@@ -138,8 +138,14 @@ func (a *Maximum) UnmarshalBinary(data []byte) error {
 	s := r.U64()
 	offered := r.U64()
 	hashRng := r.U64()
+	// Reject parameter combinations no constructor could have produced
+	// (mirroring NewMaximum's validation): the decoded cfg feeds the
+	// wrapper's universe bound and error bars, so hostile values must not
+	// restore.
 	if r.Err() != nil || !r.Done() || sampler == nil ||
-		hashRng < 2 || h.Range() != hashRng {
+		hashRng < 2 || h.Range() != hashRng ||
+		cfg.Eps <= 0 || cfg.Eps >= 1 || cfg.Delta <= 0 || cfg.Delta >= 1 ||
+		cfg.M == 0 || cfg.N == 0 {
 		return fmt.Errorf("core: %w", wire.ErrCorrupt)
 	}
 	*a = Maximum{

@@ -66,6 +66,13 @@ func (s *Solver) UnmarshalBinary(data []byte) error {
 	out.largeU = r.Bool()
 	out.choice = r.U64()
 	out.offered = r.U64()
+	// Reject parameter combinations no constructor could have produced
+	// (mirroring New's validation) before any state is rebuilt.
+	if out.cfg.Eps <= 0 || out.cfg.Eps >= 1 ||
+		out.cfg.Delta <= 0 || out.cfg.Delta >= 1 ||
+		out.cfg.M == 0 || out.cfg.N == 0 {
+		return fmt.Errorf("minimum: %w", wire.ErrCorrupt)
+	}
 	if out.largeU {
 		if r.Err() != nil || !r.Done() {
 			return fmt.Errorf("minimum: %w", wire.ErrCorrupt)

@@ -223,6 +223,11 @@ func (s *Solver) argminOverUniverse(counts map[uint64]uint64) (uint64, uint64) {
 // Len returns the number of stream positions consumed.
 func (s *Solver) Len() uint64 { return s.offered }
 
+// Params returns the configuration the solver runs with (Tuning
+// filled), so a restored solver's wrapper can recover the problem
+// parameters without a side channel.
+func (s *Solver) Params() Config { return s.cfg }
+
 // Distinct returns the number of distinct items seen (0 for branch-1
 // instances, which keep no stream state).
 func (s *Solver) Distinct() int { return s.distinct }

@@ -139,8 +139,11 @@ func (b *BordaSketch) ModelBits() int64 {
 
 // ScoredCandidate pairs a candidate with an estimated score.
 type ScoredCandidate struct {
+	// Candidate is the candidate's index in [0, n).
 	Candidate int
-	Score     float64
+	// Score is the estimated score in the rule's units (Borda points or
+	// maximin pairwise tallies).
+	Score float64
 }
 
 // sortScored orders by decreasing score, ties by ascending candidate.

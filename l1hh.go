@@ -149,6 +149,10 @@ func UnmarshalListHeavyHitters(data []byte) (*ListHeavyHitters, error) {
 			return nil, errors.New("l1hh: sharded container encoding: use UnmarshalShardedListHeavyHitters")
 		case tagWindowed:
 			return nil, errors.New("l1hh: windowed solver encoding: use UnmarshalWindowedListHeavyHitters")
+		case tagPool:
+			return nil, errors.New("l1hh: multi-tenant pool encoding: use UnmarshalPool")
+		case tagBorda, tagMaximin, tagMinimum, tagMaximum:
+			return nil, errors.New("l1hh: problem-engine encoding: use Unmarshal")
 		}
 	}
 	return unmarshalSerial(data)
@@ -176,6 +180,20 @@ func (h *ListHeavyHitters) Eps() float64 { return h.eps }
 // Phi returns the heaviness threshold ϕ the solver was built with
 // (preserved across checkpoint restores).
 func (h *ListHeavyHitters) Phi() float64 { return h.phi }
+
+// Estimate returns the frequency estimate for x over the whole stream,
+// within ε·m for ϕ-heavy items whp (the §3 point-query bound); 0 when
+// the engine cannot answer (unknown stream length). Paced work is
+// flushed first so the answer covers every accepted item.
+func (h *ListHeavyHitters) Estimate(x Item) float64 {
+	if h.paced != nil {
+		h.paced.Flush()
+	}
+	if e, ok := h.engine.(interface{ Estimate(uint64) float64 }); ok {
+		return e.Estimate(x)
+	}
+	return 0
+}
 
 // Stats returns the unified operational snapshot (see Stats).
 func (h *ListHeavyHitters) Stats() Stats {

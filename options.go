@@ -40,6 +40,8 @@ const (
 	optRawWindows
 	optSentinel
 	optObserver
+	optProblem
+	optCandidates
 )
 
 // runtimeOpts are the options that tune a restored solver rather than
@@ -63,6 +65,8 @@ type settings struct {
 	clock         func() time.Time
 	sentinelRate  float64
 	timings       IngestTimings
+	problem       Problem
+	candidates    int
 
 	set  uint32  // optXxx bits for every option applied
 	errs []error // deferred per-option validation failures
@@ -297,6 +301,39 @@ func WithIngestObserver(t IngestTimings) Option {
 	}
 }
 
+// WithProblem selects which of the paper's problems the solver answers
+// (default HeavyHittersProblem, which preserves the pre-problem-table
+// behaviour exactly). Each problem has its own option vocabulary — the
+// per-problem builder rejects options that do not apply (for example
+// WithShards on a voting problem, or WithPhi on an extremes problem) —
+// and its own capability set: Voter for BordaProblem/MaximinProblem,
+// Extremes for MinFrequencyProblem/MaxFrequencyProblem, PointQuerier on
+// the known-length heavy hitters engines. See the Problem constants.
+func WithProblem(p Problem) Option {
+	return func(st *settings) {
+		if int(p) < 0 || int(p) >= len(problemSpecs) {
+			st.failf("l1hh: WithProblem: unknown problem %d", int(p))
+			return
+		}
+		st.problem = p
+		st.mark(optProblem)
+	}
+}
+
+// WithCandidates sets the number of candidates n for the voting
+// problems (BordaProblem, MaximinProblem); votes are permutations of
+// [0, n). Required by — and only valid with — those problems.
+func WithCandidates(n int) Option {
+	return func(st *settings) {
+		if n <= 0 {
+			st.failf("l1hh: WithCandidates needs n > 0, got %d", n)
+			return
+		}
+		st.candidates = n
+		st.mark(optCandidates)
+	}
+}
+
 // WithAccuracySentinel enables the run-time accuracy audit: every
 // occurrence is sampled into an exact shadow with probability rate ∈
 // (0,1], and each Report is checked against the shadow's scaled truth —
@@ -338,13 +375,25 @@ func resolveOptions(opts []Option) (settings, error) {
 }
 
 // validateNew checks the option combination for New (Unmarshal has its
-// own, tag-driven rules).
+// own, tag-driven rules), dispatching to the selected problem's
+// validator — the problem-keyed builder table in problems.go. Callers
+// that pre-validate option sets (the tenant pool) route through here,
+// so every problem's rules extend to them automatically.
 func (st *settings) validateNew() error {
+	return problemSpecs[st.problem].validate(st)
+}
+
+// validateHeavyHitters is the HeavyHittersProblem validator: the full
+// option vocabulary (shards, windows, pacing, sentinel, observer).
+func (st *settings) validateHeavyHitters() error {
 	if !st.has(optEps) {
 		return errors.New("l1hh: WithEps is required")
 	}
 	if !st.has(optPhi) {
 		return errors.New("l1hh: WithPhi is required")
+	}
+	if st.has(optCandidates) {
+		return errors.New("l1hh: WithCandidates only applies to the voting problems (WithProblem(BordaProblem) or WithProblem(MaximinProblem))")
 	}
 	if st.has(optCountWindow) && st.has(optTimeWindow) {
 		return errors.New("l1hh: WithCountWindow and WithTimeWindow are mutually exclusive")

@@ -371,6 +371,36 @@ func (p *Pool) InsertBatchBounded(tenant string, items []Item, wait time.Duratio
 	return err
 }
 
+// Vote feeds one ballot into tenant's engine, creating or reviving it
+// as needed — the voting analogue of Insert. The tenant must be
+// configured with a voting problem (WithProblem(BordaProblem) or
+// WithProblem(MaximinProblem) in its defaults or overrides);
+// non-voting tenants refuse.
+func (p *Pool) Vote(tenant string, r Ranking) error {
+	err := p.inner.Do(tenant, func(e pool.Engine) error {
+		v, ok := e.(Voter)
+		if !ok {
+			return fmt.Errorf("tenant %q: %w", tenant, ErrNotRankings)
+		}
+		return v.Vote(r)
+	})
+	if err == nil {
+		p.items.Add(1)
+	}
+	return err
+}
+
+// View runs f over tenant's engine under the tenant's serialization,
+// reviving it if spilled — the generic read path for capability
+// queries: assert Voter, Extremes or PointQuerier on the engine inside
+// f. Unknown tenants get ErrUnknownTenant — a view never creates an
+// engine. The engine must not be retained or used outside f.
+func (p *Pool) View(tenant string, f func(hh HeavyHitters) error) error {
+	return p.inner.View(tenant, func(e pool.Engine) error {
+		return f(e.(HeavyHitters))
+	})
+}
+
 // Report returns tenant's heavy hitters under its engine's (ε,ϕ)
 // guarantee, reviving the tenant if it was spilled. Unknown tenants
 // get ErrUnknownTenant — a report never creates an engine.

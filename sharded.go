@@ -285,6 +285,27 @@ func (h *ShardedListHeavyHitters) Report() []ItemEstimate {
 // (a barrier; see Items for the cheap accepted-count).
 func (h *ShardedListHeavyHitters) Len() uint64 { return h.s.Len() }
 
+// Estimate returns the frequency estimate for x over the whole stream,
+// within ε·m for ϕ-heavy items whp (the §3 point-query bound). Hash
+// partitioning routes every occurrence of x to one shard, so that
+// shard's whole-stream estimate is the global one — no cross-shard
+// combination is needed. A barrier, like Report. Windowed containers
+// cannot answer point queries and return 0 (their adapters do not
+// expose PointQuerier).
+func (h *ShardedListHeavyHitters) Estimate(x Item) float64 {
+	target := h.s.ShardOf(x)
+	var est float64
+	h.s.Do(func(i int, e shard.Engine) {
+		if i != target {
+			return
+		}
+		if q, ok := e.(interface{ Estimate(uint64) float64 }); ok {
+			est = q.Estimate(x)
+		}
+	})
+	return est
+}
+
 // Items returns the number of items accepted so far without flushing
 // the queues — the cheap counter the daemon's metrics poll.
 func (h *ShardedListHeavyHitters) Items() uint64 { return h.s.Items() }

@@ -1,12 +1,15 @@
 package l1hh
 
-// solver.go — the unified front door. New composes the serial, windowed
-// and sharded engines into one decorator stack behind the HeavyHitters
-// interface; Unmarshal restores any checkpoint container (tags 1–5)
-// behind the same interface. Optional behaviours are small capability
-// interfaces (Merger, Windower, Flusher, Pacable, Sharder) discovered by
-// type assertion, never by switching on concrete types — DESIGN.md §9
-// documents the contract.
+// solver.go — the unified front door. New composes the engine stack for
+// whichever Problem the options select (heavy hitters by default; the
+// voting and frequency-extreme problems via WithProblem — see
+// problems.go) behind the HeavyHitters interface; Unmarshal restores
+// any checkpoint container (tags 1–5 heavy hitters, 7–10 problem
+// engines) behind the same interface. Optional behaviours are small
+// capability interfaces (Merger, Windower, Flusher, Pacable, Sharder,
+// Voter, Extremes, PointQuerier) discovered by type assertion, never by
+// switching on concrete types — DESIGN.md §9 and §14 document the
+// contract.
 
 import (
 	"errors"
@@ -208,6 +211,17 @@ type Shedder interface {
 // on the outside, windows in the middle, solver engines innermost
 // (DESIGN.md §9). The returned value additionally satisfies the
 // capability interfaces its composition supports.
+//
+// WithProblem switches the front door to one of the paper's related
+// problems — the voting problems (BordaProblem, MaximinProblem; assert
+// Voter) or the frequency extremes (MinFrequencyProblem,
+// MaxFrequencyProblem; assert Extremes):
+//
+//	l1hh.New(l1hh.WithProblem(l1hh.BordaProblem),
+//	         l1hh.WithCandidates(8), l1hh.WithEps(0.05), l1hh.WithPhi(0.6))
+//
+// Each problem validates its own option subset; see problems.go and
+// DESIGN.md §14 for the problem-keyed builder table.
 func New(opts ...Option) (HeavyHitters, error) {
 	st, err := resolveOptions(opts)
 	if err != nil {
@@ -217,6 +231,12 @@ func New(opts ...Option) (HeavyHitters, error) {
 		return nil, err
 	}
 	st.cfg.fill()
+	return problemSpecs[st.problem].build(&st)
+}
+
+// buildHeavyHittersProblem composes the default (ε,ϕ)-heavy hitters
+// engine stack — the HeavyHittersProblem row of the builder table.
+func buildHeavyHittersProblem(st *settings) (HeavyHitters, error) {
 	switch {
 	case st.sharded():
 		eng, err := buildSharded(ShardedConfig{
@@ -275,10 +295,12 @@ func (st *settings) newSentinel() *sentinel {
 }
 
 // Unmarshal restores a solver from any checkpoint this package produces
-// — serial (tags 1–2), sharded (3), windowed (4), sharded+windowed (5)
-// — behind the HeavyHitters interface, with the same capability set the
-// original had. Problem parameters live in the checkpoint; opts may
-// carry runtime tuning only, and only where it applies:
+// — serial (tags 1–2), sharded (3), windowed (4), sharded+windowed (5),
+// and the problem engines (Borda 7, maximin 8, ε-Minimum 9, ε-Maximum
+// 10) — behind the HeavyHitters interface, with the same capability set
+// the original had. Problem parameters live in the checkpoint; opts may
+// carry runtime tuning only, and only where it applies (the problem
+// engines take none):
 //
 //	WithQueueDepth, WithMaxBatch — sharded containers (3, 5)
 //	WithPacedBudget             — serial solvers (1, 2) and plain
@@ -356,10 +378,15 @@ func Unmarshal(data []byte, opts ...Option) (HeavyHitters, error) {
 			return nil, err
 		}
 		return newWindowedHH(eng), nil
+	case tagBorda, tagMaximin, tagMinimum, tagMaximum:
+		if err := st.rejectOpts(runtimeOpts, "a problem-engine checkpoint (the voting and extremes engines take no runtime tuning)"); err != nil {
+			return nil, err
+		}
+		return unmarshalProblem(data)
 	case tagPool:
 		return nil, errors.New("l1hh: this is a multi-tenant pool checkpoint — restore it with UnmarshalPool")
 	default:
-		return nil, errors.New("l1hh: unrecognized solver encoding")
+		return nil, fmt.Errorf("l1hh: unrecognized solver tag %d — Unmarshal decodes tags %d–%d (serial, sharded, windowed, and the problem engines); the pool tag %d needs UnmarshalPool", data[0], tagOptimal, tagMaximum, tagPool)
 	}
 }
 
@@ -502,8 +529,11 @@ func (s *serialBase) Close() error {
 type unknownSerialHH struct{ serialBase }
 
 // serialHH is the adapter for known-length serial solvers; it adds the
-// Merger capability.
+// Merger and PointQuerier capabilities.
 type serialHH struct{ serialBase }
+
+// Estimate implements PointQuerier with the §3 per-item ε·m bound.
+func (s *serialHH) Estimate(x Item) float64 { return s.h.Estimate(x) }
 
 // CheckMerge implements Merger without mutating either solver.
 func (s *serialHH) CheckMerge(checkpoint []byte) error {
@@ -657,8 +687,13 @@ func (s *shardedBase) Flush() { s.s.Flush() }
 func (s *shardedBase) Shards() int { return s.s.Shards() }
 
 // shardedHH is the adapter for non-windowed sharded containers; it adds
-// the Merger capability.
+// the Merger and PointQuerier capabilities.
 type shardedHH struct{ shardedBase }
+
+// Estimate implements PointQuerier: hash partitioning routes every
+// occurrence of x to one shard, so the owning shard's whole-stream
+// estimate is the global one.
+func (s *shardedHH) Estimate(x Item) float64 { return s.s.Estimate(x) }
 
 // CheckMerge implements Merger without mutating any shard.
 func (s *shardedHH) CheckMerge(checkpoint []byte) error {
